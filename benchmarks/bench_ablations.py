@@ -1,0 +1,76 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+1. **Group fast path vs monoid fallback** (Section 6.2): on tree queries
+   the anyK-part candidate weights can be derived in O(1) with an
+   inverse or recomputed from open-branch minima in O(l) — measure the
+   gap on a star (worst case for the fallback) and on a path (where the
+   fallback is free).
+2. **Connector sharing** (Fig 3): the O(l*n) equi-join encoding vs
+   private per-parent choice sets (the O(n²)-ish naive encoding):
+   construction cost and enumeration cost on skewed data.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.anyk.partition import AnyKPart
+from repro.anyk.strategies import Take2Strategy
+from repro.data.generators import uniform_database
+from repro.dp.builder import build_tdp
+from repro.query.builders import path_query, star_query
+from repro.query.jointree import build_join_tree
+
+FIGURE = "ablations"
+
+
+@pytest.mark.parametrize("shape", ["star", "path"])
+@pytest.mark.parametrize("use_inverse", [True, False],
+                         ids=["group", "monoid"])
+def test_inverse_ablation(benchmark, shape, use_inverse):
+    size = 4
+    db = uniform_database(size, 4_000, seed=31)
+    query = star_query(size) if shape == "star" else path_query(size)
+    k = 2_000
+
+    def job():
+        start = time.perf_counter()
+        tree = build_join_tree(query)
+        tdp = build_tdp(db, tree)
+        enum = AnyKPart(tdp, strategy=Take2Strategy(), use_inverse=use_inverse)
+        enum.top(k)
+        return time.perf_counter() - start
+
+    elapsed = pedantic(benchmark, job)
+    mode = "group O(1)" if use_inverse else "monoid O(l)"
+    record_result(
+        FIGURE,
+        f"inverse/{shape:<5} {mode:>12}: TT({k})={elapsed:7.3f} s",
+    )
+
+
+@pytest.mark.parametrize("share", [True, False], ids=["shared", "private"])
+def test_connector_sharing_ablation(benchmark, share):
+    # Skewed data: few join values -> large shared groups; the naive
+    # encoding copies each group once per parent tuple.
+    n = 3_000
+    db = uniform_database(2, n, domain_size=30, seed=37)
+    query = path_query(2)
+    k = 1_000
+
+    def job():
+        start = time.perf_counter()
+        tree = build_join_tree(query)
+        tdp = build_tdp(db, tree, share_connectors=share)
+        enum = AnyKPart(tdp, strategy=Take2Strategy())
+        enum.top(k)
+        return time.perf_counter() - start, tdp.num_connectors
+
+    elapsed, connectors = pedantic(benchmark, job)
+    benchmark.extra_info["connectors"] = connectors
+    record_result(
+        FIGURE,
+        f"connectors/{'shared' if share else 'private':<8}: "
+        f"TT({k})={elapsed:7.3f} s  choice-sets={connectors}",
+    )

@@ -1,0 +1,67 @@
+"""Delay-distribution profile: the Fig 5 Delay(k) column, measured.
+
+The paper bounds the *worst-case* delay per algorithm (O(log k + l) for
+Take2/Eager, + log n for Lazy, + l*n for All, l*log n for Recursive).
+This bench records per-result delays over the first k results of a
+4-path and reports median / p99 / max per algorithm — the distribution
+view that a single mean hides.  Expected shape: All's tail blows up
+(its O(l*n) insertions land on unlucky results), Recursive's tail
+carries the chain-of-next-calls factor, Take2/Eager/Lazy stay tight.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import ANYK_ALGORITHMS, cached_workload, pedantic, record_result
+from repro.anyk.base import make_enumerator
+from repro.data.generators import uniform_database
+from repro.dp.builder import build_tdp_for_query
+from repro.query.builders import path_query
+
+FIGURE = "delay_profile"
+K = 5_000
+
+
+def _workload():
+    from repro.experiments.workloads import Workload
+
+    db = uniform_database(4, 8_000, seed=55)
+    return Workload("delay/4-path", db, path_query(4), K)
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+def test_delay_distribution(benchmark, algorithm):
+    workload = cached_workload(f"{FIGURE}/wl", _workload)
+
+    def job():
+        tdp = build_tdp_for_query(workload.database, workload.query)
+        enum = make_enumerator(tdp, algorithm)
+        iterator = iter(enum)
+        delays = []
+        previous = time.perf_counter()
+        for _ in range(K):
+            next(iterator)
+            now = time.perf_counter()
+            delays.append(now - previous)
+            previous = now
+        return delays
+
+    delays = pedantic(benchmark, job)
+    delays_sorted = sorted(delays)
+    median = _percentile(delays_sorted, 0.50)
+    p99 = _percentile(delays_sorted, 0.99)
+    worst = delays_sorted[-1]
+    benchmark.extra_info["median_us"] = round(median * 1e6, 2)
+    benchmark.extra_info["p99_us"] = round(p99 * 1e6, 2)
+    record_result(
+        FIGURE,
+        f"{algorithm:>10}: delay median={median * 1e6:8.2f} us  "
+        f"p99={p99 * 1e6:8.2f} us  max={worst * 1e6:9.2f} us  "
+        f"(first {K} results)",
+    )

@@ -1,0 +1,93 @@
+"""Fig 5: the complexity table, regenerated empirically.
+
+For each algorithm we measure on a 4-path the quantities the table
+bounds analytically:
+
+* TTF — preprocessing + first result (paper: O(l n) for all but Eager,
+  which pays an extra sort);
+* Delay(k) — mean delay over the first k results;
+* TTL — full ranked output on a small instance (paper: Recursive wins
+  worst-case outputs);
+* MEM(k) — candidate-queue growth (for anyK-part) / memo size (for
+  Recursive) after k results.
+
+The printed table in ``benchmarks/results/fig05.txt`` mirrors the
+paper's rows; the pytest-benchmark table carries the TTF timings.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    WITH_BATCH,
+    cached_workload,
+    pedantic,
+    record_result,
+)
+from repro.anyk.base import make_enumerator
+from repro.anyk.partition import AnyKPart
+from repro.data.generators import uniform_database
+from repro.dp.builder import build_tdp_for_query
+from repro.query.builders import path_query
+from repro.util.counters import OpCounter
+
+FIGURE = "fig05"
+K = 2_000
+
+
+def _workload():
+    from repro.experiments.workloads import Workload
+
+    db = uniform_database(4, 5_000, seed=5)
+    return Workload("fig05/4-path", db, path_query(4), K)
+
+
+def _ttl_workload():
+    from repro.experiments.workloads import Workload
+
+    db = uniform_database(4, 600, domain_size=150, seed=5)
+    return Workload("fig05/4-path-ttl", db, path_query(4), None)
+
+
+@pytest.mark.parametrize("algorithm", WITH_BATCH)
+def test_complexity_row(benchmark, algorithm):
+    workload = cached_workload(f"{FIGURE}/main", _workload)
+    ttl_workload = cached_workload(f"{FIGURE}/ttl", _ttl_workload)
+
+    def measure_row():
+        counter = OpCounter()
+        start = time.perf_counter()
+        tdp = build_tdp_for_query(workload.database, workload.query)
+        enum = make_enumerator(tdp, algorithm, counter=counter)
+        iterator = iter(enum)
+        next(iterator)
+        ttf = time.perf_counter() - start
+        for _ in range(K - 1):
+            next(iterator)
+        ttk = time.perf_counter() - start
+        mem = (
+            enum.peak_candidates()
+            if isinstance(enum, AnyKPart)
+            else counter.pq_push
+        )
+        return ttf, ttk, mem
+
+    ttf, ttk, mem = pedantic(benchmark, measure_row)
+
+    # TTL on the small instance (full ranked output).
+    start = time.perf_counter()
+    tdp = build_tdp_for_query(ttl_workload.database, ttl_workload.query)
+    enum = make_enumerator(tdp, algorithm)
+    produced = sum(1 for _ in enum)
+    ttl = time.perf_counter() - start
+
+    delay_us = (ttk - ttf) / max(1, K - 1) * 1e6
+    benchmark.extra_info["ttf_ms"] = round(ttf * 1e3, 2)
+    benchmark.extra_info["delay_us"] = round(delay_us, 2)
+    record_result(
+        FIGURE,
+        f"{algorithm:>10}: TTF={ttf * 1e3:9.2f} ms  "
+        f"Delay(avg over {K})={delay_us:9.2f} us  "
+        f"TTL({produced} results)={ttl:7.3f} s  MEM(k)~{mem} entries",
+    )

@@ -1,0 +1,68 @@
+"""Fig 10 (a-l): TT(k) for all size-4 queries.
+
+Twelve cells, as in the paper: {4-path, 4-star, 4-cycle} x {synthetic
+small (full ranked output), synthetic large (top n/2), Bitcoin-like,
+Twitter-like}.  Batch participates only in the small-synthetic cells —
+on the large/graph cells the full output is infeasible, which is the
+paper's own observation ("Batch runs out of memory or we terminate it").
+
+Expected shapes (paper Section 7.1):
+
+* small synthetic TTL: Recursive finishes first on paths/cycles (suffix
+  sharing), loses its edge on stars;
+* small k on every cell: Lazy is the consistent top performer;
+* All underperforms throughout (candidate flooding).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ANYK_ALGORITHMS,
+    WITH_BATCH,
+    cached_workload,
+    run_ttk_benchmark,
+)
+from repro.experiments.workloads import (
+    bitcoin,
+    synthetic_large,
+    synthetic_small,
+    twitter,
+)
+
+FIGURE = "fig10"
+
+
+@pytest.mark.parametrize("algorithm", WITH_BATCH)
+@pytest.mark.parametrize("shape", ["path", "star", "cycle"])
+def test_synthetic_small_ttl(benchmark, shape, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/{shape}-small", lambda: synthetic_small(shape, 4)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("shape", ["path", "star", "cycle"])
+def test_synthetic_large_topk(benchmark, shape, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/{shape}-large", lambda: synthetic_large(shape, 4)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("shape", ["path", "star", "cycle"])
+def test_bitcoin_topk(benchmark, shape, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/{shape}-bitcoin", lambda: bitcoin(shape, 4)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("shape", ["path", "star", "cycle"])
+def test_twitter_topk(benchmark, shape, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/{shape}-twitter", lambda: twitter(shape, 4)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)

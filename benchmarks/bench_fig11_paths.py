@@ -1,0 +1,60 @@
+"""Fig 11 (a-h): TT(k) for 3-path and 6-path queries.
+
+The paper's headline observation here: Recursive's TTL advantage grows
+with path length (longer suffixes -> more shared ranking work), while
+Lazy keeps winning the small-k regime on every input.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ANYK_ALGORITHMS,
+    WITH_BATCH,
+    cached_workload,
+    run_ttk_benchmark,
+)
+from repro.experiments.workloads import (
+    bitcoin,
+    synthetic_large,
+    synthetic_small,
+    twitter,
+)
+
+FIGURE = "fig11"
+SIZES = [3, 6]
+
+
+@pytest.mark.parametrize("algorithm", WITH_BATCH)
+@pytest.mark.parametrize("size", SIZES)
+def test_synthetic_small_ttl(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/path{size}-small", lambda: synthetic_small("path", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_synthetic_large_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/path{size}-large", lambda: synthetic_large("path", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_bitcoin_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/path{size}-bitcoin", lambda: bitcoin("path", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_twitter_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/path{size}-twitter", lambda: twitter("path", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)

@@ -1,0 +1,60 @@
+"""Fig 12 (a-h): TT(k) for 3-star and 6-star queries.
+
+Stars are the extreme shallow T-DP case: Recursive degenerates to an
+anyK-part-like algorithm (no suffix chains to share), so Eager/Lazy
+should take TTL here while Lazy keeps the small-k crown.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ANYK_ALGORITHMS,
+    WITH_BATCH,
+    cached_workload,
+    run_ttk_benchmark,
+)
+from repro.experiments.workloads import (
+    bitcoin,
+    synthetic_large,
+    synthetic_small,
+    twitter,
+)
+
+FIGURE = "fig12"
+SIZES = [3, 6]
+
+
+@pytest.mark.parametrize("algorithm", WITH_BATCH)
+@pytest.mark.parametrize("size", SIZES)
+def test_synthetic_small_ttl(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/star{size}-small", lambda: synthetic_small("star", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_synthetic_large_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/star{size}-large", lambda: synthetic_large("star", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_bitcoin_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/star{size}-bitcoin", lambda: bitcoin("star", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+@pytest.mark.parametrize("size", SIZES)
+def test_twitter_topk(benchmark, size, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/star{size}-twitter", lambda: twitter("star", size)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)

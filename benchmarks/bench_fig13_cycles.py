@@ -1,0 +1,57 @@
+"""Fig 13 (a-d): TT(k) for 6-cycle queries via the UT-DP decomposition.
+
+The 6-cycle exercises the full pipeline: heavy/light partitioning into
+7 trees, per-tree T-DP with tie-breaking, and the union priority queue.
+As in the paper, Recursive's TTL shines on the worst-case synthetic
+instance, and the decomposition lets every any-k variant return early
+results long before a batch join could finish.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    ANYK_ALGORITHMS,
+    WITH_BATCH,
+    cached_workload,
+    run_ttk_benchmark,
+)
+from repro.experiments.workloads import (
+    bitcoin,
+    synthetic_large,
+    synthetic_small,
+    twitter,
+)
+
+FIGURE = "fig13"
+
+
+@pytest.mark.parametrize("algorithm", WITH_BATCH)
+def test_synthetic_small_ttl(benchmark, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/cycle6-small", lambda: synthetic_small("cycle", 6)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+def test_synthetic_large_topk(benchmark, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/cycle6-large", lambda: synthetic_large("cycle", 6)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+def test_bitcoin_topk(benchmark, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/cycle6-bitcoin", lambda: bitcoin("cycle", 6)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ANYK_ALGORITHMS)
+def test_twitter_topk(benchmark, algorithm):
+    workload = cached_workload(
+        f"{FIGURE}/cycle6-twitter", lambda: twitter("cycle", 6)
+    )
+    run_ttk_benchmark(benchmark, FIGURE, workload, algorithm)

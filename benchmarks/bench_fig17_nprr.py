@@ -1,0 +1,64 @@
+"""Fig 16/17: NPRR's TTF sub-optimality on database I1.
+
+Instance I1 (Fig 16) has Θ(n²) 4-cycles but only one heavy value per
+column, so the any-k pipeline's decomposition materialises O(n) bag
+tuples and returns the top-ranked cycle in (near-)linear time, while a
+worst-case-optimal join must produce the full quadratic output (plus a
+sort) before the top result is known.
+
+Expected shape (Fig 17): NPRR's TTF grows ~quadratically in n while
+Recursive/Lazy TTF grows ~linearly; crossing happens immediately.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.data.generators import nprr_hard_instance
+from repro.experiments.runner import measure_ttk
+from repro.joins.generic_join import generic_join
+from repro.query.builders import cycle_query
+
+FIGURE = "fig17"
+SIZES = [250, 500, 1_000, 2_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ["lazy", "recursive"])
+def test_anyk_ttf(benchmark, n, algorithm):
+    db = nprr_hard_instance(n, seed=17)
+    query = cycle_query(4)
+
+    def job():
+        return measure_ttk(db, query, algorithm, k=1)
+
+    result = pedantic(benchmark, job)
+    benchmark.extra_info["ttf_ms"] = round(result.ttf * 1e3, 2)
+    record_result(
+        FIGURE,
+        f"n={n:>5} {algorithm:>10}: TTF={result.ttf * 1e3:9.2f} ms",
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_nprr_ttf(benchmark, n):
+    """NPRR = worst-case-optimal join of the full output, then sort."""
+    db = nprr_hard_instance(n, seed=17)
+    query = cycle_query(4)
+
+    def job():
+        start = time.perf_counter()
+        rows = generic_join(db, query)
+        rows.sort(key=lambda item: item[0])
+        top = rows[0]
+        return time.perf_counter() - start, len(rows), top
+
+    elapsed, produced, _top = pedantic(benchmark, job)
+    assert produced == 2 * n * n
+    benchmark.extra_info["ttf_ms"] = round(elapsed * 1e3, 2)
+    record_result(
+        FIGURE,
+        f"n={n:>5} {'NPRR':>10}: TTF={elapsed * 1e3:9.2f} ms "
+        f"(full output {produced} tuples + sort)",
+    )

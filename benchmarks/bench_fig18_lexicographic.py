@@ -1,0 +1,67 @@
+"""Fig 18: lexicographic orders that defeat factorised representations.
+
+On the instance R = {(i,1)}, S = {(1,j)} the lexicographic order
+A -> C -> B disagrees with every factorisation order, forcing an FDB
+restructuring of Ω(n²) size *before the first answer*.  Any-k needs only
+linear preprocessing: the bench measures TTF and TT(k) under the
+3-dimensional lexicographic dioid, plus a batch baseline that (like the
+restructuring) materialises and sorts all n² results first.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.anyk.base import make_enumerator
+from repro.data.generators import fdb_lex_instance
+from repro.dp.builder import build_tdp
+from repro.query.builders import path_query
+from repro.query.jointree import build_join_tree
+from repro.ranking.dioid import LexicographicDioid
+
+FIGURE = "fig18"
+SIZES = [200, 400, 800]
+
+
+def _setup(n):
+    db = fdb_lex_instance(n)
+    db.relations["R1"] = db["R"].rename("R1")
+    db.relations["R2"] = db["S"].rename("R2")
+    query = path_query(2)
+    lex = LexicographicDioid(3)
+
+    def lift(atom, values, _raw):
+        # Order output tuples by A (=x1), then C (=x3), then B (=x2).
+        if atom.relation_name == "R1":
+            return (float(values[0]), 0.0, float(values[1]))
+        return (0.0, float(values[1]), 0.0)
+
+    return db, query, lex, lift
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ["take2", "lazy", "batch"])
+def test_lexicographic_ttf(benchmark, n, algorithm):
+    db, query, lex, lift = _setup(n)
+
+    def job():
+        start = time.perf_counter()
+        tree = build_join_tree(query)
+        tdp = build_tdp(db, tree, dioid=lex, lift=lift)
+        enum = make_enumerator(tdp, algorithm)
+        first = next(iter(enum))
+        ttf = time.perf_counter() - start
+        produced = 1 + sum(1 for _ in zip(range(n - 1), enum))
+        ttk = time.perf_counter() - start
+        return ttf, ttk, first, produced
+
+    ttf, ttk, first, produced = pedantic(benchmark, job)
+    assert first.assignment["x1"] == 1
+    benchmark.extra_info["ttf_ms"] = round(ttf * 1e3, 3)
+    record_result(
+        FIGURE,
+        f"n={n:>5} {algorithm:>7}: TTF={ttf * 1e3:9.2f} ms  "
+        f"TT({produced})={ttk * 1e3:9.2f} ms  "
+        f"(output size n^2 = {n * n})",
+    )

@@ -1,0 +1,67 @@
+"""Fig 19 / Section 9.1.3: Rank-Join's computational sub-optimality.
+
+On database I2 under max-plus ranking, the top answer combines the
+lightest R and S tuples with the single heavy T tuple.  Weight-ordered
+Rank-Join must buffer all (n-1)² R-S combinations before its threshold
+lets the top answer out; any-k pays linear preprocessing.  Both the
+wall-clock TTF and the counted joined-combinations are reported.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.data.generators import rank_join_hard_instance
+from repro.experiments.runner import measure_ttk
+from repro.joins.rank_join import rank_join_enumerate
+from repro.query.parser import parse_query
+from repro.ranking.dioid import MAX_PLUS
+from repro.util.counters import OpCounter
+
+FIGURE = "fig19"
+SIZES = [100, 200, 400]
+QUERY_TEXT = "Q(a, b, c) :- R(a, b), S(b, c), T(c)"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rank_join_ttf(benchmark, n):
+    db = rank_join_hard_instance(n)
+    query = parse_query(QUERY_TEXT)
+
+    def job():
+        counter = OpCounter()
+        start = time.perf_counter()
+        stream = rank_join_enumerate(db, query, counter=counter)
+        weight, _assignment = next(stream)
+        return time.perf_counter() - start, weight, counter
+
+    elapsed, weight, counter = pedantic(benchmark, job)
+    assert weight == 1.0 + 10.0 + 1000.0 * n
+    assert counter.intermediate_tuples >= (n - 1) ** 2
+    benchmark.extra_info["combos"] = counter.intermediate_tuples
+    record_result(
+        FIGURE,
+        f"n={n:>4} {'RankJoin':>8}: TTF={elapsed * 1e3:9.2f} ms  "
+        f"buffered combinations={counter.intermediate_tuples} "
+        f"(>= (n-1)^2 = {(n - 1) ** 2})",
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ["take2", "lazy"])
+def test_anyk_ttf(benchmark, n, algorithm):
+    db = rank_join_hard_instance(n)
+    query = parse_query(QUERY_TEXT)
+
+    def job():
+        return measure_ttk(db, query, algorithm, k=1, dioid=MAX_PLUS)
+
+    result = pedantic(benchmark, job)
+    assert result.produced == 1
+    benchmark.extra_info["ttf_ms"] = round(result.ttf * 1e3, 3)
+    record_result(
+        FIGURE,
+        f"n={n:>4} {algorithm:>8}: TTF={result.ttf * 1e3:9.2f} ms "
+        f"(linear preprocessing)",
+    )

@@ -1,0 +1,114 @@
+"""Shared helpers for the benchmark suite (one module per paper figure).
+
+Each benchmark regenerates one cell of a paper figure: a cold-start
+ranked enumeration (preprocessing included, as in the paper's TT(k)
+methodology) of one workload with one algorithm.  The pytest-benchmark
+table then reads exactly like the paper's plots: for each workload,
+which algorithm reaches k results (or the full output) first.
+
+Workloads are built once per session (data generation is excluded from
+the timed region, like the paper excludes loading).  The measured TTF
+and result counts are attached as ``extra_info`` columns, and every
+module also emits a plain-text report under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from typing import Callable
+
+import pytest
+
+from repro.experiments.runner import TTKResult, measure_ttk
+from repro.experiments.workloads import Workload
+from repro.ranking.dioid import TROPICAL
+
+
+def gc_setup():
+    """Collect garbage *outside* the timed region (pedantic setup hook).
+
+    Large allocations from neighbouring benchmarks (e.g. NPRR's full
+    quadratic output) otherwise get collected inside someone else's
+    single-round measurement.
+    """
+    gc.collect()
+
+
+def pedantic(benchmark, job, rounds: int = 1):
+    """benchmark.pedantic with the GC fence applied."""
+    return benchmark.pedantic(job, setup=gc_setup, rounds=rounds, iterations=1)
+
+#: Algorithms compared in the paper's Section 7 figures.
+ANYK_ALGORITHMS = ["recursive", "take2", "lazy", "eager", "all"]
+#: Batch joins the comparison only where the full output is feasible.
+WITH_BATCH = ANYK_ALGORITHMS + ["batch"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_workload_cache: dict[str, Workload] = {}
+#: (figure, workload-name) -> TTK results, for end-of-session charts.
+_curves: dict[tuple[str, str], list[TTKResult]] = {}
+
+
+def cached_workload(key: str, builder: Callable[[], Workload]) -> Workload:
+    """Build each workload once per session (generation is untimed)."""
+    workload = _workload_cache.get(key)
+    if workload is None:
+        workload = builder()
+        _workload_cache[key] = workload
+    return workload
+
+
+def record_result(figure: str, line: str) -> None:
+    """Append a line to the figure's plain-text report."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{figure}.txt"), "a") as handle:
+        handle.write(line + "\n")
+
+
+def run_ttk_benchmark(
+    benchmark,
+    figure: str,
+    workload: Workload,
+    algorithm: str,
+    dioid=TROPICAL,
+    rounds: int = 1,
+) -> TTKResult:
+    """Benchmark one cold-start TT(k) run and record its curve."""
+
+    def job() -> TTKResult:
+        return measure_ttk(
+            workload.database, workload.query, algorithm, workload.k,
+            dioid=dioid,
+        )
+
+    result = pedantic(benchmark, job, rounds=rounds)
+    benchmark.extra_info["workload"] = workload.name
+    benchmark.extra_info["ttf_ms"] = round(result.ttf * 1e3, 2)
+    benchmark.extra_info["produced"] = result.produced
+    curve = "  ".join(f"({k}, {t:.3f}s)" for k, t in result.curve)
+    record_result(
+        figure,
+        f"{workload.name:<24} {algorithm:>10}: TTF={result.ttf * 1e3:9.2f} ms  "
+        f"TT({result.produced})={result.ttk:8.3f} s  curve: {curve}",
+    )
+    _curves.setdefault((figure, workload.name), []).append(result)
+    return result
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_reports():
+    """Truncate old reports; append TT(k) charts at session end."""
+    if os.path.isdir(RESULTS_DIR):
+        for name in os.listdir(RESULTS_DIR):
+            if name.endswith(".txt"):
+                os.remove(os.path.join(RESULTS_DIR, name))
+    yield
+    from repro.experiments.ascii import curve_chart
+
+    for (figure, workload_name), results in sorted(_curves.items()):
+        if len(results) < 2:
+            continue
+        record_result(figure, f"\n--- {workload_name} (#results vs seconds) ---")
+        record_result(figure, curve_chart(results))

@@ -1,0 +1,43 @@
+"""Heaviest influence chains in a follower network (max-plus ranking).
+
+A data-exploration scenario over a Twitter-like graph whose edge
+weights are PageRank sums: find the 4-hop follow chains through the
+most influential accounts.  Ranking by *largest* total weight uses the
+max-plus dioid — the same algorithms run unchanged on any selective
+dioid (Section 6.4).
+
+Run:  python examples/influence_paths.py
+"""
+
+import itertools
+
+from repro import MAX_PLUS, Database, path_query, ranked_enumerate
+from repro.data.graphs import graph_statistics, twitter_like
+
+
+def main() -> None:
+    edges = twitter_like(num_nodes=1_000, num_edges=8_000, seed=5)
+    stats = graph_statistics(edges)
+    print(
+        f"follower network: {stats['nodes']} accounts, "
+        f"{stats['edges']} follows, max degree {stats['max_degree']}"
+    )
+    db = Database([edges.rename("E")])
+    query = path_query(4, relation="E")
+
+    print("\nfive most influential 4-hop follow chains:")
+    results = ranked_enumerate(db, query, dioid=MAX_PLUS, algorithm="take2")
+    for result in itertools.islice(results, 5):
+        chain = " -> ".join(
+            str(result.assignment[f"x{i}"]) for i in range(1, 6)
+        )
+        print(f"  influence {result.weight:7.3f}:  {chain}")
+
+    # Switching the ranking direction is a one-argument change: the
+    # default tropical dioid surfaces the *least* influential chains.
+    least = next(iter(ranked_enumerate(db, query, algorithm="take2")))
+    print(f"\nleast influential chain weighs {least.weight:.3f}")
+
+
+if __name__ == "__main__":
+    main()

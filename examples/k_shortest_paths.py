@@ -1,0 +1,45 @@
+"""k-lightest paths in a multi-stage DAG — the paper's DP view directly.
+
+The ranked-enumeration framework is, at heart, a k-shortest-path
+algorithm family for multi-stage DAGs (Section 3).  This example uses
+the direct DP interface — no queries, no relations — to rank flight
+itineraries through fixed legs: origin -> hub -> hub -> destination.
+
+Run:  python examples/k_shortest_paths.py
+"""
+
+from repro.dp.direct import k_lightest_paths
+
+
+def main() -> None:
+    # Stage nodes: (airport, leg price when arriving there).  The first
+    # stage's "price" is a checked-bag fee at the origin, say.
+    stages = [
+        [("BOS", 30.0), ("JFK", 45.0)],
+        [("ORD", 120.0), ("ATL", 95.0), ("DFW", 110.0)],
+        [("DEN", 80.0), ("PHX", 105.0)],
+        [("SFO", 150.0), ("LAX", 130.0)],
+    ]
+    # Allowed legs between consecutive stages (by node index).
+    edges = [
+        {(0, 0), (0, 1), (1, 1), (1, 2)},          # east coast -> mid hubs
+        {(0, 0), (1, 0), (1, 1), (2, 1)},          # mid -> mountain hubs
+        {(0, 0), (0, 1), (1, 1)},                  # mountain -> west coast
+    ]
+
+    print("five cheapest itineraries:")
+    for price, itinerary in k_lightest_paths(stages, edges, k=5):
+        print(f"  ${price:7.2f}  " + " -> ".join(itinerary))
+
+    # The same ranking, heaviest first, via the max-plus dioid:
+    from repro.ranking.dioid import MAX_PLUS
+
+    print("\nmost expensive itinerary (max-plus):")
+    (price, itinerary), *_ = k_lightest_paths(
+        stages, edges, k=1, dioid=MAX_PLUS
+    )
+    print(f"  ${price:7.2f}  " + " -> ".join(itinerary))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Ranked graph-motif search via homomorphisms (Section 8.2).
+
+Find the cheapest embeddings of a small pattern graph (a "motif") into
+a weighted network — the minimum-cost homomorphism problem.  Cyclic
+motifs are handled through the same decomposition machinery as cyclic
+queries; acyclic motifs get the linear-time top-1 of Algorithm 3.
+
+Run:  python examples/motif_ranking.py
+"""
+
+import itertools
+
+from repro.data.graphs import preferential_attachment_digraph
+from repro.homomorphism import min_cost_homomorphism, ranked_homomorphisms
+
+
+def main() -> None:
+    import random
+
+    rng = random.Random(13)
+    edges = preferential_attachment_digraph(150, 700, seed=13)
+    weights = [round(rng.uniform(1.0, 20.0), 1) for _ in edges]
+    print(f"network: 150 nodes, {len(edges)} weighted edges")
+
+    # Motif 1 (acyclic): a "fork" — one account feeding two chains.
+    fork = [("root", "a"), ("a", "b"), ("a", "c")]
+    cost, mapping = min_cost_homomorphism(fork, edges, weights)
+    print(f"\ncheapest fork embedding: cost={cost:.1f} mapping={mapping}")
+
+    # Motif 2 (cyclic): a feedback triangle, ranked enumeration.
+    triangle = [("x", "y"), ("y", "z"), ("z", "x")]
+    print("\nfive cheapest feedback triangles:")
+    stream = ranked_homomorphisms(triangle, edges, weights)
+    found = False
+    for cost, mapping in itertools.islice(stream, 5):
+        found = True
+        print(
+            f"  cost {cost:6.1f}: "
+            f"{mapping['x']} -> {mapping['y']} -> {mapping['z']} -> back"
+        )
+    if not found:
+        print("  (no triangles in this network)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Top-ranked 4-cycles in a trust network (the paper's Example 1).
+
+The introduction's motivating query: in a who-trusts-whom network,
+find the most suspicious trust cycles — here, the cycles with the most
+*negative* total trust, surfaced first without materialising the O(n²)
+cycle set.  The cyclic query goes through the simple-cycle heavy/light
+decomposition and the UT-DP union automatically.
+
+Run:  python examples/trust_cycles.py
+"""
+
+import itertools
+import time
+
+from repro import Database, cycle_query, ranked_enumerate
+from repro.data.graphs import bitcoin_otc_like, graph_statistics
+
+
+def main() -> None:
+    edges = bitcoin_otc_like(num_nodes=800, num_edges=4_500, seed=3)
+    stats = graph_statistics(edges)
+    print(
+        f"trust network: {stats['nodes']} users, {stats['edges']} trust "
+        f"ratings, max degree {stats['max_degree']}"
+    )
+    db = Database([edges.rename("E")])
+    query = cycle_query(4, relation="E")
+
+    start = time.perf_counter()
+    results = ranked_enumerate(db, query, algorithm="lazy")
+    print("\nten most negative trust 4-cycles:")
+    for result in itertools.islice(results, 10):
+        cycle = " -> ".join(
+            str(result.assignment[f"x{i}"]) for i in (1, 2, 3, 4)
+        )
+        print(f"  total trust {result.weight:6.1f}:  {cycle} -> start")
+    elapsed = time.perf_counter() - start
+    print(f"\n(top-10 in {elapsed * 1e3:.0f} ms, including the decomposition;")
+    print(" the full cycle set was never materialised)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Common result and iterator types for the any-k algorithms."""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Iterator
+
+from repro.dp.graph import TDP
+
+
+class RankedResult:
+    """One enumerated solution: a weight plus one state per stage.
+
+    The heavier derived views (variable assignment, witness tuples) are
+    computed lazily from the owning :class:`~repro.dp.graph.TDP`, keeping
+    the per-result footprint at the paper's O(l).
+    """
+
+    __slots__ = ("weight", "key", "states", "tdp")
+
+    def __init__(self, weight: Any, key: Any, states: tuple[int, ...], tdp: TDP):
+        self.weight = weight
+        self.key = key
+        self.states = states
+        self.tdp = tdp
+
+    @property
+    def assignment(self) -> dict[str, Any]:
+        """Mapping of query variables to values."""
+        return self.tdp.assignment(self.states)
+
+    @property
+    def witness(self) -> tuple:
+        """Input tuples in atom order (Section 2.1's witness vector)."""
+        return self.tdp.witness(self.states)
+
+    @property
+    def witness_ids(self) -> tuple[int, ...]:
+        """Stable input-tuple positions in atom order."""
+        return self.tdp.witness_ids(self.states)
+
+    def output_tuple(self, variables: tuple[str, ...] | None = None) -> tuple:
+        """Head projection of the assignment (defaults to all head vars)."""
+        assignment = self.assignment
+        if variables is None:
+            variables = self.tdp.query.head
+        return tuple(assignment[v] for v in variables)
+
+    def __repr__(self) -> str:
+        return f"RankedResult(weight={self.weight!r}, states={self.states})"
+
+
+class Enumerator:
+    """Iterator over :class:`RankedResult` in ranking order.
+
+    Subclasses implement :meth:`_next_result`, returning ``None`` when
+    exhausted.  The iterator protocol plus :meth:`top` cover the paper's
+    any-k usage: pull results until satisfied, no k fixed in advance.
+    """
+
+    def __iter__(self) -> Iterator[RankedResult]:
+        return self
+
+    def __next__(self) -> RankedResult:
+        result = self._next_result()
+        if result is None:
+            raise StopIteration
+        return result
+
+    def _next_result(self) -> RankedResult | None:
+        raise NotImplementedError
+
+    def top(self, k: int) -> list[RankedResult]:
+        """The first ``k`` results (fewer if the output is smaller)."""
+        return list(islice(self, k))
+
+    def within(self, weight_bound) -> Iterator[RankedResult]:
+        """Yield results while their weight is within ``weight_bound``.
+
+        A common any-k consumption pattern: "give me everything at most
+        this expensive".  Relies on the ranked order — enumeration stops
+        at the first result beyond the bound, so the cost is TT(k') for
+        the actual number of qualifying results k'.
+        """
+        for result in self:
+            if not self._leq_bound(result, weight_bound):
+                return
+            yield result
+
+    def _leq_bound(self, result: RankedResult, bound) -> bool:
+        return result.tdp.dioid.key(result.weight) <= result.tdp.dioid.key(bound)
+
+
+def make_enumerator(tdp: TDP, algorithm: str = "take2", counter=None) -> Enumerator:
+    """Instantiate an any-k enumerator over ``tdp`` by algorithm name.
+
+    Names (paper Section 7): ``take2``, ``lazy``, ``eager``, ``all``,
+    ``recursive``, ``batch``, and ``batch_nosort`` (Batch without the
+    final sort, the paper's "Batch(No sort)" reference line).
+    """
+    from repro.anyk.batch import Batch
+    from repro.anyk.partition import AnyKPart
+    from repro.anyk.recursive import Recursive
+    from repro.anyk.strategies import ALGORITHMS
+
+    name = algorithm.lower()
+    if name in ALGORITHMS:
+        return AnyKPart(tdp, strategy=ALGORITHMS[name](), counter=counter)
+    if name == "recursive":
+        return Recursive(tdp, counter=counter)
+    if name == "batch":
+        return Batch(tdp, counter=counter)
+    if name == "batch_nosort":
+        return Batch(tdp, sort=False, counter=counter)
+    raise ValueError(f"unknown any-k algorithm {algorithm!r}")

@@ -1,0 +1,96 @@
+"""Ranked Cartesian products of lazily materialised sorted streams.
+
+Section 5.1: at a T-DP state with multiple child branches, anyK-rec must
+combine the ranked solution lists of the branches — i.e. enumerate the
+Cartesian product of several sorted (and lazily computed) sequences in
+non-decreasing aggregate order, without duplicates.  The classic
+Lawler-style scheme does this: a candidate vector carries a *marker*;
+its successors increment one coordinate at or after the marker, so every
+vector is generated through exactly one (sorted) increment sequence.
+
+The coordinate streams are accessed through a callback
+``ensure(conn, j)`` that returns the ``j``-th ranked solution entry of a
+connector (triggering recursion in anyK-rec) or ``None`` when the stream
+is exhausted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Sequence
+
+from repro.dp.graph import ChoiceSet
+from repro.ranking.dioid import SelectiveDioid
+from repro.util.counters import OpCounter
+
+#: ensure(conn, j) -> solution entry ``(key, value, state, js)`` or None.
+EnsureFn = Callable[[ChoiceSet, int], Any]
+
+
+class RankedProduct:
+    """Enumerate branch-solution combinations in ranked order.
+
+    ``get(j)`` returns ``(value, vector)`` — the aggregate weight and the
+    per-branch solution ranks of the ``j``-th best combination — or
+    ``None`` once the product is exhausted.  Outputs are memoised, so a
+    parent state shared by many solutions ranks its combination space
+    only once (the reuse that powers Recursive's amortised analysis).
+    """
+
+    __slots__ = ("conns", "ensure", "dioid", "outputs", "_heap", "_seq", "counter")
+
+    def __init__(
+        self,
+        conns: Sequence[ChoiceSet],
+        ensure: EnsureFn,
+        dioid: SelectiveDioid,
+        counter: OpCounter | None = None,
+    ):
+        self.conns = tuple(conns)
+        self.ensure = ensure
+        self.dioid = dioid
+        self.counter = counter
+        self.outputs: list[tuple[Any, tuple[int, ...]]] = []
+        self._heap: list[tuple] = []
+        self._seq = 0
+        firsts = [ensure(conn, 0) for conn in self.conns]
+        if any(entry is None for entry in firsts):
+            return  # dead product: some branch has no solution at all
+        value = dioid.times_all(entry[1] for entry in firsts)
+        start = (0,) * len(self.conns)
+        self._push(dioid.key(value), start, 0, value)
+
+    def _push(self, key, vector, marker, value) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (key, self._seq, vector, marker, value))
+        if self.counter is not None:
+            self.counter.pq_push += 1
+
+    def get(self, j: int) -> tuple[Any, tuple[int, ...]] | None:
+        """The ``j``-th ranked combination (0-based), or ``None``."""
+        outputs = self.outputs
+        if j < len(outputs):
+            return outputs[j]
+        dioid = self.dioid
+        times = dioid.times
+        ensure = self.ensure
+        conns = self.conns
+        width = len(conns)
+        while len(outputs) <= j:
+            if not self._heap:
+                return None
+            _key, _seq, vector, marker, value = heapq.heappop(self._heap)
+            if self.counter is not None:
+                self.counter.pq_pop += 1
+            outputs.append((value, vector))
+            for i in range(marker, width):
+                bumped = ensure(conns[i], vector[i] + 1)
+                if bumped is None:
+                    continue
+                new_vector = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                new_value = dioid.one
+                for branch, rank in enumerate(new_vector):
+                    entry = ensure(conns[branch], rank)
+                    new_value = times(new_value, entry[1])
+                self._push(dioid.key(new_value), new_vector, i, new_value)
+        return outputs[j]

@@ -1,0 +1,90 @@
+"""UT-DP: ranked enumeration over a union of T-DP problems (Section 5.2).
+
+A top-level priority queue holds the most recent unconsumed result of
+every member enumerator; popping the minimum and refilling from the same
+member merges the ranked streams.  When the member problems come from a
+decomposition whose outputs may overlap (e.g. generic tree
+decompositions), duplicates of an output tuple must arrive
+*consecutively* so that O(1) look-behind suffices to drop them — that is
+guaranteed by ranking each member with the Section 6.3 tie-breaking
+dioid, whose keys append the canonical output assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Sequence
+
+from repro.anyk.base import Enumerator, RankedResult
+from repro.util.counters import OpCounter
+
+#: Maps a result to the identity used for duplicate elimination.
+IdentityFn = Callable[[RankedResult], Any]
+
+
+def _default_identity(result: RankedResult) -> tuple:
+    return result.output_tuple()
+
+
+class UnionEnumerator(Enumerator):
+    """Merge several ranked streams; optionally drop consecutive duplicates.
+
+    All member enumerators must rank by the *same* dioid so that their
+    result keys are comparable.  With ``dedup=True`` (the default) a
+    result equal — under ``identity`` — to the previously emitted one is
+    silently skipped; correct global deduplication additionally requires
+    tie-broken keys (see module docstring).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Enumerator],
+        identity: IdentityFn | None = None,
+        dedup: bool = True,
+        counter: OpCounter | None = None,
+    ):
+        self.members = list(members)
+        self.identity = identity if identity is not None else _default_identity
+        self.dedup = dedup
+        self.counter = counter
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._last_identity: Any = _SENTINEL
+        for index, member in enumerate(self.members):
+            self._refill(index)
+
+    def _refill(self, index: int) -> None:
+        result = self.members[index]._next_result()
+        if result is None:
+            return
+        self._seq += 1
+        heapq.heappush(self._heap, (result.key, self._seq, index, result))
+        if self.counter is not None:
+            self.counter.pq_push += 1
+
+    def _next_result(self) -> RankedResult | None:
+        while self._heap:
+            _key, _seq, index, result = heapq.heappop(self._heap)
+            if self.counter is not None:
+                self.counter.pq_pop += 1
+            self._refill(index)
+            if self.dedup:
+                ident = self.identity(result)
+                if ident == self._last_identity:
+                    continue
+                self._last_identity = ident
+            if self.counter is not None:
+                self.counter.results += 1
+            return result
+        return None
+
+
+class _Sentinel:
+    def __eq__(self, other) -> bool:
+        return other is self
+
+    def __repr__(self) -> str:
+        return "<no previous result>"
+
+
+_SENTINEL = _Sentinel()

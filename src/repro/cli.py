@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``query``    — ranked enumeration over a directory of CSV relations::
+
+      python -m repro.cli query data/ "Q(x,z) :- R(x,y), S(y,z)" --top 5
+
+* ``explain``  — print the evaluation plan for a query;
+* ``generate`` — write one of the paper's synthetic workloads as CSV.
+
+Relations are CSV files named ``<relation>.csv`` with a trailing weight
+column (see :mod:`repro.data.io`).  Constants in queries (``R(x, 5)``)
+are compiled into selections automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+
+from repro.data.io import load_database, save_database
+from repro.enumeration.api import ranked_enumerate
+from repro.enumeration.explain import explain
+from repro.query.selections import prepare
+from repro.ranking.dioid import BOOLEAN, MAX_PLUS, MAX_TIMES, TROPICAL
+
+DIOIDS = {
+    "tropical": TROPICAL,
+    "min-sum": TROPICAL,
+    "max-plus": MAX_PLUS,
+    "max-sum": MAX_PLUS,
+    "max-times": MAX_TIMES,
+    "boolean": BOOLEAN,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranked enumeration of conjunctive-query answers (any-k).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query_cmd = commands.add_parser("query", help="run a ranked query")
+    query_cmd.add_argument("data", help="directory of CSV relations")
+    query_cmd.add_argument("text", help="query, e.g. 'Q(x) :- R(x, y)'")
+    query_cmd.add_argument("--top", type=int, default=10,
+                           help="number of results (default 10; 0 = all)")
+    query_cmd.add_argument("--algorithm", default="take2",
+                           choices=["take2", "lazy", "eager", "all",
+                                    "recursive", "batch"])
+    query_cmd.add_argument("--dioid", default="tropical",
+                           choices=sorted(DIOIDS))
+    query_cmd.add_argument("--projection", default="all_weight",
+                           choices=["all_weight", "min_weight"])
+    query_cmd.add_argument("--witness", action="store_true",
+                           help="also print witnesses")
+
+    explain_cmd = commands.add_parser("explain", help="show the query plan")
+    explain_cmd.add_argument("data", help="directory of CSV relations")
+    explain_cmd.add_argument("text", help="the query")
+
+    gen_cmd = commands.add_parser(
+        "generate", help="write a synthetic workload as CSV"
+    )
+    gen_cmd.add_argument("kind", choices=["uniform", "cycle-worst-case",
+                                          "bitcoin-like", "twitter-like"])
+    gen_cmd.add_argument("out", help="output directory")
+    gen_cmd.add_argument("--relations", type=int, default=3)
+    gen_cmd.add_argument("--tuples", type=int, default=1000)
+    gen_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    database = load_database(args.data)
+    database, query = prepare(database, args.text)
+    results = ranked_enumerate(
+        database,
+        query,
+        dioid=DIOIDS[args.dioid],
+        algorithm=args.algorithm,
+        projection=args.projection,
+    )
+    limit = None if args.top == 0 else args.top
+    count = 0
+    for result in itertools.islice(results, limit):
+        count += 1
+        row = ", ".join(f"{v}={result.assignment[v]}" for v in query.head)
+        line = f"#{count:<4} weight={result.weight}  {row}"
+        if args.witness and result.witness is not None:
+            line += f"  witness={result.witness}"
+        print(line)
+    if count == 0:
+        print("(no results)")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    database = load_database(args.data)
+    database, query = prepare(database, args.text)
+    print(explain(database, query))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from repro.data.database import Database
+    from repro.data.generators import (
+        uniform_database,
+        worst_case_cycle_database,
+    )
+    from repro.data.graphs import bitcoin_otc_like, twitter_like
+
+    if args.kind == "uniform":
+        database = uniform_database(args.relations, args.tuples, seed=args.seed)
+    elif args.kind == "cycle-worst-case":
+        database = worst_case_cycle_database(
+            args.relations, args.tuples, seed=args.seed
+        )
+    elif args.kind == "bitcoin-like":
+        database = Database(
+            [bitcoin_otc_like(num_nodes=max(4, args.tuples // 6),
+                              num_edges=args.tuples, seed=args.seed)]
+        )
+    else:
+        database = Database(
+            [twitter_like(num_nodes=max(4, args.tuples // 8),
+                          num_edges=args.tuples, seed=args.seed)]
+        )
+    save_database(database, args.out)
+    print(f"wrote {len(database)} relations "
+          f"({database.total_tuples()} tuples) to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "explain":
+        return _command_explain(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

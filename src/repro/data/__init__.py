@@ -1,0 +1,14 @@
+"""Relational substrate: relations, databases, indexes, and workload data.
+
+The paper assumes (Section 2.3) the standard RAM model plus hash-based
+tuple lookup structures that can be built in linear time; this package
+provides exactly that: in-memory relations with per-tuple weights,
+constant-time hash indexes on attribute subsets, and the synthetic /
+graph workload generators used by the experiments.
+"""
+
+from repro.data.database import Database
+from repro.data.index import HashIndex
+from repro.data.relation import Relation
+
+__all__ = ["Relation", "Database", "HashIndex"]

@@ -1,0 +1,64 @@
+"""A database is a name-indexed collection of relations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.data.relation import Relation
+
+
+class Database:
+    """Named relations plus the derived statistics the algorithms need.
+
+    ``n`` in the paper's cost model is the maximum cardinality of any
+    relation referenced by the query; :meth:`max_cardinality` provides it.
+    """
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] | None = None):
+        self.relations: dict[str, Relation] = {}
+        if relations is None:
+            return
+        if isinstance(relations, Mapping):
+            for name, relation in relations.items():
+                if name != relation.name:
+                    relation = relation.rename(name)
+                self.relations[name] = relation
+        else:
+            for relation in relations:
+                self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register ``relation`` under its own name (replacing any old one)."""
+        self.relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r} in database") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def max_cardinality(self, names: Iterable[str] | None = None) -> int:
+        """The paper's ``n``: the largest referenced relation."""
+        if names is None:
+            names = self.relations.keys()
+        sizes = [len(self.relations[name]) for name in names]
+        return max(sizes, default=0)
+
+    def total_tuples(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(len(r) for r in self.relations.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in self.relations.items()
+        )
+        return f"Database({inner})"

@@ -1,0 +1,220 @@
+"""Synthetic workload generators for every experiment in the paper.
+
+Section 7's synthetic data:
+
+* *path/star data*: binary relations whose values are sampled uniformly
+  from ``{1, ..., n/10}``, so each tuple joins with ~10 tuples of the
+  next relation; tuple weights uniform in ``[0, 10000]``.
+* *cycle data*: the worst-case-output construction of Ngo et al.: each
+  relation holds ``n/2`` tuples ``(0, i)`` and ``n/2`` tuples ``(i, 0)``.
+
+Section 9.1's adversarial instances:
+
+* :func:`nprr_hard_instance` — database ``I1`` (Fig 16) on which NPRR
+  needs quadratic time before the top-ranked 4-cycle, while the any-k
+  decomposition needs only linear time.
+* :func:`rank_join_hard_instance` — database ``I2`` (Fig 19) that forces
+  Rank-Join/J* to consider ``(n-1)^(l-1)`` combinations before the top
+  result (under max-plus ranking).
+* :func:`fdb_lex_instance` — the Fig 18 two-relation instance where a
+  lexicographic order that disagrees with the factorization order makes
+  factorized databases pay a quadratic restructuring.
+* :func:`recursive_worst_case` — the Fig 6 Cartesian-product instance of
+  Proposition 13 where Recursive's TT(n) is asymptotically worse than
+  anyK-part's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.ranking.weights import random_weights
+
+
+def relation_names(count: int) -> list[str]:
+    """Canonical relation names ``R1 .. Rcount`` used by the query builders."""
+    return [f"R{i}" for i in range(1, count + 1)]
+
+
+def uniform_database(
+    num_relations: int,
+    n: int,
+    domain_size: int | None = None,
+    seed: int = 0,
+    weight_high: float = 10_000.0,
+) -> Database:
+    """Uniform synthetic data for path and star queries (Section 7).
+
+    Each of the ``num_relations`` binary relations holds ``n`` tuples with
+    both attributes drawn uniformly from ``{1, ..., domain_size}``
+    (default ``max(1, n // 10)``, the paper's choice yielding ~10 join
+    partners per tuple) and weights uniform in ``[0, weight_high]``.
+    """
+    rng = random.Random(seed)
+    if domain_size is None:
+        domain_size = max(1, n // 10)
+    db = Database()
+    for name in relation_names(num_relations):
+        tuples = [
+            (rng.randint(1, domain_size), rng.randint(1, domain_size))
+            for _ in range(n)
+        ]
+        db.add(Relation(name, 2, tuples, random_weights(n, rng, 0.0, weight_high)))
+    return db
+
+
+def worst_case_cycle_database(
+    num_relations: int,
+    n: int,
+    seed: int = 0,
+    weight_high: float = 10_000.0,
+) -> Database:
+    """Worst-case-output cycle data (Section 7, following Ngo et al.).
+
+    Every relation consists of ``n/2`` tuples ``(0, i)`` and ``n/2``
+    tuples ``(i, 0)`` with ``i`` ranging over ``{1, ..., n/2}``; an
+    l-cycle over these relations has output size ``Θ((n/2)^(l/2))``-ish
+    while the value ``0`` is the only heavy join value.
+    """
+    rng = random.Random(seed)
+    half = max(1, n // 2)
+    db = Database()
+    for name in relation_names(num_relations):
+        tuples = [(0, i) for i in range(1, half + 1)]
+        tuples += [(i, 0) for i in range(1, half + 1)]
+        db.add(
+            Relation(
+                name, 2, tuples, random_weights(len(tuples), rng, 0.0, weight_high)
+            )
+        )
+    return db
+
+
+def nprr_hard_instance(n: int, seed: int = 0) -> Database:
+    """Database ``I1`` of Fig 16: NPRR needs Θ(n²) before the top 4-cycle.
+
+    Four binary relations ``R1(A1,A2), R2(A2,A3), R3(A3,A4), R4(A4,A1)``;
+    each holds ``n`` tuples incident to a single hub value ``0`` on one
+    side and ``n`` tuples incident to hub ``0`` on the other side, giving
+    ``Θ(n²)`` 4-cycles overall while every column has exactly one heavy
+    value — so the cycle decomposition materialises only ``O(n)`` bag
+    tuples and any-k returns the top cycle in linear time.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    for name in relation_names(4):
+        tuples = [(i, 0) for i in range(1, n + 1)]
+        tuples += [(0, i) for i in range(1, n + 1)]
+        db.add(
+            Relation(name, 2, tuples, random_weights(len(tuples), rng, 0.0, 10_000.0))
+        )
+    return db
+
+
+def rank_join_hard_instance(n: int) -> Database:
+    """Database ``I2`` of Fig 19 (generalised from the paper's n=10).
+
+    Under *max-plus* ranking the top result combines the **lightest**
+    tuples of ``R`` and ``S`` with the **heaviest** tuple of ``T``;
+    weight-descending Rank-Join therefore enumerates all ``(n-1)²``
+    R-S combinations before it can emit the top answer, while any-k finds
+    it after linear preprocessing.
+
+    Relations: ``R(A,B)``, ``S(B,C)``, ``T(C)``.
+    """
+    big = 1000.0 * n
+    r = Relation("R", 2)
+    s = Relation("S", 2)
+    t = Relation("T", 1)
+    for i in range(1, n):
+        r.add((i, 1), float(n + 1 - i))
+        s.add((1, i), 10.0 * (n + 1 - i))
+        t.add((i,), 1.0)
+    r.add((0, 0), 1.0)
+    s.add((0, 0), 10.0)
+    t.add((0,), big)
+    return Database([r, s, t])
+
+
+def fdb_lex_instance(n: int) -> Database:
+    """The Fig 18 instance: ``R = {(i,1)}``, ``S = {(1,j)}``.
+
+    Ordering the 2-path result lexicographically by ``A -> C -> B``
+    disagrees with any factorization order, forcing factorized
+    representations into Ω(n²) size, while any-k enumerates after linear
+    preprocessing.  Weights are the attribute values themselves so that
+    lexicographic ranking is meaningful.
+    """
+    r = Relation("R", 2)
+    s = Relation("S", 2)
+    for i in range(1, n + 1):
+        r.add((i, 1), float(i))
+        s.add((1, i), float(i))
+    return Database([r, s])
+
+
+def cartesian_database(
+    columns: Sequence[Sequence[float]],
+    weight_scale: Sequence[float] | None = None,
+) -> Database:
+    """Unary relations forming a Cartesian product (Example 6 setting).
+
+    ``columns[i]`` lists the values of relation ``R(i+1)``; the weight of
+    each tuple equals its value (Example 6 sets weight = label) unless a
+    per-relation ``weight_scale`` is given.
+    """
+    db = Database()
+    for idx, values in enumerate(columns):
+        scale = weight_scale[idx] if weight_scale else 1.0
+        rel = Relation(f"R{idx + 1}", 1)
+        for value in values:
+            rel.add((value,), float(value) * scale)
+        db.add(rel)
+    return db
+
+
+def example6_database() -> Database:
+    """The paper's running example: R1={1,2,3}, R2={10,20,30}, R3={100..300}."""
+    return cartesian_database(
+        [
+            [1, 2, 3],
+            [10, 20, 30],
+            [100, 200, 300],
+        ]
+    )
+
+
+def recursive_worst_case(n: int, num_relations: int = 3) -> Database:
+    """The Fig 6 / Proposition 13 instance: Recursive's tight worst case.
+
+    A Cartesian product of ``num_relations`` unary relations where stage
+    ``i`` (in serialization order) has weights ``{10^(l-i) * j}``; the
+    first ``n`` results then each use a *different* tuple of the last
+    stage, so every ``next`` call triggers a full chain of priority-queue
+    operations on Θ(n)-sized queues.
+    """
+    columns = []
+    for i in range(num_relations):
+        scale = 10.0 ** (num_relations - 1 - i)
+        columns.append([scale * j for j in range(1, n + 1)])
+    return cartesian_database(columns)
+
+
+def path_of_matchings_database(
+    num_relations: int, n: int, seed: int = 0
+) -> Database:
+    """Binary relations forming perfect matchings: output size exactly n.
+
+    Useful for tests that need a predictable, linear-size output: tuple
+    ``(i, i)`` in every relation, so an l-path has exactly ``n`` results
+    (one per chain of equal values).
+    """
+    rng = random.Random(seed)
+    db = Database()
+    for name in relation_names(num_relations):
+        tuples = [(i, i) for i in range(n)]
+        db.add(Relation(name, 2, tuples, random_weights(n, rng, 0.0, 100.0)))
+    return db

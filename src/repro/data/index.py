@@ -1,0 +1,59 @@
+"""Linear-time hash indexes for constant-time tuple lookup (Section 2.3).
+
+The paper's cost model assumes a structure "built in linear time to
+support tuple lookups in constant time"; in practice this is hashing.
+:class:`HashIndex` maps the projection of a tuple onto an attribute
+subset to the list of matching tuple positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.data.relation import Relation
+
+
+class HashIndex:
+    """Hash index of a relation on a subset of its columns.
+
+    ``index[key]`` returns the (possibly empty) list of tuple positions
+    whose projection onto ``columns`` equals ``key``.  Keys are tuples,
+    even for single columns, so composite equi-joins are uniform.
+    """
+
+    __slots__ = ("relation", "columns", "_buckets")
+
+    def __init__(self, relation: Relation, columns: Sequence[int]):
+        self.relation = relation
+        self.columns = tuple(columns)
+        buckets: dict[tuple, list[int]] = {}
+        cols = self.columns
+        for position, values in enumerate(relation.tuples):
+            key = tuple(values[c] for c in cols)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [position]
+            else:
+                bucket.append(position)
+        self._buckets = buckets
+
+    def lookup(self, key: tuple) -> list[int]:
+        """Positions of tuples matching ``key`` (empty list if none)."""
+        return self._buckets.get(key, [])
+
+    def __getitem__(self, key: tuple) -> list[int]:
+        return self.lookup(key)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._buckets
+
+    def keys(self) -> Iterable[tuple]:
+        """All distinct join keys present in the relation."""
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def max_bucket(self) -> int:
+        """Size of the largest bucket (degree statistics for heavy/light)."""
+        return max(map(len, self._buckets.values()), default=0)

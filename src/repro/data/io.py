@@ -1,0 +1,122 @@
+"""CSV import/export for relations and databases.
+
+A relation is stored as one CSV file: one row per tuple, the weight in
+a trailing column named ``w`` (written by :func:`write_relation_csv`,
+optional on read).  Values are parsed as ``int`` where possible, then
+``float``, else kept as strings — adequate for the graph and synthetic
+workloads this library targets.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def _parse_value(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def read_relation_csv(
+    path: str,
+    name: str | None = None,
+    weight_column: int | None = -1,
+    has_header: bool = False,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a relation from CSV.
+
+    ``weight_column`` selects the weight column by index (negative
+    indexes count from the right; default: last column); pass ``None``
+    for weight-less files (weights become 0.0).  With ``has_header`` the
+    first row is skipped; a trailing header column literally named
+    ``w`` marks the weight column regardless of ``weight_column``.
+    """
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    tuples: list[tuple] = []
+    weights: list[Any] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = iter(reader)
+        if has_header:
+            header = next(rows, None)
+            if header and header[-1].strip().lower() == "w":
+                weight_column = -1
+        for row in rows:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            values = [_parse_value(cell.strip()) for cell in row]
+            if weight_column is None:
+                weight = 0.0
+            else:
+                weight = float(values.pop(weight_column))
+            tuples.append(tuple(values))
+            weights.append(weight)
+    if not tuples:
+        raise ValueError(f"{path}: no tuples found")
+    arity = len(tuples[0])
+    if any(len(t) != arity for t in tuples):
+        raise ValueError(f"{path}: rows have inconsistent arity")
+    return Relation(name, arity, tuples, weights)
+
+
+def write_relation_csv(
+    relation: Relation,
+    path: str,
+    include_header: bool = True,
+    delimiter: str = ",",
+) -> None:
+    """Write a relation as CSV with a trailing weight column ``w``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if include_header:
+            writer.writerow(
+                [f"a{i + 1}" for i in range(relation.arity)] + ["w"]
+            )
+        for values, weight in relation.rows():
+            writer.writerow(list(values) + [weight])
+
+
+def load_database(directory: str, delimiter: str = ",") -> Database:
+    """Load every ``*.csv`` in ``directory`` as a relation named by file.
+
+    Files are assumed to carry the header written by
+    :func:`write_relation_csv` (detected by a trailing ``w`` column).
+    """
+    database = Database()
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".csv"):
+            continue
+        path = os.path.join(directory, entry)
+        with open(path, newline="") as handle:
+            first = handle.readline()
+        has_header = bool(first) and not first.split(delimiter)[0].strip().lstrip(
+            "-"
+        ).replace(".", "", 1).isdigit()
+        database.add(
+            read_relation_csv(path, has_header=has_header, delimiter=delimiter)
+        )
+    if not len(database):
+        raise ValueError(f"no CSV relations found in {directory!r}")
+    return database
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Write every relation of ``database`` into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    for relation in database:
+        write_relation_csv(
+            relation, os.path.join(directory, f"{relation.name}.csv")
+        )

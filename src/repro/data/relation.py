@@ -1,0 +1,147 @@
+"""In-memory relations with per-tuple weights.
+
+A :class:`Relation` is an ordered multiset of fixed-arity tuples, each
+carrying a weight from the ranking domain (Definition 4 assigns result
+weights by aggregating input-tuple weights).  Tuples are plain Python
+tuples of hashable values; weights default to ``0.0`` (the tropical
+``one``) when not given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+
+class Relation:
+    """A named relation: fixed arity, list of tuples, parallel weight list.
+
+    The tuple order is meaningful only as an identity (tuple index ``i``
+    is the stable id used by witnesses); the relation itself is a
+    multiset, so duplicate tuples are allowed and keep distinct weights.
+    """
+
+    __slots__ = ("name", "arity", "tuples", "weights")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Sequence[tuple] | None = None,
+        weights: Sequence[Any] | None = None,
+    ):
+        if arity < 1:
+            raise ValueError("relation arity must be at least 1")
+        self.name = name
+        self.arity = arity
+        self.tuples: list[tuple] = [tuple(t) for t in (tuples or [])]
+        for t in self.tuples:
+            if len(t) != arity:
+                raise ValueError(
+                    f"tuple {t!r} does not match arity {arity} of {name}"
+                )
+        if weights is None:
+            self.weights: list[Any] = [0.0] * len(self.tuples)
+        else:
+            self.weights = list(weights)
+        if len(self.weights) != len(self.tuples):
+            raise ValueError(
+                f"{name}: {len(self.tuples)} tuples but "
+                f"{len(self.weights)} weights"
+            )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        name: str,
+        pairs: Iterable[tuple],
+        weights: Sequence[Any] | None = None,
+    ) -> "Relation":
+        """Build a binary relation (the common case for graph edges)."""
+        tuples = [tuple(p) for p in pairs]
+        return cls(name, 2, tuples, weights)
+
+    def add(self, values: tuple, weight: Any = 0.0) -> None:
+        """Append one tuple with its weight."""
+        values = tuple(values)
+        if len(values) != self.arity:
+            raise ValueError(
+                f"tuple {values!r} does not match arity {self.arity}"
+            )
+        self.tuples.append(values)
+        self.weights.append(weight)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def rows(self) -> Iterator[tuple[tuple, Any]]:
+        """Iterate ``(tuple, weight)`` pairs."""
+        return zip(self.tuples, self.weights)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, n={len(self)})"
+
+    # -- relational operations -------------------------------------------------
+
+    def rename(self, name: str) -> "Relation":
+        """A shallow copy under a different name (for self-joins)."""
+        copy = Relation(name, self.arity)
+        copy.tuples = self.tuples
+        copy.weights = self.weights
+        return copy
+
+    def filter(self, predicate: Callable[[tuple], bool], name: str | None = None) -> "Relation":
+        """Selection: keep tuples satisfying ``predicate``."""
+        out = Relation(name or self.name, self.arity)
+        for values, weight in self.rows():
+            if predicate(values):
+                out.tuples.append(values)
+                out.weights.append(weight)
+        return out
+
+    def project(
+        self,
+        columns: Sequence[int],
+        name: str | None = None,
+        distinct: bool = True,
+        default_weight: Any = 0.0,
+    ) -> "Relation":
+        """Projection onto ``columns``.
+
+        Projected relations are structural (e.g. the extra atoms a
+        free-connex join tree introduces, Example 19), so by default the
+        result is duplicate-free and all weights are ``default_weight`` —
+        weights must not be double counted across atoms.
+        """
+        out = Relation(name or f"{self.name}_proj", len(columns))
+        seen: set[tuple] = set()
+        for values in self.tuples:
+            projected = tuple(values[c] for c in columns)
+            if distinct:
+                if projected in seen:
+                    continue
+                seen.add(projected)
+            out.tuples.append(projected)
+            out.weights.append(default_weight)
+        return out
+
+    def column_values(self, column: int) -> set:
+        """Distinct values appearing in ``column``."""
+        return {values[column] for values in self.tuples}
+
+    def sorted_by_weight(self, key: Callable[[Any], Any] | None = None) -> "Relation":
+        """Copy with tuples ordered by weight (rank-join style sorted access)."""
+        order = sorted(
+            range(len(self.tuples)),
+            key=(lambda i: key(self.weights[i])) if key else (lambda i: self.weights[i]),
+        )
+        out = Relation(self.name, self.arity)
+        out.tuples = [self.tuples[i] for i in order]
+        out.weights = [self.weights[i] for i in order]
+        return out

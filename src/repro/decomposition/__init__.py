@@ -1,0 +1,28 @@
+"""Decompositions of cyclic queries into unions of acyclic queries (§5.3).
+
+The ranked-enumeration framework consumes any decomposition as a black
+box: each member tree is an acyclic CQ over derived "bag" relations
+whose tuple weights aggregate the pinned original-tuple weights, so that
+T-DP solution weights equal original witness weights.
+
+* :func:`repro.decomposition.cycle.decompose_cycle` — the paper's
+  simple-cycle heavy/light decomposition (Section 5.3.1, Fig 8),
+  producing l heavy trees plus one all-light tree with disjoint outputs
+  and TTF O(n^(2-1/ceil(l/2))).
+* :func:`repro.decomposition.generic.decompose_generic` — a greedy
+  (generalized) hypertree decomposition for arbitrary cyclic CQs via
+  tree-decomposition heuristics on the primal graph, with bags
+  materialised by our worst-case-optimal Generic-Join and atom weights
+  pinned to exactly one bag (Section 8.2's pinned decompositions).
+"""
+
+from repro.decomposition.base import TreeTask
+from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
+from repro.decomposition.generic import decompose_generic
+
+__all__ = [
+    "TreeTask",
+    "decompose_cycle",
+    "detect_simple_cycle",
+    "decompose_generic",
+]

@@ -1,0 +1,48 @@
+"""The decomposition interface: one acyclic tree task per member."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+#: Lineage of one bag tuple: the original (atom_index, tuple_id) pairs
+#: whose weights are pinned to (i.e. accounted for by) this bag tuple.
+Lineage = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class TreeTask:
+    """One acyclic member of a decomposition.
+
+    ``query`` is a full acyclic CQ over the derived bag relations in
+    ``database``; its head is the original query's variable list, so the
+    T-DP results of the task are directly original query answers.
+    ``lineage`` maps each bag relation name to the per-tuple lineage,
+    which lets the enumeration API reconstruct original witnesses, and
+    ``label`` identifies the member (e.g. ``"heavy@x3"``).
+    """
+
+    database: Database
+    query: ConjunctiveQuery
+    lineage: dict[str, list[Lineage]] = field(default_factory=dict)
+    label: str = ""
+
+    def witness_ids_of(self, bag_choices: dict[str, int]) -> Lineage:
+        """Merge bag-tuple lineages into an original witness id vector.
+
+        ``bag_choices`` maps bag relation names to chosen tuple
+        positions.  Each original atom is pinned to exactly one bag, so
+        the merged lineage covers every atom exactly once; the result is
+        sorted by atom index.
+        """
+        merged: list[tuple[int, int]] = []
+        for bag_name, position in bag_choices.items():
+            merged.extend(self.lineage.get(bag_name, [()] * (position + 1))[position])
+        merged.sort()
+        return tuple(merged)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(rel) for name, rel in self.database.relations.items()}
+        return f"TreeTask({self.label or self.query.name}, bags={sizes})"

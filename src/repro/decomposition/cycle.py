@@ -1,0 +1,392 @@
+"""The simple-cycle decomposition (Section 5.3.1, Fig 8).
+
+An l-cycle query is split into l+1 database partitions by heavy/light
+tuple classification: a tuple of cycle atom ``i`` is *heavy* iff its
+entry-attribute value occurs at least ``n^(1/ceil(l/2))`` times in that
+column (the paper's ``n^(2/l)`` for even l, balanced for odd l).
+Partition ``T_p`` takes atoms before ``p`` light, atom ``p`` heavy, and
+the rest unrestricted; ``T_(l+1)`` takes everything light.  Each output
+witness falls in exactly one partition (classified by its first heavy
+atom), so the union is disjoint.
+
+Heavy partitions use the "fan" tree that breaks the cycle at the heavy
+attribute (Fig 8b): bags ``B_j(a_0, a_j, a_j+1)`` sharing the heavy
+attribute ``a_0``; the light partition uses the two-bag chain split
+(Fig 8c).  All bags materialise in O(n^(2-1/ceil(l/2))) and each
+original atom's weight is pinned to exactly one bag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.decomposition.base import TreeTask
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+
+
+def detect_simple_cycle(query: ConjunctiveQuery) -> list[tuple[int, str]] | None:
+    """Recognise a simple-cycle query, up to attribute orientation.
+
+    Returns ``[(atom_index, entry_variable), ...]`` in cyclic order —
+    atom ``i`` of the walk contains ``entry_i`` and ``entry_(i+1)`` —
+    or ``None`` if the query is not a simple cycle of length >= 3.
+    """
+    atoms = query.atoms
+    if len(atoms) < 3:
+        return None
+    var_atoms: dict[str, list[int]] = {}
+    for index, atom in enumerate(atoms):
+        if atom.arity != 2 or atom.has_repeated_variables():
+            return None
+        for var in atom.variables:
+            var_atoms.setdefault(var, []).append(index)
+    if len(var_atoms) != len(atoms):
+        return None
+    if any(len(holders) != 2 for holders in var_atoms.values()):
+        return None
+    # Walk the cycle starting from atom 0 entering through its first var.
+    walk: list[tuple[int, str]] = []
+    current = 0
+    entry = atoms[0].variables[0]
+    visited: set[int] = set()
+    for _ in range(len(atoms)):
+        walk.append((current, entry))
+        visited.add(current)
+        exit_var = next(v for v in atoms[current].variables if v != entry)
+        holders = var_atoms[exit_var]
+        nxt = holders[0] if holders[1] == current else holders[1]
+        if nxt == current:
+            return None
+        current, entry = nxt, exit_var
+    if current != 0 or entry != atoms[0].variables[0]:
+        return None
+    if len(visited) != len(atoms):
+        return None
+    return walk
+
+
+def default_threshold(n: int, length: int) -> int:
+    """Heavy/light occurrence threshold ``n^(1/ceil(l/2))`` (>= 2)."""
+    return max(2, math.ceil(n ** (1.0 / math.ceil(length / 2))))
+
+
+class _CycleAtom:
+    """One atom of the cycle walk with its orientation resolved."""
+
+    __slots__ = ("index", "relation", "entry_pos", "exit_pos", "entry_var", "exit_var")
+
+    def __init__(self, index: int, relation: Relation, atom: Atom, entry_var: str):
+        self.index = index
+        self.relation = relation
+        self.entry_var = entry_var
+        self.entry_pos = atom.variables.index(entry_var)
+        self.exit_pos = 1 - self.entry_pos
+        self.exit_var = atom.variables[self.exit_pos]
+
+    def rows(self, restriction: str, heavy: set) -> list[tuple[int, Any, Any, Any]]:
+        """(tuple_id, entry_value, exit_value, weight) under a restriction."""
+        entry_pos = self.entry_pos
+        exit_pos = self.exit_pos
+        out = []
+        for tuple_id, (values, weight) in enumerate(self.relation.rows()):
+            entry_value = values[entry_pos]
+            if restriction == "heavy" and entry_value not in heavy:
+                continue
+            if restriction == "light" and entry_value in heavy:
+                continue
+            out.append((tuple_id, entry_value, values[exit_pos], weight))
+        return out
+
+
+def _heavy_values(cycle_atom: _CycleAtom, threshold: int) -> set:
+    counts: dict = {}
+    entry_pos = cycle_atom.entry_pos
+    for values in cycle_atom.relation.tuples:
+        value = values[entry_pos]
+        counts[value] = counts.get(value, 0) + 1
+    return {value for value, count in counts.items() if count >= threshold}
+
+
+def _chain_join(
+    members: Sequence[list[tuple]],
+    atom_indices: Sequence[int],
+    dioid: SelectiveDioid,
+) -> tuple[list[tuple], list[Any], list[tuple]]:
+    """Join a chain of cycle atoms on exit = next entry.
+
+    ``members[i]`` are ``(tuple_id, entry, exit, weight)`` rows.  Returns
+    bag tuples ``(v_0, ..., v_m)``, their aggregated weights, and their
+    lineages.
+    """
+    times = dioid.times
+    indexes = []
+    for rows in members[1:]:
+        index: dict = {}
+        for row in rows:
+            index.setdefault(row[1], []).append(row)
+        indexes.append(index)
+
+    tuples: list[tuple] = []
+    weights: list[Any] = []
+    lineages: list[tuple] = []
+    stack_rows: list[tuple] = [None] * len(members)
+
+    def extend(depth: int, values: tuple, weight: Any) -> None:
+        if depth == len(members):
+            tuples.append(values)
+            weights.append(weight)
+            lineages.append(
+                tuple(
+                    (atom_indices[i], stack_rows[i][0])
+                    for i in range(len(members))
+                )
+            )
+            return
+        for row in indexes[depth - 1].get(values[-1], []):
+            stack_rows[depth] = row
+            extend(depth + 1, values + (row[2],), times(weight, row[3]))
+
+    for row in members[0]:
+        stack_rows[0] = row
+        extend(1, (row[1], row[2]), row[3])
+    return tuples, weights, lineages
+
+
+def decompose_cycle(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid = TROPICAL,
+    threshold: int | None = None,
+) -> list[TreeTask]:
+    """Decompose a simple-cycle query into l heavy trees + 1 light tree.
+
+    Raises ``ValueError`` if the query is not a simple cycle.  Member
+    outputs are disjoint; empty members are dropped.
+    """
+    walk = detect_simple_cycle(query)
+    if walk is None:
+        raise ValueError(f"{query!r} is not a simple cycle")
+    length = len(walk)
+    cycle_atoms = [
+        _CycleAtom(index, database[query.atoms[index].relation_name],
+                   query.atoms[index], entry_var)
+        for index, entry_var in walk
+    ]
+    n = max(len(ca.relation) for ca in cycle_atoms)
+    if threshold is None:
+        threshold = default_threshold(n, length)
+    heavy_sets = [_heavy_values(ca, threshold) for ca in cycle_atoms]
+
+    tasks: list[TreeTask] = []
+    for pivot in range(length):
+        task = _heavy_partition(
+            query, cycle_atoms, heavy_sets, pivot, dioid
+        )
+        if task is not None:
+            tasks.append(task)
+    light = _light_partition(query, cycle_atoms, heavy_sets, dioid)
+    if light is not None:
+        tasks.append(light)
+    return tasks
+
+
+def _restriction_for(position_in_walk: int, pivot: int) -> str:
+    if position_in_walk < pivot:
+        return "light"
+    if position_in_walk == pivot:
+        return "heavy"
+    return "full"
+
+
+def _heavy_partition(
+    query: ConjunctiveQuery,
+    cycle_atoms: list[_CycleAtom],
+    heavy_sets: list[set],
+    pivot: int,
+    dioid: SelectiveDioid,
+) -> TreeTask | None:
+    """Partition T_pivot: the fan decomposition broken at atom ``pivot``."""
+    length = len(cycle_atoms)
+    times = dioid.times
+    # Q_k = cycle atom at walk position (pivot + k) mod length, with its
+    # restriction; a_k = Q_k's entry variable.
+    rotated: list[_CycleAtom] = []
+    rows: list[list[tuple]] = []
+    for k in range(length):
+        position = (pivot + k) % length
+        ca = cycle_atoms[position]
+        rotated.append(ca)
+        rows.append(ca.rows(_restriction_for(position, pivot), heavy_sets[position]))
+    if any(not r for r in rows):
+        return None
+    heavy_entry_values = sorted({row[1] for row in rows[0]})
+    if not heavy_entry_values:
+        return None
+    heavy_entry_set = set(heavy_entry_values)
+    variables = [ca.entry_var for ca in rotated]
+
+    # Q_0H indexed by exit value: exit -> [(heavy entry, tuple_id, weight)].
+    # Joining Q_1 against this index is output-driven and stays within
+    # the paper's #heavy * n bound (a Q_1 tuple matches at most one Q_0H
+    # tuple per distinct heavy value).
+    q0_by_exit: dict = {}
+    for tuple_id, entry, exit_value, weight in rows[0]:
+        q0_by_exit.setdefault(exit_value, []).append((entry, tuple_id, weight))
+
+    prefix = f"T{pivot}"
+    bag_relations: list[Relation] = []
+    bag_atoms: list[Atom] = []
+    lineage: dict[str, list[tuple]] = {}
+
+    def add_bag(j: int, vars_: tuple[str, ...], tuples, weights, lineages) -> bool:
+        if not tuples:
+            return False
+        name = f"{prefix}_B{j}"
+        bag_relations.append(Relation(name, len(vars_), tuples, weights))
+        bag_atoms.append(Atom(name, vars_))
+        lineage[name] = lineages
+        return True
+
+    if length == 3:
+        q2_pairs: dict[tuple, list[tuple]] = {}
+        for tuple_id, entry, exit_value, weight in rows[2]:
+            q2_pairs.setdefault((entry, exit_value), []).append((tuple_id, weight))
+        tuples, weights, lineages = [], [], []
+        empty: list = []
+        for tuple_id1, v1, v2, w1 in rows[1]:
+            for v0, tuple_id0, w0 in q0_by_exit.get(v1, empty):
+                for tuple_id2, w2 in q2_pairs.get((v2, v0), empty):
+                    tuples.append((v0, v1, v2))
+                    weights.append(times(times(w0, w1), w2))
+                    lineages.append(
+                        tuple(sorted((
+                            (rotated[0].index, tuple_id0),
+                            (rotated[1].index, tuple_id1),
+                            (rotated[2].index, tuple_id2),
+                        )))
+                    )
+        if not add_bag(1, (variables[0], variables[1], variables[2]),
+                       tuples, weights, lineages):
+            return None
+    else:
+        # B_1(a_0, a_1, a_2) = Q_0H joined with Q_1 on a_1.
+        tuples, weights, lineages = [], [], []
+        empty: list = []
+        atom0 = rotated[0].index
+        atom1 = rotated[1].index
+        for tuple_id1, v1, v2, w1 in rows[1]:
+            for v0, tuple_id0, w0 in q0_by_exit.get(v1, empty):
+                tuples.append((v0, v1, v2))
+                weights.append(times(w0, w1))
+                lineages.append(
+                    ((atom0, tuple_id0), (atom1, tuple_id1))
+                    if atom0 < atom1
+                    else ((atom1, tuple_id1), (atom0, tuple_id0))
+                )
+        if not add_bag(1, (variables[0], variables[1], variables[2]),
+                       tuples, weights, lineages):
+            return None
+        # Middle bags B_j(a_0, a_j, a_j+1) = heavy values x Q_j.
+        for j in range(2, length - 2):
+            atom_j = rotated[j].index
+            tuples = [
+                (v0, u, u2)
+                for (_tid, u, u2, _w) in rows[j]
+                for v0 in heavy_entry_values
+            ]
+            weights = [
+                w for (_tid, _u, _u2, w) in rows[j] for _v0 in heavy_entry_values
+            ]
+            lineages = [
+                ((atom_j, tid),)
+                for (tid, _u, _u2, _w) in rows[j]
+                for _v0 in heavy_entry_values
+            ]
+            if not add_bag(j, (variables[0], variables[j], variables[j + 1]),
+                           tuples, weights, lineages):
+                return None
+        # Last bag B_(l-2)(a_0, a_(l-2), a_(l-1)) joins Q_(l-2) with the
+        # Q_(l-1) tuples that close the cycle on a heavy a_0 value.
+        j = length - 2
+        qlast_by_entry: dict = {}
+        for tuple_id, entry, exit_value, weight in rows[length - 1]:
+            if exit_value in heavy_entry_set:
+                qlast_by_entry.setdefault(entry, []).append(
+                    (exit_value, tuple_id, weight)
+                )
+        tuples, weights, lineages = [], [], []
+        atom_a = rotated[j].index
+        atom_b = rotated[length - 1].index
+        for tuple_id_a, u, u2, w_a in rows[j]:
+            for v0, tuple_id_b, w_b in qlast_by_entry.get(u2, empty):
+                tuples.append((v0, u, u2))
+                weights.append(times(w_a, w_b))
+                lineages.append(
+                    ((atom_a, tuple_id_a), (atom_b, tuple_id_b))
+                    if atom_a < atom_b
+                    else ((atom_b, tuple_id_b), (atom_a, tuple_id_a))
+                )
+        if not add_bag(j, (variables[0], variables[j], variables[(j + 1) % length]),
+                       tuples, weights, lineages):
+            return None
+
+    bag_query = ConjunctiveQuery(
+        head=query.head, atoms=bag_atoms, name=f"{query.name}_{prefix}"
+    )
+    return TreeTask(
+        database=Database(bag_relations),
+        query=bag_query,
+        lineage=lineage,
+        label=f"heavy@{variables[0]}",
+    )
+
+
+def _light_partition(
+    query: ConjunctiveQuery,
+    cycle_atoms: list[_CycleAtom],
+    heavy_sets: list[set],
+    dioid: SelectiveDioid,
+) -> TreeTask | None:
+    """Partition T_(l+1): the two-chain all-light decomposition (Fig 8c)."""
+    length = len(cycle_atoms)
+    split = math.ceil(length / 2)
+    rows = [
+        ca.rows("light", heavy_sets[position])
+        for position, ca in enumerate(cycle_atoms)
+    ]
+    if any(not r for r in rows):
+        return None
+    variables = [ca.entry_var for ca in cycle_atoms]
+
+    first_members = rows[:split]
+    first_atoms = [cycle_atoms[i].index for i in range(split)]
+    second_members = rows[split:]
+    second_atoms = [cycle_atoms[i].index for i in range(split, length)]
+
+    tuples1, weights1, lineages1 = _chain_join(first_members, first_atoms, dioid)
+    if not tuples1:
+        return None
+    tuples2, weights2, lineages2 = _chain_join(second_members, second_atoms, dioid)
+    if not tuples2:
+        return None
+
+    vars1 = tuple(variables[: split + 1])
+    vars2 = tuple(variables[split:] + [variables[0]])
+    rel1 = Relation("TL_C1", len(vars1), tuples1, weights1)
+    rel2 = Relation("TL_C2", len(vars2), tuples2, weights2)
+    bag_query = ConjunctiveQuery(
+        head=query.head,
+        atoms=[Atom("TL_C1", vars1), Atom("TL_C2", vars2)],
+        name=f"{query.name}_TL",
+    )
+    return TreeTask(
+        database=Database([rel1, rel2]),
+        query=bag_query,
+        lineage={"TL_C1": lineages1, "TL_C2": lineages2},
+        label="all-light",
+    )

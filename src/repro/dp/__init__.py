@@ -1,0 +1,27 @@
+"""(Tree-based) dynamic programming over join structures (Sections 3, 5.1).
+
+A full acyclic CQ maps to a *T-DP problem*: one stage per atom, arranged
+by the join tree, one state per (alive) input tuple, and decisions
+between adjacent stages for joining tuples.  The equi-join encoding of
+Fig 3 is realised by :class:`repro.dp.graph.ChoiceSet` "connector"
+objects grouping child states by join value, keeping the graph at
+O(l*n) size and *sharing* all ranking data structures between parent
+states with the same join value.
+"""
+
+from repro.dp.builder import build_tdp, build_tdp_for_query
+from repro.dp.direct import DPProblem, k_lightest_paths
+from repro.dp.graph import ChoiceSet, TDP
+from repro.dp.theta import band_predicate, build_theta_path, comparison_predicate
+
+__all__ = [
+    "ChoiceSet",
+    "TDP",
+    "build_tdp",
+    "build_tdp_for_query",
+    "DPProblem",
+    "k_lightest_paths",
+    "build_theta_path",
+    "band_predicate",
+    "comparison_predicate",
+]

@@ -1,0 +1,250 @@
+"""Direct construction of (T-)DP problems — the paper's abstract view.
+
+Sections 3–5 define ranked enumeration over multi-stage DP problems
+*independently of queries*: stages hold states, decisions connect
+adjacent stages, and solutions are one-state-per-stage trees.  This
+module exposes that interface directly, so the library doubles as a
+k-shortest-path / k-best-solutions toolkit over serial and tree-shaped
+dynamic programs (the problems the any-k framework unifies: k-shortest
+paths, k-best assignments, graph-pattern scoring, ...).
+
+Example — Fig 1's three-stage problem::
+
+    dp = DPProblem()
+    s1 = dp.add_stage()           # serial: each stage's parent is the
+    s2 = dp.add_stage()           # previous one by default
+    s3 = dp.add_stage()
+    a = dp.add_state(s1, weight=1.0, label="1")
+    b = dp.add_state(s2, weight=10.0, label="10")
+    ...
+    dp.add_decision(a, b)
+    tdp = dp.compile()
+    for result in make_enumerator(tdp, "take2"):
+        print(result.weight, [dp.label(s, i) for s, i in enumerate(result.states)])
+
+Decision weights live on the *target* state (as in the query encoding);
+a classic edge-weighted formulation converts by pushing each edge's
+weight onto its head node, which is exactly what the paper's Fig 1 does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.dp.graph import ChoiceSet, TDP
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+
+
+class DPProblem:
+    """Builder for serial or tree-shaped DP problems.
+
+    * :meth:`add_stage` — append a stage; ``parent`` defaults to the
+      previously added stage (serial DP); pass an explicit stage id for
+      trees or ``None`` for a new root (forests/Cartesian structure).
+    * :meth:`add_state` — add a state with its weight (and an optional
+      label used in reconstructed solutions).
+    * :meth:`add_decision` — allow ``child`` to follow ``parent``.
+    * :meth:`compile` — run the bottom-up phase and return a
+      :class:`~repro.dp.graph.TDP` ready for any any-k enumerator.
+    """
+
+    def __init__(self, dioid: SelectiveDioid = TROPICAL):
+        self.dioid = dioid
+        self._parents: list[int] = []
+        self._weights: list[list[Any]] = []
+        self._labels: list[list[Hashable]] = []
+        #: decisions[child_stage]: set of (parent_state, child_state)
+        self._decisions: list[set[tuple[int, int]]] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add_stage(self, parent: int | str | None = "previous") -> int:
+        """Append a stage and return its id.
+
+        ``parent="previous"`` (default) chains stages serially;
+        ``parent=None`` starts a new root; an integer attaches the stage
+        below an existing one (tree-based DP).
+        """
+        if parent == "previous":
+            parent_id = len(self._parents) - 1 if self._parents else None
+        else:
+            parent_id = parent
+        if parent_id is not None:
+            if not 0 <= parent_id < len(self._parents):
+                raise ValueError(f"unknown parent stage {parent_id}")
+        self._parents.append(-1 if parent_id is None else parent_id)
+        self._weights.append([])
+        self._labels.append([])
+        self._decisions.append(set())
+        return len(self._parents) - 1
+
+    def add_state(
+        self, stage: int, weight: Any, label: Hashable | None = None
+    ) -> tuple[int, int]:
+        """Add a state; returns its ``(stage, index)`` handle."""
+        self._check_stage(stage)
+        self._weights[stage].append(weight)
+        self._labels[stage].append(
+            label if label is not None else len(self._weights[stage]) - 1
+        )
+        return (stage, len(self._weights[stage]) - 1)
+
+    def add_decision(
+        self, parent: tuple[int, int], child: tuple[int, int]
+    ) -> None:
+        """Allow solution step ``parent -> child`` (adjacent stages only)."""
+        parent_stage, parent_state = parent
+        child_stage, child_state = child
+        self._check_stage(parent_stage)
+        self._check_stage(child_stage)
+        if self._parents[child_stage] != parent_stage:
+            raise ValueError(
+                f"stage {child_stage} is not a child of stage {parent_stage}"
+            )
+        self._check_state(parent)
+        self._check_state(child)
+        self._decisions[child_stage].add((parent_state, child_state))
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < len(self._parents):
+            raise ValueError(f"unknown stage {stage}")
+
+    def _check_state(self, handle: tuple[int, int]) -> None:
+        stage, state = handle
+        if not 0 <= state < len(self._weights[stage]):
+            raise ValueError(f"unknown state {handle}")
+
+    def label(self, stage: int, alive_state: int, tdp: TDP) -> Hashable:
+        """Label of an alive state in a compiled TDP's numbering."""
+        return tdp.tuples[stage][alive_state][0]
+
+    # -- compilation ---------------------------------------------------------------
+
+    def compile(self) -> TDP:
+        """Bottom-up phase (Eq. 7) over the explicit decision sets.
+
+        States with an empty choice set in some child branch are pruned;
+        per-parent private connectors realise arbitrary decision sets
+        (no equi-join structure is assumed).
+        """
+        num_stages = len(self._parents)
+        if num_stages == 0:
+            raise ValueError("the DP problem has no stages")
+        dioid = self.dioid
+        times = dioid.times
+        key_of = dioid.key
+        atoms = [Atom(f"Stage{i}", (f"s{i}",)) for i in range(num_stages)]
+        query = ConjunctiveQuery(head=None, atoms=atoms, name="DP")
+        tdp = TDP(
+            dioid,
+            atom_of_stage=list(range(num_stages)),
+            parent_stage=list(self._parents),
+            query=query,
+        )
+        next_uid = 0
+        # alive_index[stage]: original state -> alive index (or absent).
+        alive_index: list[dict[int, int]] = [dict() for _ in range(num_stages)]
+        # Serialised order = insertion order need not be parents-first in
+        # general; require it (add_stage can only attach to existing
+        # stages, so insertion order *is* parents-first).
+        for stage in reversed(range(num_stages)):
+            children = tdp.children_stages[stage]
+            weights = self._weights[stage]
+            labels = self._labels[stage]
+            for state, weight in enumerate(weights):
+                conns: list[ChoiceSet] = []
+                dead = False
+                for child in children:
+                    entries = []
+                    child_alive = alive_index[child]
+                    for p_state, c_state in self._decisions[child]:
+                        if p_state != state:
+                            continue
+                        alive = child_alive.get(c_state)
+                        if alive is None:
+                            continue
+                        value = times(
+                            tdp.values[child][alive], tdp.pi1[child][alive]
+                        )
+                        entries.append((key_of(value), alive, value))
+                    if not entries:
+                        dead = True
+                        break
+                    conns.append(ChoiceSet(next_uid, child, entries))
+                    next_uid += 1
+                if dead:
+                    continue
+                pi = dioid.one
+                for conn in conns:
+                    pi = times(pi, conn.min_value)
+                alive_index[stage][state] = len(tdp.tuples[stage])
+                tdp.tuples[stage].append((labels[state],))
+                tdp.tuple_ids[stage].append(state)
+                tdp.values[stage].append(weight)
+                tdp.pi1[stage].append(pi)
+                tdp.child_conns[stage].append(tuple(conns))
+
+        best = dioid.one
+        complete = True
+        for root in tdp.root_stages:
+            entries = [
+                (
+                    key_of(times(tdp.values[root][s], tdp.pi1[root][s])),
+                    s,
+                    times(tdp.values[root][s], tdp.pi1[root][s]),
+                )
+                for s in range(len(tdp.tuples[root]))
+            ]
+            if not entries:
+                complete = False
+                break
+            conn = ChoiceSet(next_uid, root, entries)
+            next_uid += 1
+            tdp.root_conn[root] = conn
+            best = times(best, conn.min_value)
+        tdp.best_weight = best if complete else dioid.zero
+        if not complete:
+            tdp.root_conn = {}
+        tdp.num_connectors = next_uid
+        return tdp
+
+
+def k_lightest_paths(
+    stage_nodes: list[list[tuple[Hashable, Any]]],
+    edges: list[set[tuple[int, int]]],
+    k: int | None = None,
+    algorithm: str = "take2",
+    dioid: SelectiveDioid = TROPICAL,
+) -> list[tuple[Any, list[Hashable]]]:
+    """k-lightest source-to-sink paths in a multi-stage DAG.
+
+    ``stage_nodes[i]`` lists stage ``i``'s nodes as ``(label, weight)``;
+    ``edges[i]`` connects stage ``i`` to ``i+1`` by node indexes.  Node
+    weights play the role of the paper's edge-into-node weights (Fig 1).
+    Returns ``(path_weight, [labels])`` in ranked order.
+    """
+    from repro.anyk.base import make_enumerator
+
+    problem = DPProblem(dioid=dioid)
+    handles: list[list[tuple[int, int]]] = []
+    for i, nodes in enumerate(stage_nodes):
+        stage = problem.add_stage("previous" if i else None)
+        handles.append(
+            [problem.add_state(stage, weight, label) for label, weight in nodes]
+        )
+    for i, stage_edges in enumerate(edges):
+        for src, dst in stage_edges:
+            problem.add_decision(handles[i][src], handles[i + 1][dst])
+    tdp = problem.compile()
+    results = []
+    for result in make_enumerator(tdp, algorithm):
+        labels = [
+            tdp.tuples[stage][state][0]
+            for stage, state in enumerate(result.states)
+        ]
+        results.append((result.weight, labels))
+        if k is not None and len(results) >= k:
+            break
+    return results

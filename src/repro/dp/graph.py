@@ -1,0 +1,245 @@
+"""T-DP state space with the O(l*n) equi-join connector encoding.
+
+Fig 3 of the paper replaces the fully connected bipartite subgraph of an
+equi-join value by a single in-between node; :class:`ChoiceSet` is that
+node.  A connector groups the alive child states of one stage by their
+join value with the parent stage; each parent state points to exactly
+one connector per child branch.  Because the connector's entry weights
+``w(child) (x) pi1(child)`` are independent of the parent state, every
+ranking structure built on a connector (sorted lists, heaps, memoized
+suffix lists) is *shared* by all parent states with that join value —
+the sharing that drives Recursive's TTL advantage (Fig 6).
+
+The solution weight of a (partial) solution is the dioid product of the
+*state values* of its chosen states — each input tuple's weight enters
+exactly once, which makes weight bookkeeping uniform for paths, trees,
+and decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.ranking.dioid import SelectiveDioid
+
+
+class ChoiceSet:
+    """A connector node: the choice set shared by all matching parents.
+
+    ``entries`` holds one triple ``(key, child_state, value)`` per alive
+    child state in this join-value group, where ``value`` is
+    ``w(child) (x) pi1(child)`` (weight of the best solution suffix
+    through that child) and ``key = dioid.key(value)``.  ``entries`` is
+    deliberately *unsorted*: TTF optimality requires linear-time
+    preprocessing, and each any-k strategy builds its own (lazy)
+    structure on top, cached per enumerator run keyed by :attr:`uid`.
+    """
+
+    __slots__ = ("uid", "stage", "entries", "min_entry")
+
+    def __init__(self, uid: int, stage: int, entries: list[tuple]):
+        if not entries:
+            raise ValueError("a choice set cannot be empty")
+        self.uid = uid
+        self.stage = stage
+        self.entries = entries
+        self.min_entry = min(entries)
+
+    @property
+    def min_value(self) -> Any:
+        """Best achievable suffix weight through this connector."""
+        return self.min_entry[2]
+
+    @property
+    def min_key(self) -> Any:
+        return self.min_entry[0]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChoiceSet(uid={self.uid}, stage={self.stage}, "
+            f"size={len(self.entries)}, min={self.min_entry[0]!r})"
+        )
+
+
+class TDP:
+    """A fully materialised T-DP problem after the bottom-up phase.
+
+    Stages are indexed ``0 .. num_stages-1`` in a serialised tree order
+    (parents before children); ``parent_stage[j] == -1`` means stage
+    ``j`` hangs off the virtual start state ``s0``.  All per-state data
+    lives in parallel lists indexed by *local state index*:
+
+    * ``tuples[s][i]`` — the input tuple of state ``i`` of stage ``s``;
+    * ``tuple_ids[s][i]`` — its position in the base relation (witness id);
+    * ``values[s][i]`` — its lifted weight (a dioid value);
+    * ``pi1[s][i]`` — Eq. (7): best weight of completing the subtree
+      *below* stage ``s`` from this state (excludes the state's own
+      weight);
+    * ``child_conns[s][i]`` — tuple of :class:`ChoiceSet`, one per child
+      branch of stage ``s`` (aligned with ``children_stages[s]``).
+
+    Dead states (those with ``pi1 = zero``) are pruned during
+    construction, so the arrays contain only alive states (the paper's
+    reduced sets S̄, Ē).
+    """
+
+    def __init__(
+        self,
+        dioid: SelectiveDioid,
+        atom_of_stage: Sequence[int],
+        parent_stage: Sequence[int],
+        query=None,
+        join_tree=None,
+    ):
+        self.dioid = dioid
+        self.query = query
+        self.join_tree = join_tree
+        self.atom_of_stage = list(atom_of_stage)
+        self.parent_stage = list(parent_stage)
+        self.num_stages = len(parent_stage)
+
+        self.children_stages: list[list[int]] = [[] for _ in range(self.num_stages)]
+        self.root_stages: list[int] = []
+        for stage, parent in enumerate(self.parent_stage):
+            if parent == -1:
+                self.root_stages.append(stage)
+            else:
+                self.children_stages[parent].append(stage)
+        #: Index of stage j within its parent's children list.
+        self.branch_index: list[int] = [0] * self.num_stages
+        for stage in range(self.num_stages):
+            for idx, child in enumerate(self.children_stages[stage]):
+                self.branch_index[child] = idx
+        for idx, root in enumerate(self.root_stages):
+            self.branch_index[root] = idx
+
+        # Per-stage state arrays, filled by the builder.
+        empty: list[list] = [[] for _ in range(self.num_stages)]
+        self.tuples: list[list[tuple]] = [list(x) for x in empty]
+        self.tuple_ids: list[list[int]] = [list(x) for x in empty]
+        self.values: list[list[Any]] = [list(x) for x in empty]
+        self.pi1: list[list[Any]] = [list(x) for x in empty]
+        self.child_conns: list[list[tuple]] = [list(x) for x in empty]
+
+        #: Root connectors: one per root stage (the virtual s0's branches).
+        self.root_conn: dict[int, ChoiceSet] = {}
+        #: pi1(s0): weight of the overall best solution (zero if empty).
+        self.best_weight: Any = dioid.zero
+        #: Number of connectors created (uids are 0 .. num_connectors-1).
+        self.num_connectors: int = 0
+
+    # -- navigation ---------------------------------------------------------------
+
+    def connector_for(self, stage: int, parent_state: int | None) -> ChoiceSet:
+        """The choice set governing ``stage`` given the parent's state.
+
+        ``parent_state`` is ignored (must be ``None``) for root stages,
+        whose single connector hangs off the virtual start state.
+        """
+        parent = self.parent_stage[stage]
+        if parent == -1:
+            return self.root_conn[stage]
+        return self.child_conns[parent][parent_state][self.branch_index[stage]]
+
+    def is_empty(self) -> bool:
+        """Whether the query output is empty."""
+        return self.dioid.is_zero(self.best_weight) or len(self.root_conn) < len(
+            self.root_stages
+        )
+
+    def num_states(self) -> int:
+        """Total alive states across stages."""
+        return sum(len(stage_tuples) for stage_tuples in self.tuples)
+
+    def state_count_per_stage(self) -> list[int]:
+        return [len(stage_tuples) for stage_tuples in self.tuples]
+
+    def solution_weight(self, states: Sequence[int]) -> Any:
+        """Aggregate weight of a full solution (one state per stage)."""
+        dioid = self.dioid
+        acc = dioid.one
+        for stage, state in enumerate(states):
+            acc = dioid.times(acc, self.values[stage][state])
+        return acc
+
+    # -- result assembly ------------------------------------------------------------
+
+    def assignment(self, states: Sequence[int]) -> dict[str, Any]:
+        """Variable assignment of a full solution (requires query context)."""
+        if self.query is None:
+            raise ValueError("TDP was built without a query")
+        binding: dict[str, Any] = {}
+        for stage, state in enumerate(states):
+            atom = self.query.atoms[self.atom_of_stage[stage]]
+            for var, value in zip(atom.variables, self.tuples[stage][state]):
+                binding[var] = value
+        return binding
+
+    def witness(self, states: Sequence[int]) -> tuple:
+        """Witness in *atom order*: the input tuple chosen for each atom."""
+        by_atom = sorted(
+            (self.atom_of_stage[stage], self.tuples[stage][state])
+            for stage, state in enumerate(states)
+        )
+        return tuple(t for _atom, t in by_atom)
+
+    def witness_ids(self, states: Sequence[int]) -> tuple[int, ...]:
+        """Stable witness identity: tuple positions, in atom order."""
+        by_atom = sorted(
+            (self.atom_of_stage[stage], self.tuple_ids[stage][state])
+            for stage, state in enumerate(states)
+        )
+        return tuple(i for _atom, i in by_atom)
+
+    def verify(self) -> None:
+        """Check structural invariants; raise ``AssertionError`` on breakage.
+
+        Intended for tests and for debugging custom constructions
+        (:mod:`repro.dp.direct`, :mod:`repro.dp.theta`):
+
+        * parent indexes precede their children (serialised order);
+        * each alive state has one connector per child branch, and every
+          connector entry references an alive state of that branch with
+          the correct cached minimum and entry values;
+        * ``pi1`` equals the product of the branch minima;
+        * the root connectors cover exactly the root stages and
+          ``best_weight`` matches their minima.
+        """
+        dioid = self.dioid
+        times = dioid.times
+        for stage in range(self.num_stages):
+            parent = self.parent_stage[stage]
+            assert parent < stage, "stages must be serialised parents-first"
+            branch_count = len(self.children_stages[stage])
+            for state in range(len(self.tuples[stage])):
+                conns = self.child_conns[stage][state]
+                assert len(conns) == branch_count
+                pi = dioid.one
+                for conn, child in zip(conns, self.children_stages[stage]):
+                    assert conn.stage == child
+                    assert conn.min_entry == min(conn.entries)
+                    for key, child_state, value in conn.entries:
+                        assert 0 <= child_state < len(self.tuples[child])
+                        expected = times(
+                            self.values[child][child_state],
+                            self.pi1[child][child_state],
+                        )
+                        assert key == dioid.key(expected)
+                        assert value == expected
+                    pi = times(pi, conn.min_value)
+                assert self.pi1[stage][state] == pi
+        if not self.is_empty():
+            assert set(self.root_conn) == set(self.root_stages)
+            best = dioid.one
+            for root in self.root_stages:
+                best = times(best, self.root_conn[root].min_value)
+            assert best == self.best_weight
+
+    def __repr__(self) -> str:
+        return (
+            f"TDP(stages={self.num_stages}, states={self.num_states()}, "
+            f"connectors={self.num_connectors}, best={self.best_weight!r})"
+        )

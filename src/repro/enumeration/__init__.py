@@ -1,0 +1,21 @@
+"""Public ranked-enumeration API (Theorem 15 end to end).
+
+:func:`repro.enumeration.api.ranked_enumerate` dispatches a query to the
+appropriate pipeline — serial/tree DP for acyclic full CQs, cycle or
+generic decomposition + UT-DP union for cyclic ones, and the Section 8.1
+projection semantics for non-full queries — and yields
+:class:`repro.enumeration.api.QueryResult` objects in ranking order.
+"""
+
+from repro.enumeration.api import QueryResult, ranked_enumerate
+from repro.enumeration.projections import (
+    enumerate_all_weight,
+    enumerate_min_weight,
+)
+
+__all__ = [
+    "QueryResult",
+    "ranked_enumerate",
+    "enumerate_all_weight",
+    "enumerate_min_weight",
+]

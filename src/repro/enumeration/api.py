@@ -1,0 +1,349 @@
+"""Top-level ranked enumeration: the library's main entry point.
+
+Dispatch (Section 5.4):
+
+* full acyclic CQ — join tree, T-DP bottom-up, any-k enumeration;
+* full cyclic CQ — simple-cycle decomposition when the query is a simple
+  cycle (Section 5.3.1), otherwise a generic hypertree decomposition;
+  the member trees are ranked under the Section 6.3 tie-breaking dioid
+  and merged by the UT-DP union enumerator with on-the-fly duplicate
+  elimination;
+* non-full CQ — Section 8.1 projection semantics (all-weight by
+  default; ``projection="min_weight"`` for free-connex queries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.anyk.base import make_enumerator
+from repro.anyk.union import UnionEnumerator
+from repro.data.database import Database
+from repro.decomposition.base import TreeTask
+from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
+from repro.decomposition.generic import decompose_generic
+from repro.dp.builder import build_tdp, build_tdp_for_query
+from repro.query.cq import ConjunctiveQuery
+from repro.query.jointree import build_join_tree
+from repro.ranking.dioid import TROPICAL, SelectiveDioid, TieBreakingDioid
+from repro.util.counters import OpCounter
+
+
+class QueryResult:
+    """One ranked answer: weight, variable assignment, optional witness."""
+
+    __slots__ = ("weight", "assignment", "_head", "_witness_ids", "_witness")
+
+    def __init__(
+        self,
+        weight: Any,
+        assignment: dict[str, Any],
+        head: tuple[str, ...],
+        witness_ids: tuple | None = None,
+        witness: tuple | None = None,
+    ):
+        self.weight = weight
+        self.assignment = assignment
+        self._head = head
+        self._witness_ids = witness_ids
+        self._witness = witness
+
+    @property
+    def output_tuple(self) -> tuple:
+        """The answer projected onto the query head."""
+        return tuple(self.assignment[v] for v in self._head)
+
+    @property
+    def witness_ids(self) -> tuple | None:
+        """Per-atom input tuple positions, when the pipeline tracks them."""
+        return self._witness_ids
+
+    @property
+    def witness(self) -> tuple | None:
+        """Per-atom input tuples, when the pipeline tracks them."""
+        return self._witness
+
+    def __repr__(self) -> str:
+        return f"QueryResult(weight={self.weight!r}, {self.assignment!r})"
+
+
+def ranked_enumerate(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid = TROPICAL,
+    algorithm: str = "take2",
+    counter: OpCounter | None = None,
+    projection: str = "all_weight",
+    cycle_threshold: int | None = None,
+) -> Iterator[QueryResult]:
+    """Enumerate the answers of ``query`` on ``database`` in ranked order.
+
+    ``algorithm`` is any of ``take2``, ``lazy``, ``eager``, ``all``,
+    ``recursive``, ``batch``, ``batch_nosort``.  ``projection`` selects
+    the Section 8.1 semantics (``all_weight`` or ``min_weight``);
+    ``min_weight`` also applies to full queries, where it merges
+    duplicate-tuple witnesses of the same assignment to their minimum.
+    Returns a lazy iterator; pulling ``k`` results costs TT(k), not TTL.
+    """
+    if projection not in ("all_weight", "min_weight"):
+        raise ValueError(f"unknown projection semantics {projection!r}")
+    if projection == "min_weight":
+        # Min-weight semantics applies to full queries too: duplicate
+        # witnesses of the same assignment merge to their minimum.
+        from repro.enumeration.projections import enumerate_min_weight
+
+        return enumerate_min_weight(
+            database, query, dioid=dioid, algorithm=algorithm, counter=counter
+        )
+    if not query.is_full():
+        from repro.enumeration.projections import enumerate_all_weight
+
+        return enumerate_all_weight(
+            database, query, dioid=dioid, algorithm=algorithm, counter=counter
+        )
+
+    if query.is_acyclic():
+        return _enumerate_acyclic(database, query, dioid, algorithm, counter)
+    return _enumerate_cyclic(
+        database, query, dioid, algorithm, counter, cycle_threshold
+    )
+
+
+def evaluate_boolean(
+    database: Database,
+    query: ConjunctiveQuery,
+    counter: OpCounter | None = None,
+) -> bool:
+    """Boolean query evaluation through the ranked framework (§6.4).
+
+    Runs ranked enumeration under the tropical dioid and asks for the
+    first result only; TTF matches the best known Boolean bounds —
+    O(n) for acyclic queries, O(n^(2-1/ceil(l/2))) for simple cycles
+    (e.g. O(n^1.5) for the 4-cycle, the submodular-width bound).
+    """
+    full = query if query.is_full() else ConjunctiveQuery(
+        head=None, atoms=query.atoms, name=query.name
+    )
+    stream = ranked_enumerate(
+        database, full, algorithm="lazy", counter=counter
+    )
+    return next(iter(stream), None) is not None
+
+
+def _enumerate_acyclic(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid,
+    algorithm: str,
+    counter: OpCounter | None,
+) -> Iterator[QueryResult]:
+    tdp = build_tdp_for_query(database, query, dioid=dioid)
+    enumerator = make_enumerator(tdp, algorithm, counter=counter)
+
+    def generate() -> Iterator[QueryResult]:
+        for result in enumerator:
+            yield QueryResult(
+                result.weight,
+                result.assignment,
+                query.head,
+                witness_ids=result.witness_ids,
+                witness=result.witness,
+            )
+
+    return generate()
+
+
+def _enumerate_cyclic(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid,
+    algorithm: str,
+    counter: OpCounter | None,
+    cycle_threshold: int | None,
+) -> Iterator[QueryResult]:
+    if detect_simple_cycle(query) is not None:
+        tasks = decompose_cycle(
+            database, query, dioid=dioid, threshold=cycle_threshold
+        )
+    else:
+        tasks = [decompose_generic(database, query, dioid=dioid)]
+    # Both decompositions produce disjoint member outputs (the cycle
+    # partitions by construction, the generic one because it is a single
+    # tree), so duplicate elimination is off; it exists for overlapping
+    # decompositions (e.g. PANDA-style) plugged in via enumerate_union.
+    return enumerate_union(
+        database, query, tasks, dioid, algorithm, counter, dedup=False
+    )
+
+
+def enumerate_union(
+    database: Database,
+    query: ConjunctiveQuery,
+    tasks: list[TreeTask],
+    dioid: SelectiveDioid,
+    algorithm: str,
+    counter: OpCounter | None,
+    dedup: bool = False,
+) -> Iterator[QueryResult]:
+    """UT-DP over decomposition members with tie-breaking (+ optional dedup).
+
+    Each member is ranked under the Section 6.3 tie-breaking dioid so
+    that ties across members resolve identically and duplicates arrive
+    consecutively; the reported weight is the base (first) dimension.
+    Enable ``dedup`` only for decompositions whose member outputs may
+    overlap — it assumes set semantics (duplicate-free relations), where
+    identical consecutive output tuples are genuinely the same witness.
+    """
+    variables = query.variables
+    var_position = {v: i for i, v in enumerate(variables)}
+    tie = TieBreakingDioid(dioid, len(variables))
+
+    members = []
+    lineages = []
+    for task in tasks:
+        lift = _make_tie_lift(tie, var_position)
+        tree = build_join_tree(task.query)
+        tdp = build_tdp(task.database, tree, dioid=tie, lift=lift)
+        members.append(make_enumerator(tdp, algorithm, counter=counter))
+        lineages.append(task)
+
+    head = query.head
+
+    def identity(result) -> tuple:
+        return (result.key, result.output_tuple(head))
+
+    union = UnionEnumerator(members, identity=identity, dedup=dedup, counter=counter)
+
+    def generate() -> Iterator[QueryResult]:
+        for result in union:
+            task = lineages[_member_of(members, result)]
+            witness_ids, witness = _recover_witness(database, query, task, result)
+            yield QueryResult(
+                tie.base_value(result.weight),
+                result.assignment,
+                head,
+                witness_ids=witness_ids,
+                witness=witness,
+            )
+
+    return generate()
+
+
+def _member_of(members, result) -> int:
+    for index, member in enumerate(members):
+        if result.tdp is member.tdp:
+            return index
+    raise ValueError("result does not belong to any member enumerator")
+
+
+def _recover_witness(database, query, task: TreeTask, result):
+    """Map bag-level states back to original witness ids and tuples."""
+    if not task.lineage:
+        return None, None
+    tdp = result.tdp
+    merged: list[tuple[int, int]] = []
+    for stage, state in enumerate(result.states):
+        atom = task.query.atoms[tdp.atom_of_stage[stage]]
+        per_tuple = task.lineage.get(atom.relation_name)
+        if per_tuple is None:
+            continue
+        merged.extend(per_tuple[tdp.tuple_ids[stage][state]])
+    merged.sort()
+    witness_ids = tuple(tuple_id for _atom, tuple_id in merged)
+    witness = tuple(
+        database[query.atoms[atom_index].relation_name].tuples[tuple_id]
+        for atom_index, tuple_id in merged
+    )
+    return witness_ids, witness
+
+
+def _make_tie_lift(tie: TieBreakingDioid, var_position: dict[str, int]):
+    """Lift bag weights into the tie-breaking dioid with their bindings.
+
+    Variables absent from ``var_position`` (e.g. non-head variables in
+    the UCQ pipeline) simply do not participate in tie-breaking.
+    """
+
+    def lift(atom, values, raw_weight):
+        bindings = {
+            var_position[var]: value
+            for var, value in zip(atom.variables, values)
+            if var in var_position
+        }
+        return tie.lift(raw_weight, bindings)
+
+    return lift
+
+
+def ranked_enumerate_ucq(
+    database: Database,
+    queries: list[ConjunctiveQuery],
+    dioid: SelectiveDioid = TROPICAL,
+    algorithm: str = "take2",
+    dedup: bool = True,
+    counter: OpCounter | None = None,
+) -> Iterator[QueryResult]:
+    """Ranked enumeration over a *union* of full CQs (UT-DP, Section 5.2).
+
+    All member queries must be full and share the same head arity; the
+    union's answers are head tuples, named after the first query's head
+    variables.  Members are ranked under a tie-breaking dioid keyed by
+    head *positions*, so identical ``(weight, head tuple)`` answers from
+    overlapping members arrive consecutively and — with ``dedup`` — are
+    reported once (set-style union semantics per weight level).
+
+    Cyclic members are decomposed and their trees flattened into the
+    top-level union.
+    """
+    if not queries:
+        raise ValueError("the union needs at least one query")
+    head_arity = len(queries[0].head)
+    head_names = queries[0].head
+    for query in queries:
+        if not query.is_full():
+            raise ValueError(f"UCQ member {query.name} must be a full CQ")
+        if len(query.head) != head_arity:
+            raise ValueError("all UCQ members need the same head arity")
+
+    tie = TieBreakingDioid(dioid, head_arity)
+    members = []
+    member_heads: list[tuple[str, ...]] = []
+
+    def add_member(member_db, member_query, head):
+        positions = {v: i for i, v in enumerate(head)}
+        lift = _make_tie_lift(tie, positions)
+        tree = build_join_tree(member_query)
+        tdp = build_tdp(member_db, tree, dioid=tie, lift=lift)
+        members.append(make_enumerator(tdp, algorithm, counter=counter))
+        member_heads.append(head)
+
+    for query in queries:
+        if query.is_acyclic():
+            add_member(database, query, query.head)
+        elif detect_simple_cycle(query) is not None:
+            for task in decompose_cycle(database, query, dioid=dioid):
+                add_member(task.database, task.query, query.head)
+        else:
+            task = decompose_generic(database, query, dioid=dioid)
+            add_member(task.database, task.query, query.head)
+
+    def identity(result) -> tuple:
+        # The tie-broken key *is* (weight, head tuple) — sufficient.
+        return result.key
+
+    union = UnionEnumerator(members, identity=identity, dedup=dedup,
+                            counter=counter)
+
+    def generate() -> Iterator[QueryResult]:
+        for result in union:
+            member_index = _member_of(members, result)
+            head = member_heads[member_index]
+            assignment = result.assignment
+            values = tuple(assignment[v] for v in head)
+            yield QueryResult(
+                tie.base_value(result.weight),
+                dict(zip(head_names, values)),
+                head_names,
+            )
+
+    return generate()

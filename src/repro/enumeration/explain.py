@@ -1,0 +1,107 @@
+"""Plan introspection: what will ranked enumeration actually do?
+
+``explain(db, query)`` renders a human-readable plan report: acyclicity
+classification, the join tree (or decomposition members), per-stage
+state and connector statistics after the bottom-up pass, and the
+best-solution weight.  Used by the CLI and handy in notebooks when a
+query is slower than expected (e.g. an unintended Cartesian product).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data.database import Database
+from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
+from repro.decomposition.generic import decompose_generic
+from repro.dp.builder import build_tdp
+from repro.dp.graph import TDP
+from repro.query.cq import ConjunctiveQuery
+from repro.query.jointree import JoinTree, build_join_tree
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+
+
+def _tree_ascii(tree: JoinTree) -> list[str]:
+    """Indentation-based rendering of the join forest."""
+    lines: list[str] = []
+    atoms = tree.query.atoms
+
+    def visit(node: int, depth: int) -> None:
+        shared = tree.shared_variables(node)
+        join = f" [join on {', '.join(shared)}]" if shared else ""
+        lines.append("  " * depth + f"- {atoms[node]!r}{join}")
+        for child in tree.children(node):
+            visit(child, depth + 1)
+
+    for root in tree.roots():
+        visit(root, 0)
+    return lines
+
+
+def _tdp_stats(tdp: TDP) -> list[str]:
+    lines = []
+    for stage in range(tdp.num_stages):
+        atom = tdp.query.atoms[tdp.atom_of_stage[stage]]
+        conns = {
+            conn.uid
+            for state_conns in tdp.child_conns[stage]
+            for conn in state_conns
+        }
+        lines.append(
+            f"  stage {stage} ({atom.relation_name}): "
+            f"{len(tdp.tuples[stage])} alive states, "
+            f"{len(conns)} child connectors"
+        )
+    lines.append(
+        f"  total: {tdp.num_states()} states, {tdp.num_connectors} connectors, "
+        f"best weight {tdp.best_weight!r}"
+    )
+    return lines
+
+
+def explain(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid = TROPICAL,
+) -> str:
+    """A textual plan for ranked enumeration of ``query`` on ``database``."""
+    lines = [f"query: {query!r}"]
+    n = database.max_cardinality(set(query.relation_names()))
+    lines.append(f"input: n = {n} (largest referenced relation)")
+    if not query.is_full():
+        lines.append(
+            "projection query: head omits "
+            f"{', '.join(query.existential_variables())}"
+        )
+        lines.append(
+            f"free-connex: {query.is_free_connex()} "
+            "(min-weight semantics available)" if query.is_acyclic()
+            else "cyclic projection query"
+        )
+        query = ConjunctiveQuery(head=None, atoms=query.atoms, name=query.name)
+    if query.is_acyclic():
+        lines.append("plan: acyclic -> join tree -> T-DP -> any-k")
+        tree = build_join_tree(query)
+        lines.extend(_tree_ascii(tree))
+        tdp = build_tdp(database, tree, dioid=dioid)
+        lines.append("bottom-up statistics:")
+        lines.extend(_tdp_stats(tdp))
+        if tdp.is_empty():
+            lines.append("  output: EMPTY")
+        return "\n".join(lines)
+
+    if detect_simple_cycle(query) is not None:
+        tasks = decompose_cycle(database, query, dioid=dioid)
+        lines.append(
+            f"plan: simple cycle -> heavy/light decomposition "
+            f"({len(tasks)} non-empty members) -> UT-DP union"
+        )
+    else:
+        tasks = [decompose_generic(database, query, dioid=dioid)]
+        lines.append("plan: cyclic -> generic hypertree decomposition -> T-DP")
+    for task in tasks:
+        sizes = ", ".join(
+            f"{rel.name}[{len(rel)}]" for rel in task.database
+        )
+        lines.append(f"  member {task.label or task.query.name}: bags {sizes}")
+    return "\n".join(lines)

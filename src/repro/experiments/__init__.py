@@ -1,0 +1,25 @@
+"""Experiment harness: workloads, TT(k) measurement, and table printers.
+
+This package regenerates the paper's evaluation (Section 7 and the
+Section 9.1 micro-comparisons): every figure/table has a workload
+builder in :mod:`repro.experiments.workloads`, timing drivers in
+:mod:`repro.experiments.runner`, and the SQLite stand-in for the
+PostgreSQL comparison in :mod:`repro.experiments.sql_baseline`.
+The ``benchmarks/`` directory at the repository root wires these into
+pytest-benchmark, one module per paper figure/table.
+"""
+
+from repro.experiments.runner import (
+    curve_table,
+    measure_full_enumeration,
+    measure_ttk,
+)
+from repro.experiments.workloads import Workload, WORKLOADS
+
+__all__ = [
+    "measure_ttk",
+    "measure_full_enumeration",
+    "curve_table",
+    "Workload",
+    "WORKLOADS",
+]

@@ -1,0 +1,71 @@
+"""Plain-text charts for TT(k) curves (no plotting dependencies).
+
+The paper's figures plot "#results returned" against time per
+algorithm; :func:`ascii_chart` renders the same series as a terminal
+chart so benchmark reports stay self-contained text files.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: One marker per series, cycled.
+MARKERS = "RTLEAB*#%@"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "k",
+    y_label: str = "seconds",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII scatter chart.
+
+    The x axis spans the union of all x values, the y axis the union of
+    all y values; each series gets one marker character (first letter of
+    its label when unambiguous). Points that collide keep the earlier
+    series' marker; a legend follows the chart.
+    """
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        return "(no data)"
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    used_markers: set[str] = set()
+    for index, (label, values) in enumerate(series.items()):
+        marker = label[:1].upper()
+        if not marker.strip() or marker in used_markers:
+            marker = MARKERS[index % len(MARKERS)]
+        if marker in used_markers:
+            marker = chr(ord("a") + index % 26)
+        used_markers.add(marker)
+        legend.append(f"{marker} = {label}")
+        for x, y in values:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    lines = [f"{y_label} (top={y_max:.3g}, bottom={y_min:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    lines.append(" legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def curve_chart(results, width: int = 64, height: int = 14) -> str:
+    """Chart a list of :class:`~repro.experiments.runner.TTKResult`."""
+    series = {result.algorithm: result.curve for result in results}
+    return ascii_chart(series, width=width, height=height)

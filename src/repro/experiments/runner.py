@@ -1,0 +1,119 @@
+"""Timing drivers: TT(k) curves, TTF, TTL (Section 7 methodology).
+
+All timings include preprocessing (join tree or decomposition, T-DP
+bottom-up, data-structure initialisation) — the paper's TT(k) always
+measures from a cold start.  Checkpoint curves record the elapsed time
+after every ``checkpoint`` results, which is exactly what the paper's
+"#Results vs Time" plots show.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.data.database import Database
+from repro.enumeration.api import ranked_enumerate
+from repro.query.cq import ConjunctiveQuery
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+
+
+@dataclass
+class TTKResult:
+    """Outcome of one TT(k) run."""
+
+    algorithm: str
+    ttf: float
+    ttk: float
+    k: int
+    produced: int
+    curve: list[tuple[int, float]] = field(default_factory=list)
+
+    def row(self) -> str:
+        return (
+            f"{self.algorithm:>10}  TTF={self.ttf * 1e3:9.2f} ms  "
+            f"TT({self.produced})={self.ttk:8.3f} s"
+        )
+
+
+def _iterate(
+    database: Database,
+    query: ConjunctiveQuery,
+    algorithm: str,
+    dioid: SelectiveDioid,
+) -> Iterator[Any]:
+    return ranked_enumerate(database, query, dioid=dioid, algorithm=algorithm)
+
+
+def measure_ttk(
+    database: Database,
+    query: ConjunctiveQuery,
+    algorithm: str,
+    k: int | None,
+    checkpoints: int = 8,
+    dioid: SelectiveDioid = TROPICAL,
+) -> TTKResult:
+    """Run one cold-start enumeration up to ``k`` results (None = all)."""
+    start = time.perf_counter()
+    iterator = _iterate(database, query, algorithm, dioid)
+    produced = 0
+    ttf = 0.0
+    curve: list[tuple[int, float]] = []
+    # Fixed k: evenly spaced checkpoints.  Full enumeration (k = None):
+    # the total is unknown up front, so checkpoint at powers of two —
+    # matching the log-scale reading of the paper's TT(k) plots.
+    step = max(1, (k or 0) // max(1, checkpoints))
+    geometric_checkpoint = 2
+    for _result in iterator:
+        produced += 1
+        if produced == 1:
+            ttf = time.perf_counter() - start
+            curve.append((1, ttf))
+        elif k is None:
+            if produced == geometric_checkpoint:
+                curve.append((produced, time.perf_counter() - start))
+                geometric_checkpoint *= 2
+        elif produced % step == 0:
+            curve.append((produced, time.perf_counter() - start))
+        if k is not None and produced >= k:
+            break
+    ttk = time.perf_counter() - start
+    if not curve or curve[-1][0] != produced:
+        curve.append((produced, ttk))
+    return TTKResult(algorithm, ttf, ttk, k or produced, produced, curve)
+
+
+def measure_full_enumeration(
+    database: Database,
+    query: ConjunctiveQuery,
+    algorithm: str,
+    dioid: SelectiveDioid = TROPICAL,
+) -> TTKResult:
+    """TTL: cold-start enumeration of the complete ranked output."""
+    return measure_ttk(database, query, algorithm, k=None, dioid=dioid)
+
+
+def curve_table(results: list[TTKResult], label: str = "") -> str:
+    """Render TT(k) curves as the paper's '#Results vs Time' series."""
+    lines = [f"== {label} ==" if label else "=="]
+    for result in results:
+        lines.append(result.row())
+        series = "  ".join(f"({k}, {t:.3f}s)" for k, t in result.curve)
+        lines.append(f"{'':>12}curve: {series}")
+    return "\n".join(lines)
+
+
+def run_workload(
+    workload,
+    algorithms: list[str],
+    dioid: SelectiveDioid = TROPICAL,
+) -> list[TTKResult]:
+    """Measure all ``algorithms`` on a workload, cold start each."""
+    return [
+        measure_ttk(
+            workload.database, workload.query, algorithm, workload.k,
+            dioid=dioid,
+        )
+        for algorithm in algorithms
+    ]

@@ -1,0 +1,89 @@
+"""SQL-engine baseline via stdlib SQLite (the Fig 14 substitution).
+
+The paper validates its hand-rolled Batch implementation against
+PostgreSQL 9.5 on the synthetic workloads (Appendix B lists the SQL).
+PostgreSQL is unavailable offline, so we run the *same SQL* on an
+in-memory SQLite database: like the paper's setup, the engine fully
+materialises the join, sorts it, and returns either the top-k or the
+whole result.  The comparison plays the same role — grounding Batch's
+absolute numbers against a real SQL engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from typing import Iterable
+
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+
+def load_sqlite(database: Database, names: Iterable[str]) -> sqlite3.Connection:
+    """Create an in-memory SQLite DB with one table per relation.
+
+    Tables get columns ``a1..a_arity`` plus ``w`` (the tuple weight),
+    matching the paper's Appendix B schema, and an index on ``a1``.
+    """
+    conn = sqlite3.connect(":memory:")
+    cursor = conn.cursor()
+    for name in dict.fromkeys(names):
+        relation = database[name]
+        columns = ", ".join(f"a{i + 1}" for i in range(relation.arity))
+        cursor.execute(f"CREATE TABLE {name} ({columns}, w REAL)")
+        placeholders = ", ".join("?" for _ in range(relation.arity + 1))
+        cursor.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})",
+            (t + (w,) for t, w in relation.rows()),
+        )
+        cursor.execute(f"CREATE INDEX idx_{name}_a1 ON {name} (a1)")
+    conn.commit()
+    return conn
+
+
+def query_to_sql(query: ConjunctiveQuery, limit: int | None = None) -> str:
+    """Translate a full CQ into the paper's Appendix-B-style SQL."""
+    aliases = [f"t{i}" for i in range(query.num_atoms)]
+    from_clause = ", ".join(
+        f"{atom.relation_name} {alias}"
+        for atom, alias in zip(query.atoms, aliases)
+    )
+    # Equality predicates from shared variables.
+    first_site: dict[str, str] = {}
+    predicates: list[str] = []
+    selects: list[str] = []
+    for atom, alias in zip(query.atoms, aliases):
+        for position, var in enumerate(atom.variables):
+            site = f"{alias}.a{position + 1}"
+            if var in first_site:
+                predicates.append(f"{first_site[var]} = {site}")
+            else:
+                first_site[var] = site
+    for var in query.head:
+        selects.append(f"{first_site[var]} AS {var}")
+    weight = " + ".join(f"{alias}.w" for alias in aliases)
+    sql = (
+        f"SELECT {', '.join(selects)}, {weight} AS weight "
+        f"FROM {from_clause} "
+    )
+    if predicates:
+        sql += f"WHERE {' AND '.join(predicates)} "
+    sql += "ORDER BY weight ASC"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    return sql
+
+
+def time_sqlite(
+    database: Database,
+    query: ConjunctiveQuery,
+    limit: int | None = None,
+) -> tuple[float, int]:
+    """Seconds to load + execute + fetch the ranked SQL result."""
+    conn = load_sqlite(database, query.relation_names())
+    sql = query_to_sql(query, limit=limit)
+    start = time.perf_counter()
+    rows = conn.execute(sql).fetchall()
+    elapsed = time.perf_counter() - start
+    conn.close()
+    return elapsed, len(rows)

@@ -1,0 +1,162 @@
+"""Workload builders for every experiment in the paper.
+
+Sizes are scaled down from the paper's Java setup (10^4–10^6 tuples) to
+pure-Python-friendly sizes (10^2–10^4 tuples); the *relationships*
+between workloads (path vs star vs cycle, small-TTL vs large-top-k,
+synthetic vs graph data) are preserved.  Every builder is deterministic
+(fixed seeds) so benchmark runs are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.database import Database
+from repro.data.generators import (
+    uniform_database,
+    worst_case_cycle_database,
+)
+from repro.data.graphs import bitcoin_otc_like, twitter_like
+from repro.query.builders import cycle_query, path_query, star_query
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass
+class Workload:
+    """A named experiment cell: database + query + requested k."""
+
+    name: str
+    database: Database
+    query: ConjunctiveQuery
+    k: int | None  # None = enumerate everything (TTL experiment)
+
+    def __repr__(self) -> str:
+        n = self.database.max_cardinality(
+            set(self.query.relation_names())
+        )
+        suffix = "all" if self.k is None else f"top-{self.k}"
+        return f"Workload({self.name}, n={n}, {suffix})"
+
+
+def _graph_db(relation) -> Database:
+    return Database([relation.rename("E")])
+
+
+def synthetic_small(shape: str, size: int) -> Workload:
+    """TTL cells (Figs 10a/e/i, 11a/e, 12a/e, 13a): full enumeration.
+
+    Sized so the full output is a few tens of thousands of tuples.
+    """
+    if shape == "cycle":
+        n = {3: 400, 4: 300, 6: 60}[size]
+        db = worst_case_cycle_database(size, n, seed=97)
+        return Workload(f"{size}-{shape}/syn-small", db, cycle_query(size), None)
+    fanout = 4
+    n = {3: 2_000, 4: 800, 6: 80}[size]
+    db = uniform_database(size, n, domain_size=max(2, n // fanout), seed=97)
+    query = path_query(size) if shape == "path" else star_query(size)
+    return Workload(f"{size}-{shape}/syn-small", db, query, None)
+
+
+def synthetic_large(shape: str, size: int, k: int | None = None) -> Workload:
+    """Top-k cells (Figs 10b/f/j, ...): top n/2 of a huge output."""
+    if shape == "cycle":
+        n = 4_000
+        db = worst_case_cycle_database(size, n, seed=93)
+        return Workload(
+            f"{size}-{shape}/syn-large", db, cycle_query(size), k or n // 2
+        )
+    n = 10_000
+    db = uniform_database(size, n, seed=93)
+    query = path_query(size) if shape == "path" else star_query(size)
+    return Workload(f"{size}-{shape}/syn-large", db, query, k or n // 2)
+
+
+def bitcoin(shape: str, size: int, k: int | None = None) -> Workload:
+    """Bitcoin-OTC-like trust network cells (Figs 10c/g/k, ...).
+
+    Long cycles use a smaller sample, mirroring the paper's use of the
+    smaller TwitterS for its (more expensive) cycle queries.
+    """
+    if shape == "cycle" and size >= 5:
+        edges = bitcoin_otc_like(num_nodes=700, num_edges=3_500, seed=7)
+    else:
+        edges = bitcoin_otc_like(num_nodes=1_200, num_edges=7_000, seed=7)
+    db = _graph_db(edges)
+    if shape == "cycle":
+        query = cycle_query(size, relation="E")
+        default_k = 2 * len(edges)
+    else:
+        query = (
+            path_query(size, relation="E")
+            if shape == "path"
+            else star_query(size, relation="E")
+        )
+        default_k = len(edges) // 2
+    return Workload(f"{size}-{shape}/bitcoin", db, query, k or default_k)
+
+
+def twitter(shape: str, size: int, k: int | None = None) -> Workload:
+    """Twitter-like PageRank-weighted cells (Figs 10d/h/l, ...)."""
+    if shape == "cycle":
+        num_edges = 3_000 if size >= 5 else 5_000
+        edges = twitter_like(num_nodes=900, num_edges=num_edges, seed=11)
+        query = cycle_query(size, relation="E")
+        default_k = 2 * len(edges)
+    else:
+        edges = twitter_like(num_nodes=1_500, num_edges=12_000, seed=11)
+        query = (
+            path_query(size, relation="E")
+            if shape == "path"
+            else star_query(size, relation="E")
+        )
+        default_k = len(edges) // 2
+    return Workload(
+        f"{size}-{shape}/twitter", _graph_db(edges), query, k or default_k
+    )
+
+
+#: Figure -> list of workload builders, mirroring the paper's panels.
+WORKLOADS: dict[str, list[Callable[[], Workload]]] = {
+    "fig10": [
+        lambda: synthetic_small("path", 4),
+        lambda: synthetic_large("path", 4),
+        lambda: bitcoin("path", 4),
+        lambda: twitter("path", 4),
+        lambda: synthetic_small("star", 4),
+        lambda: synthetic_large("star", 4),
+        lambda: bitcoin("star", 4),
+        lambda: twitter("star", 4),
+        lambda: synthetic_small("cycle", 4),
+        lambda: synthetic_large("cycle", 4),
+        lambda: bitcoin("cycle", 4),
+        lambda: twitter("cycle", 4),
+    ],
+    "fig11": [
+        lambda: synthetic_small("path", 3),
+        lambda: synthetic_large("path", 3),
+        lambda: bitcoin("path", 3),
+        lambda: twitter("path", 3),
+        lambda: synthetic_small("path", 6),
+        lambda: synthetic_large("path", 6),
+        lambda: bitcoin("path", 6),
+        lambda: twitter("path", 6),
+    ],
+    "fig12": [
+        lambda: synthetic_small("star", 3),
+        lambda: synthetic_large("star", 3),
+        lambda: bitcoin("star", 3),
+        lambda: twitter("star", 3),
+        lambda: synthetic_small("star", 6),
+        lambda: synthetic_large("star", 6),
+        lambda: bitcoin("star", 6),
+        lambda: twitter("star", 6),
+    ],
+    "fig13": [
+        lambda: synthetic_small("cycle", 6),
+        lambda: synthetic_large("cycle", 6),
+        lambda: bitcoin("cycle", 6),
+        lambda: twitter("cycle", 6),
+    ],
+}

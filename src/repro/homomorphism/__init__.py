@@ -1,0 +1,27 @@
+"""Minimum-cost homomorphism and ranked homomorphism enumeration (§8.2).
+
+The paper closes with the observation that CQ evaluation, constraint
+satisfaction, and hypergraph homomorphism are the same problem: this
+package reduces the (ranked) homomorphism problem between hypergraphs
+to ranked CQ enumeration, inheriting all optimality guarantees —
+acyclic patterns get linear-time top-1 (Algorithm 3's DP over a pinned
+decomposition), cyclic patterns go through the decompositions.
+"""
+
+from repro.homomorphism.mch import (
+    min_cost_homomorphism,
+    pattern_query,
+    ranked_homomorphisms,
+)
+from repro.homomorphism.patterns import (
+    best_subgraph_match,
+    ranked_subgraph_matches,
+)
+
+__all__ = [
+    "min_cost_homomorphism",
+    "ranked_homomorphisms",
+    "pattern_query",
+    "ranked_subgraph_matches",
+    "best_subgraph_match",
+]

@@ -1,0 +1,125 @@
+"""Ranked enumeration of hypergraph homomorphisms (Section 8.2).
+
+A *pattern* hypergraph is given as a list of ordered hyperedges over
+named vertices; a *target* as a list of same-arity edges over values,
+each with a weight (``w: E(G) -> R``).  A homomorphism maps pattern
+vertices to target values such that the image of every pattern edge is
+a target edge; its cost aggregates the images' weights with the dioid's
+``times`` (Definition 26 generalised from sums to any selective dioid).
+
+The reduction to CQ evaluation is the classical one [30, 70]: one atom
+per pattern edge, all atoms of arity ``k`` referencing the relation of
+``k``-ary target edges (a big self-join).  Ranked enumeration of the
+resulting full CQ *is* ranked enumeration of homomorphisms, so:
+
+* acyclic patterns get the Algorithm 3 guarantees — the top (minimum
+  cost) homomorphism after one linear bottom-up pass, then any-k;
+* cyclic patterns route through the decompositions, whose weight
+  *pinning* (each pattern edge's weight charged to exactly one bag) is
+  exactly the paper's pinned hypertree decomposition (Definition 25).
+
+Loops (repeated vertices within one pattern edge) are supported through
+the repeated-variable atom machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+from repro.util.counters import OpCounter
+
+#: A pattern edge: an ordered tuple of vertex names, e.g. ("u", "v").
+PatternEdge = Sequence[str]
+#: A target edge: an ordered tuple of values.
+TargetEdge = Sequence
+
+
+def pattern_query(pattern_edges: Sequence[PatternEdge]) -> ConjunctiveQuery:
+    """The CQ whose answers are the homomorphisms of the pattern.
+
+    Pattern edges of arity ``k`` become atoms over the relation ``G_k``;
+    the query head lists every pattern vertex, so each answer *is* a
+    vertex mapping.
+    """
+    if not pattern_edges:
+        raise ValueError("pattern needs at least one edge")
+    atoms = [
+        Atom(f"G{len(edge)}", tuple(edge)) for edge in pattern_edges
+    ]
+    return ConjunctiveQuery(head=None, atoms=atoms, name="Hom")
+
+
+def target_database(
+    target_edges: Sequence[TargetEdge],
+    weights: Sequence[Any] | None = None,
+) -> Database:
+    """Group target edges by arity into the relations ``G_k``."""
+    if weights is None:
+        weights = [0.0] * len(target_edges)
+    if len(weights) != len(target_edges):
+        raise ValueError("one weight per target edge required")
+    by_arity: dict[int, Relation] = {}
+    for edge, weight in zip(target_edges, weights):
+        edge = tuple(edge)
+        relation = by_arity.get(len(edge))
+        if relation is None:
+            relation = Relation(f"G{len(edge)}", len(edge))
+            by_arity[len(edge)] = relation
+        relation.add(edge, weight)
+    return Database(list(by_arity.values()))
+
+
+def ranked_homomorphisms(
+    pattern_edges: Sequence[PatternEdge],
+    target_edges: Sequence[TargetEdge],
+    weights: Sequence[Any] | None = None,
+    dioid: SelectiveDioid = TROPICAL,
+    algorithm: str = "take2",
+    counter: OpCounter | None = None,
+) -> Iterator[tuple[Any, dict[str, Any]]]:
+    """Yield ``(cost, vertex_mapping)`` in increasing cost order.
+
+    The pattern may be cyclic; arities of pattern and target edges must
+    correspond (a pattern edge of arity ``k`` can only map onto ``k``-ary
+    target edges).
+    """
+    query = pattern_query(pattern_edges)
+    missing = {
+        atom.relation_name
+        for atom in query.atoms
+    } - {f"G{len(e)}" for e in target_edges}
+    if missing:
+        raise ValueError(
+            f"target has no edges for pattern arities {sorted(missing)}"
+        )
+    database = target_database(target_edges, weights)
+    results = ranked_enumerate(
+        database, query, dioid=dioid, algorithm=algorithm, counter=counter
+    )
+    for result in results:
+        yield result.weight, dict(result.assignment)
+
+
+def min_cost_homomorphism(
+    pattern_edges: Sequence[PatternEdge],
+    target_edges: Sequence[TargetEdge],
+    weights: Sequence[Any] | None = None,
+    dioid: SelectiveDioid = TROPICAL,
+) -> tuple[Any, dict[str, Any]] | None:
+    """The Definition 26 problem: decide existence, return the optimum.
+
+    Returns ``None`` when no homomorphism exists, otherwise the pair
+    ``(minimum cost, witnessing vertex mapping)``.  For acyclic patterns
+    this takes one linear DP pass (Algorithm 3 / Theorem 27); for cyclic
+    patterns the decomposition bound applies.
+    """
+    stream = ranked_homomorphisms(
+        pattern_edges, target_edges, weights, dioid=dioid, algorithm="lazy"
+    )
+    return next(stream, None)

@@ -1,0 +1,140 @@
+"""A worst-case optimal join in the NPRR / Generic-Join family [82, 83].
+
+Variables are processed in a global order; each atom stores its tuples
+in a trie keyed by the atom's variables sorted by that global order.  At
+each variable the algorithm intersects the candidate value sets of all
+atoms containing it (iterating the smallest set, probing the others),
+which yields the AGM-bound O(n^ρ*) running time.
+
+Used (a) as the paper's batch comparison point for cyclic queries
+(Section 9.1.1 / Fig 17 shows it is *sub-optimal for ranked retrieval*:
+it must produce the full quadratic output of instance I1 before the top
+4-cycle can be emitted) and (b) to materialise the bags of generic
+hypertree decompositions.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Any, Sequence
+
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+from repro.util.counters import OpCounter
+
+#: Trie: nested dicts value -> subtrie; the deepest level maps the last
+#: value to a list of (tuple_id, weight) pairs (duplicates preserved).
+Trie = dict
+
+
+def build_trie(
+    relation, positions: Sequence[int], repeats_atom=None
+) -> Trie:
+    """Index ``relation`` by the columns in ``positions`` (in that order)."""
+    root: Trie = {}
+    last = len(positions) - 1
+    for tuple_id, (values, weight) in enumerate(relation.rows()):
+        if repeats_atom is not None and not repeats_atom.satisfies_repeats(values):
+            continue
+        node = root
+        for depth, position in enumerate(positions):
+            key = values[position]
+            if depth == last:
+                node.setdefault(key, []).append((tuple_id, weight))
+            else:
+                node = node.setdefault(key, {})
+    return root
+
+
+def generic_join(
+    database: Database,
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid = TROPICAL,
+    variable_order: Sequence[str] | None = None,
+    counter: OpCounter | None = None,
+) -> list[tuple[Any, tuple, tuple]]:
+    """Full output of any full CQ (cyclic or not).
+
+    Returns ``(weight, assignment, witness_ids)`` triples where
+    ``assignment`` follows ``query.variables`` and ``witness_ids`` lists
+    the chosen tuple position per atom.  Duplicate tuples in a relation
+    yield one output per distinct witness, matching the T-DP semantics.
+    """
+    variables = list(variable_order) if variable_order else list(query.variables)
+    if set(variables) != set(query.variables):
+        raise ValueError("variable order must cover exactly the query variables")
+    global_position = {v: i for i, v in enumerate(variables)}
+
+    atoms = query.atoms
+    # Per atom: its distinct variables sorted by global order, the column
+    # positions realising them, and the trie.
+    atom_vars: list[list[str]] = []
+    tries: list[Trie] = []
+    for atom in atoms:
+        ordered = sorted(atom.variable_set(), key=global_position.__getitem__)
+        positions = [atom.variables.index(v) for v in ordered]
+        atom_vars.append(ordered)
+        tries.append(
+            build_trie(
+                database[atom.relation_name],
+                positions,
+                repeats_atom=atom if atom.has_repeated_variables() else None,
+            )
+        )
+
+    num_atoms = len(atoms)
+    num_vars = len(variables)
+    # participants[level]: atoms whose next variable is variables[level],
+    # given that atom variables are consumed in global order.
+    participants: list[list[int]] = [[] for _ in range(num_vars)]
+    for a, ordered in enumerate(atom_vars):
+        for var in ordered:
+            participants[global_position[var]].append(a)
+
+    results: list[tuple[Any, tuple, tuple]] = []
+    assignment: list[Any] = [None] * num_vars
+    nodes: list[Any] = list(tries)  # current trie node per atom
+    times = dioid.times
+    # Output assignments always follow query.variables, independent of
+    # the processing order.
+    output_positions = [global_position[v] for v in query.variables]
+
+    def recurse(level: int) -> None:
+        if level == num_vars:
+            # All variables bound: every atom node is its leaf list.
+            output = tuple(assignment[p] for p in output_positions)
+            for combo in cartesian_product(*nodes):
+                weight = dioid.one
+                witness = []
+                for tuple_id, tuple_weight in combo:
+                    weight = times(weight, tuple_weight)
+                    witness.append(tuple_id)
+                results.append((weight, output, tuple(witness)))
+            return
+        active = participants[level]
+        # Iterate the smallest candidate set, probe the others.
+        smallest = min(active, key=lambda a: len(nodes[a]))
+        saved = [nodes[a] for a in active]
+        for value, sub in nodes[smallest].items():
+            if counter is not None:
+                counter.tuples_scanned += 1
+            ok = True
+            for a in active:
+                if a == smallest:
+                    continue
+                nxt = nodes[a].get(value)
+                if nxt is None:
+                    ok = False
+                    break
+                nodes[a] = nxt
+            if ok:
+                nodes[smallest] = sub
+                assignment[level] = value
+                recurse(level + 1)
+            for a, node in zip(active, saved):
+                nodes[a] = node
+        assignment[level] = None
+
+    recurse(0)
+    return results

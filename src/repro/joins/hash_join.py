@@ -1,0 +1,62 @@
+"""Binary hash joins and semi-joins.
+
+These are the textbook building blocks used by the Yannakakis oracle and
+by the decomposition bag materialisation; the any-k algorithms
+themselves never materialise binary joins (they work on the O(l*n)
+connector encoding instead).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.index import HashIndex
+from repro.data.relation import Relation
+
+
+def semijoin(
+    left: Relation,
+    left_columns: Sequence[int],
+    right: Relation,
+    right_columns: Sequence[int],
+    name: str | None = None,
+) -> Relation:
+    """``left ⋉ right``: keep left tuples with a join partner in right."""
+    if len(left_columns) != len(right_columns):
+        raise ValueError("join column lists must have equal length")
+    right_keys = {
+        tuple(values[c] for c in right_columns) for values in right.tuples
+    }
+    out = Relation(name or left.name, left.arity)
+    for values, weight in left.rows():
+        if tuple(values[c] for c in left_columns) in right_keys:
+            out.tuples.append(values)
+            out.weights.append(weight)
+    return out
+
+
+def hash_join(
+    left: Relation,
+    left_columns: Sequence[int],
+    right: Relation,
+    right_columns: Sequence[int],
+    name: str = "join",
+    combine_weights=None,
+) -> Relation:
+    """``left ⋈ right`` concatenating the tuples; weights combined by ``+``.
+
+    The output arity is ``left.arity + right.arity`` (join columns are
+    kept on both sides, as the decomposition bags need all variables).
+    ``combine_weights(lw, rw)`` defaults to addition (tropical times).
+    """
+    if combine_weights is None:
+        combine_weights = lambda lw, rw: lw + rw  # noqa: E731 (hot path)
+    index = HashIndex(right, right_columns)
+    out = Relation(name, left.arity + right.arity)
+    left_cols = tuple(left_columns)
+    for values, weight in left.rows():
+        key = tuple(values[c] for c in left_cols)
+        for position in index.lookup(key):
+            out.tuples.append(values + right.tuples[position])
+            out.weights.append(combine_weights(weight, right.weights[position]))
+    return out

@@ -1,0 +1,27 @@
+"""Conjunctive-query representation (Section 2.1).
+
+A full CQ ``Q(x) :- R1(x1), ..., Rl(xl)`` is a set of atoms over
+variables; the associated hypergraph (variables = nodes, atoms =
+hyperedges) determines acyclicity via the GYO reduction, which also
+yields the join tree that the T-DP construction consumes.
+"""
+
+from repro.query.atom import Atom
+from repro.query.builders import cycle_query, path_query, star_query
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph, gyo_reduction
+from repro.query.jointree import JoinTree, build_join_tree
+from repro.query.parser import parse_query
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Hypergraph",
+    "gyo_reduction",
+    "JoinTree",
+    "build_join_tree",
+    "parse_query",
+    "path_query",
+    "star_query",
+    "cycle_query",
+]

@@ -1,0 +1,61 @@
+"""Query atoms: one relational predicate occurrence in a CQ body."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Atom:
+    """An atom ``R(x1, ..., xk)``: a relation name plus a variable list.
+
+    Different atoms may refer to the same physical relation (self-joins).
+    Repeated variables inside one atom (e.g. ``R(x, x)``) encode an
+    equality selection; the DP builder applies it while scanning the
+    relation, matching the paper's remark that selections can be pushed
+    into an O(n) preprocessing step.
+    """
+
+    __slots__ = ("relation_name", "variables")
+
+    def __init__(self, relation_name: str, variables: Iterable[str]):
+        self.relation_name = relation_name
+        self.variables = tuple(variables)
+        if not self.variables:
+            raise ValueError(f"atom {relation_name} must have at least one variable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def variable_set(self) -> frozenset[str]:
+        """The set of variables (collapsing repeats)."""
+        return frozenset(self.variables)
+
+    def has_repeated_variables(self) -> bool:
+        return len(set(self.variables)) != len(self.variables)
+
+    def positions_of(self, variables: Iterable[str]) -> tuple[int, ...]:
+        """First position of each requested variable within this atom."""
+        return tuple(self.variables.index(v) for v in variables)
+
+    def satisfies_repeats(self, values: tuple) -> bool:
+        """Check the implicit equality selection of repeated variables."""
+        first_seen: dict[str, object] = {}
+        for var, value in zip(self.variables, values):
+            previous = first_seen.setdefault(var, value)
+            if previous != value:
+                return False
+        return True
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.relation_name == other.relation_name
+            and self.variables == other.variables
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation_name, self.variables))
+
+    def __repr__(self) -> str:
+        return f"{self.relation_name}({', '.join(self.variables)})"

@@ -1,0 +1,57 @@
+"""Builders for the query shapes of the experiments (Example 2, Section 7).
+
+* :func:`path_query` — ``QPl(x) :- R1(x1,x2), ..., Rl(xl, xl+1)``
+* :func:`star_query` — all atoms share the centre variable ``x1``
+* :func:`cycle_query` — ``QCl(x) :- R1(x1,x2), ..., Rl(xl, x1)``
+
+Pass ``relation=`` to evaluate the pattern as a self-join over a single
+edge relation (the real-graph experiments join the ``E`` relation with
+itself l times).
+"""
+
+from __future__ import annotations
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+
+def _relation_name(i: int, relation: str | None) -> str:
+    return relation if relation is not None else f"R{i}"
+
+
+def path_query(length: int, relation: str | None = None) -> ConjunctiveQuery:
+    """The l-path query of Example 2 (the simplest acyclic query)."""
+    if length < 1:
+        raise ValueError("path length must be at least 1")
+    atoms = [
+        Atom(_relation_name(i, relation), (f"x{i}", f"x{i + 1}"))
+        for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(head=None, atoms=atoms, name=f"QP{length}")
+
+
+def star_query(size: int, relation: str | None = None) -> ConjunctiveQuery:
+    """The l-star query: every atom shares the centre variable ``x1``.
+
+    Mirrors the paper's star SQL (``R1.A1 = R2.A1 = ...``): atom ``i`` is
+    ``Ri(x1, yi)``, a typical data-warehouse join shape and the extreme
+    shallow case for tree-based DP.
+    """
+    if size < 1:
+        raise ValueError("star size must be at least 1")
+    atoms = [
+        Atom(_relation_name(i, relation), ("x1", f"y{i}"))
+        for i in range(1, size + 1)
+    ]
+    return ConjunctiveQuery(head=None, atoms=atoms, name=f"QS{size}")
+
+
+def cycle_query(length: int, relation: str | None = None) -> ConjunctiveQuery:
+    """The l-cycle query of Example 2 (the simplest cyclic query, l >= 3)."""
+    if length < 3:
+        raise ValueError("cycles need at least three atoms")
+    atoms = [
+        Atom(_relation_name(i, relation), (f"x{i}", f"x{i % length + 1}"))
+        for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(head=None, atoms=atoms, name=f"QC{length}")

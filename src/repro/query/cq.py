@@ -1,0 +1,117 @@
+"""Conjunctive queries and their structural properties."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.query.atom import Atom
+
+
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(head) :- atom1, ..., atoml``.
+
+    The query is *full* when the head lists every body variable; ranked
+    enumeration is optimal for full CQs (the paper's focus), while
+    non-full queries go through the projection semantics of Section 8.1.
+    """
+
+    __slots__ = ("name", "head", "atoms", "_variables")
+
+    def __init__(
+        self,
+        head: Sequence[str] | None,
+        atoms: Iterable[Atom],
+        name: str = "Q",
+    ):
+        self.name = name
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+        # Variables ordered by first appearance in the body.
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for atom in self.atoms:
+            for var in atom.variables:
+                if var not in seen:
+                    seen.add(var)
+                    ordered.append(var)
+        self._variables: tuple[str, ...] = tuple(ordered)
+        if head is None:
+            head = ordered
+        self.head: tuple[str, ...] = tuple(head)
+        missing = set(self.head) - seen
+        if missing:
+            raise ValueError(f"head variables {sorted(missing)} not in body")
+        if len(set(self.head)) != len(self.head):
+            raise ValueError("head variables must be distinct")
+
+    # -- structural properties -------------------------------------------------
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All body variables, ordered by first appearance."""
+        return self._variables
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    def is_full(self) -> bool:
+        """Whether every body variable is returned (no projection)."""
+        return set(self.head) == set(self._variables)
+
+    def existential_variables(self) -> tuple[str, ...]:
+        """Body variables projected away (empty for full queries)."""
+        head = set(self.head)
+        return tuple(v for v in self._variables if v not in head)
+
+    def has_self_joins(self) -> bool:
+        """Whether some relation appears in more than one atom."""
+        names = [atom.relation_name for atom in self.atoms]
+        return len(set(names)) != len(names)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(atom.relation_name for atom in self.atoms)
+
+    def hypergraph(self):
+        """The query hypergraph (variables = nodes, atoms = edges)."""
+        from repro.query.hypergraph import Hypergraph
+
+        return Hypergraph(
+            nodes=self._variables,
+            edges=[atom.variable_set() for atom in self.atoms],
+        )
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via the GYO reduction (Section 2.1)."""
+        return self.hypergraph().is_acyclic()
+
+    def is_free_connex(self) -> bool:
+        """Free-connex acyclicity (Section 8.1).
+
+        The query must be acyclic and remain acyclic after adding a
+        hyperedge covering the head variables.
+        """
+        from repro.query.hypergraph import Hypergraph
+
+        if not self.is_acyclic():
+            return False
+        edges = [atom.variable_set() for atom in self.atoms]
+        edges.append(frozenset(self.head))
+        return Hypergraph(nodes=self._variables, edges=edges).is_acyclic()
+
+    # -- misc -------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and self.head == other.head
+            and self.atoms == other.atoms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.atoms))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(atom) for atom in self.atoms)
+        return f"{self.name}({', '.join(self.head)}) :- {body}"

@@ -1,0 +1,140 @@
+"""Query hypergraphs, GYO reduction, and alpha-acyclicity (Section 2.1).
+
+The GYO (Graham / Yu-Ozsoyoglu) reduction repeatedly removes *ears*: a
+hyperedge ``e`` is an ear if every node of ``e`` either occurs in no
+other edge, or the nodes shared with other edges are all contained in a
+single *witness* edge ``w``.  The hypergraph is alpha-acyclic iff the
+reduction can remove every edge; the removal order (child = removed
+edge, parent = witness) is exactly a join forest of the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class GYOResult:
+    """Outcome of the GYO reduction.
+
+    ``elimination`` records ``(edge_index, witness_index_or_None)`` in
+    removal order; ``remaining`` lists the edges that could not be
+    removed (empty iff the hypergraph is acyclic).
+    """
+
+    acyclic: bool
+    elimination: list[tuple[int, int | None]]
+    remaining: list[int]
+
+
+def gyo_reduction(
+    edges: Sequence[frozenset],
+    priority: Sequence[int] | None = None,
+) -> GYOResult:
+    """Run the GYO reduction on ``edges`` (sets of variables).
+
+    Deterministic: each round considers the ears among the active edges
+    and removes the one with the smallest ``(priority, -index)`` pair —
+    i.e. lowest priority class first, and the *highest-indexed* edge
+    within the class, witnessed by the lowest-indexed candidate.  With
+    the default all-zero priority this roots join trees at early atoms
+    and keeps them shallow (a star query becomes a star-shaped tree
+    rooted at its centre, as in the paper's experiments).  The priority
+    hook lets the free-connex construction of Section 8.1 keep the free
+    atoms at the top by removing existential atoms first.  Subset edges
+    (including duplicates) are ears of their superset, so they are
+    handled uniformly.
+    """
+    if priority is None:
+        priority = [0] * len(edges)
+    active: list[int] = list(range(len(edges)))
+    elimination: list[tuple[int, int | None]] = []
+
+    def occurrence_counts(indexes: list[int]) -> dict:
+        counts: dict = {}
+        for i in indexes:
+            for var in edges[i]:
+                counts[var] = counts.get(var, 0) + 1
+        return counts
+
+    progress = True
+    while progress and active:
+        progress = False
+        counts = occurrence_counts(active)
+        best: tuple | None = None  # (priority, index, position, witness)
+        for position, e_idx in enumerate(active):
+            edge = edges[e_idx]
+            shared = {var for var in edge if counts[var] > 1}
+            if not shared:
+                witness = None  # isolated edge: component root
+            else:
+                witness = None
+                for w_idx in active:
+                    if w_idx != e_idx and shared <= edges[w_idx]:
+                        witness = w_idx
+                        break
+                if witness is None:
+                    continue  # not an ear
+            candidate = (priority[e_idx], -e_idx, position, witness)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is not None:
+            _prio, neg_idx, position, witness = best
+            e_idx = -neg_idx
+            elimination.append((e_idx, witness))
+            active.pop(position)
+            progress = True
+    return GYOResult(
+        acyclic=not active,
+        elimination=elimination,
+        remaining=list(active),
+    )
+
+
+class Hypergraph:
+    """A hypergraph over named nodes; hyperedges are variable sets."""
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(self, nodes: Sequence[str], edges: Sequence[frozenset]):
+        self.nodes = tuple(nodes)
+        self.edges = [frozenset(e) for e in edges]
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via GYO; O(|Q|^2) for our query sizes."""
+        return gyo_reduction(self.edges).acyclic
+
+    def is_connected(self) -> bool:
+        """Whether the hypergraph has a single connected component."""
+        if not self.edges:
+            return True
+        visited = {0}
+        component_vars = set(self.edges[0])
+        changed = True
+        while changed:
+            changed = False
+            for idx, edge in enumerate(self.edges):
+                if idx in visited:
+                    continue
+                if edge & component_vars:
+                    visited.add(idx)
+                    component_vars |= edge
+                    changed = True
+        covered_all_edges = len(visited) == len(self.edges)
+        isolated_nodes = set(self.nodes) - component_vars
+        return covered_all_edges and not isolated_nodes
+
+    def primal_edges(self) -> set[tuple[str, str]]:
+        """Edges of the primal (Gaifman) graph: co-occurring variable pairs."""
+        pairs: set[tuple[str, str]] = set()
+        for edge in self.edges:
+            ordered = sorted(edge)
+            for i, u in enumerate(ordered):
+                for v in ordered[i + 1:]:
+                    pairs.add((u, v))
+        return pairs
+
+    def __repr__(self) -> str:
+        edges = ", ".join("{" + ",".join(sorted(e)) + "}" for e in self.edges)
+        return f"Hypergraph(nodes={len(self.nodes)}, edges=[{edges}])"

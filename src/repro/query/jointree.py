@@ -1,0 +1,207 @@
+"""Join trees of acyclic conjunctive queries.
+
+A join tree has one node per atom; for every variable, the atoms
+containing it form a connected subtree (running intersection property).
+The GYO elimination order yields such a tree directly: each removed ear
+becomes the child of its witness.  Disconnected queries (Cartesian
+products) give a *forest*; we attach every component root below a
+virtual root, which matches the T-DP construction's single start stage
+``S0 = {s0}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import gyo_reduction
+
+
+class JoinTree:
+    """A rooted join forest over the atoms of an acyclic CQ.
+
+    ``parent[i]`` is the parent atom index of atom ``i`` or ``-1`` when
+    atom ``i`` hangs off the virtual root.  ``order`` serialises the
+    atoms parents-first (Section 5.1's tree order), which is the stage
+    order of the T-DP construction.
+    """
+
+    __slots__ = ("query", "parent", "order")
+
+    def __init__(self, query: ConjunctiveQuery, parent: Sequence[int]):
+        self.query = query
+        self.parent = list(parent)
+        if len(self.parent) != len(query.atoms):
+            raise ValueError("parent array must have one entry per atom")
+        self.order = self._serialize()
+
+    def _serialize(self) -> list[int]:
+        children: dict[int, list[int]] = {i: [] for i in range(-1, len(self.parent))}
+        for child, parent in enumerate(self.parent):
+            children[parent].append(child)
+        order: list[int] = []
+        stack = sorted(children[-1], reverse=True)
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(sorted(children[node], reverse=True))
+        if len(order) != len(self.parent):
+            raise ValueError("parent array contains a cycle")
+        return order
+
+    # -- structure accessors ----------------------------------------------------
+
+    def children(self, node: int) -> list[int]:
+        """Child atom indexes of ``node`` (use -1 for the virtual root)."""
+        return [c for c, p in enumerate(self.parent) if p == node]
+
+    def roots(self) -> list[int]:
+        """Atoms directly below the virtual root (one per component)."""
+        return self.children(-1)
+
+    def shared_variables(self, child: int) -> tuple[str, ...]:
+        """Variables a child atom shares with its parent (the join key).
+
+        Sorted for determinism; empty for component roots (Cartesian
+        product with the rest of the query).
+        """
+        parent = self.parent[child]
+        if parent == -1:
+            return ()
+        child_vars = self.query.atoms[child].variable_set()
+        parent_vars = self.query.atoms[parent].variable_set()
+        return tuple(sorted(child_vars & parent_vars))
+
+    def depth(self, node: int) -> int:
+        """Number of edges between ``node`` and the virtual root."""
+        depth = 0
+        while self.parent[node] != -1:
+            node = self.parent[node]
+            depth += 1
+        return depth + 1
+
+    def is_path(self) -> bool:
+        """Whether the forest is a single chain (serial DP applies)."""
+        root_count = len(self.roots())
+        if root_count != 1:
+            return False
+        return all(len(self.children(i)) <= 1 for i in range(len(self.parent)))
+
+    def validate(self) -> None:
+        """Assert the running intersection property (defensive check)."""
+        for var in self.query.variables:
+            holders = [
+                i
+                for i, atom in enumerate(self.query.atoms)
+                if var in atom.variable_set()
+            ]
+            # The atoms containing var must form a connected subtree.
+            holder_set = set(holders)
+            for node in holders:
+                parent = self.parent[node]
+                if parent == -1:
+                    continue
+                # Walk up until we meet another holder or the root; every
+                # node on the way must also contain var for connectivity.
+                walker = parent
+                while walker != -1 and walker not in holder_set:
+                    walker = self.parent[walker]
+                if walker == -1:
+                    continue
+                walker = parent
+                while walker not in holder_set:
+                    if var not in self.query.atoms[walker].variable_set():
+                        raise ValueError(
+                            f"running intersection violated for {var!r}"
+                        )
+                    walker = self.parent[walker]
+        # At most one holder subtree per variable: count connected roots.
+        for var in self.query.variables:
+            holders = {
+                i
+                for i, atom in enumerate(self.query.atoms)
+                if var in atom.variable_set()
+            }
+            subtree_roots = 0
+            for node in holders:
+                parent = self.parent[node]
+                if parent == -1 or parent not in holders:
+                    # Check whether some strict ancestor holds var.
+                    walker = parent
+                    found_above = False
+                    while walker != -1:
+                        if walker in holders:
+                            found_above = True
+                            break
+                        walker = self.parent[walker]
+                    if not found_above:
+                        subtree_roots += 1
+            if subtree_roots > 1:
+                raise ValueError(f"variable {var!r} spans disconnected atoms")
+
+    # -- transformations ----------------------------------------------------------
+
+    def rerooted(self, new_root: int) -> "JoinTree":
+        """Re-root the component containing ``new_root`` at that atom.
+
+        The join-tree property is direction-independent, so re-rooting
+        preserves it.  Other components keep their roots.
+        """
+        adjacency: dict[int, set[int]] = {i: set() for i in range(len(self.parent))}
+        for child, parent in enumerate(self.parent):
+            if parent != -1:
+                adjacency[child].add(parent)
+                adjacency[parent].add(child)
+        new_parent = list(self.parent)
+        # BFS from new_root inside its component.
+        visited = {new_root}
+        new_parent[new_root] = -1
+        queue = [new_root]
+        while queue:
+            node = queue.pop(0)
+            for neighbour in sorted(adjacency[node]):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                new_parent[neighbour] = node
+                queue.append(neighbour)
+        return JoinTree(self.query, new_parent)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.order)
+
+    def __repr__(self) -> str:
+        parts = []
+        for i in self.order:
+            parent = self.parent[i]
+            label = repr(self.query.atoms[i])
+            if parent == -1:
+                parts.append(label)
+            else:
+                parts.append(f"{label}<-{self.query.atoms[parent].relation_name}")
+        return f"JoinTree({'; '.join(parts)})"
+
+
+def build_join_tree(
+    query: ConjunctiveQuery,
+    root: int | None = None,
+    priority: list[int] | None = None,
+) -> JoinTree:
+    """Construct a join tree via GYO (Section 2.1); raises on cyclic queries.
+
+    When ``root`` is given the tree is re-rooted at that atom.  The
+    optional ``priority`` biases the GYO removal order (lower priority
+    atoms removed — and thus placed deeper — first), which the
+    free-connex construction uses to keep free atoms at the top.
+    """
+    edges = [atom.variable_set() for atom in query.atoms]
+    result = gyo_reduction(edges, priority=priority)
+    if not result.acyclic:
+        raise ValueError(f"query {query!r} is cyclic; no join tree exists")
+    parent = [-1] * len(edges)
+    for child, witness in result.elimination:
+        parent[child] = -1 if witness is None else witness
+    tree = JoinTree(query, parent)
+    if root is not None:
+        tree = tree.rerooted(root)
+    return tree

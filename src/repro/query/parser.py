@@ -1,0 +1,73 @@
+"""A small Datalog-style query parser.
+
+Accepts the notation the paper uses, e.g.::
+
+    Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)
+
+The head may be omitted (``R1(x1,x2), R2(x2,x3)``), in which case the
+query is full: every body variable is returned in order of appearance.
+Variable tokens are identifiers; the same relation name may appear in
+several atoms (self-joins).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+
+
+def _parse_atom_list(text: str) -> list[tuple[str, tuple[str, ...]]]:
+    atoms: list[tuple[str, tuple[str, ...]]] = []
+    position = 0
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if not match:
+            raise ValueError(f"cannot parse atom at: {text[position:]!r}")
+        name = match.group(1)
+        args = tuple(
+            token.strip() for token in match.group(2).split(",") if token.strip()
+        )
+        atoms.append((name, args))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ValueError(
+                    f"expected ',' between atoms at: {text[position:]!r}"
+                )
+            position += 1
+    return atoms
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse ``"Q(x,y) :- R(x,z), S(z,y)"`` into a :class:`ConjunctiveQuery`."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_parts = _parse_atom_list(head_text)
+        if len(head_parts) != 1:
+            raise ValueError("query head must be a single atom")
+        head_name, head_vars = head_parts[0]
+        head: tuple[str, ...] | None = head_vars
+    else:
+        body_text = text
+        head_name = name or "Q"
+        head = None
+    body = _parse_atom_list(body_text)
+    if not body:
+        raise ValueError("query body is empty")
+    identifier = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+    for rel, args in body:
+        for token in args:
+            if not identifier.match(token):
+                raise ValueError(
+                    f"{token!r} in atom {rel} is not a variable; for "
+                    "constants use repro.query.selections.prepare()"
+                )
+    atoms = [Atom(rel, list(args)) for rel, args in body]
+    for atom in atoms:
+        if atom.arity == 0:
+            raise ValueError(f"atom {atom.relation_name} has no variables")
+    return ConjunctiveQuery(head=head, atoms=atoms, name=name or head_name)

@@ -1,0 +1,148 @@
+"""Constants in queries, compiled away by preprocessing (Section 2.1).
+
+The paper assumes w.l.o.g. that atoms carry no selection conditions
+("selection conditions can always be applied directly to the tables in
+a preprocessing step that takes O(n)").  This module makes that remark
+operational: :func:`parse_query_with_constants` accepts atoms like
+``R(x, 5)`` or ``R(x, 'paris')``, returning a constant-free query plus
+the selection conditions, and :func:`apply_selections` materialises the
+filtered per-atom relations.  :func:`prepare` bundles both.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.database import Database
+from repro.query.atom import Atom
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import _parse_atom_list
+
+_QUOTED = re.compile(r"""^(['"])(.*)\1$""")
+
+
+@dataclass(frozen=True)
+class SelectionCondition:
+    """One equality selection: atom's column ``position`` equals ``value``."""
+
+    atom_index: int
+    position: int
+    value: Any
+
+
+def _classify_token(token: str) -> tuple[bool, Any]:
+    """Return ``(is_constant, value)`` for one atom argument token."""
+    match = _QUOTED.match(token)
+    if match:
+        return True, match.group(2)
+    try:
+        return True, int(token)
+    except ValueError:
+        pass
+    try:
+        return True, float(token)
+    except ValueError:
+        pass
+    if not re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", token):
+        raise ValueError(f"cannot parse atom argument {token!r}")
+    return False, token
+
+
+def parse_query_with_constants(
+    text: str, name: str | None = None
+) -> tuple[ConjunctiveQuery, list[SelectionCondition]]:
+    """Parse a query whose atoms may contain constant arguments.
+
+    Constant positions are replaced by fresh variables (``_c<i>_<j>``);
+    when the query has no explicit head, the head lists only the
+    *user-written* variables, so constants never leak into answers.
+    """
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_parts = _parse_atom_list(head_text)
+        if len(head_parts) != 1:
+            raise ValueError("query head must be a single atom")
+        head_name, head_vars = head_parts[0]
+        head: tuple[str, ...] | None = head_vars
+    else:
+        body_text = text
+        head_name = name or "Q"
+        head = None
+
+    selections: list[SelectionCondition] = []
+    atoms: list[Atom] = []
+    seen_vars: list[str] = []
+    for atom_index, (rel, args) in enumerate(_parse_atom_list(body_text)):
+        variables: list[str] = []
+        for position, token in enumerate(args):
+            is_constant, value = _classify_token(token)
+            if is_constant:
+                fresh = f"_c{atom_index}_{position}"
+                variables.append(fresh)
+                selections.append(
+                    SelectionCondition(atom_index, position, value)
+                )
+            else:
+                variables.append(token)
+                if token not in seen_vars:
+                    seen_vars.append(token)
+        atoms.append(Atom(rel, variables))
+    if head is None:
+        head = tuple(seen_vars)
+    for var in head:
+        if var.startswith("_c"):
+            raise ValueError("head variables cannot be constants")
+    query = ConjunctiveQuery(head=head, atoms=atoms, name=name or head_name)
+    return query, selections
+
+
+def apply_selections(
+    database: Database,
+    query: ConjunctiveQuery,
+    selections: list[SelectionCondition],
+) -> tuple[Database, ConjunctiveQuery]:
+    """Filter the selected atoms' relations; rewrite the query to use them.
+
+    Each atom with conditions gets its own filtered relation copy
+    (``<name>__sel<atom_index>``), so self-joins with different
+    selections stay independent.  O(n) total, as the paper promises.
+    """
+    if not selections:
+        return database, query
+    by_atom: dict[int, list[SelectionCondition]] = {}
+    for condition in selections:
+        by_atom.setdefault(condition.atom_index, []).append(condition)
+
+    new_relations = dict(database.relations)
+    new_atoms = list(query.atoms)
+    for atom_index, conditions in by_atom.items():
+        atom = query.atoms[atom_index]
+        base = database[atom.relation_name]
+        required = {c.position: c.value for c in conditions}
+
+        def keep(values, required=required):
+            return all(values[p] == v for p, v in required.items())
+
+        derived_name = f"{atom.relation_name}__sel{atom_index}"
+        new_relations[derived_name] = base.filter(keep, name=derived_name)
+        new_atoms[atom_index] = Atom(derived_name, atom.variables)
+    rewritten = ConjunctiveQuery(
+        head=query.head, atoms=new_atoms, name=query.name
+    )
+    return Database(new_relations), rewritten
+
+
+def prepare(
+    database: Database, text: str, name: str | None = None
+) -> tuple[Database, ConjunctiveQuery]:
+    """Parse a query with constants and preprocess the database for it.
+
+    Usage::
+
+        db2, query = prepare(db, "Q(x) :- R(x, 5), S(5, x)")
+        results = ranked_enumerate(db2, query)
+    """
+    query, selections = parse_query_with_constants(text, name=name)
+    return apply_selections(database, query, selections)

@@ -1,0 +1,314 @@
+"""Selective dioids: the algebraic structures behind ranking functions.
+
+Definition 3 of the paper: a selective dioid is a semiring
+``(W, plus, times, zero, one)`` where ``plus`` is *selective* —
+``plus(x, y)`` is always ``x`` or ``y``.  Selectivity induces a total
+order (``x <= y`` iff ``plus(x, y) == x``), which is what lets priority
+queues rank partial solutions.
+
+Implementation note
+-------------------
+All algorithms in this library order dioid values through
+:meth:`SelectiveDioid.key`, which maps a value to a plain orderable
+Python object (float, tuple, ...).  ``plus`` is then simply "pick the
+operand with the smaller key".  This keeps ``heapq`` and ``sorted``
+directly usable, makes comparisons cheap, and guarantees selectivity by
+construction.  ``times`` is the aggregation operator that combines the
+weights of the input tuples of a witness (Definition 4).
+
+Some dioids additionally have an inverse for ``times`` (they are groups,
+not just monoids — Section 6.2).  Those advertise ``has_inverse = True``
+and implement :meth:`SelectiveDioid.divide`; the anyK-part algorithms use
+the inverse for O(1) candidate-weight derivation on tree queries and fall
+back to the paper's O(l^2) recomputation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+
+class SelectiveDioid(ABC):
+    """Abstract selective dioid ``(W, plus, times, zero, one)``.
+
+    Subclasses define the value domain ``W``, the aggregation ``times``,
+    the order key ``key``, and the identities ``zero`` (neutral for
+    ``plus``, absorbing for ``times`` — the *worst* possible weight) and
+    ``one`` (neutral for ``times`` — the weight of an empty witness).
+    """
+
+    #: Whether ``times`` has an inverse (the monoid is a group).
+    has_inverse: bool = False
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """Neutral element of ``plus`` / absorbing element of ``times``."""
+
+    @property
+    @abstractmethod
+    def one(self) -> Any:
+        """Neutral element of ``times``."""
+
+    @abstractmethod
+    def times(self, a: Any, b: Any) -> Any:
+        """Aggregate two weights (Definition 4)."""
+
+    @abstractmethod
+    def key(self, a: Any) -> Any:
+        """Map a value to an orderable key; smaller key ranks earlier."""
+
+    def plus(self, a: Any, b: Any) -> Any:
+        """Selective addition: return the better-ranked operand."""
+        return a if self.key(a) <= self.key(b) else b
+
+    def divide(self, a: Any, b: Any) -> Any:
+        """Return ``c`` with ``times(c, b) == a``; only if ``has_inverse``."""
+        raise NotImplementedError(f"{type(self).__name__} has no inverse")
+
+    def leq(self, a: Any, b: Any) -> bool:
+        """Total order induced by selectivity: ``a`` ranks no worse than ``b``."""
+        return self.key(a) <= self.key(b)
+
+    def times_all(self, values: Iterable[Any]) -> Any:
+        """Fold ``times`` over ``values`` starting from ``one``."""
+        acc = self.one
+        for value in values:
+            acc = self.times(acc, value)
+        return acc
+
+    def is_zero(self, a: Any) -> bool:
+        """Whether ``a`` equals the absorbing ``zero`` element."""
+        return a == self.zero
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class TropicalDioid(SelectiveDioid):
+    """``(R∪{∞}, min, +, ∞, 0)`` — rank by total weight, smallest first.
+
+    This is the paper's default ranking function: the weight of an output
+    tuple is the sum of its witness's input-tuple weights and results are
+    returned in increasing weight order.  Addition over the reals has an
+    inverse, so this dioid is a group.
+    """
+
+    has_inverse = True
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def key(self, a: float) -> float:
+        return a
+
+    def divide(self, a: float, b: float) -> float:
+        return a - b
+
+
+class MaxPlusDioid(SelectiveDioid):
+    """``(R∪{−∞}, max, +, −∞, 0)`` — heaviest total weight first.
+
+    Section 6.4: finds the "longest" paths / heaviest witnesses.
+    """
+
+    has_inverse = True
+
+    @property
+    def zero(self) -> float:
+        return -math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def times(self, a: float, b: float) -> float:
+        return a + b
+
+    def key(self, a: float) -> float:
+        return -a
+
+    def divide(self, a: float, b: float) -> float:
+        return a - b
+
+
+class MaxTimesDioid(SelectiveDioid):
+    """``([0,∞), max, ×, 0, 1)`` — largest product first.
+
+    Section 6.4: with tuple weights equal to input multiplicities this
+    simulates bag semantics, returning the highest-multiplicity output
+    first; with probabilities it returns the most probable witness.
+    ``times`` has no inverse on all of ``[0, ∞)`` (zero is not
+    invertible), so this dioid advertises ``has_inverse = False``.
+    """
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    def times(self, a: float, b: float) -> float:
+        return a * b
+
+    def key(self, a: float) -> float:
+        return -a
+
+
+class BooleanDioid(SelectiveDioid):
+    """``({False, True}, ∨, ∧, False, True)`` with inverted order ``1 ≤ 0``.
+
+    Section 6.4: ranking by this dioid with the inverted order makes every
+    satisfied witness compare equal (all weights are ``True``), so ranked
+    enumeration degenerates to plain query evaluation; priority-queue
+    maintenance on single-valued keys costs effectively constant time.
+    Conjunction has no inverse (Example 17).
+    """
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def key(self, a: bool) -> int:
+        # Inverted order: True (1) ranks before False (0).
+        return 0 if a else 1
+
+
+class LexicographicDioid(SelectiveDioid):
+    """Vector weights under element-wise addition, compared lexicographically.
+
+    Section 2.2 ("Generality"): to order results lexicographically by
+    their per-relation local weights, give the tuple of relation ``j`` the
+    vector weight ``(0, ..., w'(r), ..., 0)`` (non-zero only at position
+    ``j``).  ``times`` is element-wise vector addition (a group), and the
+    induced order is the lexicographic order on the composed vectors.
+    """
+
+    has_inverse = True
+
+    def __init__(self, dimensions: int):
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self._zero = (math.inf,) * dimensions
+        self._one = (0.0,) * dimensions
+
+    @property
+    def zero(self) -> tuple:
+        return self._zero
+
+    @property
+    def one(self) -> tuple:
+        return self._one
+
+    def times(self, a: tuple, b: tuple) -> tuple:
+        return tuple(x + y for x, y in zip(a, b))
+
+    def key(self, a: tuple) -> tuple:
+        return a
+
+    def divide(self, a: tuple, b: tuple) -> tuple:
+        return tuple(x - y for x, y in zip(a, b))
+
+    def unit_vector(self, position: int, weight: float) -> tuple:
+        """Weight vector for a tuple of relation ``position`` (0-based)."""
+        vec = [0.0] * self.dimensions
+        vec[position] = weight
+        return tuple(vec)
+
+    def __repr__(self) -> str:
+        return f"LexicographicDioid({self.dimensions})"
+
+
+# Sentinel used by TieBreakingDioid for a variable not bound yet.  An
+# empty tuple compares strictly below any one-tuple, giving partial
+# assignments a well-defined lexicographic position.
+_UNBOUND: tuple = ()
+
+
+class TieBreakingDioid(SelectiveDioid):
+    """Section 6.3: product of a base dioid with a canonical tie-breaker.
+
+    Values are pairs ``(base_value, ids)`` where ``ids`` is a vector with
+    one slot per query variable (in a fixed global order).  Each slot is
+    either the empty tuple (variable not bound by this partial witness)
+    or a one-tuple ``(value,)``.  ``times`` aggregates the base weights
+    and merges the id vectors; the order key is
+    ``(base_key, ids)`` compared lexicographically.
+
+    Because a *full* solution's id vector is exactly its output
+    assignment in global variable order, two identical output tuples
+    produced by different trees of a decomposition receive identical
+    keys, and any two distinct outputs receive distinct keys.  Hence
+    duplicates arrive consecutively from the UT-DP union enumerator and
+    can be eliminated on the fly with O(1) look-behind.
+
+    ``times`` is only ever applied to *compatible* operands (partial
+    witnesses that agree on shared variables), which is all the ranked
+    enumeration algorithms require.
+    """
+
+    def __init__(self, base: SelectiveDioid, num_variables: int):
+        self.base = base
+        self.num_variables = num_variables
+        self._one = (base.one, (_UNBOUND,) * num_variables)
+        self._zero = (base.zero, (_UNBOUND,) * num_variables)
+
+    @property
+    def zero(self) -> tuple:
+        return self._zero
+
+    @property
+    def one(self) -> tuple:
+        return self._one
+
+    def times(self, a: tuple, b: tuple) -> tuple:
+        base_value = self.base.times(a[0], b[0])
+        ids = tuple(
+            y if x is _UNBOUND or x == _UNBOUND else x
+            for x, y in zip(a[1], b[1])
+        )
+        return (base_value, ids)
+
+    def key(self, a: tuple) -> tuple:
+        return (self.base.key(a[0]), a[1])
+
+    def lift(self, base_value: Any, bindings: dict[int, Any]) -> tuple:
+        """Wrap ``base_value`` binding variable positions to values."""
+        ids = [_UNBOUND] * self.num_variables
+        for position, value in bindings.items():
+            ids[position] = (value,)
+        return (base_value, tuple(ids))
+
+    def base_value(self, a: tuple) -> Any:
+        """Recover the first (true weight) dimension (Section 6.3)."""
+        return a[0]
+
+    def __repr__(self) -> str:
+        return f"TieBreakingDioid({self.base!r}, m={self.num_variables})"
+
+
+#: Shared default instances (the dioids are stateless).
+TROPICAL = TropicalDioid()
+MAX_PLUS = MaxPlusDioid()
+MAX_TIMES = MaxTimesDioid()
+BOOLEAN = BooleanDioid()

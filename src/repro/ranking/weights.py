@@ -1,0 +1,88 @@
+"""Weight assignment helpers (Definition 4 and Section 6.1).
+
+The ranking function aggregates *input tuple* weights.  Relations store a
+weight per tuple (see :class:`repro.data.relation.Relation`); this module
+provides the common ways of producing those weights:
+
+* :func:`unit_weights` — all ones (counting / Boolean experiments),
+* :func:`column_weights` — weight equals a column's value (the paper's
+  running Example 6 sets weight = tuple label),
+* :func:`random_weights` — uniform reals, the synthetic-workload default
+  (the paper draws from ``[0, 10000]``),
+* :func:`attribute_weight_rewrite` — the Section 6.1 rewriting that turns
+  weights on *attributes* into extra unary atoms with weights on tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+
+def unit_weights(count: int) -> list[float]:
+    """``count`` unit weights (neutral under the tropical dioid's times)."""
+    return [1.0] * count
+
+
+def column_weights(tuples: Sequence[tuple], column: int) -> list[float]:
+    """Weight each tuple by the value in ``column`` (Example 6)."""
+    return [float(t[column]) for t in tuples]
+
+
+def random_weights(
+    count: int,
+    rng: random.Random,
+    low: float = 0.0,
+    high: float = 10_000.0,
+) -> list[float]:
+    """Uniform random weights in ``[low, high]`` (the paper's synthetic setup)."""
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+def attribute_weight_rewrite(
+    database: "Database",
+    query: "ConjunctiveQuery",
+    attribute_weights: dict[str, Callable[[Any], float]],
+):
+    """Rewrite attribute weights into unary relations (Section 6.1).
+
+    For every variable ``x`` with a weight function ``f`` in
+    ``attribute_weights``, add a unary relation ``W_x`` containing the
+    active domain of ``x`` with tuple weights ``f(value)``, and extend the
+    query with the atom ``W_x(x)``.  The rewritten (still full) query ranks
+    results by the combined tuple *and* attribute weights, as in
+    Example 16.
+
+    Returns the pair ``(new_database, new_query)``; the inputs are left
+    untouched.
+    """
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+    from repro.query.atom import Atom
+    from repro.query.cq import ConjunctiveQuery
+
+    new_relations = dict(database.relations)
+    new_atoms = list(query.atoms)
+    for var, weight_fn in sorted(attribute_weights.items()):
+        if var not in query.variables:
+            raise ValueError(f"unknown query variable {var!r}")
+        domain: set = set()
+        for atom in query.atoms:
+            if var not in atom.variables:
+                continue
+            position = atom.variables.index(var)
+            relation = database[atom.relation_name]
+            domain.update(t[position] for t in relation.tuples)
+        values = sorted(domain)
+        name = f"__attr_weight_{var}"
+        new_relations[name] = Relation(
+            name,
+            arity=1,
+            tuples=[(v,) for v in values],
+            weights=[float(weight_fn(v)) for v in values],
+        )
+        new_atoms.append(Atom(name, (var,)))
+    rewritten = ConjunctiveQuery(
+        head=query.head, atoms=tuple(new_atoms), name=query.name
+    )
+    return Database(new_relations), rewritten

@@ -1,0 +1,18 @@
+"""Utility data structures shared across the library.
+
+The any-k algorithms of the paper are specified in terms of priority
+queues, binary heaps used as *static partial orders* (Take2), and heaps
+that are incrementally converted into sorted lists (Lazy).  This package
+provides those structures plus the operation counters used by the
+complexity-shape experiments.
+"""
+
+from repro.util.counters import OpCounter
+from repro.util.heaps import LazySortedList, heap_children, heapify_entries
+
+__all__ = [
+    "OpCounter",
+    "LazySortedList",
+    "heap_children",
+    "heapify_entries",
+]

@@ -1,0 +1,89 @@
+"""Heap utilities backing the any-k successor strategies.
+
+Three access patterns appear in the paper (Section 4.1.3):
+
+* **Eager** sorts each choice set up front — plain ``sorted``.
+* **Lazy** (Chang et al.) builds a binary heap in linear time and pops
+  elements into a growing sorted prefix on demand; over the run the heap
+  drains and the structure converges to Eager's sorted list.
+  :class:`LazySortedList` implements exactly this.
+* **Take2** heapifies once and then *never mutates* the heap; the heap
+  array is used as a static partial order where the successors of the
+  element at position ``p`` are its children at ``2p+1`` and ``2p+2``.
+  :func:`heapify_entries` and :func:`heap_children` support this.
+
+Entries are ``(key, payload)`` tuples whose first component is the dioid
+order key; ties fall through to the payload, which is an ``int`` state
+identifier in all call sites, so tuple comparison is always well defined.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Sequence
+
+Entry = tuple  # (key, payload[, ...]) — compared lexicographically
+
+
+def heapify_entries(entries: list[Entry]) -> list[Entry]:
+    """Heapify ``entries`` in place (linear time) and return the list.
+
+    The returned list is a standard binary min-heap laid out in an array:
+    the element at index ``p`` is no larger than its children at indexes
+    ``2p + 1`` and ``2p + 2``.
+    """
+    heapq.heapify(entries)
+    return entries
+
+
+def heap_children(pos: int, size: int) -> tuple[int, ...]:
+    """Positions of the (at most two) children of ``pos`` in a heap array."""
+    left = 2 * pos + 1
+    if left >= size:
+        return ()
+    right = left + 1
+    if right >= size:
+        return (left,)
+    return (left, right)
+
+
+class LazySortedList:
+    """A heap that is incrementally drained into a sorted prefix.
+
+    ``get(i)`` returns the ``i``-th smallest entry, materialising the
+    sorted prefix up to ``i`` by popping from the internal heap.  Once the
+    heap is empty the structure behaves like a fully sorted list.  This is
+    the Lazy strategy's per-choice-set structure; the paper notes that on
+    first access the top *two* entries are materialised because the first
+    iteration of the expansion loop asks for the second-best choice.
+    """
+
+    __slots__ = ("_sorted", "_heap")
+
+    def __init__(self, entries: Sequence[Entry], prefetch: int = 2):
+        self._heap = list(entries)
+        heapq.heapify(self._heap)
+        self._sorted: list[Entry] = []
+        self.ensure(prefetch - 1)
+
+    def __len__(self) -> int:
+        return len(self._sorted) + len(self._heap)
+
+    def sorted_len(self) -> int:
+        """Number of entries already moved into the sorted prefix."""
+        return len(self._sorted)
+
+    def ensure(self, index: int) -> None:
+        """Materialise the sorted prefix up to ``index`` (inclusive)."""
+        sorted_list = self._sorted
+        heap = self._heap
+        while len(sorted_list) <= index and heap:
+            sorted_list.append(heapq.heappop(heap))
+
+    def get(self, index: int) -> Any | None:
+        """Return the ``index``-th smallest entry or ``None`` if exhausted."""
+        if index >= len(self._sorted):
+            self.ensure(index)
+            if index >= len(self._sorted):
+                return None
+        return self._sorted[index]

@@ -1,0 +1,205 @@
+"""Core correctness: every any-k algorithm against the brute-force oracle.
+
+These are the most important tests in the suite: for many query shapes
+and data distributions, every algorithm must return exactly the oracle's
+(weight, output) multiset in non-decreasing weight order.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import (
+    example6_database,
+    path_of_matchings_database,
+    recursive_worst_case,
+    uniform_database,
+)
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.query.builders import path_query, star_query
+from repro.query.parser import parse_query
+from tests.conftest import ALL_ALGORITHMS, brute_force, weight_signature
+
+
+def check_all_algorithms(db, query, max_rel_product=200_000):
+    expected = weight_signature(brute_force(db, query))
+    for algorithm in ALL_ALGORITHMS:
+        got = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm=algorithm)
+        ]
+        weights = [w for w, _ in got]
+        assert weights == sorted(weights), f"{algorithm}: unordered output"
+        assert weight_signature(got) == expected, (
+            f"{algorithm}: wrong result multiset "
+            f"({len(got)} vs {len(expected)})"
+        )
+
+
+class TestPathQueries:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_uniform_paths(self, length):
+        db = uniform_database(length, 24, domain_size=4, seed=length)
+        check_all_algorithms(db, path_query(length))
+
+    def test_matching_path(self):
+        db = path_of_matchings_database(4, 20, seed=1)
+        check_all_algorithms(db, path_query(4))
+
+    def test_sparse_path_with_dead_ends(self):
+        rng = random.Random(5)
+        db = Database()
+        for i in (1, 2, 3):
+            rel = Relation(f"R{i}", 2)
+            for _ in range(25):
+                rel.add((rng.randint(1, 10), rng.randint(1, 10)),
+                        rng.uniform(0, 100))
+            db.add(rel)
+        check_all_algorithms(db, path_query(3))
+
+    def test_single_atom_query_is_sorting(self):
+        db = uniform_database(1, 30, domain_size=5, seed=2)
+        check_all_algorithms(db, path_query(1))
+
+    def test_duplicate_tuples_kept_as_witnesses(self):
+        rel1 = Relation("R1", 2, [(1, 2), (1, 2)], [1.0, 5.0])
+        rel2 = Relation("R2", 2, [(2, 3)], [2.0])
+        db = Database([rel1, rel2])
+        for algorithm in ALL_ALGORITHMS:
+            got = [
+                (r.weight, r.output_tuple)
+                for r in ranked_enumerate(db, path_query(2), algorithm=algorithm)
+            ]
+            assert got == [(3.0, (1, 2, 3)), (7.0, (1, 2, 3))], algorithm
+
+
+class TestTreeQueries:
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_uniform_stars(self, size):
+        db = uniform_database(size, 20, domain_size=4, seed=10 + size)
+        check_all_algorithms(db, star_query(size))
+
+    def test_deep_tree(self):
+        # A "broom": path of 2 with a 2-star hanging off the middle.
+        query = parse_query(
+            "Q(a, b, c, d, e) :- R1(a, b), R2(b, c), R3(b, d), R4(d, e)"
+        )
+        db = uniform_database(4, 20, domain_size=3, seed=21)
+        check_all_algorithms(db, query)
+
+    def test_multi_attribute_joins(self):
+        query = parse_query("Q(a, b, c, d) :- R1(a, b, c), R2(b, c, d)")
+        rng = random.Random(31)
+        db = Database()
+        for name in ("R1", "R2"):
+            rel = Relation(name, 3)
+            for _ in range(30):
+                rel.add(
+                    (rng.randint(1, 3), rng.randint(1, 3), rng.randint(1, 3)),
+                    rng.uniform(0, 10),
+                )
+            db.add(rel)
+        check_all_algorithms(db, query)
+
+    def test_self_join_path(self):
+        rng = random.Random(41)
+        edges = Relation("E", 2)
+        for _ in range(30):
+            edges.add((rng.randint(1, 6), rng.randint(1, 6)), rng.uniform(0, 10))
+        db = Database([edges])
+        check_all_algorithms(db, path_query(3, relation="E"))
+
+
+class TestCartesianProducts:
+    def test_example6(self):
+        db = example6_database()
+        query = parse_query("Q(a, b, c) :- R1(a), R2(b), R3(c)")
+        check_all_algorithms(db, query)
+        results = list(ranked_enumerate(db, query, algorithm="take2"))
+        assert results[0].weight == 111.0
+        assert results[0].output_tuple == (1, 10, 100)
+        assert [r.weight for r in results[:4]] == [111.0, 112.0, 113.0, 121.0]
+
+    def test_recursive_worst_case_instance(self):
+        db = recursive_worst_case(6, 3)
+        query = parse_query("Q(a, b, c) :- R1(a), R2(b), R3(c)")
+        check_all_algorithms(db, query)
+
+    def test_disconnected_two_components(self):
+        query = parse_query("Q(a, b, c, d) :- R1(a, b), R2(c, d)")
+        db = uniform_database(2, 15, domain_size=4, seed=51)
+        check_all_algorithms(db, query)
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_output(self):
+        db = Database(
+            [
+                Relation("R1", 2, [(1, 1)], [1.0]),
+                Relation("R2", 2, [(2, 2)], [1.0]),
+            ]
+        )
+        for algorithm in ALL_ALGORITHMS:
+            assert (
+                list(ranked_enumerate(db, path_query(2), algorithm=algorithm))
+                == []
+            ), algorithm
+
+    def test_empty_relation(self):
+        db = Database(
+            [Relation("R1", 2, [(1, 1)], [1.0]), Relation("R2", 2)]
+        )
+        for algorithm in ALL_ALGORITHMS:
+            assert (
+                list(ranked_enumerate(db, path_query(2), algorithm=algorithm))
+                == []
+            ), algorithm
+
+    def test_top_k_does_not_exhaust(self):
+        db = uniform_database(3, 40, domain_size=4, seed=61)
+        query = path_query(3)
+        expected = brute_force(db, query)[:10]
+        for algorithm in ALL_ALGORITHMS:
+            enum = ranked_enumerate(db, query, algorithm=algorithm)
+            got = [(next(enum).weight) for _ in range(10)]
+            assert got == pytest.approx([w for w, _ in expected]), algorithm
+
+    def test_unknown_algorithm_raises(self):
+        db = uniform_database(2, 5, domain_size=2, seed=1)
+        with pytest.raises(ValueError, match="unknown any-k algorithm"):
+            list(ranked_enumerate(db, path_query(2), algorithm="nope"))
+
+    def test_batch_nosort_same_multiset(self):
+        db = uniform_database(2, 20, domain_size=3, seed=71)
+        query = path_query(2)
+        ranked = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm="batch")
+        )
+        unsorted_batch = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm="batch_nosort")
+        )
+        assert ranked == unsorted_batch
+
+
+class TestWitnesses:
+    def test_witness_weights_add_up(self):
+        db = uniform_database(3, 25, domain_size=4, seed=81)
+        query = path_query(3)
+        for r in ranked_enumerate(db, query, algorithm="lazy"):
+            total = sum(
+                db[atom.relation_name].weights[tid]
+                for atom, tid in zip(query.atoms, r.witness_ids)
+            )
+            assert total == pytest.approx(r.weight)
+
+    def test_witness_tuples_join(self):
+        db = uniform_database(3, 25, domain_size=4, seed=91)
+        query = path_query(3)
+        for r in ranked_enumerate(db, query, algorithm="take2"):
+            t1, t2, t3 = r.witness
+            assert t1[1] == t2[0] and t2[1] == t3[0]

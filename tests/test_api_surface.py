@@ -1,0 +1,149 @@
+"""Public-API surface tests: QueryResult, dispatch, overlapping unions."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import uniform_database, worst_case_cycle_database
+from repro.data.relation import Relation
+from repro.decomposition.base import TreeTask
+from repro.enumeration.api import enumerate_union, ranked_enumerate
+from repro.query.builders import cycle_query, path_query
+from repro.query.parser import parse_query
+from repro.util.counters import OpCounter
+from tests.conftest import brute_force, weight_signature
+
+
+class TestQueryResult:
+    def test_fields(self):
+        db = uniform_database(2, 10, domain_size=2, seed=1)
+        result = next(iter(ranked_enumerate(db, path_query(2))))
+        assert set(result.assignment) == {"x1", "x2", "x3"}
+        assert result.output_tuple == tuple(
+            result.assignment[v] for v in ("x1", "x2", "x3")
+        )
+        assert len(result.witness) == 2
+        assert len(result.witness_ids) == 2
+        assert "QueryResult" in repr(result)
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in (
+            "ranked_enumerate",
+            "Database",
+            "Relation",
+            "parse_query",
+            "TROPICAL",
+            "min_cost_homomorphism",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_counter_passthrough(self):
+        db = uniform_database(2, 15, domain_size=2, seed=2)
+        counter = OpCounter()
+        list(ranked_enumerate(db, path_query(2), counter=counter))
+        assert counter.results > 0
+        assert counter.pq_pop > 0
+
+
+class TestDispatch:
+    def test_acyclic_goes_direct(self):
+        db = uniform_database(2, 10, domain_size=2, seed=3)
+        results = list(ranked_enumerate(db, path_query(2)))
+        assert all(r.witness is not None for r in results)
+
+    def test_cycle_goes_through_decomposition(self):
+        db = worst_case_cycle_database(4, 8, seed=4)
+        results = list(ranked_enumerate(db, cycle_query(4)))
+        assert len(results) == 2 * 4 * 4
+        assert all(r.witness is not None for r in results)
+
+    def test_cycle_threshold_override(self):
+        db = worst_case_cycle_database(4, 8, seed=5)
+        default = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, cycle_query(4))
+        )
+        overridden = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, cycle_query(4), cycle_threshold=10**9)
+        )
+        assert default == overridden
+
+    def test_weights_unwrapped_from_tiebreaker(self):
+        db = worst_case_cycle_database(4, 8, seed=6)
+        for r in ranked_enumerate(db, cycle_query(4)):
+            assert isinstance(r.weight, float), "tie-break dimension hidden"
+
+
+class TestOverlappingUnion:
+    """The dedup machinery for overlapping decompositions (e.g. PANDA)."""
+
+    def _overlapping_tasks(self, db, query):
+        # Two identical single-bag tasks: every output is produced twice.
+        task_template = []
+        for copy in ("A", "B"):
+            relations = []
+            lineage = {}
+            atoms = []
+            for atom in query.atoms:
+                base = db[atom.relation_name]
+                name = f"{copy}_{atom.relation_name}"
+                relations.append(base.rename(name))
+                from repro.query.atom import Atom
+
+                atoms.append(Atom(name, atom.variables))
+                lineage[name] = [
+                    ((query.atoms.index(atom), i),) for i in range(len(base))
+                ]
+            from repro.query.cq import ConjunctiveQuery
+
+            task_template.append(
+                TreeTask(
+                    database=Database(relations),
+                    query=ConjunctiveQuery(
+                        head=query.head, atoms=atoms, name=f"{copy}_{query.name}"
+                    ),
+                    lineage=lineage,
+                    label=copy,
+                )
+            )
+        return task_template
+
+    def test_dedup_removes_cross_member_duplicates(self):
+        # Integer weights: exact arithmetic, so dedup is sound.
+        rng_db = Database(
+            [
+                Relation("R1", 2, [(1, 2), (2, 2), (3, 4)], [1.0, 2.0, 3.0]),
+                Relation("R2", 2, [(2, 5), (4, 6), (2, 7)], [4.0, 5.0, 6.0]),
+            ]
+        )
+        query = path_query(2)
+        tasks = self._overlapping_tasks(rng_db, query)
+        from repro.ranking.dioid import TROPICAL
+
+        merged = list(
+            enumerate_union(rng_db, query, tasks, TROPICAL, "take2", None,
+                            dedup=True)
+        )
+        expected = brute_force(rng_db, query)
+        assert weight_signature(
+            (r.weight, r.output_tuple) for r in merged
+        ) == weight_signature(expected)
+
+    def test_without_dedup_everything_doubles(self):
+        rng_db = Database(
+            [
+                Relation("R1", 2, [(1, 2)], [1.0]),
+                Relation("R2", 2, [(2, 5)], [4.0]),
+            ]
+        )
+        query = path_query(2)
+        tasks = self._overlapping_tasks(rng_db, query)
+        from repro.ranking.dioid import TROPICAL
+
+        merged = list(
+            enumerate_union(rng_db, query, tasks, TROPICAL, "take2", None,
+                            dedup=False)
+        )
+        assert len(merged) == 2

@@ -1,0 +1,145 @@
+"""Integration tests on deep and bushy join trees.
+
+The star and path cases are covered elsewhere; these shapes force the
+interesting combinations: multi-branch states *below* the root
+(exercising Recursive's ranked products at depth), chains hanging off
+branches (mixing suffix sharing with products), and forests of trees.
+"""
+
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.query.parser import parse_query
+from tests.conftest import ALL_ALGORITHMS, brute_force, weight_signature
+
+
+def random_db(names, n, domain, seed):
+    rng = random.Random(seed)
+    db = Database()
+    for name in names:
+        rel = Relation(name, 2)
+        for _ in range(n):
+            rel.add(
+                (rng.randint(1, domain), rng.randint(1, domain)),
+                round(rng.uniform(0, 50), 3),
+            )
+        db.add(rel)
+    return db
+
+
+def check(db, query):
+    expected = weight_signature(brute_force(db, query))
+    reference = None
+    for algorithm in ALL_ALGORITHMS:
+        got = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm=algorithm)
+        ]
+        weights = [w for w, _ in got]
+        assert weights == sorted(weights), algorithm
+        assert weight_signature(got) == expected, algorithm
+        if reference is None:
+            reference = weights
+        else:
+            assert weights == pytest.approx(reference), algorithm
+
+
+class TestBushyTrees:
+    def test_binary_tree_depth_two(self):
+        # x1 splits into two subtrees, each splitting again.
+        query = parse_query(
+            "Q(a,b,c,d,e,f,g) :- "
+            "R1(a,b), R2(b,c), R3(b,d), R4(a,e), R5(e,f), R6(e,g)"
+        )
+        db = random_db([f"R{i}" for i in range(1, 7)], 12, 3, seed=1)
+        check(db, query)
+
+    def test_caterpillar(self):
+        # A path with a leaf hanging off every node.
+        query = parse_query(
+            "Q(a,b,c,d,e,f) :- R1(a,b), R2(b,c), R3(c,d), "
+            "L1(a,e), L2(b,f)"
+        )
+        db = random_db(["R1", "R2", "R3", "L1", "L2"], 12, 3, seed=2)
+        check(db, query)
+
+    def test_branch_below_branch(self):
+        # Root -> child with three sub-branches (deep products).
+        query = parse_query(
+            "Q(a,b,c,d,e) :- R1(a,b), R2(b,c), R3(b,d), R4(b,e)"
+        )
+        db = random_db(["R1", "R2", "R3", "R4"], 14, 3, seed=3)
+        check(db, query)
+
+    def test_two_component_forest_with_trees(self):
+        query = parse_query(
+            "Q(a,b,c,p,q,s) :- R1(a,b), R2(a,c), S1(p,q), S2(p,s)"
+        )
+        db = random_db(["R1", "R2", "S1", "S2"], 8, 3, seed=4)
+        check(db, query)
+
+    def test_wide_atoms_in_tree(self):
+        rng = random.Random(5)
+        db = Database()
+        for name, arity in (("R1", 3), ("R2", 3), ("R3", 2)):
+            rel = Relation(name, arity)
+            for _ in range(15):
+                rel.add(
+                    tuple(rng.randint(1, 3) for _ in range(arity)),
+                    round(rng.uniform(0, 10), 3),
+                )
+            db.add(rel)
+        query = parse_query("Q(a,b,c,d,e) :- R1(a,b,c), R2(b,c,d), R3(c,e)")
+        check(db, query)
+
+
+class TestTiesInTrees:
+    def test_all_equal_weights(self):
+        rng = random.Random(6)
+        db = Database()
+        for name in ("R1", "R2", "R3"):
+            rel = Relation(name, 2)
+            for _ in range(8):
+                rel.add((rng.randint(1, 3), rng.randint(1, 3)), 1.0)
+            db.add(rel)
+        query = parse_query("Q(a,b,c,d) :- R1(a,b), R2(b,c), R3(b,d)")
+        expected = weight_signature(brute_force(db, query))
+        for algorithm in ALL_ALGORITHMS:
+            got = weight_signature(
+                (r.weight, r.output_tuple)
+                for r in ranked_enumerate(db, query, algorithm=algorithm)
+            )
+            assert got == expected, algorithm
+
+    def test_two_weight_levels(self):
+        rng = random.Random(7)
+        db = Database()
+        for name in ("R1", "R2"):
+            rel = Relation(name, 2)
+            for _ in range(10):
+                rel.add(
+                    (rng.randint(1, 3), rng.randint(1, 3)),
+                    float(rng.randint(0, 1)),
+                )
+            db.add(rel)
+        query = parse_parse = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c)")
+        check(db, query)
+
+
+class TestDeepChainsOfBranches:
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_repeated_broom(self, depth):
+        # Chain of "broom" segments: x_i -> x_{i+1} with a leaf each.
+        atoms = []
+        names = []
+        for i in range(depth):
+            atoms.append(f"C{i}(x{i}, x{i + 1})")
+            atoms.append(f"D{i}(x{i}, y{i})")
+            names.extend([f"C{i}", f"D{i}"])
+        query = parse_query(", ".join(atoms))
+        db = random_db(names, 10, 3, seed=8 + depth)
+        check(db, query)

@@ -1,0 +1,252 @@
+"""T-DP construction tests: connector encoding, bottom-up phase, pruning."""
+
+import math
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import example6_database, uniform_database
+from repro.data.relation import Relation
+from repro.dp.builder import build_tdp, build_tdp_for_query
+from repro.query.builders import path_query, star_query
+from repro.query.parser import parse_query
+from repro.ranking.dioid import TROPICAL
+
+
+class TestExample6:
+    """The paper's running example (Fig 1 / Fig 2)."""
+
+    def setup_method(self):
+        self.db = example6_database()
+        self.query = parse_query("Q(x1, x2, x3) :- R1(x1), R2(x2), R3(x3)")
+        self.tdp = build_tdp_for_query(self.db, self.query)
+
+    def test_best_weight_is_111(self):
+        assert self.tdp.best_weight == 111.0
+
+    def test_one_connector_per_cartesian_stage(self):
+        # Cartesian stages share a single connector each (join key = ()).
+        assert len(self.tdp.root_conn) == 3
+        assert all(len(conn) == 3 for conn in self.tdp.root_conn.values())
+
+    def test_pi1_values(self):
+        # pi1 excludes the state's own weight; for the Cartesian product
+        # every stage is a root with no children, so pi1 is 0 everywhere.
+        for stage in range(3):
+            assert all(p == 0.0 for p in self.tdp.pi1[stage])
+
+    def test_connector_min_entries(self):
+        mins = sorted(conn.min_value for conn in self.tdp.root_conn.values())
+        assert mins == [1.0, 10.0, 100.0]
+
+
+class TestPathConstruction:
+    def test_fig2_choice_sets_on_serial_chain(self):
+        """Fig 2's choice sets, reproduced on a serial chain encoding.
+
+        Fig 1 draws the Cartesian product as a serial multi-stage graph;
+        we realise the same chain with explicit chaining variables so
+        that stage R2 hangs below R1 and R3 below R2.  The choice set
+        entries at any R2 connector must then be {110, 210, 310}
+        (= w(s') + pi1(s') for s' in stage R3... shifted one stage up),
+        exactly as in the figure.
+        """
+        db = Database(
+            [
+                Relation("R1", 2, [(0, 1), (0, 2), (0, 3)], [1.0, 2.0, 3.0]),
+                Relation("R2", 2, [(0, 10), (0, 20), (0, 30)],
+                         [10.0, 20.0, 30.0]),
+                Relation("R3", 2, [(0, 100), (0, 200), (0, 300)],
+                         [100.0, 200.0, 300.0]),
+            ]
+        )
+        query = parse_query("Q(a, b, c) :- R1(j, a), R2(j, b), R3(j, c)")
+        # GYO yields a tree; re-root so R1 is on top, then R2/R3 hang off
+        # the shared join variable j, which makes the solution space the
+        # same as Fig 1's chain.
+        from repro.query.jointree import build_join_tree
+
+        tree = build_join_tree(query, root=0)
+        tdp = build_tdp(db, tree)
+        assert tdp.best_weight == 111.0
+        # The connector towards stage R3 holds choices {110, 210, 310}
+        # before adding R2's own weight, matching Fig 2's inner column.
+        stage_r3 = [s for s in range(3) if tdp.atom_of_stage[s] == 2][0]
+        parent = tdp.parent_stage[stage_r3]
+        conn = tdp.child_conns[parent][0][tdp.branch_index[stage_r3]]
+        assert sorted(e[2] for e in conn.entries) == [100.0, 200.0, 300.0]
+        # And the full weights of paths from an R1 state:
+        # w("2") + min(R2 choices) + min(R3 choices) = 2 + 10 + 100 = 112.
+        stage_r1 = [s for s in range(3) if tdp.atom_of_stage[s] == 0][0]
+        state_2 = tdp.tuples[stage_r1].index((0, 2))
+        total = tdp.values[stage_r1][state_2] + tdp.pi1[stage_r1][state_2]
+        assert total == 112.0
+
+    def test_equi_join_connector_sharing(self):
+        """Fig 3: parents with equal join values share one ChoiceSet."""
+        r1 = Relation("R1", 2, [("a", 1), ("b", 1), ("c", 1), ("d", 2)],
+                      [1.0, 2.0, 3.0, 4.0])
+        r2 = Relation("R2", 2, [(1, "e"), (1, "f"), (2, "g"), (2, "h")],
+                      [10.0, 20.0, 30.0, 40.0])
+        db = Database([r1, r2])
+        query = parse_query("Q(x, y, z) :- R1(x, y), R2(y, z)")
+        tdp = build_tdp_for_query(db, query)
+        # Stage of R1 is the root (parent of R2's stage).
+        root = tdp.root_stages[0]
+        child = [s for s in range(2) if s != root][0]
+        assert tdp.parent_stage[child] == root
+        conns = [tdp.child_conns[root][state][0] for state in range(4)]
+        # States a,b,c (join value 1) share the same connector object.
+        by_value = {}
+        for state, values in enumerate(tdp.tuples[root]):
+            by_value.setdefault(values[1], set()).add(id(conns[state]))
+        assert all(len(ids) == 1 for ids in by_value.values())
+        assert len({id(c) for c in conns}) == 2
+
+    def test_total_edges_linear(self):
+        """The transformed graph has O(l*n) choice entries, not O(l*n^2)."""
+        db = uniform_database(3, 50, domain_size=5, seed=1)
+        tdp = build_tdp_for_query(db, path_query(3))
+        total_entries = sum(
+            len(conn)
+            for stage in range(3)
+            for state_conns in tdp.child_conns[stage]
+            for conn in state_conns
+        )
+        # With sharing, each alive state appears in exactly one connector
+        # per parent branch; count distinct connectors instead.
+        distinct = {}
+        for stage in range(3):
+            for state_conns in tdp.child_conns[stage]:
+                for conn in state_conns:
+                    distinct[conn.uid] = len(conn)
+        for conn in tdp.root_conn.values():
+            distinct[conn.uid] = len(conn)
+        assert sum(distinct.values()) <= 3 * 50
+
+    def test_dead_state_pruning(self):
+        """States with no join partner in a child branch are pruned."""
+        r1 = Relation("R1", 2, [(1, 1), (2, 99)], [1.0, 1.0])
+        r2 = Relation("R2", 2, [(1, 5)], [1.0])
+        db = Database([r1, r2])
+        tdp = build_tdp_for_query(db, path_query(2))
+        stage_r1 = [s for s in range(2) if tdp.atom_of_stage[s] == 0][0]
+        if tdp.parent_stage[stage_r1] == -1:
+            # R1 at the root: its states are checked against the child
+            # branch connectors, so the dangling tuple dies immediately.
+            assert tdp.tuples[stage_r1] == [(1, 1)]
+        else:
+            # R1 below R2: (2,99) stays in the stage arrays (its join
+            # group simply is never referenced), but it must be
+            # unreachable — absent from the connector R2's state uses.
+            parent = tdp.parent_stage[stage_r1]
+            reachable = {
+                tdp.tuples[stage_r1][entry[1]]
+                for state_conns in tdp.child_conns[parent]
+                for conn in state_conns
+                for entry in conn.entries
+            }
+            assert reachable == {(1, 1)}
+
+    def test_empty_output_detection(self):
+        r1 = Relation("R1", 2, [(1, 1)], [1.0])
+        r2 = Relation("R2", 2, [(2, 5)], [1.0])
+        db = Database([r1, r2])
+        tdp = build_tdp_for_query(db, path_query(2))
+        assert tdp.is_empty()
+        assert tdp.best_weight == math.inf
+
+    def test_pi1_matches_brute_force_suffix_minimum(self):
+        db = uniform_database(3, 30, domain_size=4, seed=7)
+        query = path_query(3)
+        tdp = build_tdp_for_query(db, query)
+        # For the root stage: value + pi1 must equal the cheapest full
+        # solution through that state.
+        from tests.conftest import brute_force
+
+        results = brute_force(db, query)
+        best_by_first_tuple = {}
+        for weight, output in results:
+            first = (output[0], output[1])
+            best_by_first_tuple.setdefault(first, weight)
+            best_by_first_tuple[first] = min(best_by_first_tuple[first], weight)
+        root = tdp.root_stages[0]
+        # Root stage = first atom in the join-tree serialization; find
+        # which atom it is and check only if it's atom 0 (R1).  Duplicate
+        # R1 tuples share output values, so compare per-value minima.
+        if tdp.atom_of_stage[root] == 0:
+            best_by_state_values: dict = {}
+            for state, values in enumerate(tdp.tuples[root]):
+                total = tdp.values[root][state] + tdp.pi1[root][state]
+                previous = best_by_state_values.get(values, math.inf)
+                best_by_state_values[values] = min(previous, total)
+            for values, got in best_by_state_values.items():
+                assert got == pytest.approx(best_by_first_tuple[values])
+
+
+class TestTreeConstruction:
+    def test_star_children_layout(self):
+        db = uniform_database(4, 30, domain_size=4, seed=3)
+        tdp = build_tdp_for_query(db, star_query(4))
+        root = tdp.root_stages[0]
+        assert len(tdp.children_stages[root]) == 3
+        for state_conns in tdp.child_conns[root]:
+            assert len(state_conns) == 3
+
+    def test_branch_index_consistency(self):
+        db = uniform_database(4, 30, domain_size=4, seed=3)
+        tdp = build_tdp_for_query(db, star_query(4))
+        for stage in range(tdp.num_stages):
+            for idx, child in enumerate(tdp.children_stages[stage]):
+                assert tdp.branch_index[child] == idx
+
+    def test_pi1_product_over_branches(self):
+        db = uniform_database(3, 25, domain_size=3, seed=5)
+        tdp = build_tdp_for_query(db, star_query(3))
+        root = tdp.root_stages[0]
+        for state in range(len(tdp.tuples[root])):
+            conns = tdp.child_conns[root][state]
+            expected = sum(conn.min_value for conn in conns)
+            assert tdp.pi1[root][state] == pytest.approx(expected)
+
+    def test_solution_weight_and_assignment(self):
+        db = uniform_database(2, 20, domain_size=3, seed=9)
+        query = path_query(2)
+        tdp = build_tdp_for_query(db, query)
+        from repro.anyk.batch import enumerate_all_solutions
+
+        for weight, states in enumerate_all_solutions(tdp):
+            assert tdp.solution_weight(states) == pytest.approx(weight)
+            assignment = tdp.assignment(states)
+            assert set(assignment) == {"x1", "x2", "x3"}
+            witness = tdp.witness(states)
+            assert len(witness) == 2
+
+    def test_share_connectors_false_gives_private_copies(self):
+        db = uniform_database(2, 20, domain_size=2, seed=11)
+        query = path_query(2)
+        from repro.query.jointree import build_join_tree
+
+        tree = build_join_tree(query)
+        shared = build_tdp(db, tree)
+        private = build_tdp(db, tree, share_connectors=False)
+        root_s = shared.root_stages[0]
+
+        def distinct_conns(tdp):
+            ids = set()
+            for state_conns in tdp.child_conns[root_s]:
+                for conn in state_conns:
+                    ids.add(id(conn))
+            return len(ids)
+
+        assert distinct_conns(private) >= distinct_conns(shared)
+        assert distinct_conns(private) == len(private.tuples[root_s])
+
+
+class TestRepeatedVariables:
+    def test_repeated_var_selection(self):
+        rel = Relation("R", 2, [(1, 1), (1, 2), (3, 3)], [1.0, 2.0, 3.0])
+        db = Database([rel])
+        query = parse_query("Q(x) :- R(x, x)")
+        tdp = build_tdp_for_query(db, query)
+        assert sorted(tdp.tuples[0]) == [(1, 1), (3, 3)]

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (runner, workloads, SQL baseline)."""
+
+import pytest
+
+from repro.data.generators import uniform_database
+from repro.experiments.runner import (
+    TTKResult,
+    curve_table,
+    measure_full_enumeration,
+    measure_ttk,
+    run_workload,
+)
+from repro.experiments.sql_baseline import load_sqlite, query_to_sql, time_sqlite
+from repro.experiments.workloads import (
+    WORKLOADS,
+    Workload,
+    bitcoin,
+    synthetic_large,
+    synthetic_small,
+    twitter,
+)
+from repro.query.builders import cycle_query, path_query
+from repro.query.parser import parse_query
+from tests.conftest import brute_force
+
+
+class TestRunner:
+    def test_measure_ttk_counts(self):
+        db = uniform_database(2, 30, domain_size=4, seed=1)
+        result = measure_ttk(db, path_query(2), "take2", k=10)
+        assert isinstance(result, TTKResult)
+        assert result.produced == 10
+        assert 0 < result.ttf <= result.ttk
+        assert result.curve[0][0] == 1
+        assert result.curve[-1][0] == 10
+
+    def test_measure_full_enumeration(self):
+        db = uniform_database(2, 20, domain_size=3, seed=2)
+        result = measure_full_enumeration(db, path_query(2), "batch")
+        expected = len(brute_force(db, path_query(2)))
+        assert result.produced == expected
+
+    def test_curve_is_monotone(self):
+        db = uniform_database(3, 40, domain_size=5, seed=3)
+        result = measure_ttk(db, path_query(3), "lazy", k=100, checkpoints=10)
+        ks = [k for k, _t in result.curve]
+        times = [t for _k, t in result.curve]
+        assert ks == sorted(ks)
+        assert times == sorted(times)
+
+    def test_run_workload_and_table(self):
+        db = uniform_database(2, 20, domain_size=3, seed=4)
+        workload = Workload("test", db, path_query(2), 5)
+        results = run_workload(workload, ["take2", "lazy"])
+        table = curve_table(results, label="demo")
+        assert "take2" in table and "lazy" in table
+        assert "TTF" in table and "curve:" in table
+
+    def test_empty_output_workload(self):
+        from repro.data.database import Database
+        from repro.data.relation import Relation
+
+        db = Database(
+            [Relation("R1", 2, [(1, 1)], [0]), Relation("R2", 2, [(2, 2)], [0])]
+        )
+        result = measure_ttk(db, path_query(2), "take2", k=5)
+        assert result.produced == 0
+
+
+class TestWorkloads:
+    def test_synthetic_small_shapes(self):
+        for shape in ("path", "star"):
+            workload = synthetic_small(shape, 3)
+            assert workload.k is None
+            assert workload.database.max_cardinality() >= 100
+        cycle = synthetic_small("cycle", 4)
+        assert cycle.query.name.startswith("QC")
+
+    def test_synthetic_large_has_k(self):
+        workload = synthetic_large("path", 3, k=100)
+        assert workload.k == 100
+
+    def test_graph_workloads_are_self_joins(self):
+        for builder in (bitcoin, twitter):
+            workload = builder("path", 3, k=10)
+            assert workload.query.has_self_joins()
+            assert set(workload.query.relation_names()) == {"E"}
+
+    def test_registry_covers_figures(self):
+        assert set(WORKLOADS) == {"fig10", "fig11", "fig12", "fig13"}
+        assert len(WORKLOADS["fig10"]) == 12
+        assert len(WORKLOADS["fig13"]) == 4
+
+    def test_workload_repr(self):
+        workload = synthetic_large("path", 3, k=7)
+        assert "top-7" in repr(workload)
+
+
+class TestSQLBaseline:
+    def test_sql_text(self):
+        sql = query_to_sql(path_query(2), limit=5)
+        assert "ORDER BY weight ASC" in sql
+        assert "LIMIT 5" in sql
+        assert "t0.a2 = t1.a1" in sql
+
+    def test_sqlite_agrees_with_oracle(self):
+        db = uniform_database(2, 25, domain_size=3, seed=5)
+        query = path_query(2)
+        conn = load_sqlite(db, query.relation_names())
+        rows = conn.execute(query_to_sql(query)).fetchall()
+        expected = brute_force(db, query)
+        assert len(rows) == len(expected)
+        got_weights = [round(r[-1], 6) for r in rows]
+        assert got_weights == [round(w, 6) for w, _ in expected]
+        got_outputs = sorted(tuple(r[:-1]) for r in rows)
+        assert got_outputs == sorted(o for _w, o in expected)
+
+    def test_sqlite_cycle_query(self):
+        db = uniform_database(3, 20, domain_size=3, seed=6)
+        query = cycle_query(3)
+        elapsed, count = time_sqlite(db, query)
+        assert elapsed >= 0
+        assert count == len(brute_force(db, query))
+
+    def test_limit_respected(self):
+        db = uniform_database(2, 25, domain_size=3, seed=7)
+        _elapsed, count = time_sqlite(db, path_query(2), limit=3)
+        assert count == 3
+
+    def test_projection_head(self):
+        db = uniform_database(2, 20, domain_size=3, seed=8)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        conn = load_sqlite(db, query.relation_names())
+        rows = conn.execute(query_to_sql(query)).fetchall()
+        assert all(len(r) == 2 for r in rows)  # x1 + weight

@@ -1,0 +1,133 @@
+"""Free-connex min-weight projections across many query structures.
+
+Each case checks three things against the brute-force oracle: the set
+of distinct head assignments, the minimum witness weight per assignment,
+and the ranked emission order.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.enumeration.projections import build_free_connex_plan
+from repro.query.parser import parse_query
+from tests.conftest import brute_force
+
+
+def random_db(specs, seed):
+    rng = random.Random(seed)
+    db = Database()
+    for name, arity, n, domain in specs:
+        rel = Relation(name, arity)
+        for _ in range(n):
+            rel.add(
+                tuple(rng.randint(1, domain) for _ in range(arity)),
+                round(rng.uniform(0, 20), 3),
+            )
+        db.add(rel)
+    return db
+
+
+def check_min_weight(db, text):
+    query = parse_query(text)
+    assert query.is_free_connex(), text
+    full = brute_force(db, query, head=query.head)
+    oracle: dict = {}
+    for weight, output in full:
+        oracle[output] = min(weight, oracle.get(output, math.inf))
+    results = list(ranked_enumerate(db, query, projection="min_weight"))
+    weights = [r.weight for r in results]
+    assert weights == sorted(weights), "ranked order"
+    got = {r.output_tuple: r.weight for r in results}
+    assert set(got) == set(oracle), "distinct head assignments"
+    for output, weight in got.items():
+        assert weight == pytest.approx(oracle[output]), output
+    return results
+
+
+class TestShapes:
+    def test_existential_tail(self):
+        db = random_db([("R", 2, 20, 3), ("S", 2, 20, 3), ("T", 2, 20, 3)], 1)
+        check_min_weight(db, "Q(a, b) :- R(a, b), S(b, c), T(c, d)")
+
+    def test_existential_star_leaves(self):
+        db = random_db([("R", 2, 20, 3), ("S", 2, 20, 3), ("T", 2, 20, 3)], 2)
+        check_min_weight(db, "Q(a) :- R(a, b), S(a, c), T(a, d)")
+
+    def test_two_existential_subtrees(self):
+        db = random_db(
+            [("R", 2, 15, 3), ("S", 2, 15, 3), ("T", 2, 15, 3), ("U", 2, 15, 3)],
+            3,
+        )
+        check_min_weight(db, "Q(a, b) :- R(a, b), S(a, x), T(b, y), U(y, z)")
+
+    def test_wide_atom_partial_projection(self):
+        db = random_db([("R", 3, 25, 3), ("S", 2, 20, 3)], 4)
+        check_min_weight(db, "Q(a, b) :- R(a, b, x), S(x, y)")
+
+    def test_head_only_in_deep_atom(self):
+        db = random_db([("R", 2, 20, 3), ("S", 2, 20, 3)], 5)
+        check_min_weight(db, "Q(b) :- R(a, b), S(b, c)")
+
+    def test_single_atom_projection(self):
+        db = random_db([("R", 3, 25, 3)], 6)
+        check_min_weight(db, "Q(a) :- R(a, x, y)")
+
+    def test_all_head_variables_trivial(self):
+        # Fully free query: min-weight degenerates to merging duplicate
+        # tuples; head equals all variables.
+        db = random_db([("R", 2, 20, 3), ("S", 2, 20, 3)], 7)
+        check_min_weight(db, "Q(a, b, c) :- R(a, b), S(b, c)")
+
+    def test_disconnected_existential_component(self):
+        db = random_db([("R", 2, 15, 3), ("S", 2, 15, 3)], 8)
+        check_min_weight(db, "Q(a, b) :- R(a, b), S(x, y)")
+
+    def test_self_join_projection(self):
+        db = random_db([("E", 2, 20, 4)], 9)
+        check_min_weight(db, "Q(a, b) :- E(a, b), E(b, c)")
+
+
+class TestPlanProperties:
+    def test_plan_relations_linear_in_input(self):
+        db = random_db([("R", 2, 50, 5), ("S", 2, 50, 5)], 10)
+        query = parse_query("Q(a, b) :- R(a, b), S(b, c)")
+        plan = build_free_connex_plan(db, query)
+        total = sum(len(rel) for rel in plan.database)
+        assert total <= 100, "plan relations bounded by the input size"
+
+    def test_offset_is_identity_without_existential_components(self):
+        db = random_db([("R", 2, 15, 3), ("S", 2, 15, 3)], 11)
+        query = parse_query("Q(a, b) :- R(a, b), S(b, c)")
+        plan = build_free_connex_plan(db, query)
+        assert plan.offset == 0.0
+
+    def test_offset_carries_component_minimum(self):
+        r = Relation("R", 2, [(1, 2)], [1.0])
+        s = Relation("S", 2, [(7, 7), (8, 8)], [5.0, 3.0])
+        db = Database([r, s])
+        query = parse_query("Q(a, b) :- R(a, b), S(x, y)")
+        plan = build_free_connex_plan(db, query)
+        assert plan.offset == 3.0
+
+    def test_min_weight_works_with_every_algorithm(self):
+        db = random_db([("R", 2, 20, 3), ("S", 2, 20, 3)], 12)
+        query = parse_query("Q(a) :- R(a, b), S(b, c)")
+        reference = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, projection="min_weight")
+        ]
+        for algorithm in ("lazy", "eager", "all", "recursive", "batch"):
+            got = [
+                (r.weight, r.output_tuple)
+                for r in ranked_enumerate(
+                    db, query, projection="min_weight", algorithm=algorithm
+                )
+            ]
+            assert [w for w, _ in got] == pytest.approx(
+                [w for w, _ in reference]
+            ), algorithm

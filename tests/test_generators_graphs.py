@@ -1,0 +1,164 @@
+"""Tests for the synthetic workload generators and graph substitutes."""
+
+import math
+
+import pytest
+
+from repro.data.generators import (
+    cartesian_database,
+    example6_database,
+    fdb_lex_instance,
+    nprr_hard_instance,
+    path_of_matchings_database,
+    rank_join_hard_instance,
+    recursive_worst_case,
+    uniform_database,
+    worst_case_cycle_database,
+)
+from repro.data.graphs import (
+    bitcoin_otc_like,
+    edge_relation,
+    graph_statistics,
+    pagerank,
+    preferential_attachment_digraph,
+    twitter_like,
+)
+
+
+class TestUniformDatabase:
+    def test_shape(self):
+        db = uniform_database(3, 100, seed=1)
+        assert len(db) == 3
+        for name in ("R1", "R2", "R3"):
+            assert len(db[name]) == 100
+            assert db[name].arity == 2
+
+    def test_domain_default_n_over_10(self):
+        db = uniform_database(1, 100, seed=2)
+        values = db["R1"].column_values(0) | db["R1"].column_values(1)
+        assert max(values) <= 10
+
+    def test_weights_in_range(self):
+        db = uniform_database(1, 50, seed=3, weight_high=10.0)
+        assert all(0.0 <= w <= 10.0 for w in db["R1"].weights)
+
+    def test_deterministic_by_seed(self):
+        a = uniform_database(2, 30, seed=7)
+        b = uniform_database(2, 30, seed=7)
+        assert a["R1"].tuples == b["R1"].tuples
+        assert a["R1"].weights == b["R1"].weights
+
+
+class TestWorstCaseCycle:
+    def test_structure(self):
+        db = worst_case_cycle_database(4, 10, seed=1)
+        rel = db["R1"]
+        assert len(rel) == 10
+        hub_out = [t for t in rel.tuples if t[0] == 0]
+        hub_in = [t for t in rel.tuples if t[1] == 0]
+        assert len(hub_out) == 5 and len(hub_in) == 5
+
+    def test_output_is_worst_case(self):
+        # Every (0,i) x (i,0) x (0,j) x (j,0) combination forms a 4-cycle.
+        from repro.enumeration.api import ranked_enumerate
+        from repro.query.builders import cycle_query
+
+        db = worst_case_cycle_database(4, 8, seed=2)
+        results = list(ranked_enumerate(db, cycle_query(4), algorithm="take2"))
+        # i in 1..4 choosing the hub pattern twice: 4*4 plus the two
+        # all-hub... count: assignments (0,i,0,j) and (i,0,j,0).
+        assert len(results) == 2 * 4 * 4
+
+
+class TestAdversarialInstances:
+    def test_nprr_instance_output_quadratic(self):
+        from repro.enumeration.api import ranked_enumerate
+        from repro.query.builders import cycle_query
+
+        n = 6
+        db = nprr_hard_instance(n, seed=1)
+        results = list(ranked_enumerate(db, cycle_query(4), algorithm="lazy"))
+        # (a_i, 0, c_j, 0) and (0, b_i, 0, d_j) cycles: 2 n^2 (+ corner
+        # all-zero cycles are impossible since 0 never pairs with 0).
+        assert len(results) == 2 * n * n
+
+    def test_rank_join_instance_shape(self):
+        db = rank_join_hard_instance(10)
+        assert len(db["R"]) == 10
+        assert len(db["T"]) == 10
+        assert db["T"].weights.count(10_000.0) == 1  # the heavy t0
+
+    def test_fdb_lex_instance(self):
+        db = fdb_lex_instance(5)
+        assert all(t[1] == 1 for t in db["R"].tuples)
+        assert all(t[0] == 1 for t in db["S"].tuples)
+
+    def test_recursive_worst_case_scales(self):
+        db = recursive_worst_case(4, 3)
+        assert [len(db[f"R{i}"]) for i in (1, 2, 3)] == [4, 4, 4]
+        assert db["R1"].weights[0] == 100.0
+        assert db["R3"].weights[0] == 1.0
+
+    def test_example6_matches_paper(self):
+        db = example6_database()
+        assert db["R2"].tuples == [(10,), (20,), (30,)]
+        assert db["R2"].weights == [10.0, 20.0, 30.0]
+
+    def test_cartesian_database_weight_scale(self):
+        db = cartesian_database([[1, 2]], weight_scale=[3.0])
+        assert db["R1"].weights == [3.0, 6.0]
+
+    def test_matchings_database(self):
+        db = path_of_matchings_database(3, 10, seed=5)
+        for name in ("R1", "R2", "R3"):
+            assert db[name].tuples == [(i, i) for i in range(10)]
+
+
+class TestGraphGenerators:
+    def test_preferential_attachment_basic(self):
+        edges = preferential_attachment_digraph(100, 400, seed=1)
+        assert len(edges) == 400
+        assert all(u != v for u, v in edges)
+        assert len(set(edges)) == len(edges), "no parallel duplicates"
+        nodes = {u for u, _ in edges} | {v for _, v in edges}
+        assert max(nodes) < 100
+
+    def test_preferential_attachment_skew(self):
+        edges = preferential_attachment_digraph(500, 3000, seed=2)
+        stats = graph_statistics(edge_relation("E", edges, [0.0] * len(edges)))
+        # Heavy-tailed: the max degree far exceeds the average.
+        assert stats["max_degree"] > 5 * stats["avg_degree"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_digraph(1, 5)
+
+    def test_pagerank_sums_to_one(self):
+        edges = preferential_attachment_digraph(50, 200, seed=3)
+        ranks = pagerank(50, edges)
+        assert math.isclose(sum(ranks), 1.0, rel_tol=1e-6)
+        assert all(r > 0 for r in ranks)
+
+    def test_pagerank_hub_ranks_higher(self):
+        # Everyone points at node 0.
+        edges = [(i, 0) for i in range(1, 20)]
+        ranks = pagerank(20, edges)
+        assert ranks[0] == max(ranks)
+
+    def test_bitcoin_like(self):
+        rel = bitcoin_otc_like(num_nodes=300, num_edges=1500, seed=4)
+        assert len(rel) == 1500
+        assert all(-10 <= w <= 10 and w != 0 for w in rel.weights)
+
+    def test_twitter_like_weights_are_pagerank_sums(self):
+        rel = twitter_like(num_nodes=200, num_edges=800, seed=5)
+        assert len(rel) == 800
+        assert all(w > 0 for w in rel.weights)
+
+    def test_graph_statistics_shape(self):
+        rel = edge_relation("E", [(0, 1), (1, 2), (0, 2)], [1, 1, 1])
+        stats = graph_statistics(rel)
+        assert stats["nodes"] == 3
+        assert stats["edges"] == 3
+        assert stats["max_degree"] == 2
+        assert stats["avg_degree"] == 2.0

@@ -1,0 +1,123 @@
+"""Generic hypertree decomposition tests (arbitrary cyclic CQs)."""
+
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.decomposition.generic import decompose_generic
+from repro.enumeration.api import ranked_enumerate
+from repro.joins.yannakakis import yannakakis
+from repro.query.parser import parse_query
+from tests.conftest import brute_force, weight_signature
+
+
+def distinct_relation(name, n, domain, rng, arity=2):
+    seen = {}
+    for _ in range(n):
+        t = tuple(rng.randint(1, domain) for _ in range(arity))
+        if t not in seen:
+            seen[t] = round(rng.uniform(0, 50), 3)
+    return Relation(name, arity, list(seen.keys()), list(seen.values()))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestGHDStructure:
+    def test_single_tree_task(self, rng):
+        db = Database([distinct_relation(f"R{i}", 15, 4, rng) for i in (1, 2, 3)])
+        query = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c), R3(c,a)")
+        task = decompose_generic(db, query)
+        assert task.query.is_acyclic()
+        assert task.query.is_full()
+        assert set(task.query.variables) == {"a", "b", "c"}
+
+    def test_triangle_single_bag(self, rng):
+        db = Database([distinct_relation(f"R{i}", 15, 4, rng) for i in (1, 2, 3)])
+        query = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c), R3(c,a)")
+        task = decompose_generic(db, query)
+        assert len(task.database) == 1, "a triangle fits in one bag"
+
+    def test_bag_weights_equal_witness_weights(self, rng):
+        db = Database([distinct_relation(f"R{i}", 15, 4, rng) for i in (1, 2, 3)])
+        query = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c), R3(c,a)")
+        task = decompose_generic(db, query)
+        rows = yannakakis(task.database, task.query)
+        expected = weight_signature(brute_force(db, query))
+        assert weight_signature(rows) == expected
+
+
+class TestGHDEndToEnd:
+    def test_chorded_square(self, rng):
+        db = Database(
+            [distinct_relation(f"R{i}", 14, 4, rng) for i in (1, 2, 3, 4, 5)]
+        )
+        query = parse_query(
+            "Q(a,b,c,d) :- R1(a,b), R2(b,c), R3(c,d), R4(d,a), R5(a,c)"
+        )
+        expected = weight_signature(brute_force(db, query))
+        got = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm="take2")
+        )
+        assert got == expected
+
+    def test_k4_clique_query(self, rng):
+        db = Database(
+            [distinct_relation(f"R{i}", 12, 3, rng) for i in range(1, 7)]
+        )
+        query = parse_query(
+            "Q(a,b,c,d) :- R1(a,b), R2(b,c), R3(c,d), R4(d,a), R5(a,c), R6(b,d)"
+        )
+        expected = weight_signature(brute_force(db, query))
+        for algorithm in ("take2", "recursive", "batch"):
+            got = weight_signature(
+                (r.weight, r.output_tuple)
+                for r in ranked_enumerate(db, query, algorithm=algorithm)
+            )
+            assert got == expected, algorithm
+
+    def test_ternary_atoms_cyclic(self, rng):
+        db = Database(
+            [
+                distinct_relation("R1", 20, 3, rng, arity=3),
+                distinct_relation("R2", 20, 3, rng, arity=3),
+                distinct_relation("R3", 20, 3, rng, arity=2),
+            ]
+        )
+        query = parse_query("Q(a,b,c,d) :- R1(a,b,c), R2(b,c,d), R3(d,a)")
+        expected = weight_signature(brute_force(db, query))
+        got = weight_signature(
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm="lazy")
+        )
+        assert got == expected
+
+    def test_ranked_order(self, rng):
+        db = Database(
+            [distinct_relation(f"R{i}", 14, 4, rng) for i in (1, 2, 3, 4, 5)]
+        )
+        query = parse_query(
+            "Q(a,b,c,d) :- R1(a,b), R2(b,c), R3(c,d), R4(d,a), R5(b,d)"
+        )
+        weights = [
+            r.weight for r in ranked_enumerate(db, query, algorithm="take2")
+        ]
+        assert weights == sorted(weights)
+
+    def test_empty_output(self, rng):
+        db = Database(
+            [
+                Relation("R1", 2, [(1, 2)], [0.0]),
+                Relation("R2", 2, [(2, 3)], [0.0]),
+                Relation("R3", 2, [(3, 9)], [0.0]),  # 9 never loops back
+            ]
+        )
+        # Force the generic path by adding a chord making it non-simple.
+        db.add(Relation("R4", 2, [(1, 3)], [0.0]))
+        query = parse_query("Q(a,b,c) :- R1(a,b), R2(b,c), R3(c,a), R4(a,c)")
+        assert list(ranked_enumerate(db, query)) == []

@@ -1,0 +1,110 @@
+"""Tests for the heap utilities and operation counters."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.counters import OpCounter
+from repro.util.heaps import LazySortedList, heap_children, heapify_entries
+
+
+class TestHeapifyEntries:
+    def test_heap_property(self):
+        entries = [(w, i) for i, w in enumerate([5.0, 1.0, 3.0, 2.0, 4.0])]
+        heap = heapify_entries(list(entries))
+        for pos in range(len(heap)):
+            for child in heap_children(pos, len(heap)):
+                assert heap[pos] <= heap[child]
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1))
+    def test_heap_property_random(self, weights):
+        entries = [(w, i) for i, w in enumerate(weights)]
+        heap = heapify_entries(entries)
+        for pos in range(len(heap)):
+            for child in heap_children(pos, len(heap)):
+                assert heap[pos] <= heap[child]
+
+    def test_every_position_reachable_from_root(self):
+        """Take2 correctness: the heap-children relation spans all entries."""
+        size = 17
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            pos = frontier.pop()
+            for child in heap_children(pos, size):
+                if child not in reached:
+                    reached.add(child)
+                    frontier.append(child)
+        assert reached == set(range(size))
+
+
+class TestHeapChildren:
+    def test_inner_node(self):
+        assert heap_children(0, 7) == (1, 2)
+        assert heap_children(1, 7) == (3, 4)
+
+    def test_boundary(self):
+        assert heap_children(2, 6) == (5,)
+        assert heap_children(3, 6) == ()
+        assert heap_children(0, 1) == ()
+
+
+class TestLazySortedList:
+    def test_prefetch_two(self):
+        lazy = LazySortedList([(3, "c"), (1, "a"), (2, "b")])
+        assert lazy.sorted_len() == 2
+        assert lazy.get(0) == (1, "a")
+        assert lazy.get(1) == (2, "b")
+
+    def test_incremental_drain(self):
+        entries = [(w, i) for i, w in enumerate([9, 4, 7, 1, 8, 2])]
+        lazy = LazySortedList(entries)
+        expected = sorted(entries)
+        for i in range(len(entries)):
+            assert lazy.get(i) == expected[i]
+        assert lazy.get(len(entries)) is None
+
+    def test_exhaustion_and_len(self):
+        lazy = LazySortedList([(1, 0)])
+        assert len(lazy) == 1
+        assert lazy.get(0) == (1, 0)
+        assert lazy.get(5) is None
+        assert lazy.sorted_len() == 1
+
+    def test_random_order_agreement(self):
+        rng = random.Random(7)
+        entries = [(rng.random(), i) for i in range(50)]
+        lazy = LazySortedList(list(entries))
+        expected = sorted(entries)
+        # Access in a scattered pattern; results must be stable.
+        for index in [10, 3, 30, 0, 49, 25, 25, 11]:
+            assert lazy.get(index) == expected[index]
+
+
+class TestOpCounter:
+    def test_starts_at_zero(self):
+        counter = OpCounter()
+        assert counter.pq_push == 0
+        assert counter.total_pq_ops() == 0
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.pq_push += 5
+        counter.results += 2
+        counter.reset()
+        assert counter.pq_push == 0
+        assert counter.results == 0
+
+    def test_as_dict_and_repr(self):
+        counter = OpCounter()
+        counter.pq_pop += 3
+        snapshot = counter.as_dict()
+        assert snapshot["pq_pop"] == 3
+        assert "pq_pop=3" in repr(counter)
+
+    def test_total_pq_ops(self):
+        counter = OpCounter()
+        counter.pq_push += 2
+        counter.pq_pop += 3
+        assert counter.total_pq_ops() == 5

@@ -1,0 +1,145 @@
+"""Minimum-cost homomorphism tests (Section 8.2 / Algorithm 3)."""
+
+import itertools
+
+import pytest
+
+from repro.homomorphism import (
+    min_cost_homomorphism,
+    pattern_query,
+    ranked_homomorphisms,
+)
+
+
+def brute_homomorphisms(pattern_edges, target_edges, weights):
+    """Exhaustive oracle over all vertex mappings."""
+    vertices = sorted({v for edge in pattern_edges for v in edge})
+    edge_weight = {}
+    for edge, weight in zip(target_edges, weights):
+        edge_weight.setdefault(tuple(edge), weight)
+    values = sorted({v for edge in target_edges for v in edge})
+    results = []
+    for image in itertools.product(values, repeat=len(vertices)):
+        mapping = dict(zip(vertices, image))
+        cost = 0.0
+        ok = True
+        for edge in pattern_edges:
+            target = tuple(mapping[v] for v in edge)
+            if target not in edge_weight:
+                ok = False
+                break
+            cost += edge_weight[target]
+        if ok:
+            results.append((round(cost, 6), tuple(mapping[v] for v in vertices)))
+    results.sort()
+    return results
+
+
+TRIANGLE_TARGET = [
+    (1, 2), (2, 3), (3, 1),     # a light triangle
+    (4, 5), (5, 6), (6, 4),     # a heavy triangle
+    (1, 4), (2, 2),             # extra edges + a loop
+]
+TRIANGLE_WEIGHTS = [1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 2.0, 0.5]
+
+
+class TestPatternQuery:
+    def test_atoms_and_head(self):
+        q = pattern_query([("u", "v"), ("v", "w")])
+        assert q.num_atoms == 2
+        assert q.head == ("u", "v", "w")
+        assert all(a.relation_name == "G2" for a in q.atoms)
+
+    def test_mixed_arities(self):
+        q = pattern_query([("u", "v"), ("u", "v", "w")])
+        assert {a.relation_name for a in q.atoms} == {"G2", "G3"}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_query([])
+
+
+class TestRankedHomomorphisms:
+    def test_path_pattern_matches_oracle(self):
+        pattern = [("u", "v"), ("v", "w")]
+        expected = brute_homomorphisms(pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS)
+        got = [
+            (round(cost, 6), (m["u"], m["v"], m["w"]))
+            for cost, m in ranked_homomorphisms(
+                pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS
+            )
+        ]
+        assert sorted(got) == expected
+        assert [c for c, _ in got] == sorted(c for c, _ in got)
+
+    def test_cyclic_pattern_triangle(self):
+        pattern = [("a", "b"), ("b", "c"), ("c", "a")]
+        expected = brute_homomorphisms(pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS)
+        got = [
+            (round(cost, 6), (m["a"], m["b"], m["c"]))
+            for cost, m in ranked_homomorphisms(
+                pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS
+            )
+        ]
+        assert sorted(got) == expected
+
+    def test_loop_pattern(self):
+        # A pattern edge (x, x) can only map onto target loops.
+        pattern = [("x", "x")]
+        got = list(
+            ranked_homomorphisms(pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS)
+        )
+        assert got == [(0.5, {"x": 2})]
+
+    def test_missing_arity_rejected(self):
+        with pytest.raises(ValueError, match="no edges for pattern arities"):
+            list(ranked_homomorphisms([("a", "b", "c")], [(1, 2)], [1.0]))
+
+
+class TestMinCost:
+    def test_min_cost_triangle(self):
+        pattern = [("a", "b"), ("b", "c"), ("c", "a")]
+        result = min_cost_homomorphism(
+            pattern, TRIANGLE_TARGET, TRIANGLE_WEIGHTS
+        )
+        assert result is not None
+        cost, mapping = result
+        # Homomorphisms need not be injective: folding the whole
+        # triangle onto the loop (2,2) costs 3 * 0.5.
+        assert cost == 1.5
+        assert mapping == {"a": 2, "b": 2, "c": 2}
+
+    def test_min_cost_triangle_without_loop(self):
+        target = [e for e in TRIANGLE_TARGET if e != (2, 2)]
+        weights = [
+            w for e, w in zip(TRIANGLE_TARGET, TRIANGLE_WEIGHTS) if e != (2, 2)
+        ]
+        cost, mapping = min_cost_homomorphism(
+            [("a", "b"), ("b", "c"), ("c", "a")], target, weights
+        )
+        assert cost == 3.0, "without the loop, the light triangle wins"
+        assert {mapping["a"], mapping["b"], mapping["c"]} == {1, 2, 3}
+
+    def test_no_homomorphism(self):
+        # A 4-clique pattern cannot map into a triangle-free target...
+        # simplest: a loop pattern with no loops in the target.
+        result = min_cost_homomorphism([("x", "x")], [(1, 2), (2, 1)], [1.0, 1.0])
+        assert result is None
+
+    def test_default_weights(self):
+        result = min_cost_homomorphism([("u", "v")], [(1, 2)])
+        assert result == (0.0, {"u": 1, "v": 2})
+
+    def test_weight_count_validated(self):
+        with pytest.raises(ValueError, match="one weight per target edge"):
+            min_cost_homomorphism([("u", "v")], [(1, 2)], [1.0, 2.0])
+
+    def test_star_pattern(self):
+        pattern = [("c", "l1"), ("c", "l2"), ("c", "l3")]
+        target = [(1, 2), (1, 3), (4, 5)]
+        weights = [1.0, 10.0, 100.0]
+        cost, mapping = min_cost_homomorphism(pattern, target, weights)
+        # Centre maps to 1; all leaves take the cheapest edge (1,2).
+        assert cost == 3.0
+        assert mapping["c"] == 1
+        assert mapping["l1"] == mapping["l2"] == mapping["l3"] == 2

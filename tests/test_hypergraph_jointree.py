@@ -1,0 +1,161 @@
+"""GYO reduction, acyclicity, and join-tree construction tests."""
+
+import pytest
+
+from repro.query.builders import cycle_query, path_query, star_query
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph, gyo_reduction
+from repro.query.jointree import JoinTree, build_join_tree
+from repro.query.parser import parse_query
+
+
+def edges(*sets):
+    return [frozenset(s) for s in sets]
+
+
+class TestGYO:
+    def test_single_edge_acyclic(self):
+        assert gyo_reduction(edges("ab")).acyclic
+
+    def test_path_acyclic(self):
+        result = gyo_reduction(edges("ab", "bc", "cd"))
+        assert result.acyclic
+        assert len(result.elimination) == 3
+
+    def test_triangle_cyclic(self):
+        result = gyo_reduction(edges("ab", "bc", "ca"))
+        assert not result.acyclic
+        assert len(result.remaining) == 3
+
+    def test_alpha_acyclic_with_big_edge(self):
+        # {a,b,c} covers the triangle: alpha-acyclic despite the cycle.
+        assert gyo_reduction(edges("ab", "bc", "ca", "abc")).acyclic
+
+    def test_duplicate_edges_are_ears(self):
+        result = gyo_reduction(edges("ab", "ab"))
+        assert result.acyclic
+
+    def test_subset_edge_is_ear(self):
+        result = gyo_reduction(edges("abc", "ab"))
+        assert result.acyclic
+        # The subset must be removed with the superset as witness.
+        assert (1, 0) in result.elimination
+
+    def test_disconnected_acyclic(self):
+        result = gyo_reduction(edges("ab", "cd"))
+        assert result.acyclic
+        roots = [e for e, w in result.elimination if w is None]
+        assert len(roots) == 2, "one root per component"
+
+    def test_priority_biases_removal_order(self):
+        # Both edges of a 2-path are ears; priority selects which goes first.
+        low_first = gyo_reduction(edges("ab", "bc"), priority=[0, 1])
+        assert low_first.elimination[0][0] == 0
+        high_first = gyo_reduction(edges("ab", "bc"), priority=[1, 0])
+        assert high_first.elimination[0][0] == 1
+
+    def test_4_cycle_cyclic_but_chordal_cover_acyclic(self):
+        assert not gyo_reduction(edges("ab", "bc", "cd", "da")).acyclic
+        assert gyo_reduction(edges("abc", "acd", "ab", "bc", "cd", "da")).acyclic
+
+
+class TestHypergraph:
+    def test_is_connected(self):
+        h = Hypergraph("abc", edges("ab", "bc"))
+        assert h.is_connected()
+        h2 = Hypergraph("abcd", edges("ab", "cd"))
+        assert not h2.is_connected()
+
+    def test_isolated_node_disconnects(self):
+        h = Hypergraph("abc", edges("ab"))
+        assert not h.is_connected()
+
+    def test_primal_edges(self):
+        h = Hypergraph("abc", edges("abc"))
+        assert h.primal_edges() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+class TestJoinTree:
+    def test_path_tree_is_path(self):
+        tree = build_join_tree(path_query(4))
+        assert tree.is_path()
+        tree.validate()
+
+    def test_star_tree(self):
+        tree = build_join_tree(star_query(4))
+        tree.validate()
+        roots = tree.roots()
+        assert len(roots) == 1
+        # The root has all other atoms below it (directly or not).
+        assert len(tree.order) == 4
+        assert tree.order[0] == roots[0]
+
+    def test_cyclic_raises(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            build_join_tree(cycle_query(3))
+
+    def test_serialization_parents_first(self):
+        tree = build_join_tree(star_query(5))
+        seen = set()
+        for atom in tree.order:
+            parent = tree.parent[atom]
+            assert parent == -1 or parent in seen
+            seen.add(atom)
+
+    def test_shared_variables(self):
+        q = path_query(3)
+        tree = build_join_tree(q)
+        for child in range(3):
+            parent = tree.parent[child]
+            if parent == -1:
+                assert tree.shared_variables(child) == ()
+            else:
+                shared = tree.shared_variables(child)
+                assert len(shared) == 1
+
+    def test_disconnected_query_forest(self):
+        q = parse_query("R(a, b), S(c, d)")
+        tree = build_join_tree(q)
+        assert len(tree.roots()) == 2
+        tree.validate()
+
+    def test_rerooted_preserves_validity(self):
+        q = path_query(4)
+        tree = build_join_tree(q)
+        for root in range(4):
+            rerooted = tree.rerooted(root)
+            assert rerooted.parent[root] == -1
+            rerooted.validate()
+
+    def test_rerooted_depth_changes(self):
+        q = path_query(4)
+        tree = build_join_tree(q).rerooted(0)
+        assert tree.depth(3) == 4
+
+    def test_parent_array_length_validated(self):
+        q = path_query(2)
+        with pytest.raises(ValueError):
+            JoinTree(q, [0])
+
+    def test_cycle_in_parent_array_detected(self):
+        q = path_query(2)
+        with pytest.raises(ValueError):
+            JoinTree(q, [1, 0])
+
+    def test_multi_attribute_join(self):
+        q = parse_query("R(a, b, c), S(b, c, d)")
+        tree = build_join_tree(q)
+        child = [i for i in range(2) if tree.parent[i] != -1][0]
+        assert tree.shared_variables(child) == ("b", "c")
+
+    def test_validate_catches_broken_tree(self):
+        # Hand-build an invalid tree for R(a,b), S(b,c), T(a,c):
+        # acyclic variants aside, here var 'a' spans atoms 0 and 2 but
+        # the connecting atom 1 lacks it.
+        q = parse_query("R(a, b), S(b, c), T(c, a)")
+        tree = JoinTree.__new__(JoinTree)
+        tree.query = q
+        tree.parent = [-1, 0, 1]
+        tree.order = [0, 1, 2]
+        with pytest.raises(ValueError):
+            tree.validate()

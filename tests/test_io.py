@@ -1,0 +1,122 @@
+"""CSV import/export tests."""
+
+import os
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.io import (
+    load_database,
+    read_relation_csv,
+    save_database,
+    write_relation_csv,
+)
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def rel():
+    return Relation("R", 2, [(1, 2), (3, 4), (5, 6)], [1.5, 2.5, 3.5])
+
+
+class TestRoundTrip:
+    def test_relation_round_trip(self, rel, tmp_path):
+        path = tmp_path / "R.csv"
+        write_relation_csv(rel, str(path))
+        loaded = read_relation_csv(str(path), has_header=True)
+        assert loaded.name == "R"
+        assert loaded.tuples == rel.tuples
+        assert loaded.weights == rel.weights
+
+    def test_database_round_trip(self, rel, tmp_path):
+        db = Database([rel, Relation("S", 1, [(7,)], [0.25])])
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert set(loaded.relations) == {"R", "S"}
+        assert loaded["S"].tuples == [(7,)]
+        assert loaded["S"].weights == [0.25]
+
+    def test_round_trip_supports_queries(self, rel, tmp_path):
+        from repro.enumeration.api import ranked_enumerate
+        from repro.query.parser import parse_query
+
+        db = Database(
+            [
+                Relation("R", 2, [(1, 2)], [1.0]),
+                Relation("S", 2, [(2, 3)], [2.0]),
+            ]
+        )
+        save_database(db, str(tmp_path / "d"))
+        loaded = load_database(str(tmp_path / "d"))
+        q = parse_query("Q(a, b, c) :- R(a, b), S(b, c)")
+        results = list(ranked_enumerate(loaded, q))
+        assert len(results) == 1 and results[0].weight == 3.0
+
+
+class TestReading:
+    def test_no_weight_column(self, tmp_path):
+        path = tmp_path / "E.csv"
+        path.write_text("1,2\n3,4\n")
+        rel = read_relation_csv(str(path), weight_column=None)
+        assert rel.tuples == [(1, 2), (3, 4)]
+        assert rel.weights == [0.0, 0.0]
+        assert rel.name == "E"
+
+    def test_value_parsing(self, tmp_path):
+        path = tmp_path / "M.csv"
+        path.write_text("1,2.5,hello,9\n")
+        rel = read_relation_csv(str(path))
+        assert rel.tuples == [(1, 2.5, "hello")]
+        assert rel.weights == [9.0]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "B.csv"
+        path.write_text("1,2,0.5\n\n3,4,0.7\n")
+        rel = read_relation_csv(str(path))
+        assert len(rel) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "E.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no tuples"):
+            read_relation_csv(str(path))
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "Ragged.csv"
+        path.write_text("1,2,0.5\n1,2,3,0.5\n")
+        with pytest.raises(ValueError, match="inconsistent arity"):
+            read_relation_csv(str(path))
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "T.csv"
+        path.write_text("1\t2\t0.5\n")
+        rel = read_relation_csv(str(path), delimiter="\t")
+        assert rel.tuples == [(1, 2)]
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "whatever.csv"
+        path.write_text("1,0.5\n")
+        rel = read_relation_csv(str(path), name="Edges")
+        assert rel.name == "Edges"
+
+
+class TestLoadDatabase:
+    def test_empty_directory_rejected(self, tmp_path):
+        os.makedirs(tmp_path / "empty", exist_ok=True)
+        with pytest.raises(ValueError, match="no CSV relations"):
+            load_database(str(tmp_path / "empty"))
+
+    def test_non_csv_ignored(self, tmp_path):
+        directory = tmp_path / "d"
+        os.makedirs(directory)
+        (directory / "notes.txt").write_text("ignore me")
+        (directory / "R.csv").write_text("1,2,0.5\n")
+        db = load_database(str(directory))
+        assert set(db.relations) == {"R"}
+
+    def test_headerless_files(self, tmp_path):
+        directory = tmp_path / "d"
+        os.makedirs(directory)
+        (directory / "R.csv").write_text("1,2,0.5\n3,4,0.7\n")
+        db = load_database(str(directory))
+        assert db["R"].weights == [0.5, 0.7]

@@ -1,0 +1,114 @@
+"""Tests for the lexicographic-order convenience constructors."""
+
+import pytest
+
+from repro.anyk.base import make_enumerator
+from repro.data.database import Database
+from repro.data.generators import fdb_lex_instance, uniform_database
+from repro.data.relation import Relation
+from repro.dp.builder import build_tdp_for_query
+from repro.query.builders import path_query
+from repro.query.parser import parse_query
+from repro.ranking.lexicographic import (
+    attribute_lexicographic,
+    relation_lexicographic,
+)
+
+
+class TestRelationLexicographic:
+    def test_order_by_relation_weights(self):
+        r1 = Relation("R1", 2, [(1, 1), (2, 1)], [5.0, 1.0])
+        r2 = Relation("R2", 2, [(1, 7), (1, 8)], [1.0, 2.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        dioid, lift = relation_lexicographic(query)
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        got = [r.weight for r in make_enumerator(tdp, "take2")]
+        assert got == [(1.0, 1.0), (1.0, 2.0), (5.0, 1.0), (5.0, 2.0)]
+
+    def test_r1_dominates_r2(self):
+        # Even a huge R2 weight cannot beat a smaller R1 weight.
+        r1 = Relation("R1", 2, [(1, 1), (2, 1)], [1.0, 2.0])
+        r2 = Relation("R2", 2, [(1, 7)], [1000.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        dioid, lift = relation_lexicographic(query)
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        first = next(iter(make_enumerator(tdp, "lazy")))
+        assert first.assignment["x1"] == 1
+
+    def test_matches_brute_force_order(self):
+        db = uniform_database(3, 15, domain_size=3, seed=1)
+        query = path_query(3)
+        dioid, lift = relation_lexicographic(query)
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        got = [r.weight for r in make_enumerator(tdp, "take2")]
+        assert got == sorted(got)
+        # Each vector component equals the corresponding witness weight.
+        for result in make_enumerator(
+            build_tdp_for_query(db, query, dioid=dioid, lift=lift), "lazy"
+        ):
+            expected = tuple(
+                db[a.relation_name].weights[tid]
+                for a, tid in zip(query.atoms, result.witness_ids)
+            )
+            assert result.weight == pytest.approx(expected)
+
+
+class TestAttributeLexicographic:
+    def test_fig18_order(self):
+        n = 5
+        db = fdb_lex_instance(n)
+        db.relations["R1"] = db["R"].rename("R1")
+        db.relations["R2"] = db["S"].rename("R2")
+        query = path_query(2)
+        dioid, lift = attribute_lexicographic(query, ["x1", "x3", "x2"])
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        outputs = [
+            (r.assignment["x1"], r.assignment["x3"], r.assignment["x2"])
+            for r in make_enumerator(tdp, "take2")
+        ]
+        assert outputs == sorted(outputs)
+        assert len(outputs) == n * n
+
+    def test_partial_variable_list(self):
+        db = uniform_database(2, 20, domain_size=3, seed=2)
+        query = path_query(2)
+        dioid, lift = attribute_lexicographic(query, ["x3"])
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        x3_values = [
+            r.assignment["x3"] for r in make_enumerator(tdp, "lazy")
+        ]
+        assert x3_values == sorted(x3_values)
+
+    def test_shared_variable_contributed_once(self):
+        # x2 appears in both atoms; its value must enter the vector once.
+        r1 = Relation("R1", 2, [(1, 4)], [0.0])
+        r2 = Relation("R2", 2, [(4, 9)], [0.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        dioid, lift = attribute_lexicographic(query, ["x2"])
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        result = next(iter(make_enumerator(tdp, "take2")))
+        assert result.weight == (4.0,)
+
+    def test_unknown_variable_rejected(self):
+        query = path_query(2)
+        with pytest.raises(ValueError, match="unknown variables"):
+            attribute_lexicographic(query, ["zz"])
+
+    def test_duplicate_variable_rejected(self):
+        query = path_query(2)
+        with pytest.raises(ValueError, match="must not repeat"):
+            attribute_lexicographic(query, ["x1", "x1"])
+
+    def test_agreement_with_sorted_outputs(self):
+        db = uniform_database(2, 25, domain_size=4, seed=3)
+        query = parse_query("Q(a, b, c) :- R1(a, b), R2(b, c)")
+        dioid, lift = attribute_lexicographic(query, ["c", "a"])
+        tdp = build_tdp_for_query(db, query, dioid=dioid, lift=lift)
+        got = [
+            (r.assignment["c"], r.assignment["a"], r.assignment["b"])
+            for r in make_enumerator(tdp, "recursive")
+        ]
+        assert [(c, a) for c, a, _ in got] == sorted((c, a) for c, a, _ in got)

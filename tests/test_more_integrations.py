@@ -1,0 +1,173 @@
+"""Cross-feature integration tests: exotic dioids on the full pipeline,
+exact-arithmetic tie handling, Boolean evaluation on cyclic queries."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import uniform_database, worst_case_cycle_database
+from repro.data.relation import Relation
+from repro.enumeration.api import evaluate_boolean, ranked_enumerate
+from repro.query.builders import cycle_query, path_query
+from repro.query.parser import parse_query
+from repro.ranking.dioid import MAX_TIMES, TROPICAL
+from tests.conftest import brute_force, weight_signature
+
+
+class TestMaxTimesOnCycles:
+    """Bag-semantics ranking through the cycle decomposition (no inverse)."""
+
+    def test_4cycle_multiplicities(self):
+        import random
+
+        rng = random.Random(1)
+        db = Database()
+        for name in ("R1", "R2", "R3", "R4"):
+            rel = Relation(name, 2)
+            for _ in range(12):
+                rel.add(
+                    (rng.randint(1, 3), rng.randint(1, 3)),
+                    float(rng.randint(1, 5)),
+                )
+            db.add(rel)
+        query = cycle_query(4)
+        expected = sorted(
+            (w for w, _ in brute_force(db, query, dioid=MAX_TIMES)),
+            reverse=True,
+        )
+        got = [
+            r.weight
+            for r in ranked_enumerate(db, query, dioid=MAX_TIMES,
+                                      algorithm="take2")
+        ]
+        assert got == pytest.approx(expected)
+
+
+class TestExactArithmetic:
+    """Fraction weights: the dioid machinery is arithmetic-agnostic."""
+
+    def test_fraction_weights_rank_exactly(self):
+        # Dyadic fractions survive the float identity (0.0) exactly.
+        r1 = Relation(
+            "R1", 2, [(1, 2), (3, 2)],
+            [Fraction(1, 4), Fraction(1, 2)],
+        )
+        r2 = Relation(
+            "R2", 2, [(2, 5), (2, 6)],
+            [Fraction(1, 8), Fraction(3, 4)],
+        )
+        db = Database([r1, r2])
+        query = path_query(2)
+        got = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm="take2")
+        ]
+        weights = [w for w, _ in got]
+        assert weights == sorted(weights)
+        assert weights == [
+            Fraction(3, 8),   # 1/4 + 1/8
+            Fraction(5, 8),   # 1/2 + 1/8
+            Fraction(1, 1),   # 1/4 + 3/4
+            Fraction(5, 4),   # 1/2 + 3/4
+        ]
+
+    def test_integer_weights_through_cycle_pipeline(self):
+        db = worst_case_cycle_database(4, 8, seed=2)
+        for name in db.relations:
+            rel = db[name]
+            rel.weights = [int(w) for w in rel.weights]
+        query = cycle_query(4)
+        got = [r.weight for r in ranked_enumerate(db, query)]
+        assert got == sorted(got)
+        assert all(w == int(w) for w in got), "integer sums stay exact"
+        expected = weight_signature(brute_force(db, query))
+        assert weight_signature(
+            (r.weight, r.output_tuple) for r in ranked_enumerate(db, query)
+        ) == expected
+
+
+class TestTiesEverywhere:
+    def test_massive_ties_on_cycle(self):
+        db = worst_case_cycle_database(4, 10, seed=3)
+        for name in db.relations:
+            db[name].weights = [1.0] * len(db[name])
+        query = cycle_query(4)
+        results = list(ranked_enumerate(db, query, algorithm="lazy"))
+        assert len(results) == 2 * 5 * 5
+        assert all(r.weight == 4.0 for r in results)
+        outputs = {r.output_tuple for r in results}
+        assert len(outputs) == len(results), "distinct outputs despite ties"
+
+    def test_tie_order_deterministic_across_runs(self):
+        db = worst_case_cycle_database(4, 8, seed=4)
+        for name in db.relations:
+            db[name].weights = [1.0] * len(db[name])
+        query = cycle_query(4)
+        first = [r.output_tuple for r in ranked_enumerate(db, query)]
+        second = [r.output_tuple for r in ranked_enumerate(db, query)]
+        assert first == second
+
+
+class TestBooleanCyclic:
+    def test_boolean_cycle_negative(self):
+        db = Database(
+            [
+                Relation("R1", 2, [(1, 2)], [0.0]),
+                Relation("R2", 2, [(2, 3)], [0.0]),
+                Relation("R3", 2, [(3, 4)], [0.0]),
+                Relation("R4", 2, [(4, 5)], [0.0]),  # never closes
+            ]
+        )
+        assert evaluate_boolean(db, cycle_query(4)) is False
+
+    def test_boolean_triangle_positive(self):
+        db = Database(
+            [
+                Relation("R1", 2, [(1, 2)], [0.0]),
+                Relation("R2", 2, [(2, 3)], [0.0]),
+                Relation("R3", 2, [(3, 1)], [0.0]),
+            ]
+        )
+        assert evaluate_boolean(db, cycle_query(3)) is True
+
+
+class TestStringValues:
+    def test_non_numeric_domain(self):
+        r = Relation("R", 2, [("ann", "bob"), ("bob", "cat")], [1.0, 2.0])
+        s = Relation("S", 2, [("bob", "dan"), ("cat", "eve")], [0.5, 0.25])
+        db = Database([r, s])
+        query = parse_query("Q(a, b, c) :- R(a, b), S(b, c)")
+        got = [(r_.weight, r_.output_tuple) for r_ in ranked_enumerate(db, query)]
+        assert weight_signature(got) == weight_signature(brute_force(db, query))
+
+    def test_string_values_through_cycle(self):
+        db = Database(
+            [
+                Relation("R1", 2, [("a", "b")], [1.0]),
+                Relation("R2", 2, [("b", "c")], [1.0]),
+                Relation("R3", 2, [("c", "a")], [1.0]),
+            ]
+        )
+        results = list(ranked_enumerate(db, cycle_query(3)))
+        assert len(results) == 1
+        assert results[0].output_tuple == ("a", "b", "c")
+
+
+class TestInfinityAndExtremes:
+    def test_zero_weight_tuples(self):
+        db = uniform_database(2, 15, domain_size=3, seed=5)
+        db["R1"].weights = [0.0] * len(db["R1"])
+        query = path_query(2)
+        got = weight_signature(
+            (r.weight, r.output_tuple) for r in ranked_enumerate(db, query)
+        )
+        assert got == weight_signature(brute_force(db, query))
+
+    def test_negative_weights(self):
+        r1 = Relation("R1", 2, [(1, 2), (3, 2)], [-5.0, 2.0])
+        r2 = Relation("R2", 2, [(2, 7)], [-1.0])
+        db = Database([r1, r2])
+        results = list(ranked_enumerate(db, path_query(2)))
+        assert [r.weight for r in results] == [-6.0, 1.0]

@@ -1,0 +1,158 @@
+"""Projection semantics tests (Section 8.1, Theorem 20)."""
+
+import math
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import uniform_database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.enumeration.projections import build_free_connex_plan
+from repro.query.parser import parse_query
+from tests.conftest import brute_force, weight_signature
+
+
+def rename(db, mapping):
+    for old, new in mapping.items():
+        db.relations[new] = db[old].rename(new)
+    return db
+
+
+def min_weight_oracle(db, query):
+    """min over witnesses per head assignment, via the full brute force."""
+    full = brute_force(db, query, head=query.head)
+    best: dict = {}
+    for weight, output in full:
+        best[output] = min(weight, best.get(output, math.inf))
+    return best
+
+
+class TestAllWeight:
+    def test_keeps_duplicates(self):
+        db = uniform_database(2, 25, domain_size=3, seed=1)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        got = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, projection="all_weight")
+        ]
+        expected = weight_signature(brute_force(db, query, head=("x1",)))
+        assert weight_signature(got) == expected
+        assert [w for w, _ in got] == sorted(w for w, _ in got)
+
+    def test_assignment_projected(self):
+        db = uniform_database(2, 10, domain_size=2, seed=2)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        result = next(iter(ranked_enumerate(db, query, projection="all_weight")))
+        assert set(result.assignment) == {"x1"}
+
+    def test_witness_preserved(self):
+        db = uniform_database(2, 10, domain_size=2, seed=3)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        result = next(iter(ranked_enumerate(db, query, projection="all_weight")))
+        assert result.witness is not None and len(result.witness) == 2
+
+
+class TestMinWeight:
+    @pytest.mark.parametrize("text", [
+        "Q(x1) :- R1(x1, x2)",
+        "Q(x1, x2) :- R1(x1, x2), R2(x2, x3)",
+        "Q(x2) :- R1(x1, x2), R2(x2, x3)",
+    ])
+    def test_matches_oracle(self, text):
+        db = uniform_database(2, 25, domain_size=3, seed=4)
+        query = parse_query(text)
+        oracle = min_weight_oracle(db, query)
+        got = {
+            r.output_tuple: r.weight
+            for r in ranked_enumerate(db, query, projection="min_weight")
+        }
+        assert set(got) == set(oracle)
+        for output, weight in got.items():
+            assert weight == pytest.approx(oracle[output])
+
+    def test_ranked_and_distinct(self):
+        db = uniform_database(2, 30, domain_size=3, seed=5)
+        query = parse_query("Q(x1, x2) :- R1(x1, x2), R2(x2, x3)")
+        results = list(ranked_enumerate(db, query, projection="min_weight"))
+        weights = [r.weight for r in results]
+        outputs = [r.output_tuple for r in results]
+        assert weights == sorted(weights)
+        assert len(set(outputs)) == len(outputs), "each assignment once"
+
+    def test_example19_shape(self):
+        db = rename(
+            uniform_database(4, 25, domain_size=4, seed=6),
+            {"R1": "Ra", "R2": "Rb", "R3": "Rc", "R4": "Rd"},
+        )
+        query = parse_query(
+            "Q(y1, y2, y3) :- Ra(y1, y2), Rb(y2, y3), Rc(x1, y1), Rd(x2, y3)"
+        )
+        assert query.is_free_connex()
+        oracle = min_weight_oracle(db, query)
+        got = {
+            r.output_tuple: r.weight
+            for r in ranked_enumerate(db, query, projection="min_weight")
+        }
+        assert {k: round(v, 6) for k, v in got.items()} == {
+            k: round(v, 6) for k, v in oracle.items()
+        }
+
+    def test_fully_existential_component(self):
+        # Q(y) :- R(y, y2), S(x1, x2): the S component contributes a
+        # constant offset = min weight of S (its variables are all
+        # existential and disconnected from the head).
+        r = Relation("R", 2, [(1, 5), (2, 6)], [3.0, 1.0])
+        s = Relation("S", 2, [(7, 7), (8, 8)], [10.0, 20.0])
+        db = Database([r, s])
+        query = parse_query("Q(y) :- R(y, y2), S(x1, x2)")
+        got = {
+            r_.output_tuple: r_.weight
+            for r_ in ranked_enumerate(db, query, projection="min_weight")
+        }
+        assert got == {(2,): 11.0, (1,): 13.0}
+
+    def test_non_free_connex_rejected(self):
+        db = uniform_database(2, 10, domain_size=2, seed=7)
+        query = parse_query("Q(x1, x3) :- R1(x1, x2), R2(x2, x3)")
+        with pytest.raises(ValueError, match="not free-connex"):
+            list(ranked_enumerate(db, query, projection="min_weight"))
+
+    def test_cyclic_rejected(self):
+        db = uniform_database(3, 10, domain_size=2, seed=8)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3), R3(x3, x1)")
+        with pytest.raises(ValueError, match="cyclic"):
+            list(ranked_enumerate(db, query, projection="min_weight"))
+
+    def test_unknown_semantics_rejected(self):
+        db = uniform_database(2, 5, domain_size=2, seed=9)
+        query = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        with pytest.raises(ValueError, match="unknown projection"):
+            ranked_enumerate(db, query, projection="best_effort")
+
+    def test_empty_output(self):
+        r = Relation("R", 2, [(1, 1)], [0.0])
+        s = Relation("S", 2, [(2, 2)], [0.0])
+        db = Database([r, s])
+        query = parse_query("Q(y) :- R(y, z), S(z, x)")
+        assert list(ranked_enumerate(db, query, projection="min_weight")) == []
+
+
+class TestFreeConnexPlan:
+    def test_plan_structure(self):
+        db = uniform_database(2, 20, domain_size=3, seed=10)
+        query = parse_query("Q(x1, x2) :- R1(x1, x2), R2(x2, x3)")
+        plan = build_free_connex_plan(db, query)
+        assert plan.query.is_full()
+        assert set(plan.query.variables) == {"x1", "x2"}
+        # R1 stays (fully free); R2 is replaced by its projection.
+        names = sorted(r.name for r in plan.database)
+        assert any("R1" in n for n in names)
+        assert any("__free" in n or "R2" in n for n in names)
+
+    def test_projected_relations_distinct(self):
+        db = uniform_database(2, 30, domain_size=2, seed=11)
+        query = parse_query("Q(x1, x2) :- R1(x1, x2), R2(x2, x3)")
+        plan = build_free_connex_plan(db, query)
+        for relation in plan.database:
+            assert len(set(relation.tuples)) == len(relation)

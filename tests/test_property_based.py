@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis): algorithm agreement on random inputs.
+
+The key invariant of the whole library: for ANY database and ANY of the
+supported query shapes, every any-k algorithm must produce exactly the
+same ranked sequence of weights and the same result multiset as the
+brute-force oracle.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate
+from repro.query.builders import cycle_query, path_query, star_query
+from tests.conftest import ANYK_ALGORITHMS, brute_force, weight_signature
+
+# Weights are multiples of 1/8 so float arithmetic is exact and
+# cross-algorithm comparisons need no tolerance.
+weight_strategy = st.integers(min_value=0, max_value=80).map(lambda w: w / 8.0)
+
+
+def relations_strategy(count, max_tuples=10, domain=3):
+    tuple_strategy = st.tuples(
+        st.integers(min_value=1, max_value=domain),
+        st.integers(min_value=1, max_value=domain),
+    )
+    row = st.tuples(tuple_strategy, weight_strategy)
+    return st.lists(
+        st.lists(row, min_size=1, max_size=max_tuples),
+        min_size=count,
+        max_size=count,
+    )
+
+
+def build_db(rows_per_relation):
+    db = Database()
+    for index, rows in enumerate(rows_per_relation, start=1):
+        rel = Relation(f"R{index}", 2)
+        for values, weight in rows:
+            rel.add(values, weight)
+        db.add(rel)
+    return db
+
+
+def check_agreement(db, query, algorithms=ANYK_ALGORITHMS):
+    expected = weight_signature(brute_force(db, query))
+    reference_weights = None
+    for algorithm in algorithms:
+        got = [
+            (r.weight, r.output_tuple)
+            for r in ranked_enumerate(db, query, algorithm=algorithm)
+        ]
+        weights = [w for w, _ in got]
+        assert weights == sorted(weights), f"{algorithm} out of order"
+        assert weight_signature(got) == expected, f"{algorithm} wrong multiset"
+        if reference_weights is None:
+            reference_weights = weights
+        else:
+            assert weights == reference_weights, (
+                f"{algorithm} disagrees on the weight sequence"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations_strategy(3))
+def test_path3_agreement(rows):
+    check_agreement(build_db(rows), path_query(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations_strategy(3))
+def test_star3_agreement(rows):
+    check_agreement(build_db(rows), star_query(3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(relations_strategy(4, max_tuples=8))
+def test_cycle4_agreement(rows):
+    check_agreement(
+        build_db(rows), cycle_query(4), algorithms=["take2", "recursive"]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations_strategy(2))
+def test_batch_agrees_with_take2(rows):
+    db = build_db(rows)
+    query = path_query(2)
+    batch = [
+        (r.weight, r.output_tuple)
+        for r in ranked_enumerate(db, query, algorithm="batch")
+    ]
+    take2 = [
+        (r.weight, r.output_tuple)
+        for r in ranked_enumerate(db, query, algorithm="take2")
+    ]
+    assert weight_signature(batch) == weight_signature(take2)
+    assert [w for w, _ in batch] == [w for w, _ in take2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations_strategy(2), st.integers(min_value=1, max_value=5))
+def test_topk_prefix_property(rows, k):
+    """The first k results of any-k equal the first k of the full sort."""
+    db = build_db(rows)
+    query = path_query(2)
+    expected = [w for w, _ in brute_force(db, query)][:k]
+    enum = ranked_enumerate(db, query, algorithm="take2")
+    got = [r.weight for _, r in zip(range(k), enum)]
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(relations_strategy(2))
+def test_min_weight_projection_property(rows):
+    from repro.query.parser import parse_query
+
+    db = build_db(rows)
+    query = parse_query("Q(x1, x2) :- R1(x1, x2), R2(x2, x3)")
+    full = brute_force(db, query, head=("x1", "x2"))
+    best: dict = {}
+    for weight, output in full:
+        best[output] = min(weight, best.get(output, math.inf))
+    got = {
+        r.output_tuple: r.weight
+        for r in ranked_enumerate(db, query, projection="min_weight")
+    }
+    assert got == best
+
+
+@settings(max_examples=25, deadline=None)
+@given(relations_strategy(3, max_tuples=6))
+def test_self_join_agreement(rows):
+    # Use only the first relation, joined with itself three times.
+    db = build_db(rows[:1])
+    query = path_query(3, relation="R1")
+    check_agreement(db, query, algorithms=["take2", "lazy", "recursive"])

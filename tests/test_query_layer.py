@@ -1,0 +1,144 @@
+"""Tests for atoms, conjunctive queries, the parser, and query builders."""
+
+import pytest
+
+from repro.query.atom import Atom
+from repro.query.builders import cycle_query, path_query, star_query
+from repro.query.cq import ConjunctiveQuery
+from repro.query.parser import parse_query
+
+
+class TestAtom:
+    def test_basic(self):
+        a = Atom("R", ("x", "y"))
+        assert a.arity == 2
+        assert a.variable_set() == {"x", "y"}
+        assert not a.has_repeated_variables()
+        assert repr(a) == "R(x, y)"
+
+    def test_repeated_variables(self):
+        a = Atom("R", ("x", "x", "y"))
+        assert a.has_repeated_variables()
+        assert a.satisfies_repeats((1, 1, 2))
+        assert not a.satisfies_repeats((1, 2, 2))
+
+    def test_positions_of(self):
+        a = Atom("R", ("x", "y", "z"))
+        assert a.positions_of(["z", "x"]) == (2, 0)
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("R", ())
+
+    def test_equality_and_hash(self):
+        assert Atom("R", ("x",)) == Atom("R", ("x",))
+        assert Atom("R", ("x",)) != Atom("S", ("x",))
+        assert hash(Atom("R", ("x", "y"))) == hash(Atom("R", ("x", "y")))
+
+
+class TestConjunctiveQuery:
+    def test_variables_ordered_by_appearance(self):
+        q = ConjunctiveQuery(None, [Atom("R", ("b", "a")), Atom("S", ("a", "c"))])
+        assert q.variables == ("b", "a", "c")
+        assert q.head == ("b", "a", "c")
+        assert q.is_full()
+
+    def test_projection_detection(self):
+        q = ConjunctiveQuery(("a",), [Atom("R", ("a", "b"))])
+        assert not q.is_full()
+        assert q.existential_variables() == ("b",)
+
+    def test_head_validation(self):
+        with pytest.raises(ValueError, match="not in body"):
+            ConjunctiveQuery(("z",), [Atom("R", ("x",))])
+        with pytest.raises(ValueError, match="distinct"):
+            ConjunctiveQuery(("x", "x"), [Atom("R", ("x",))])
+        with pytest.raises(ValueError, match="at least one atom"):
+            ConjunctiveQuery(None, [])
+
+    def test_self_join_detection(self):
+        q = ConjunctiveQuery(None, [Atom("E", ("x", "y")), Atom("E", ("y", "z"))])
+        assert q.has_self_joins()
+        q2 = ConjunctiveQuery(None, [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert not q2.has_self_joins()
+
+    def test_acyclicity(self):
+        assert path_query(4).is_acyclic()
+        assert star_query(5).is_acyclic()
+        assert not cycle_query(3).is_acyclic()
+        assert not cycle_query(6).is_acyclic()
+
+    def test_free_connex(self):
+        # Q(y1) :- R(y1, y2) is free-connex.
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        assert q.is_free_connex()
+        # The matrix-multiplication query Q(a, c) :- R(a,b), S(b,c) is not.
+        q2 = ConjunctiveQuery(
+            ("a", "c"), [Atom("R", ("a", "b")), Atom("S", ("b", "c"))]
+        )
+        assert not q2.is_free_connex()
+        # Full acyclic queries are trivially free-connex.
+        assert path_query(3).is_free_connex()
+        # Cyclic queries are not free-connex.
+        assert not cycle_query(4).is_free_connex()
+
+
+class TestParser:
+    def test_with_head(self):
+        q = parse_query("Q(x, y) :- R(x, z), S(z, y)")
+        assert q.head == ("x", "y")
+        assert q.num_atoms == 2
+        assert q.atoms[0] == Atom("R", ("x", "z"))
+
+    def test_without_head_is_full(self):
+        q = parse_query("R(x, z), S(z, y)")
+        assert q.is_full()
+        assert q.head == ("x", "z", "y")
+
+    def test_self_join_parse(self):
+        q = parse_query("E(x, y), E(y, z)")
+        assert q.has_self_joins()
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(x) :- ")
+        with pytest.raises(ValueError):
+            parse_query("Q(x) :- R(x) S(x)")
+        with pytest.raises(ValueError):
+            parse_query("Q(x), P(y) :- R(x, y)")
+
+    def test_whitespace_tolerance(self):
+        q = parse_query("  Q( x ,y )  :-  R( x , y )  ")
+        assert q.head == ("x", "y")
+
+
+class TestBuilders:
+    def test_path_query_shape(self):
+        q = path_query(3)
+        assert q.name == "QP3"
+        assert [a.relation_name for a in q.atoms] == ["R1", "R2", "R3"]
+        assert q.atoms[1].variables == ("x2", "x3")
+        assert q.is_full() and q.is_acyclic()
+
+    def test_star_query_shape(self):
+        q = star_query(4)
+        assert all(a.variables[0] == "x1" for a in q.atoms)
+        assert len(set(a.variables[1] for a in q.atoms)) == 4
+
+    def test_cycle_query_shape(self):
+        q = cycle_query(4)
+        assert q.atoms[-1].variables == ("x4", "x1")
+        assert not q.is_acyclic()
+
+    def test_self_join_builders(self):
+        q = path_query(3, relation="E")
+        assert all(a.relation_name == "E" for a in q.atoms)
+        assert q.has_self_joins()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            star_query(0)

@@ -1,0 +1,198 @@
+"""End-to-end tests for the non-default ranking functions (Section 6)."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import fdb_lex_instance, uniform_database
+from repro.data.relation import Relation
+from repro.dp.builder import build_tdp_for_query
+from repro.anyk.base import make_enumerator
+from repro.enumeration.api import ranked_enumerate
+from repro.query.builders import cycle_query, path_query
+from repro.query.parser import parse_query
+from repro.ranking.dioid import (
+    BOOLEAN,
+    MAX_PLUS,
+    MAX_TIMES,
+    LexicographicDioid,
+)
+from repro.ranking.weights import attribute_weight_rewrite
+from tests.conftest import brute_force, weight_signature
+
+
+class TestMaxPlus:
+    def test_heaviest_first(self):
+        db = uniform_database(3, 25, domain_size=4, seed=1)
+        query = path_query(3)
+        expected = sorted(
+            brute_force(db, query, dioid=MAX_PLUS), key=lambda x: -x[0]
+        )
+        for algorithm in ("take2", "recursive", "batch"):
+            got = [
+                (r.weight, r.output_tuple)
+                for r in ranked_enumerate(db, query, dioid=MAX_PLUS,
+                                          algorithm=algorithm)
+            ]
+            assert [w for w, _ in got] == pytest.approx(
+                [w for w, _ in expected]
+            ), algorithm
+
+    def test_cyclic_max_plus(self):
+        db = uniform_database(4, 16, domain_size=3, seed=2)
+        query = cycle_query(4)
+        expected = sorted(
+            (w for w, _ in brute_force(db, query, dioid=MAX_PLUS)),
+            reverse=True,
+        )
+        got = [
+            r.weight
+            for r in ranked_enumerate(db, query, dioid=MAX_PLUS,
+                                      algorithm="lazy")
+        ]
+        assert got == pytest.approx(expected)
+
+
+class TestMaxTimes:
+    """Bag-semantics simulation (Section 6.4): weights as multiplicities."""
+
+    def test_highest_multiplicity_first(self):
+        r1 = Relation("R1", 2, [(1, 2), (3, 4)], [2.0, 10.0])
+        r2 = Relation("R2", 2, [(2, 5), (4, 6)], [7.0, 1.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        results = list(
+            ranked_enumerate(db, query, dioid=MAX_TIMES, algorithm="take2")
+        )
+        assert results[0].weight == 14.0, "2*7 beats 10*1"
+        assert [r.weight for r in results] == [14.0, 10.0]
+
+    def test_monoid_fallback_on_star(self):
+        # MAX_TIMES has no inverse: exercises the O(l^2) candidate path.
+        db = uniform_database(3, 15, domain_size=3, seed=3)
+        from repro.query.builders import star_query
+
+        query = star_query(3)
+        expected = sorted(
+            (w for w, _ in brute_force(db, query, dioid=MAX_TIMES)),
+            reverse=True,
+        )
+        got = [
+            r.weight
+            for r in ranked_enumerate(db, query, dioid=MAX_TIMES,
+                                      algorithm="take2")
+        ]
+        assert got == pytest.approx(expected)
+
+
+class TestBoolean:
+    def test_ranked_enumeration_is_query_evaluation(self):
+        # Section 6.4: with the Boolean dioid and weights True, ranked
+        # enumeration returns exactly the satisfying assignments.
+        db = uniform_database(3, 20, domain_size=3, seed=4)
+        for name in ("R1", "R2", "R3"):
+            db[name].weights = [True] * len(db[name])
+        query = path_query(3)
+        got = list(
+            ranked_enumerate(db, query, dioid=BOOLEAN, algorithm="take2")
+        )
+        assert all(r.weight is True for r in got)
+        expected = brute_force(db, query)  # tropical oracle, same outputs
+        assert len(got) == len(expected)
+        assert {r.output_tuple for r in got} == {o for _w, o in expected}
+
+    def test_boolean_4cycle(self):
+        from repro.data.generators import worst_case_cycle_database
+
+        db = worst_case_cycle_database(4, 8, seed=5)
+        for name in db.relations:
+            db[name].weights = [True] * len(db[name])
+        query = cycle_query(4)
+        got = list(ranked_enumerate(db, query, dioid=BOOLEAN, algorithm="lazy"))
+        assert len(got) == 2 * 4 * 4
+
+
+class TestLexicographic:
+    def test_fig18_order_a_then_c_then_b(self):
+        """Fig 18: order 2-path results lexicographically by A -> C -> B."""
+        n = 6
+        db = fdb_lex_instance(n)
+        query = path_query(2)  # R(x1,x2), S(x2,x3): A=x1, B=x2, C=x3
+        lex = LexicographicDioid(3)
+
+        def lift(atom, values, raw_weight):
+            # A (x1) ranks first, then C (x3), then B (x2).
+            if atom.relation_name == "R1":
+                return (float(values[0]), 0.0, float(values[1]))
+            return (0.0, float(values[1]), 0.0)
+
+        tdp = None
+        from repro.dp.builder import build_tdp
+        from repro.query.jointree import build_join_tree
+
+        db.relations["R1"] = db["R"].rename("R1")
+        db.relations["R2"] = db["S"].rename("R2")
+        tree = build_join_tree(query)
+        tdp = build_tdp(db, tree, dioid=lex, lift=lift)
+        enum = make_enumerator(tdp, "take2")
+        outputs = [r.assignment for r in enum]
+        assert len(outputs) == n * n
+        keys = [(a["x1"], a["x3"], a["x2"]) for a in outputs]
+        assert keys == sorted(keys), "lexicographic A -> C -> B order"
+
+    def test_lexicographic_on_relations(self):
+        """Section 2.2: lexicographic order on (R1-weight, R2-weight)."""
+        r1 = Relation("R1", 2, [(1, 1), (2, 1)], [5.0, 1.0])
+        r2 = Relation("R2", 2, [(1, 7), (1, 8)], [1.0, 2.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        lex = LexicographicDioid(2)
+
+        def lift(atom, values, raw_weight):
+            position = 0 if atom.relation_name == "R1" else 1
+            return lex.unit_vector(position, raw_weight)
+
+        tdp = build_tdp_for_query(db, query, dioid=lex, lift=lift)
+        enum = make_enumerator(tdp, "eager")
+        got = [r.weight for r in enum]
+        assert got == [(1.0, 1.0), (1.0, 2.0), (5.0, 1.0), (5.0, 2.0)]
+
+
+class TestAttributeWeights:
+    def test_rewrite_adds_unary_atoms(self):
+        db = uniform_database(2, 15, domain_size=3, seed=6)
+        query = path_query(2)
+        new_db, new_query = attribute_weight_rewrite(
+            db, query, {"x2": lambda v: 10.0 * v}
+        )
+        assert new_query.num_atoms == 3
+        assert new_query.atoms[-1].variables == ("x2",)
+        assert "__attr_weight_x2" in new_db
+
+    def test_rewritten_weights_included(self):
+        r1 = Relation("R1", 2, [(1, 2)], [1.0])
+        r2 = Relation("R2", 2, [(2, 3)], [2.0])
+        db = Database([r1, r2])
+        query = path_query(2)
+        new_db, new_query = attribute_weight_rewrite(
+            db, query, {"x2": lambda v: 100.0 * v}
+        )
+        results = list(ranked_enumerate(new_db, new_query))
+        assert len(results) == 1
+        assert results[0].weight == pytest.approx(1.0 + 2.0 + 200.0)
+
+    def test_unknown_variable_rejected(self):
+        db = uniform_database(1, 5, domain_size=2, seed=7)
+        with pytest.raises(ValueError, match="unknown query variable"):
+            attribute_weight_rewrite(db, path_query(1), {"zz": lambda v: v})
+
+    def test_example16_shape(self):
+        """Example 16: weights on both attributes of a single relation."""
+        rel = Relation("R", 2, [(1, 10), (2, 20)], [0.5, 0.25])
+        db = Database([rel])
+        query = parse_query("Q(x, y) :- R(x, y)")
+        new_db, new_query = attribute_weight_rewrite(
+            db, query, {"x": lambda v: float(v), "y": lambda v: float(v)}
+        )
+        results = list(ranked_enumerate(new_db, new_query))
+        weights = sorted(r.weight for r in results)
+        assert weights == pytest.approx([11.5, 22.25])

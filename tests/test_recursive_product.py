@@ -1,0 +1,122 @@
+"""Unit tests for the ranked Cartesian product used by anyK-rec on trees."""
+
+import pytest
+
+from repro.anyk.product import RankedProduct
+from repro.dp.graph import ChoiceSet
+from repro.ranking.dioid import TROPICAL
+
+
+class FakeStream:
+    """Stands in for a connector with a fixed ranked solution list."""
+
+    _uid = 0
+
+    def __init__(self, values):
+        FakeStream._uid += 1
+        self.uid = FakeStream._uid
+        self.stage = 0
+        self.values = sorted(values)
+
+    def __len__(self):
+        return len(self.values)
+
+
+def ensure(stream, j):
+    if j >= len(stream.values):
+        return None
+    value = stream.values[j]
+    return (value, value, 0, j)  # (key, value, state, js)
+
+
+def ranked_product(*streams):
+    return RankedProduct([FakeStream(v) for v in streams], ensure, TROPICAL)
+
+
+class TestRankedProduct:
+    def test_singleton(self):
+        product = ranked_product([3.0, 1.0, 2.0])
+        got = [product.get(i)[0] for i in range(3)]
+        assert got == [1.0, 2.0, 3.0]
+        assert product.get(3) is None
+
+    def test_two_streams_full_enumeration(self):
+        product = ranked_product([1.0, 5.0], [10.0, 20.0, 30.0])
+        sums = []
+        i = 0
+        while True:
+            combo = product.get(i)
+            if combo is None:
+                break
+            sums.append(combo[0])
+            i += 1
+        expected = sorted(a + b for a in (1.0, 5.0) for b in (10.0, 20.0, 30.0))
+        assert sums == expected
+
+    def test_no_duplicates(self):
+        product = ranked_product([0.0, 0.0], [0.0, 0.0], [0.0, 0.0])
+        vectors = set()
+        i = 0
+        while True:
+            combo = product.get(i)
+            if combo is None:
+                break
+            assert combo[1] not in vectors, "duplicate vector generated"
+            vectors.add(combo[1])
+            i += 1
+        assert len(vectors) == 8
+
+    def test_three_streams_order(self):
+        product = ranked_product([1, 4], [2, 3], [0, 10])
+        values = []
+        i = 0
+        while (combo := product.get(i)) is not None:
+            values.append(combo[0])
+            i += 1
+        expected = sorted(
+            a + b + c for a in (1, 4) for b in (2, 3) for c in (0, 10)
+        )
+        assert values == expected
+
+    def test_memoised_outputs(self):
+        product = ranked_product([1.0, 2.0], [1.0, 2.0])
+        first = product.get(2)
+        again = product.get(2)
+        assert first is again or first == again
+        assert len(product.outputs) >= 3
+
+    def test_empty_stream_dead_product(self):
+        product = RankedProduct([FakeStream([])], ensure, TROPICAL)
+        assert product.get(0) is None
+
+    def test_random_agreement(self):
+        import random
+        from itertools import product as iproduct
+
+        rng = random.Random(9)
+        streams = [
+            sorted(round(rng.uniform(0, 10), 2) for _ in range(rng.randint(1, 4)))
+            for _ in range(3)
+        ]
+        ranked = ranked_product(*streams)
+        expected = sorted(sum(combo) for combo in iproduct(*streams))
+        got = []
+        i = 0
+        while (combo := ranked.get(i)) is not None:
+            got.append(combo[0])
+            i += 1
+        assert got == pytest.approx(expected)
+
+    def test_counter_tracks_pq(self):
+        from repro.util.counters import OpCounter
+
+        counter = OpCounter()
+        product = RankedProduct(
+            [FakeStream([1.0, 2.0]), FakeStream([3.0])],
+            ensure,
+            TROPICAL,
+            counter=counter,
+        )
+        product.get(1)
+        assert counter.pq_push >= 1
+        assert counter.pq_pop >= 1

@@ -1,0 +1,181 @@
+"""Constants-as-selections preprocessing and theta-join tests."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.dp.theta import band_predicate, build_theta_path, comparison_predicate
+from repro.anyk.base import make_enumerator
+from repro.enumeration.api import ranked_enumerate
+from repro.query.parser import parse_query
+from repro.query.selections import (
+    apply_selections,
+    parse_query_with_constants,
+    prepare,
+)
+
+
+class TestParseConstants:
+    def test_numeric_constant(self):
+        query, selections = parse_query_with_constants("Q(x) :- R(x, 5)")
+        assert query.head == ("x",)
+        assert len(selections) == 1
+        assert selections[0].position == 1 and selections[0].value == 5
+
+    def test_quoted_string_constant(self):
+        _query, selections = parse_query_with_constants("Q(x) :- R(x, 'nyc')")
+        assert selections[0].value == "nyc"
+
+    def test_float_constant(self):
+        _query, selections = parse_query_with_constants("Q(x) :- R(x, 2.5)")
+        assert selections[0].value == 2.5
+
+    def test_headless_query_excludes_constants_from_head(self):
+        query, _ = parse_query_with_constants("R(x, 5), S(5, y)")
+        assert query.head == ("x", "y")
+
+    def test_no_constants_matches_plain_parser(self):
+        query, selections = parse_query_with_constants("Q(x, y) :- R(x, y)")
+        assert selections == []
+        assert query == parse_query("Q(x, y) :- R(x, y)")
+
+    def test_plain_parser_rejects_constants(self):
+        with pytest.raises(ValueError, match="not a variable"):
+            parse_query("Q(x) :- R(x, 5)")
+
+    def test_garbage_token_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse atom argument"):
+            parse_query_with_constants("Q(x) :- R(x, @!)")
+
+
+class TestApplySelections:
+    def setup_method(self):
+        self.db = Database(
+            [
+                Relation(
+                    "R", 2,
+                    [(1, 5), (2, 5), (3, 9)],
+                    [1.0, 2.0, 3.0],
+                ),
+                Relation("S", 2, [(5, 1), (9, 2)], [0.5, 0.25]),
+            ]
+        )
+
+    def test_filters_relation(self):
+        db2, query = prepare(self.db, "Q(x) :- R(x, 5)")
+        results = [r.output_tuple for r in ranked_enumerate(db2, query)]
+        assert results == [(1,), (2,)]
+
+    def test_self_join_with_different_selections(self):
+        db2, query = prepare(self.db, "R(x, 5), R(y, 9)")
+        results = [
+            r.output_tuple for r in ranked_enumerate(db2, query)
+        ]
+        assert set(results) == {(1, 3), (2, 3)}
+
+    def test_join_through_constant(self):
+        db2, query = prepare(self.db, "Q(x, y) :- R(x, 5), S(5, y)")
+        results = {r.output_tuple for r in ranked_enumerate(db2, query)}
+        assert results == {(1, 1), (2, 1)}
+
+    def test_weights_preserved(self):
+        db2, query = prepare(self.db, "Q(x) :- R(x, 9)")
+        result = next(iter(ranked_enumerate(db2, query)))
+        assert result.weight == 3.0
+
+    def test_no_selections_identity(self):
+        query = parse_query("Q(x, y) :- R(x, y)")
+        db2, q2 = apply_selections(self.db, query, [])
+        assert db2 is self.db and q2 is query
+
+
+class TestThetaJoins:
+    def setup_method(self):
+        self.r = Relation("R", 2, [(1, 10), (2, 20), (3, 30)], [1.0, 2.0, 3.0])
+        self.s = Relation("S", 2, [(15, 7), (25, 8), (40, 9)], [0.1, 0.2, 0.3])
+
+    def brute(self, predicate):
+        out = []
+        for (rv, rw) in self.r.rows():
+            for (sv, sw) in self.s.rows():
+                if predicate(rv, sv):
+                    out.append((round(rw + sw, 6), rv + sv))
+        out.sort()
+        return out
+
+    @pytest.mark.parametrize("algorithm", ["take2", "lazy", "recursive", "batch"])
+    def test_less_than_join(self, algorithm):
+        predicate = comparison_predicate(1, "<", 0)
+        tdp = build_theta_path([self.r, self.s], [predicate])
+        expected = self.brute(predicate)
+        got = sorted(
+            (round(r.weight, 6), r.witness[0] + r.witness[1])
+            for r in make_enumerator(tdp, algorithm)
+        )
+        assert got == expected
+
+    def test_band_join(self):
+        predicate = band_predicate(1, 0, 5.0)
+        tdp = build_theta_path([self.r, self.s], [predicate])
+        expected = self.brute(predicate)
+        got = sorted(
+            (round(r.weight, 6), r.witness[0] + r.witness[1])
+            for r in make_enumerator(tdp, "take2")
+        )
+        assert got == expected
+
+    def test_ranked_order(self):
+        predicate = comparison_predicate(1, "!=", 0)
+        tdp = build_theta_path([self.r, self.s], [predicate])
+        weights = [r.weight for r in make_enumerator(tdp, "lazy")]
+        assert weights == sorted(weights)
+
+    def test_three_way_chain(self):
+        t = Relation("T", 1, [(5,), (100,)], [10.0, 20.0])
+        predicates = [
+            comparison_predicate(1, "<", 0),
+            comparison_predicate(1, ">", 0),
+        ]
+        tdp = build_theta_path([self.r, self.s, t], predicates)
+        results = list(make_enumerator(tdp, "take2"))
+        for result in results:
+            rv, sv, tv = result.witness
+            assert rv[1] < sv[0] and sv[1] > tv[0]
+        assert len(results) == sum(
+            1
+            for rv in self.r.tuples
+            for sv in self.s.tuples
+            for tv in t.tuples
+            if rv[1] < sv[0] and sv[1] > tv[0]
+        )
+
+    def test_empty_theta_join(self):
+        predicate = comparison_predicate(0, ">", 0)  # r[0] > s[0]: never
+        tdp = build_theta_path(
+            [Relation("A", 1, [(1,)], [0.0]), Relation("B", 1, [(9,)], [0.0])],
+            [predicate],
+        )
+        assert tdp.is_empty()
+        assert list(make_enumerator(tdp, "take2")) == []
+
+    def test_pruning_of_dead_states(self):
+        predicate = comparison_predicate(1, "<", 0)
+        # (3, 30) has no S partner with first column > 30 except 40: alive.
+        # Add a row with no partner at all.
+        r = Relation("R", 2, [(1, 10), (9, 99)], [1.0, 9.0])
+        tdp = build_theta_path([r, self.s], [predicate])
+        assert tdp.tuples[0] == [(1, 10)]
+
+    def test_predicate_count_validated(self):
+        with pytest.raises(ValueError, match="one predicate per adjacent"):
+            build_theta_path([self.r, self.s], [])
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown comparison operator"):
+            comparison_predicate(0, "<>", 1)
+
+    def test_assignment_uses_stage_variables(self):
+        predicate = band_predicate(1, 0, 100.0)
+        tdp = build_theta_path([self.r, self.s], [predicate])
+        result = next(iter(make_enumerator(tdp, "take2")))
+        assert set(result.assignment) == {"s0_c0", "s0_c1", "s1_c0", "s1_c1"}

@@ -1,0 +1,134 @@
+"""Successor-strategy semantics (Section 4.1.3) at the view level."""
+
+import pytest
+
+from repro.anyk.strategies import (
+    ALGORITHMS,
+    AllStrategy,
+    EagerStrategy,
+    LazyStrategy,
+    Take2Strategy,
+)
+from repro.dp.graph import ChoiceSet
+
+
+def make_conn(weights):
+    entries = [(w, i, w) for i, w in enumerate(weights)]
+    return ChoiceSet(0, 0, entries)
+
+
+WEIGHTS = [5.0, 1.0, 4.0, 2.0, 3.0]
+
+
+class TestEager:
+    def test_sorted_access(self):
+        view = EagerStrategy().view(make_conn(WEIGHTS))
+        assert view.entry(0)[0] == 1.0
+        assert [view.entry(i)[0] for i in range(5)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_successor_is_next(self):
+        view = EagerStrategy().view(make_conn(WEIGHTS))
+        assert view.successor_positions(0) == (1,)
+        assert view.successor_positions(4) == ()
+
+
+class TestLazy:
+    def test_top_two_prefetched(self):
+        view = LazyStrategy().view(make_conn(WEIGHTS))
+        assert view.lazy.sorted_len() == 2
+
+    def test_converges_to_sorted(self):
+        view = LazyStrategy().view(make_conn(WEIGHTS))
+        got = []
+        pos = view.best_pos()
+        while True:
+            got.append(view.entry(pos)[0])
+            successors = view.successor_positions(pos)
+            if not successors:
+                break
+            pos = successors[0]
+        assert got == sorted(WEIGHTS)
+
+
+class TestTake2:
+    def test_heap_never_mutates(self):
+        conn = make_conn(WEIGHTS)
+        strategy = Take2Strategy()
+        view = strategy.view(conn)
+        snapshot = list(view.heap)
+        for pos in range(len(WEIGHTS)):
+            view.entry(pos)
+            view.successor_positions(pos)
+        assert view.heap == snapshot
+
+    def test_source_entries_untouched(self):
+        conn = make_conn(WEIGHTS)
+        before = list(conn.entries)
+        Take2Strategy().view(conn)
+        assert conn.entries == before
+
+    def test_at_most_two_successors(self):
+        view = Take2Strategy().view(make_conn(WEIGHTS))
+        for pos in range(len(WEIGHTS)):
+            assert len(view.successor_positions(pos)) <= 2
+
+    def test_children_are_heavier(self):
+        view = Take2Strategy().view(make_conn(WEIGHTS))
+        for pos in range(len(WEIGHTS)):
+            for succ in view.successor_positions(pos):
+                assert view.entry(succ)[0] >= view.entry(pos)[0]
+
+    def test_all_entries_reachable_from_best(self):
+        view = Take2Strategy().view(make_conn(WEIGHTS))
+        reached = set()
+        frontier = [view.best_pos()]
+        while frontier:
+            pos = frontier.pop()
+            reached.add(pos)
+            frontier.extend(view.successor_positions(pos))
+        assert reached == set(range(len(WEIGHTS)))
+
+
+class TestAll:
+    def test_best_is_min(self):
+        view = AllStrategy().view(make_conn(WEIGHTS))
+        assert view.entry(view.best_pos())[0] == 1.0
+
+    def test_top_returns_everything_else(self):
+        view = AllStrategy().view(make_conn(WEIGHTS))
+        succ = view.successor_positions(view.best_pos())
+        assert len(succ) == len(WEIGHTS) - 1
+        assert view.best_pos() not in succ
+
+    def test_non_top_returns_nothing(self):
+        view = AllStrategy().view(make_conn(WEIGHTS))
+        for pos in range(len(WEIGHTS)):
+            if pos != view.best_pos():
+                assert view.successor_positions(pos) == ()
+
+
+class TestViewCaching:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_views_cached_per_connector(self, name):
+        strategy = ALGORITHMS[name]()
+        conn = make_conn(WEIGHTS)
+        assert strategy.view(conn) is strategy.view(conn)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_fresh_strategy_fresh_views(self, name):
+        conn = make_conn(WEIGHTS)
+        first = ALGORITHMS[name]().view(conn)
+        second = ALGORITHMS[name]().view(conn)
+        assert first is not second
+
+
+class TestChoiceSet:
+    def test_min_entry(self):
+        conn = make_conn(WEIGHTS)
+        assert conn.min_value == 1.0
+        assert conn.min_key == 1.0
+        assert len(conn) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChoiceSet(0, 0, [])

@@ -1,0 +1,96 @@
+"""Tests for injective graph-pattern matching (subgraph isomorphism)."""
+
+import itertools
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.homomorphism.patterns import (
+    best_subgraph_match,
+    ranked_subgraph_matches,
+)
+
+EDGES = [(1, 2), (2, 3), (3, 1), (2, 2), (3, 4), (4, 1)]
+WEIGHTS = [1.0, 2.0, 3.0, 0.1, 4.0, 5.0]
+TRIANGLE = [("a", "b"), ("b", "c"), ("c", "a")]
+
+
+def brute_injective(pattern, edges, weights):
+    vertices = sorted({v for e in pattern for v in e})
+    weight_of = dict(zip(edges, weights))
+    nodes = sorted({v for e in edges for v in e})
+    out = []
+    for image in itertools.permutations(nodes, len(vertices)):
+        mapping = dict(zip(vertices, image))
+        cost = 0.0
+        ok = True
+        for src, dst in pattern:
+            edge = (mapping[src], mapping[dst])
+            if edge not in weight_of:
+                ok = False
+                break
+            cost += weight_of[edge]
+        if ok:
+            out.append((round(cost, 6), tuple(mapping[v] for v in vertices)))
+    out.sort()
+    return out
+
+
+class TestInjectiveMatching:
+    def test_triangle_matches_oracle(self):
+        expected = brute_injective(TRIANGLE, EDGES, WEIGHTS)
+        got = [
+            (round(cost, 6), (m["a"], m["b"], m["c"]))
+            for cost, m in ranked_subgraph_matches(TRIANGLE, EDGES, WEIGHTS)
+        ]
+        assert sorted(got) == expected
+        assert [c for c, _ in got] == sorted(c for c, _ in got)
+
+    def test_loop_filtered_when_injective(self):
+        # The homomorphism folding onto loop (2,2) is not injective.
+        got = list(ranked_subgraph_matches(TRIANGLE, EDGES, WEIGHTS))
+        assert all(
+            len({m["a"], m["b"], m["c"]}) == 3 for _cost, m in got
+        )
+
+    def test_non_injective_mode_keeps_foldings(self):
+        non_injective = list(
+            ranked_subgraph_matches(TRIANGLE, EDGES, WEIGHTS, injective=False)
+        )
+        injective = list(ranked_subgraph_matches(TRIANGLE, EDGES, WEIGHTS))
+        assert len(non_injective) > len(injective)
+        assert non_injective[0][0] == pytest.approx(0.3)  # all on the loop
+
+    def test_relation_input(self):
+        graph = Relation("G", 2, list(EDGES), list(WEIGHTS))
+        via_relation = list(ranked_subgraph_matches(TRIANGLE, graph))
+        via_list = list(ranked_subgraph_matches(TRIANGLE, EDGES, WEIGHTS))
+        assert [
+            (round(c, 6), tuple(sorted(m.items()))) for c, m in via_relation
+        ] == [(round(c, 6), tuple(sorted(m.items()))) for c, m in via_list]
+
+    def test_non_binary_relation_rejected(self):
+        graph = Relation("G", 3, [(1, 2, 3)], [0.0])
+        with pytest.raises(ValueError, match="binary"):
+            list(ranked_subgraph_matches(TRIANGLE, graph))
+
+
+class TestBestMatch:
+    def test_best_triangle(self):
+        result = best_subgraph_match(TRIANGLE, EDGES, WEIGHTS)
+        assert result is not None
+        cost, mapping = result
+        assert cost == pytest.approx(6.0)  # 1 + 2 + 3
+        assert {mapping["a"], mapping["b"], mapping["c"]} == {1, 2, 3}
+
+    def test_no_match(self):
+        square = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+        result = best_subgraph_match(square, [(1, 2), (2, 3)], [1.0, 1.0])
+        assert result is None
+
+    def test_acyclic_pattern(self):
+        fork = [("r", "x"), ("r", "y")]
+        cost, mapping = best_subgraph_match(fork, EDGES, WEIGHTS)
+        assert mapping["x"] != mapping["y"]
+        # Cheapest injective fork: node 3 -> {1 via (3,1)=3, 4 via (3,4)=4}.
+        assert cost == pytest.approx(7.0)

@@ -1,0 +1,95 @@
+"""TDP.verify() invariant checks across all construction paths."""
+
+import pytest
+
+from repro.data.generators import (
+    example6_database,
+    uniform_database,
+    worst_case_cycle_database,
+)
+from repro.decomposition.cycle import decompose_cycle
+from repro.dp.builder import build_tdp, build_tdp_for_query
+from repro.dp.direct import DPProblem
+from repro.dp.theta import build_theta_path, comparison_predicate
+from repro.data.relation import Relation
+from repro.query.builders import cycle_query, path_query, star_query
+from repro.query.jointree import build_join_tree
+from repro.query.parser import parse_query
+from repro.ranking.dioid import MAX_PLUS
+
+
+class TestVerifyHappyPaths:
+    @pytest.mark.parametrize("builder,ell", [
+        (path_query, 3), (path_query, 5), (star_query, 4),
+    ])
+    def test_query_builds_verify(self, builder, ell):
+        db = uniform_database(ell, 30, domain_size=4, seed=ell)
+        build_tdp_for_query(db, builder(ell)).verify()
+
+    def test_cartesian_build_verifies(self):
+        db = example6_database()
+        query = parse_query("Q(a, b, c) :- R1(a), R2(b), R3(c)")
+        build_tdp_for_query(db, query).verify()
+
+    def test_max_plus_build_verifies(self):
+        db = uniform_database(3, 25, domain_size=3, seed=7)
+        build_tdp_for_query(db, path_query(3), dioid=MAX_PLUS).verify()
+
+    def test_unshared_connectors_verify(self):
+        db = uniform_database(2, 20, domain_size=3, seed=8)
+        tree = build_join_tree(path_query(2))
+        build_tdp(db, tree, share_connectors=False).verify()
+
+    def test_decomposition_bags_verify(self):
+        db = worst_case_cycle_database(4, 12, seed=9)
+        for task in decompose_cycle(db, cycle_query(4)):
+            build_tdp(task.database, build_join_tree(task.query)).verify()
+
+    def test_theta_build_verifies(self):
+        r = Relation("R", 2, [(1, 10), (2, 20)], [1.0, 2.0])
+        s = Relation("S", 2, [(15, 7), (25, 8)], [0.1, 0.2])
+        tdp = build_theta_path([r, s], [comparison_predicate(1, "<", 0)])
+        tdp.verify()
+
+    def test_direct_build_verifies(self):
+        dp = DPProblem()
+        s1 = dp.add_stage(parent=None)
+        s2 = dp.add_stage()
+        a = dp.add_state(s1, 1.0)
+        b = dp.add_state(s2, 2.0)
+        dp.add_decision(a, b)
+        dp.compile().verify()
+
+    def test_empty_tdp_verifies(self):
+        from repro.data.database import Database
+
+        db = Database(
+            [Relation("R1", 2, [(1, 1)], [0]), Relation("R2", 2, [(2, 2)], [0])]
+        )
+        build_tdp_for_query(db, path_query(2)).verify()
+
+
+class TestVerifyCatchesCorruption:
+    def _tdp(self):
+        db = uniform_database(2, 15, domain_size=3, seed=10)
+        return build_tdp_for_query(db, path_query(2))
+
+    def test_detects_broken_pi1(self):
+        tdp = self._tdp()
+        stage = [s for s in range(2) if tdp.children_stages[s]][0]
+        tdp.pi1[stage][0] = -12345.0
+        with pytest.raises(AssertionError):
+            tdp.verify()
+
+    def test_detects_broken_min_entry(self):
+        tdp = self._tdp()
+        conn = next(iter(tdp.root_conn.values()))
+        conn.min_entry = (float("inf"), 0, float("inf"))
+        with pytest.raises(AssertionError):
+            tdp.verify()
+
+    def test_detects_broken_best_weight(self):
+        tdp = self._tdp()
+        tdp.best_weight = -1.0
+        with pytest.raises(AssertionError):
+            tdp.verify()

@@ -1,0 +1,124 @@
+"""Tests for UCQ ranked enumeration and the ASCII chart renderer."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import uniform_database, worst_case_cycle_database
+from repro.data.relation import Relation
+from repro.enumeration.api import ranked_enumerate, ranked_enumerate_ucq
+from repro.experiments.ascii import ascii_chart, curve_chart
+from repro.experiments.runner import measure_ttk
+from repro.query.builders import cycle_query, path_query
+from repro.query.parser import parse_query
+from tests.conftest import brute_force, weight_signature
+
+
+class TestUCQ:
+    def test_disjoint_members_merge_ranked(self):
+        db = Database(
+            [
+                Relation("A1", 2, [(1, 2), (3, 4)], [1.0, 7.0]),
+                Relation("A2", 2, [(2, 5), (4, 6)], [2.0, 1.0]),
+                Relation("B1", 2, [(9, 8), (7, 6)], [0.5, 3.0]),
+                Relation("B2", 2, [(8, 1), (6, 2)], [0.25, 4.0]),
+            ]
+        )
+        q1 = parse_query("Q(x, y, z) :- A1(x, y), A2(y, z)")
+        q2 = parse_query("P(a, b, c) :- B1(a, b), B2(b, c)")
+        merged = list(ranked_enumerate_ucq(db, [q1, q2]))
+        weights = [r.weight for r in merged]
+        assert weights == sorted(weights)
+        expected = sorted(
+            [w for w, _ in brute_force(db, q1)]
+            + [w for w, _ in brute_force(db, q2)]
+        )
+        assert weights == pytest.approx(expected)
+        # Output named after the first query's head.
+        assert set(merged[0].assignment) == {"x", "y", "z"}
+
+    def test_identical_members_dedup(self):
+        db = uniform_database(2, 15, domain_size=3, seed=1)
+        q = path_query(2)
+        merged = list(ranked_enumerate_ucq(db, [q, q]))
+        single = list(ranked_enumerate(db, q))
+        assert weight_signature(
+            (r.weight, r.output_tuple) for r in merged
+        ) == weight_signature((r.weight, r.output_tuple) for r in single)
+
+    def test_dedup_off_doubles(self):
+        db = uniform_database(2, 10, domain_size=2, seed=2)
+        q = path_query(2)
+        merged = list(ranked_enumerate_ucq(db, [q, q], dedup=False))
+        single = list(ranked_enumerate(db, q))
+        assert len(merged) == 2 * len(single)
+
+    def test_cyclic_member_flattened(self):
+        db = worst_case_cycle_database(4, 8, seed=3)
+        db.add(Relation("P1", 2, [(100, 200)], [0.1]))
+        db.add(Relation("P2", 2, [(200, 300)], [0.1]))
+        db.add(Relation("P3", 2, [(300, 400)], [0.1]))
+        cyc = cycle_query(4)
+        pth = path_query(3).atoms
+        from repro.query.cq import ConjunctiveQuery
+
+        path_q = ConjunctiveQuery(
+            None,
+            [a.__class__(f"P{i+1}", a.variables) for i, a in enumerate(pth)],
+            name="P",
+        )
+        merged = list(ranked_enumerate_ucq(db, [cyc, path_q]))
+        weights = [r.weight for r in merged]
+        assert weights == sorted(weights)
+        assert len(merged) == 2 * 4 * 4 + 1
+
+    def test_head_arity_mismatch_rejected(self):
+        db = uniform_database(2, 5, domain_size=2, seed=4)
+        with pytest.raises(ValueError, match="same head arity"):
+            list(ranked_enumerate_ucq(db, [path_query(2), path_query(1)]))
+
+    def test_non_full_member_rejected(self):
+        db = uniform_database(2, 5, domain_size=2, seed=5)
+        q = parse_query("Q(x1) :- R1(x1, x2), R2(x2, x3)")
+        with pytest.raises(ValueError, match="full CQ"):
+            list(ranked_enumerate_ucq(db, [q]))
+
+    def test_empty_union_rejected(self):
+        db = uniform_database(1, 5, domain_size=2, seed=6)
+        with pytest.raises(ValueError, match="at least one query"):
+            list(ranked_enumerate_ucq(db, []))
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"lazy": [(1, 0.1), (50, 0.5)], "batch": [(1, 0.4), (50, 0.6)]}
+        )
+        assert "legend:" in chart
+        assert "L = lazy" in chart
+        assert "B = batch" in chart
+        assert chart.count("|") >= 14
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        chart = ascii_chart({"x": [(5, 1.0)]})
+        assert "X = x" in chart
+
+    def test_marker_collision_resolved(self):
+        chart = ascii_chart(
+            {"take2": [(1, 1.0)], "twister": [(2, 2.0)]}
+        )
+        lines = [l for l in chart.splitlines() if l.startswith(" legend")]
+        markers = [part.split(" = ")[0].strip() for part in lines[0].split("   ")]
+        # After "legend:" prefix handling, markers must be distinct.
+        assert len(set(chart.split("legend: ")[1].split("   "))) == 2
+
+    def test_curve_chart_from_results(self):
+        db = uniform_database(2, 20, domain_size=3, seed=7)
+        results = [
+            measure_ttk(db, path_query(2), name, k=20)
+            for name in ("take2", "batch")
+        ]
+        chart = curve_chart(results)
+        assert "take2" in chart and "batch" in chart

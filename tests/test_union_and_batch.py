@@ -1,0 +1,114 @@
+"""UnionEnumerator (UT-DP) and Batch baseline behaviour."""
+
+import pytest
+
+from repro.anyk.base import make_enumerator
+from repro.anyk.batch import Batch, enumerate_all_solutions
+from repro.anyk.union import UnionEnumerator
+from repro.data.generators import uniform_database
+from repro.dp.builder import build_tdp_for_query
+from repro.query.builders import path_query
+from repro.util.counters import OpCounter
+from tests.conftest import brute_force, weight_signature
+
+
+def make_member(seed, algorithm="take2"):
+    db = uniform_database(2, 15, domain_size=3, seed=seed)
+    tdp = build_tdp_for_query(db, path_query(2))
+    return db, make_enumerator(tdp, algorithm)
+
+
+class TestUnion:
+    def test_merges_in_order(self):
+        db1, member1 = make_member(1)
+        db2, member2 = make_member(2)
+        union = UnionEnumerator([member1, member2], dedup=False)
+        weights = [r.weight for r in union]
+        assert weights == sorted(weights)
+        expected = sorted(
+            [w for w, _ in brute_force(db1, path_query(2))]
+            + [w for w, _ in brute_force(db2, path_query(2))]
+        )
+        assert weights == pytest.approx(expected)
+
+    def test_single_member_passthrough(self):
+        db, member = make_member(3)
+        union = UnionEnumerator([member], dedup=False)
+        got = [r.weight for r in union]
+        assert got == pytest.approx(
+            [w for w, _ in brute_force(db, path_query(2))]
+        )
+
+    def test_dedup_consecutive(self):
+        # Two identical members produce every result twice, consecutively
+        # (same keys): dedup must halve the stream.
+        db = uniform_database(2, 15, domain_size=3, seed=4)
+        tdp = build_tdp_for_query(db, path_query(2))
+        member1 = make_enumerator(tdp, "take2")
+        member2 = make_enumerator(tdp, "take2")
+        identity = lambda r: (r.key, r.output_tuple())  # noqa: E731
+        union = UnionEnumerator([member1, member2], identity=identity, dedup=True)
+        got = [r.weight for r in union]
+        expected = [w for w, _ in brute_force(db, path_query(2))]
+        # Ties between distinct outputs may interleave, but with the
+        # key+output identity only true duplicates are dropped.
+        assert sorted(got) == pytest.approx(sorted(expected))
+
+    def test_empty_members(self):
+        union = UnionEnumerator([], dedup=False)
+        assert list(union) == []
+
+    def test_counts_pq_traffic(self):
+        _db, member = make_member(5)
+        counter = OpCounter()
+        union = UnionEnumerator([member], dedup=False, counter=counter)
+        n = len(list(union))
+        assert counter.pq_pop == n
+        assert counter.results == n
+
+
+class TestBatch:
+    def test_sorted_flag(self):
+        db = uniform_database(2, 20, domain_size=3, seed=6)
+        tdp = build_tdp_for_query(db, path_query(2))
+        ranked = [r.weight for r in Batch(tdp)]
+        unsorted_batch = [r.weight for r in Batch(tdp, sort=False)]
+        assert ranked == sorted(ranked)
+        assert sorted(unsorted_batch) == pytest.approx(ranked)
+
+    def test_size_attribute(self):
+        db = uniform_database(2, 20, domain_size=3, seed=7)
+        tdp = build_tdp_for_query(db, path_query(2))
+        batch = Batch(tdp)
+        assert batch.size == len(brute_force(db, path_query(2)))
+
+    def test_enumerate_all_solutions_weights(self):
+        db = uniform_database(3, 15, domain_size=3, seed=8)
+        tdp = build_tdp_for_query(db, path_query(3))
+        solutions = list(enumerate_all_solutions(tdp))
+        expected = weight_signature(brute_force(db, path_query(3)))
+        got = sorted(round(w, 6) for w, _ in solutions)
+        assert got == [w for w, _ in expected]
+
+    def test_empty_tdp(self):
+        from repro.data.database import Database
+        from repro.data.relation import Relation
+
+        db = Database(
+            [Relation("R1", 2, [(1, 1)], [0]), Relation("R2", 2, [(2, 2)], [0])]
+        )
+        tdp = build_tdp_for_query(db, path_query(2))
+        assert list(enumerate_all_solutions(tdp)) == []
+        assert list(Batch(tdp)) == []
+
+    def test_deterministic_tie_order(self):
+        from repro.data.database import Database
+        from repro.data.relation import Relation
+
+        r1 = Relation("R1", 2, [(1, 1), (2, 1)], [1.0, 1.0])
+        r2 = Relation("R2", 2, [(1, 5), (1, 6)], [1.0, 1.0])
+        db = Database([r1, r2])
+        tdp = build_tdp_for_query(db, path_query(2))
+        first = [r.states for r in Batch(tdp)]
+        second = [r.states for r in Batch(build_tdp_for_query(db, path_query(2)))]
+        assert first == second, "tie order must be deterministic"
