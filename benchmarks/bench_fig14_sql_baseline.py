@@ -8,7 +8,6 @@ an in-memory database with indexes, fully materialising and sorting the
 join.  The report records the ratio per workload.
 """
 
-import time
 
 import pytest
 

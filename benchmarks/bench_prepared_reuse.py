@@ -1,0 +1,59 @@
+"""Repeated execution of a prepared query: preprocessing amortised away.
+
+The engine's core serving claim: ``Engine.prepare`` pays the
+preprocessing phase (join tree / decomposition + T-DP bottom-up) once,
+and every later execution of the :class:`PreparedQuery` runs only the
+enumeration phase.  This bench runs the same top-k query cold and then
+repeatedly warm, and reports both sides: the cold run's preprocessing
+time and the warm runs' (≈ 0) preprocessing plus enumeration-only delay.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_workload, pedantic, record_result
+from repro.engine import Engine
+from repro.experiments.runner import measure_enumeration, measure_ttk
+from repro.experiments.workloads import synthetic_large
+
+FIGURE = "prepared_reuse"
+REPETITIONS = 5
+
+
+def _workload():
+    return synthetic_large("path", 4, k=1_000)
+
+
+@pytest.mark.parametrize("algorithm", ["take2", "lazy"])
+def test_prepared_query_reuse(benchmark, algorithm):
+    workload = cached_workload(f"{FIGURE}/wl", _workload)
+    cold = measure_ttk(
+        workload.database, workload.query, algorithm, workload.k
+    )
+    engine = Engine(workload.database)
+    prepared = engine.prepare(workload.query, algorithm=algorithm)
+    prepared.bind()
+
+    def job():
+        return measure_enumeration(prepared, workload.k)
+
+    warm = pedantic(benchmark, job, rounds=REPETITIONS)
+
+    assert warm.preprocess == 0.0, "warm run must skip preprocessing"
+    assert warm.produced == cold.produced
+
+    benchmark.extra_info["workload"] = workload.name
+    benchmark.extra_info["cold_preprocess_ms"] = round(cold.preprocess * 1e3, 3)
+    benchmark.extra_info["cold_enum_ms"] = round(cold.enumeration * 1e3, 3)
+    benchmark.extra_info["warm_preprocess_ms"] = round(warm.preprocess * 1e3, 3)
+    benchmark.extra_info["warm_enum_ms"] = round(warm.enumeration * 1e3, 3)
+    benchmark.extra_info["warm_ttf_ms"] = round(warm.ttf * 1e3, 3)
+    record_result(
+        FIGURE,
+        f"{workload.name:<24} {algorithm:>10}: "
+        f"cold pre={cold.preprocess * 1e3:8.2f} ms  "
+        f"cold enum={cold.enumeration * 1e3:8.2f} ms  |  "
+        f"warm pre={warm.preprocess * 1e3:.2f} ms  "
+        f"warm enum={warm.enumeration * 1e3:8.2f} ms  "
+        f"warm TTF={warm.ttf * 1e3:7.2f} ms  "
+        f"({warm.produced} results x{REPETITIONS} reps)",
+    )

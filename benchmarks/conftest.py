@@ -20,7 +20,8 @@ from typing import Callable
 
 import pytest
 
-from repro.experiments.runner import TTKResult, measure_ttk
+from repro.engine import Engine
+from repro.experiments.runner import TTKResult, measure_enumeration, measure_ttk
 from repro.experiments.workloads import Workload
 from repro.ranking.dioid import TROPICAL
 
@@ -47,6 +48,9 @@ WITH_BATCH = ANYK_ALGORITHMS + ["batch"]
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 _workload_cache: dict[str, Workload] = {}
+#: One engine per workload: prepared plans are shared by all benchmark
+#: cells over that workload (the serving-path reuse the engine enables).
+_engine_cache: dict[int, Engine] = {}
 #: (figure, workload-name) -> TTK results, for end-of-session charts.
 _curves: dict[tuple[str, str], list[TTKResult]] = {}
 
@@ -58,6 +62,15 @@ def cached_workload(key: str, builder: Callable[[], Workload]) -> Workload:
         workload = builder()
         _workload_cache[key] = workload
     return workload
+
+
+def cached_engine(workload: Workload) -> Engine:
+    """The session-shared engine for a workload's database."""
+    engine = _engine_cache.get(id(workload.database))
+    if engine is None:
+        engine = Engine(workload.database)
+        _engine_cache[id(workload.database)] = engine
+    return engine
 
 
 def record_result(figure: str, line: str) -> None:
@@ -75,7 +88,16 @@ def run_ttk_benchmark(
     dioid=TROPICAL,
     rounds: int = 1,
 ) -> TTKResult:
-    """Benchmark one cold-start TT(k) run and record its curve."""
+    """Benchmark one cold-start TT(k) run and record its curve.
+
+    The timed job stays cold (the paper's methodology), but the two
+    phases are now reported as *separate* JSON fields: ``preprocess_ms``
+    (plan binding: join tree / decomposition + T-DP bottom-up) and
+    ``enum_ms`` (enumeration only).  After the timed rounds, a warm run
+    over the session-shared engine's :class:`PreparedQuery` records the
+    served-path numbers (``warm_*``) — preprocessing there is ≈ 0
+    because the prepared plan is reused.
+    """
 
     def job() -> TTKResult:
         return measure_ttk(
@@ -87,11 +109,26 @@ def run_ttk_benchmark(
     benchmark.extra_info["workload"] = workload.name
     benchmark.extra_info["ttf_ms"] = round(result.ttf * 1e3, 2)
     benchmark.extra_info["produced"] = result.produced
+    benchmark.extra_info["preprocess_ms"] = round(result.preprocess * 1e3, 3)
+    benchmark.extra_info["enum_ms"] = round(result.enumeration * 1e3, 3)
+
+    # Warm (prepared-plan) pass: enumeration-only delay, untimed by
+    # pytest-benchmark but recorded alongside the cold numbers.
+    engine = cached_engine(workload)
+    prepared = engine.prepare(workload.query, dioid=dioid, algorithm=algorithm)
+    warm = measure_enumeration(prepared, workload.k)
+    benchmark.extra_info["warm_preprocess_ms"] = round(warm.preprocess * 1e3, 3)
+    benchmark.extra_info["warm_ttf_ms"] = round(warm.ttf * 1e3, 3)
+    benchmark.extra_info["warm_enum_ms"] = round(warm.enumeration * 1e3, 3)
+
     curve = "  ".join(f"({k}, {t:.3f}s)" for k, t in result.curve)
     record_result(
         figure,
         f"{workload.name:<24} {algorithm:>10}: TTF={result.ttf * 1e3:9.2f} ms  "
-        f"TT({result.produced})={result.ttk:8.3f} s  curve: {curve}",
+        f"TT({result.produced})={result.ttk:8.3f} s  "
+        f"[pre={result.preprocess * 1e3:8.2f} ms  "
+        f"enum={result.enumeration * 1e3:8.2f} ms  "
+        f"warm TTF={warm.ttf * 1e3:7.2f} ms]  curve: {curve}",
     )
     _curves.setdefault((figure, workload.name), []).append(result)
     return result

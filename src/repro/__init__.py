@@ -18,6 +18,17 @@ Quickstart::
     query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
     for result in ranked_enumerate(db, query, algorithm="take2"):
         print(result.weight, result.assignment)
+
+Repeated executions should go through the engine, which caches the
+physical plan (join tree / decomposition + built T-DPs) and re-runs
+only the enumeration phase::
+
+    from repro import Engine
+
+    engine = Engine(db)
+    prepared = engine.prepare(query)   # preprocessing paid here, once
+    top5 = prepared.top(5)
+    top50 = prepared.top(50)           # enumeration-only
 """
 
 from repro.anyk import (
@@ -29,8 +40,9 @@ from repro.anyk import (
     UnionEnumerator,
     make_enumerator,
 )
-from repro.data import Database, HashIndex, Relation
+from repro.data import Database, HashIndex, IndexCache, Relation
 from repro.dp import TDP, build_tdp, build_tdp_for_query
+from repro.engine import Engine, LogicalPlan, PhysicalPlan, PreparedQuery, plan
 from repro.enumeration import QueryResult, ranked_enumerate
 from repro.homomorphism import min_cost_homomorphism, ranked_homomorphisms
 from repro.query import (
@@ -60,6 +72,12 @@ __all__ = [
     "Database",
     "Relation",
     "HashIndex",
+    "IndexCache",
+    "Engine",
+    "PreparedQuery",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "plan",
     "Atom",
     "ConjunctiveQuery",
     "parse_query",

@@ -24,7 +24,6 @@ there.
 from __future__ import annotations
 
 import heapq
-from typing import Any
 
 from repro.anyk.base import Enumerator, RankedResult
 from repro.anyk.strategies import SuccessorStrategy, Take2Strategy

@@ -8,7 +8,7 @@ graph workload generators used by the experiments.
 """
 
 from repro.data.database import Database
-from repro.data.index import HashIndex
+from repro.data.index import HashIndex, IndexCache
 from repro.data.relation import Relation
 
-__all__ = ["Relation", "Database", "HashIndex"]
+__all__ = ["Relation", "Database", "HashIndex", "IndexCache"]

@@ -16,6 +16,7 @@ class Database:
 
     def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] | None = None):
         self.relations: dict[str, Relation] = {}
+        self._structure_version = 0
         if relations is None:
             return
         if isinstance(relations, Mapping):
@@ -27,9 +28,43 @@ class Database:
             for relation in relations:
                 self.add(relation)
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter covering the whole database.
+
+        Bumped by structural changes (:meth:`add`, :meth:`remove`) and by
+        tuple insertions on any contained relation.  The sum includes
+        each relation's *cardinality* as well as its mutation counter, so
+        insertions are observed even through an aliased :meth:`Relation.rename`
+        copy that shares tuple storage (as ``Database({"E": rel})``
+        creates).  The engine stamps prepared queries with this value, so
+        any mutation soundly invalidates cached plans, T-DPs, and indexes
+        on the next execution.
+        """
+        return self._structure_version + sum(
+            len(relation) + relation.version
+            for relation in self.relations.values()
+        )
+
+    def touch(self) -> None:
+        """Force a version bump (for out-of-band mutation of relations)."""
+        self._structure_version += 1
+
     def add(self, relation: Relation) -> None:
         """Register ``relation`` under its own name (replacing any old one)."""
+        old = self.relations.get(relation.name)
         self.relations[relation.name] = relation
+        # Replacing a relation may *lower* the summed (len + version)
+        # contribution; compensate so the total stays strictly monotone.
+        self._structure_version += 1 + (
+            len(old) + old.version if old is not None else 0
+        )
+
+    def remove(self, name: str) -> None:
+        """Drop the relation called ``name`` (KeyError if absent)."""
+        relation = self[name]
+        del self.relations[name]
+        self._structure_version += 1 + len(relation) + relation.version
 
     def __getitem__(self, name: str) -> Relation:
         try:

@@ -51,9 +51,56 @@ class HashIndex:
         """All distinct join keys present in the relation."""
         return self._buckets.keys()
 
+    def items(self) -> Iterable[tuple[tuple, list[int]]]:
+        """``(key, positions)`` pairs — e.g. for degree statistics."""
+        return self._buckets.items()
+
     def __len__(self) -> int:
         return len(self._buckets)
 
     def max_bucket(self) -> int:
         """Size of the largest bucket (degree statistics for heavy/light)."""
         return max(map(len, self._buckets.values()), default=0)
+
+
+class IndexCache:
+    """Memoised :class:`HashIndex` builds, keyed by relation content.
+
+    The cache key is ``(relation name, columns)``; each entry is stamped
+    with ``(id(relation), len(relation), relation.version)`` at build
+    time and is rebuilt transparently when the stamp no longer matches:
+    ``version``/``len`` catch :meth:`Relation.add`, and the object
+    identity catches replacing a relation with a fresh same-name,
+    same-cardinality one.  (The cached :class:`HashIndex` holds a
+    reference to the stamped relation, so its ``id`` cannot be recycled
+    while the entry lives.)  One instance lives on each
+    :class:`~repro.engine.engine.Engine`, letting repeated preparations
+    share the linear-time index builds of Section 2.3.
+    """
+
+    __slots__ = ("_indexes", "hits", "misses")
+
+    def __init__(self):
+        self._indexes: dict[tuple, tuple[tuple, HashIndex]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, relation: Relation, columns: Sequence[int]) -> HashIndex:
+        """The index of ``relation`` on ``columns`` (built at most once)."""
+        columns = tuple(columns)
+        key = (relation.name, columns)
+        stamp = (id(relation), len(relation), relation.version)
+        entry = self._indexes.get(key)
+        if entry is not None and entry[0] == stamp:
+            self.hits += 1
+            return entry[1]
+        index = HashIndex(relation, columns)
+        self._indexes[key] = (stamp, index)
+        self.misses += 1
+        return index
+
+    def clear(self) -> None:
+        self._indexes.clear()
+
+    def __len__(self) -> int:
+        return len(self._indexes)

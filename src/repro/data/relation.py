@@ -20,7 +20,7 @@ class Relation:
     multiset, so duplicate tuples are allowed and keep distinct weights.
     """
 
-    __slots__ = ("name", "arity", "tuples", "weights")
+    __slots__ = ("name", "arity", "tuples", "weights", "_version")
 
     def __init__(
         self,
@@ -48,6 +48,16 @@ class Relation:
                 f"{name}: {len(self.tuples)} tuples but "
                 f"{len(self.weights)} weights"
             )
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by :meth:`add`.
+
+        Together with ``len(self)`` this stamps the relation's content
+        for cache invalidation (engine plan cache, index cache).
+        """
+        return self._version
 
     # -- construction helpers -------------------------------------------------
 
@@ -71,6 +81,7 @@ class Relation:
             )
         self.tuples.append(values)
         self.weights.append(weight)
+        self._version += 1
 
     # -- container protocol ----------------------------------------------------
 
@@ -90,10 +101,15 @@ class Relation:
     # -- relational operations -------------------------------------------------
 
     def rename(self, name: str) -> "Relation":
-        """A shallow copy under a different name (for self-joins)."""
+        """A shallow copy under a different name (for self-joins).
+
+        The copy shares tuple/weight storage; mutate through exactly one
+        of the two objects so version stamps stay meaningful.
+        """
         copy = Relation(name, self.arity)
         copy.tuples = self.tuples
         copy.weights = self.weights
+        copy._version = self._version
         return copy
 
     def filter(self, predicate: Callable[[tuple], bool], name: str | None = None) -> "Relation":

@@ -103,9 +103,24 @@ class _CycleAtom:
         return out
 
 
-def _heavy_values(cycle_atom: _CycleAtom, threshold: int) -> set:
-    counts: dict = {}
+def _heavy_values(
+    cycle_atom: _CycleAtom, threshold: int, indexes=None
+) -> set:
+    """Entry-attribute values with >= ``threshold`` occurrences.
+
+    With an :class:`~repro.data.index.IndexCache` the degree statistics
+    come from a (possibly cached) hash index on the entry column, so
+    repeated decompositions of the same database skip the counting pass.
+    """
     entry_pos = cycle_atom.entry_pos
+    if indexes is not None:
+        index = indexes.get(cycle_atom.relation, (entry_pos,))
+        return {
+            key[0]
+            for key, positions in index.items()
+            if len(positions) >= threshold
+        }
+    counts: dict = {}
     for values in cycle_atom.relation.tuples:
         value = values[entry_pos]
         counts[value] = counts.get(value, 0) + 1
@@ -162,13 +177,20 @@ def decompose_cycle(
     query: ConjunctiveQuery,
     dioid: SelectiveDioid = TROPICAL,
     threshold: int | None = None,
+    indexes=None,
+    walk: list[tuple[int, str]] | None = None,
 ) -> list[TreeTask]:
     """Decompose a simple-cycle query into l heavy trees + 1 light tree.
 
     Raises ``ValueError`` if the query is not a simple cycle.  Member
-    outputs are disjoint; empty members are dropped.
+    outputs are disjoint; empty members are dropped.  ``indexes`` is an
+    optional :class:`~repro.data.index.IndexCache` for the heavy/light
+    degree statistics, and ``walk`` a precomputed
+    :func:`detect_simple_cycle` result (the planning layer passes the
+    one it stored on the logical plan, skipping re-detection on rebind).
     """
-    walk = detect_simple_cycle(query)
+    if walk is None:
+        walk = detect_simple_cycle(query)
     if walk is None:
         raise ValueError(f"{query!r} is not a simple cycle")
     length = len(walk)
@@ -180,7 +202,9 @@ def decompose_cycle(
     n = max(len(ca.relation) for ca in cycle_atoms)
     if threshold is None:
         threshold = default_threshold(n, length)
-    heavy_sets = [_heavy_values(ca, threshold) for ca in cycle_atoms]
+    heavy_sets = [
+        _heavy_values(ca, threshold, indexes=indexes) for ca in cycle_atoms
+    ]
 
     tasks: list[TreeTask] = []
     for pivot in range(length):

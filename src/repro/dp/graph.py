@@ -154,6 +154,35 @@ class TDP:
         """Total alive states across stages."""
         return sum(len(stage_tuples) for stage_tuples in self.tuples)
 
+    def stats(self) -> dict:
+        """Summary statistics of the materialised state space.
+
+        Used by plan/explain reporting: per-stage alive states and
+        distinct child connectors, plus the totals and the best weight.
+        """
+        per_stage = []
+        for stage in range(self.num_stages):
+            conns = {
+                conn.uid
+                for state_conns in self.child_conns[stage]
+                for conn in state_conns
+            }
+            per_stage.append(
+                {
+                    "stage": stage,
+                    "atom": self.atom_of_stage[stage],
+                    "states": len(self.tuples[stage]),
+                    "connectors": len(conns),
+                }
+            )
+        return {
+            "stages": per_stage,
+            "states": self.num_states(),
+            "connectors": self.num_connectors,
+            "best_weight": self.best_weight,
+            "empty": self.is_empty(),
+        }
+
     def state_count_per_stage(self) -> list[int]:
         return [len(stage_tuples) for stage_tuples in self.tuples]
 

@@ -17,7 +17,7 @@ Recursive, Batch) runs unchanged on the resulting
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Sequence
+from typing import Callable, Sequence
 
 from repro.data.relation import Relation
 from repro.dp.graph import ChoiceSet, TDP

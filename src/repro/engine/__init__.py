@@ -1,0 +1,41 @@
+"""Engine subsystem: explicit plans, prepared queries, and caching.
+
+Separates the paper's once-per-query preprocessing phase from the
+per-request enumeration phase:
+
+* :mod:`repro.engine.plan` — the pure planning layer
+  (:func:`~repro.engine.plan.plan` → :class:`~repro.engine.plan.LogicalPlan`,
+  :func:`~repro.engine.plan.bind` → :class:`~repro.engine.plan.PhysicalPlan`);
+* :mod:`repro.engine.engine` — the session layer
+  (:class:`~repro.engine.engine.Engine`,
+  :class:`~repro.engine.engine.PreparedQuery`) with fingerprint-keyed
+  plan caching and database-version invalidation.
+"""
+
+from repro.engine.engine import Engine, EngineStats, PreparedQuery
+from repro.engine.plan import (
+    ACYCLIC_TDP,
+    ALL_WEIGHT_PROJECTION,
+    FREE_CONNEX_MINWEIGHT,
+    GENERIC_DECOMPOSITION,
+    SIMPLE_CYCLE_UNION,
+    LogicalPlan,
+    PhysicalPlan,
+    bind,
+    plan,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "PreparedQuery",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "plan",
+    "bind",
+    "ACYCLIC_TDP",
+    "SIMPLE_CYCLE_UNION",
+    "GENERIC_DECOMPOSITION",
+    "FREE_CONNEX_MINWEIGHT",
+    "ALL_WEIGHT_PROJECTION",
+]

@@ -1,0 +1,315 @@
+"""Engine/session layer: prepared queries with sound plan & index caching.
+
+An :class:`Engine` wraps one :class:`~repro.data.database.Database` and
+hands out :class:`PreparedQuery` objects::
+
+    engine = Engine(db)
+    prepared = engine.prepare("Q(x, y, z) :- R(x, y), S(y, z)")
+    top5 = prepared.top(5)        # pays preprocessing once
+    more = prepared.top(100)      # enumeration-only: plan + T-DP reused
+
+``prepare`` is idempotent: the plan cache is keyed on the query
+fingerprint plus execution options (dioid, algorithm, projection,
+cycle threshold), LRU-evicted beyond ``max_cached_plans``.  Bound
+*physical* plans are additionally shared across prepared queries that
+differ only in the any-k algorithm — the built T-DPs are
+algorithm-independent, so switching algorithms costs no second
+preprocessing pass.  A prepared
+query stamps the database's monotone :attr:`Database.version` when it
+binds; any mutation (``Database.add``/``remove``/``touch`` or
+``Relation.add`` on a contained relation) changes the version, and the
+next execution transparently re-runs the preprocessing phase — cached
+results are never stale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.data.database import Database
+from repro.data.index import IndexCache
+from repro.engine.plan import LogicalPlan, PhysicalPlan, bind, plan
+from repro.enumeration.result import QueryResult
+from repro.query.cq import ConjunctiveQuery
+from repro.query.selections import (
+    SelectionCondition,
+    filter_database,
+    parse_query_with_constants,
+    rewrite_for_selections,
+)
+from repro.ranking.dioid import TROPICAL, SelectiveDioid
+from repro.util.counters import OpCounter
+
+
+@dataclass
+class EngineStats:
+    """Plan-cache and binding counters (observability for tests/tuning)."""
+
+    prepare_hits: int = 0
+    prepare_misses: int = 0
+    binds: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "prepare_hits": self.prepare_hits,
+            "prepare_misses": self.prepare_misses,
+            "binds": self.binds,
+            "evictions": self.evictions,
+        }
+
+
+class PreparedQuery:
+    """A cached physical plan plus everything needed to (re)bind it.
+
+    Created by :meth:`Engine.prepare`.  Execution methods (:meth:`iter`,
+    :meth:`top`, :meth:`first`) run only the enumeration phase when the
+    underlying database is unchanged since the last bind; otherwise they
+    re-run preprocessing first (and count a bind in the engine stats).
+    """
+
+    __slots__ = (
+        "engine", "logical", "selections", "physical_key", "_source_query",
+        "_physical", "_bound_version",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        logical: LogicalPlan,
+        physical_key: tuple,
+        selections: tuple[SelectionCondition, ...] = (),
+        source_query: ConjunctiveQuery | None = None,
+    ):
+        self.engine = engine
+        self.logical = logical
+        #: Engine-level key for the *bound* plan.  Excludes the any-k
+        #: algorithm: the built T-DP structures are algorithm-independent
+        #: (the algorithm only selects connector ranking at enumeration
+        #: time), so prepared queries differing only in algorithm share
+        #: one physical plan and preprocessing is paid once.
+        self.physical_key = physical_key
+        #: Constant selections compiled out of the query text; applied to
+        #: the database at bind time (the paper's O(n) preprocessing).
+        self.selections = selections
+        #: Pre-rewrite query (needed to locate base relations to filter).
+        self._source_query = source_query or logical.query
+        self._physical: PhysicalPlan | None = None
+        self._bound_version: int = -1
+
+    # -- binding ---------------------------------------------------------------
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The (selection-rewritten) query this plan evaluates."""
+        return self.logical.query
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether a physical plan is cached for the current db version."""
+        return (
+            self._physical is not None
+            and self._bound_version == self.engine.database.version
+        )
+
+    @property
+    def preprocess_seconds(self) -> float | None:
+        """Preprocessing wall-clock of the last bind (None if unbound)."""
+        return None if self._physical is None else self._physical.preprocess_seconds
+
+    def bind(self, force: bool = False) -> PhysicalPlan:
+        """Ensure the physical plan matches the database's current state.
+
+        A no-op when already bound at the current version (unless
+        ``force``).  Delegates to the engine's shared physical-plan
+        cache, so sibling prepared queries (same query/dioid/projection,
+        different algorithm) bind at most once per database version.
+        """
+        version = self.engine.database.version
+        if not force and self._physical is not None and self._bound_version == version:
+            return self._physical
+        self._physical = self.engine._bind_physical(self, version, force=force)
+        self._bound_version = version
+        return self._physical
+
+    def invalidate(self) -> None:
+        """Drop the cached physical plan (next run re-preprocesses)."""
+        self._physical = None
+        self._bound_version = -1
+        self.engine._physicals.pop(self.physical_key, None)
+
+    # -- execution (enumeration phase only, when bound) ------------------------
+
+    def iter(self, counter: OpCounter | None = None) -> Iterator[QueryResult]:
+        """Start one ranked enumeration run (lazy; TT(k) to pull k)."""
+        return self.bind().iter(counter, algorithm=self.logical.algorithm)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return self.iter()
+
+    def top(self, k: int, counter: OpCounter | None = None) -> list[QueryResult]:
+        """The first ``k`` ranked answers (fewer if the output is smaller)."""
+        return self.bind().top(
+            k, counter=counter, algorithm=self.logical.algorithm
+        )
+
+    def first(self, counter: OpCounter | None = None) -> QueryResult | None:
+        """The top-ranked answer, or ``None`` on empty output (TTF cost)."""
+        return next(self.iter(counter), None)
+
+    def explain(self) -> str:
+        """Logical plan, plus physical statistics when already bound."""
+        if self._physical is not None:
+            return self._physical.explain()
+        return self.logical.explain()
+
+    def __repr__(self) -> str:
+        state = "bound" if self.is_bound else "unbound"
+        return (
+            f"PreparedQuery({self.logical.query.name}, "
+            f"{self.logical.strategy}, {self.logical.algorithm}, {state})"
+        )
+
+
+class Engine:
+    """Session object: one database, cached prepared queries and indexes."""
+
+    def __init__(self, database: Database, max_cached_plans: int = 64):
+        self.database = database
+        self.max_cached_plans = max_cached_plans
+        self.indexes = IndexCache()
+        self.stats = EngineStats()
+        self._plans: OrderedDict[tuple, PreparedQuery] = OrderedDict()
+        #: Bound physical plans, shared across algorithm variants:
+        #: physical_key -> (database version at bind, PhysicalPlan).
+        self._physicals: OrderedDict[tuple, tuple[int, PhysicalPlan]] = (
+            OrderedDict()
+        )
+
+    def prepare(
+        self,
+        query: ConjunctiveQuery | str,
+        dioid: SelectiveDioid = TROPICAL,
+        algorithm: str = "take2",
+        projection: str = "all_weight",
+        cycle_threshold: int | None = None,
+    ) -> PreparedQuery:
+        """Plan ``query`` (or fetch the cached plan) for later execution.
+
+        ``query`` may be a :class:`ConjunctiveQuery` or Datalog-style
+        text; text may contain constants (``R(x, 5)``), which compile
+        into selections applied at bind time.  Binding is deferred: the
+        first execution (or an explicit :meth:`PreparedQuery.bind`) runs
+        the preprocessing phase.
+        """
+        source_query, selections = self._resolve(query)
+        planned_query = (
+            rewrite_for_selections(source_query, list(selections))
+            if selections
+            else source_query
+        )
+        physical_key = (
+            planned_query.fingerprint(),
+            tuple(
+                (c.atom_index, c.position, c.value) for c in selections
+            ),
+            id(dioid),
+            projection,
+            cycle_threshold,
+        )
+        key = physical_key + (algorithm.lower(),)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            self.stats.prepare_hits += 1
+            return cached
+        logical = plan(
+            planned_query,
+            dioid=dioid,
+            algorithm=algorithm,
+            projection=projection,
+            cycle_threshold=cycle_threshold,
+        )
+        prepared = PreparedQuery(
+            self,
+            logical,
+            physical_key,
+            selections=selections,
+            source_query=source_query,
+        )
+        self._plans[key] = prepared
+        self.stats.prepare_misses += 1
+        while len(self._plans) > self.max_cached_plans:
+            self._plans.popitem(last=False)
+            self.stats.evictions += 1
+        return prepared
+
+    def _bind_physical(
+        self, prepared: PreparedQuery, version: int, force: bool = False
+    ) -> PhysicalPlan:
+        """Fetch or build the shared physical plan for ``prepared``."""
+        key = prepared.physical_key
+        entry = self._physicals.get(key)
+        if not force and entry is not None and entry[0] == version:
+            self._physicals.move_to_end(key)
+            return entry[1]
+        database = self.database
+        if prepared.selections:
+            database = filter_database(
+                database, prepared._source_query, list(prepared.selections)
+            )
+        physical = bind(prepared.logical, database, indexes=self.indexes)
+        self._physicals[key] = (version, physical)
+        self._physicals.move_to_end(key)
+        while len(self._physicals) > self.max_cached_plans:
+            self._physicals.popitem(last=False)
+        self.stats.binds += 1
+        return physical
+
+    @staticmethod
+    def _resolve(
+        query: ConjunctiveQuery | str,
+    ) -> tuple[ConjunctiveQuery, tuple[SelectionCondition, ...]]:
+        if isinstance(query, str):
+            parsed, selections = parse_query_with_constants(query)
+            return parsed, tuple(selections)
+        return query, ()
+
+    # -- convenience -----------------------------------------------------------
+
+    def execute(
+        self,
+        query: ConjunctiveQuery | str,
+        k: int | None = None,
+        counter: OpCounter | None = None,
+        **options: Any,
+    ) -> list[QueryResult]:
+        """Prepare-and-run shortcut: top ``k`` answers (all if ``None``)."""
+        prepared = self.prepare(query, **options)
+        if k is None:
+            return list(prepared.iter(counter))
+        return prepared.top(k, counter=counter)
+
+    def explain(self, query: ConjunctiveQuery | str, **options: Any) -> str:
+        """The (cached) plan report for ``query``, binding if needed."""
+        prepared = self.prepare(query, **options)
+        prepared.bind()
+        return prepared.explain()
+
+    def cached_plans(self) -> int:
+        """Number of prepared queries currently in the plan cache."""
+        return len(self._plans)
+
+    def clear_caches(self) -> None:
+        """Drop all cached plans and indexes (e.g. before re-profiling)."""
+        self._plans.clear()
+        self._physicals.clear()
+        self.indexes.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine({self.database!r}, plans={len(self._plans)}, "
+            f"version={self.database.version})"
+        )

@@ -1,0 +1,522 @@
+"""Planning layer: logical plans, physical plans, and the pure planner.
+
+The paper separates a once-per-query preprocessing phase (join tree or
+decomposition selection, T-DP bottom-up) from the per-request
+enumeration phase.  This module makes that split explicit:
+
+* :func:`plan` is a *pure* function of the query (and execution options)
+  that classifies it — acyclic T-DP, simple-cycle decomposition, generic
+  hypertree decomposition, free-connex min-weight, or an all-weight
+  projection wrapper — and returns an inspectable :class:`LogicalPlan`;
+  no database is touched, so plans are cacheable and ``explain()``-able
+  for free.
+* :func:`bind` runs the preprocessing phase of a logical plan against a
+  concrete database, producing a :class:`PhysicalPlan` that holds the
+  built T-DPs (and decomposition bags) and can start *enumeration-only*
+  runs via :meth:`PhysicalPlan.iter` — each call creates fresh any-k
+  enumerators over the shared, read-only T-DP structures, so repeated
+  executions pay TT(k) enumeration cost without re-paying preprocessing.
+
+:func:`repro.enumeration.api.ranked_enumerate` is a thin compatibility
+wrapper over ``plan`` + ``bind``; the :class:`~repro.engine.engine.Engine`
+adds caching and invalidation on top.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.anyk.base import make_enumerator
+from repro.anyk.union import UnionEnumerator
+from repro.data.database import Database
+from repro.data.index import IndexCache
+from repro.decomposition.base import TreeTask
+from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
+from repro.decomposition.generic import decompose_generic
+from repro.dp.builder import build_tdp
+from repro.enumeration.result import QueryResult
+from repro.query.cq import ConjunctiveQuery
+from repro.query.jointree import JoinTree, build_join_tree
+from repro.ranking.dioid import TROPICAL, SelectiveDioid, TieBreakingDioid
+from repro.util.counters import OpCounter
+
+#: Strategy names: how the (inner full) query will be evaluated.
+ACYCLIC_TDP = "acyclic-tdp"
+SIMPLE_CYCLE_UNION = "simple-cycle-union"
+GENERIC_DECOMPOSITION = "generic-decomposition"
+FREE_CONNEX_MINWEIGHT = "free-connex-minweight"
+ALL_WEIGHT_PROJECTION = "all-weight-projection"
+
+VALID_ALGORITHMS = (
+    "take2", "lazy", "eager", "all", "recursive", "batch", "batch_nosort",
+)
+VALID_PROJECTIONS = ("all_weight", "min_weight")
+
+
+@dataclass(eq=False)
+class LogicalPlan:
+    """A pure, database-independent evaluation plan for one query.
+
+    ``strategy`` is one of the module-level strategy constants;
+    ``join_tree`` is precomputed for :data:`ACYCLIC_TDP` plans (the GYO
+    reduction depends only on the query), ``cycle_walk`` for
+    :data:`SIMPLE_CYCLE_UNION` plans, and ``inner`` holds the full-query
+    sub-plan of an :data:`ALL_WEIGHT_PROJECTION` wrapper.
+    """
+
+    query: ConjunctiveQuery
+    strategy: str
+    dioid: SelectiveDioid
+    algorithm: str
+    projection: str
+    cycle_threshold: int | None = None
+    join_tree: JoinTree | None = None
+    cycle_walk: list[tuple[int, str]] | None = None
+    inner: "LogicalPlan | None" = None
+
+    def explain(self, indent: str = "") -> str:
+        """A textual rendering of the plan (no data statistics)."""
+        lines = [f"{indent}logical plan: {self.query!r}"]
+        lines.append(
+            f"{indent}  strategy: {self.strategy}  "
+            f"algorithm: {self.algorithm}  dioid: {self.dioid!r}"
+        )
+        if self.projection != "all_weight" or not self.query.is_full():
+            lines.append(f"{indent}  projection: {self.projection}")
+        if self.join_tree is not None:
+            from repro.enumeration.explain import tree_ascii
+
+            lines.append(f"{indent}  join tree:")
+            lines.extend(
+                indent + "  " + line for line in tree_ascii(self.join_tree)
+            )
+        if self.cycle_walk is not None:
+            walk = " -> ".join(entry for _idx, entry in self.cycle_walk)
+            lines.append(
+                f"{indent}  cycle walk: {walk} "
+                f"({len(self.cycle_walk)} heavy members + 1 light)"
+            )
+        if self.inner is not None:
+            lines.append(f"{indent}  inner full-query plan:")
+            lines.append(self.inner.explain(indent + "    "))
+        return "\n".join(lines)
+
+
+def plan(
+    query: ConjunctiveQuery,
+    dioid: SelectiveDioid = TROPICAL,
+    algorithm: str = "take2",
+    projection: str = "all_weight",
+    cycle_threshold: int | None = None,
+) -> LogicalPlan:
+    """Classify ``query`` and build its :class:`LogicalPlan` (pure).
+
+    Replaces the string-flag branching previously inlined in
+    ``ranked_enumerate``: the Section 5.4 dispatch — acyclic T-DP,
+    simple-cycle decomposition, generic decomposition — plus the Section
+    8.1 projection semantics, each as an explicit plan object.
+    """
+    if projection not in VALID_PROJECTIONS:
+        raise ValueError(f"unknown projection semantics {projection!r}")
+    if algorithm.lower() not in VALID_ALGORITHMS:
+        raise ValueError(f"unknown any-k algorithm {algorithm!r}")
+
+    common = dict(
+        dioid=dioid,
+        algorithm=algorithm,
+        projection=projection,
+        cycle_threshold=cycle_threshold,
+    )
+    if projection == "min_weight":
+        # Free-connex validation happens at bind time (the construction
+        # itself raises), keeping error behaviour of the legacy path.
+        return LogicalPlan(query, FREE_CONNEX_MINWEIGHT, **common)
+    if not query.is_full():
+        full_query = ConjunctiveQuery(
+            head=None, atoms=query.atoms, name=query.name
+        )
+        inner = plan(
+            full_query,
+            dioid=dioid,
+            algorithm=algorithm,
+            cycle_threshold=cycle_threshold,
+        )
+        return LogicalPlan(
+            query, ALL_WEIGHT_PROJECTION, inner=inner, **common
+        )
+    if query.is_acyclic():
+        return LogicalPlan(
+            query, ACYCLIC_TDP, join_tree=build_join_tree(query), **common
+        )
+    walk = detect_simple_cycle(query)
+    if walk is not None:
+        return LogicalPlan(
+            query, SIMPLE_CYCLE_UNION, cycle_walk=walk, **common
+        )
+    return LogicalPlan(query, GENERIC_DECOMPOSITION, **common)
+
+
+# -- physical plans ------------------------------------------------------------
+
+
+class PhysicalPlan:
+    """A logical plan bound to one database state (preprocessing done).
+
+    Subclasses hold the materialised T-DP structures; :meth:`iter`
+    starts one enumeration run over them.  The T-DPs are read-only
+    during enumeration (each any-k strategy builds its own private
+    ranking structures), so concurrent and repeated runs are safe.
+
+    The built structures are *algorithm-independent*: the any-k
+    algorithm only selects how connectors are ranked at enumeration
+    time, so :meth:`iter` accepts an ``algorithm`` override and the
+    engine shares one bound plan across prepared queries that differ
+    only in algorithm.
+    """
+
+    def __init__(self, logical: LogicalPlan, database: Database):
+        self.logical = logical
+        self.database = database
+        #: Wall-clock seconds spent in :func:`bind` (the preprocessing
+        #: phase); enumeration-only runs do not re-pay this.
+        self.preprocess_seconds: float = 0.0
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        raise NotImplementedError
+
+    def top(
+        self,
+        k: int,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> list[QueryResult]:
+        """The first ``k`` results (fewer if the output is smaller)."""
+        return list(itertools.islice(self.iter(counter, algorithm), k))
+
+    def explain(self) -> str:
+        """Logical plan plus physical (post-preprocessing) statistics."""
+        lines = [self.logical.explain()]
+        lines.append(
+            f"physical: preprocessing took "
+            f"{self.preprocess_seconds * 1e3:.2f} ms"
+        )
+        lines.extend(self._physical_stats())
+        return "\n".join(lines)
+
+    def _physical_stats(self) -> list[str]:
+        return []
+
+    @staticmethod
+    def _tdp_lines(label: str, tdp) -> list[str]:
+        stats = tdp.stats()
+        return [
+            f"  {label}: {stats['states']} states, "
+            f"{stats['connectors']} connectors"
+            + (" (EMPTY)" if stats["empty"] else "")
+        ]
+
+
+class AcyclicPhysical(PhysicalPlan):
+    """Acyclic full CQ: one T-DP, any-k enumeration (Section 4/5)."""
+
+    def __init__(self, logical: LogicalPlan, database: Database, tdp):
+        super().__init__(logical, database)
+        self.tdp = tdp
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        enumerator = make_enumerator(
+            self.tdp, algorithm or self.logical.algorithm, counter=counter
+        )
+        head = self.logical.query.head
+
+        def generate() -> Iterator[QueryResult]:
+            for result in enumerator:
+                yield QueryResult(
+                    result.weight,
+                    result.assignment,
+                    head,
+                    witness_ids=result.witness_ids,
+                    witness=result.witness,
+                )
+
+        return generate()
+
+    def _physical_stats(self) -> list[str]:
+        return self._tdp_lines("t-dp", self.tdp)
+
+
+class UnionPhysical(PhysicalPlan):
+    """UT-DP over decomposition members with tie-breaking (+ opt. dedup).
+
+    Each member is ranked under the Section 6.3 tie-breaking dioid so
+    that ties across members resolve identically and duplicates arrive
+    consecutively; the reported weight is the base (first) dimension.
+    ``dedup`` is off for the cycle and generic decompositions (their
+    member outputs are disjoint) and exists for overlapping
+    decompositions plugged in via ``enumerate_union``.
+    """
+
+    def __init__(
+        self,
+        logical: LogicalPlan,
+        database: Database,
+        tasks: list[TreeTask],
+        dedup: bool = False,
+    ):
+        super().__init__(logical, database)
+        self.tasks = tasks
+        self.dedup = dedup
+        query = logical.query
+        variables = query.variables
+        var_position = {v: i for i, v in enumerate(variables)}
+        self.tie = TieBreakingDioid(logical.dioid, len(variables))
+        self.tdps = []
+        for task in tasks:
+            lift = make_tie_lift(self.tie, var_position)
+            tree = build_join_tree(task.query)
+            self.tdps.append(
+                build_tdp(task.database, tree, dioid=self.tie, lift=lift)
+            )
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        algorithm = algorithm or self.logical.algorithm
+        members = [
+            make_enumerator(tdp, algorithm, counter=counter)
+            for tdp in self.tdps
+        ]
+        head = self.logical.query.head
+
+        def identity(result) -> tuple:
+            return (result.key, result.output_tuple(head))
+
+        union = UnionEnumerator(
+            members, identity=identity, dedup=self.dedup, counter=counter
+        )
+        task_of_tdp = {id(tdp): task for tdp, task in zip(self.tdps, self.tasks)}
+        database = self.database
+        query = self.logical.query
+        tie = self.tie
+
+        def generate() -> Iterator[QueryResult]:
+            for result in union:
+                task = task_of_tdp.get(id(result.tdp))
+                if task is None:
+                    raise ValueError(
+                        "result does not belong to any member enumerator"
+                    )
+                witness_ids, witness = recover_witness(
+                    database, query, task, result
+                )
+                yield QueryResult(
+                    tie.base_value(result.weight),
+                    result.assignment,
+                    head,
+                    witness_ids=witness_ids,
+                    witness=witness,
+                )
+
+        return generate()
+
+    def _physical_stats(self) -> list[str]:
+        lines = [f"  union of {len(self.tasks)} member trees:"]
+        for task, tdp in zip(self.tasks, self.tdps):
+            lines.extend(
+                self._tdp_lines(task.label or task.query.name, tdp)
+            )
+        return lines
+
+
+class MinWeightPhysical(PhysicalPlan):
+    """Free-connex min-weight projection (Section 8.1, Theorem 20)."""
+
+    def __init__(self, logical: LogicalPlan, database: Database):
+        super().__init__(logical, database)
+        from repro.enumeration.projections import build_free_connex_plan
+
+        self.fc_plan = build_free_connex_plan(
+            database, logical.query, dioid=logical.dioid
+        )
+        self.tdp = (
+            None
+            if self.fc_plan.empty
+            else build_tdp(
+                self.fc_plan.database, self.fc_plan.tree, dioid=logical.dioid
+            )
+        )
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        logical = self.logical
+        fc_plan = self.fc_plan
+        tdp = self.tdp
+        algorithm = algorithm or logical.algorithm
+
+        def generate() -> Iterator[QueryResult]:
+            if tdp is None:
+                return
+            enumerator = make_enumerator(tdp, algorithm, counter=counter)
+            dioid = logical.dioid
+            for result in enumerator:
+                yield QueryResult(
+                    dioid.times(fc_plan.offset, result.weight),
+                    result.assignment,
+                    logical.query.head,
+                )
+
+        return generate()
+
+    def _physical_stats(self) -> list[str]:
+        if self.tdp is None:
+            return ["  free region: EMPTY"]
+        return self._tdp_lines("reduced free-region t-dp", self.tdp)
+
+
+class ProjectionPhysical(PhysicalPlan):
+    """All-weight projection: rank the full query, project each answer."""
+
+    def __init__(
+        self, logical: LogicalPlan, database: Database, inner: PhysicalPlan
+    ):
+        super().__init__(logical, database)
+        self.inner = inner
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        head = self.logical.query.head
+        head_set = set(head)
+        inner_iter = self.inner.iter(counter, algorithm)
+
+        def generate() -> Iterator[QueryResult]:
+            for result in inner_iter:
+                projected = {
+                    var: value
+                    for var, value in result.assignment.items()
+                    if var in head_set
+                }
+                yield QueryResult(
+                    result.weight,
+                    projected,
+                    head,
+                    witness_ids=result.witness_ids,
+                    witness=result.witness,
+                )
+
+        return generate()
+
+    def _physical_stats(self) -> list[str]:
+        return self.inner._physical_stats()
+
+
+def bind(
+    logical: LogicalPlan,
+    database: Database,
+    indexes: IndexCache | None = None,
+) -> PhysicalPlan:
+    """Run the preprocessing phase of ``logical`` against ``database``.
+
+    This is the only place data-dependent work happens before
+    enumeration: decomposition bag materialisation and T-DP bottom-up
+    passes.  The elapsed wall-clock time is recorded on the returned
+    plan as ``preprocess_seconds``.
+    """
+    start = time.perf_counter()
+    physical = _bind(logical, database, indexes)
+    physical.preprocess_seconds = time.perf_counter() - start
+    return physical
+
+
+def _bind(
+    logical: LogicalPlan,
+    database: Database,
+    indexes: IndexCache | None,
+) -> PhysicalPlan:
+    strategy = logical.strategy
+    if strategy == ACYCLIC_TDP:
+        tdp = build_tdp(database, logical.join_tree, dioid=logical.dioid)
+        return AcyclicPhysical(logical, database, tdp)
+    if strategy == SIMPLE_CYCLE_UNION:
+        tasks = decompose_cycle(
+            database,
+            logical.query,
+            dioid=logical.dioid,
+            threshold=logical.cycle_threshold,
+            indexes=indexes,
+            walk=logical.cycle_walk,
+        )
+        return UnionPhysical(logical, database, tasks, dedup=False)
+    if strategy == GENERIC_DECOMPOSITION:
+        tasks = [
+            decompose_generic(database, logical.query, dioid=logical.dioid)
+        ]
+        return UnionPhysical(logical, database, tasks, dedup=False)
+    if strategy == FREE_CONNEX_MINWEIGHT:
+        return MinWeightPhysical(logical, database)
+    if strategy == ALL_WEIGHT_PROJECTION:
+        inner = _bind(logical.inner, database, indexes)
+        return ProjectionPhysical(logical, database, inner)
+    raise AssertionError(f"unhandled strategy {strategy!r}")
+
+
+# -- shared helpers (also used by the UCQ pipeline in enumeration.api) ---------
+
+
+def make_tie_lift(tie: TieBreakingDioid, var_position: dict[str, int]):
+    """Lift bag weights into the tie-breaking dioid with their bindings.
+
+    Variables absent from ``var_position`` (e.g. non-head variables in
+    the UCQ pipeline) simply do not participate in tie-breaking.
+    """
+
+    def lift(atom, values, raw_weight):
+        bindings = {
+            var_position[var]: value
+            for var, value in zip(atom.variables, values)
+            if var in var_position
+        }
+        return tie.lift(raw_weight, bindings)
+
+    return lift
+
+
+def recover_witness(
+    database: Database, query: ConjunctiveQuery, task: TreeTask, result
+) -> tuple[tuple | None, tuple | None]:
+    """Map bag-level states back to original witness ids and tuples."""
+    if not task.lineage:
+        return None, None
+    tdp = result.tdp
+    merged: list[tuple[int, int]] = []
+    for stage, state in enumerate(result.states):
+        atom = task.query.atoms[tdp.atom_of_stage[stage]]
+        per_tuple = task.lineage.get(atom.relation_name)
+        if per_tuple is None:
+            continue
+        merged.extend(per_tuple[tdp.tuple_ids[stage][state]])
+    merged.sort()
+    witness_ids = tuple(tuple_id for _atom, tuple_id in merged)
+    witness = tuple(
+        database[query.atoms[atom_index].relation_name].tuples[tuple_id]
+        for atom_index, tuple_id in merged
+    )
+    return witness_ids, witness

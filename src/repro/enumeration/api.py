@@ -10,11 +10,17 @@ Dispatch (Section 5.4):
   elimination;
 * non-full CQ — Section 8.1 projection semantics (all-weight by
   default; ``projection="min_weight"`` for free-connex queries).
+
+Since the engine refactor, the dispatch lives in the planning layer
+(:func:`repro.engine.plan.plan`); :func:`ranked_enumerate` is a thin
+compatibility wrapper that plans, binds, and enumerates in one shot.
+Use :class:`repro.engine.Engine` + ``prepare()`` to amortise the
+preprocessing phase over repeated executions.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Iterator
 
 from repro.anyk.base import make_enumerator
 from repro.anyk.union import UnionEnumerator
@@ -22,49 +28,20 @@ from repro.data.database import Database
 from repro.decomposition.base import TreeTask
 from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
 from repro.decomposition.generic import decompose_generic
-from repro.dp.builder import build_tdp, build_tdp_for_query
+from repro.dp.builder import build_tdp
+from repro.enumeration.result import QueryResult
 from repro.query.cq import ConjunctiveQuery
 from repro.query.jointree import build_join_tree
 from repro.ranking.dioid import TROPICAL, SelectiveDioid, TieBreakingDioid
 from repro.util.counters import OpCounter
 
-
-class QueryResult:
-    """One ranked answer: weight, variable assignment, optional witness."""
-
-    __slots__ = ("weight", "assignment", "_head", "_witness_ids", "_witness")
-
-    def __init__(
-        self,
-        weight: Any,
-        assignment: dict[str, Any],
-        head: tuple[str, ...],
-        witness_ids: tuple | None = None,
-        witness: tuple | None = None,
-    ):
-        self.weight = weight
-        self.assignment = assignment
-        self._head = head
-        self._witness_ids = witness_ids
-        self._witness = witness
-
-    @property
-    def output_tuple(self) -> tuple:
-        """The answer projected onto the query head."""
-        return tuple(self.assignment[v] for v in self._head)
-
-    @property
-    def witness_ids(self) -> tuple | None:
-        """Per-atom input tuple positions, when the pipeline tracks them."""
-        return self._witness_ids
-
-    @property
-    def witness(self) -> tuple | None:
-        """Per-atom input tuples, when the pipeline tracks them."""
-        return self._witness
-
-    def __repr__(self) -> str:
-        return f"QueryResult(weight={self.weight!r}, {self.assignment!r})"
+__all__ = [
+    "QueryResult",
+    "ranked_enumerate",
+    "evaluate_boolean",
+    "enumerate_union",
+    "ranked_enumerate_ucq",
+]
 
 
 def ranked_enumerate(
@@ -84,29 +61,21 @@ def ranked_enumerate(
     ``min_weight`` also applies to full queries, where it merges
     duplicate-tuple witnesses of the same assignment to their minimum.
     Returns a lazy iterator; pulling ``k`` results costs TT(k), not TTL.
+
+    One-shot path: preprocessing (planning + binding) runs on every
+    call.  For repeated executions of the same query, prepare it once
+    through an :class:`repro.engine.Engine` instead.
     """
-    if projection not in ("all_weight", "min_weight"):
-        raise ValueError(f"unknown projection semantics {projection!r}")
-    if projection == "min_weight":
-        # Min-weight semantics applies to full queries too: duplicate
-        # witnesses of the same assignment merge to their minimum.
-        from repro.enumeration.projections import enumerate_min_weight
+    from repro.engine.plan import bind, plan
 
-        return enumerate_min_weight(
-            database, query, dioid=dioid, algorithm=algorithm, counter=counter
-        )
-    if not query.is_full():
-        from repro.enumeration.projections import enumerate_all_weight
-
-        return enumerate_all_weight(
-            database, query, dioid=dioid, algorithm=algorithm, counter=counter
-        )
-
-    if query.is_acyclic():
-        return _enumerate_acyclic(database, query, dioid, algorithm, counter)
-    return _enumerate_cyclic(
-        database, query, dioid, algorithm, counter, cycle_threshold
+    logical = plan(
+        query,
+        dioid=dioid,
+        algorithm=algorithm,
+        projection=projection,
+        cycle_threshold=cycle_threshold,
     )
+    return bind(logical, database).iter(counter)
 
 
 def evaluate_boolean(
@@ -130,52 +99,6 @@ def evaluate_boolean(
     return next(iter(stream), None) is not None
 
 
-def _enumerate_acyclic(
-    database: Database,
-    query: ConjunctiveQuery,
-    dioid: SelectiveDioid,
-    algorithm: str,
-    counter: OpCounter | None,
-) -> Iterator[QueryResult]:
-    tdp = build_tdp_for_query(database, query, dioid=dioid)
-    enumerator = make_enumerator(tdp, algorithm, counter=counter)
-
-    def generate() -> Iterator[QueryResult]:
-        for result in enumerator:
-            yield QueryResult(
-                result.weight,
-                result.assignment,
-                query.head,
-                witness_ids=result.witness_ids,
-                witness=result.witness,
-            )
-
-    return generate()
-
-
-def _enumerate_cyclic(
-    database: Database,
-    query: ConjunctiveQuery,
-    dioid: SelectiveDioid,
-    algorithm: str,
-    counter: OpCounter | None,
-    cycle_threshold: int | None,
-) -> Iterator[QueryResult]:
-    if detect_simple_cycle(query) is not None:
-        tasks = decompose_cycle(
-            database, query, dioid=dioid, threshold=cycle_threshold
-        )
-    else:
-        tasks = [decompose_generic(database, query, dioid=dioid)]
-    # Both decompositions produce disjoint member outputs (the cycle
-    # partitions by construction, the generic one because it is a single
-    # tree), so duplicate elimination is off; it exists for overlapping
-    # decompositions (e.g. PANDA-style) plugged in via enumerate_union.
-    return enumerate_union(
-        database, query, tasks, dioid, algorithm, counter, dedup=False
-    )
-
-
 def enumerate_union(
     database: Database,
     query: ConjunctiveQuery,
@@ -194,85 +117,16 @@ def enumerate_union(
     overlap — it assumes set semantics (duplicate-free relations), where
     identical consecutive output tuples are genuinely the same witness.
     """
-    variables = query.variables
-    var_position = {v: i for i, v in enumerate(variables)}
-    tie = TieBreakingDioid(dioid, len(variables))
+    from repro.engine.plan import LogicalPlan, UnionPhysical
 
-    members = []
-    lineages = []
-    for task in tasks:
-        lift = _make_tie_lift(tie, var_position)
-        tree = build_join_tree(task.query)
-        tdp = build_tdp(task.database, tree, dioid=tie, lift=lift)
-        members.append(make_enumerator(tdp, algorithm, counter=counter))
-        lineages.append(task)
-
-    head = query.head
-
-    def identity(result) -> tuple:
-        return (result.key, result.output_tuple(head))
-
-    union = UnionEnumerator(members, identity=identity, dedup=dedup, counter=counter)
-
-    def generate() -> Iterator[QueryResult]:
-        for result in union:
-            task = lineages[_member_of(members, result)]
-            witness_ids, witness = _recover_witness(database, query, task, result)
-            yield QueryResult(
-                tie.base_value(result.weight),
-                result.assignment,
-                head,
-                witness_ids=witness_ids,
-                witness=witness,
-            )
-
-    return generate()
-
-
-def _member_of(members, result) -> int:
-    for index, member in enumerate(members):
-        if result.tdp is member.tdp:
-            return index
-    raise ValueError("result does not belong to any member enumerator")
-
-
-def _recover_witness(database, query, task: TreeTask, result):
-    """Map bag-level states back to original witness ids and tuples."""
-    if not task.lineage:
-        return None, None
-    tdp = result.tdp
-    merged: list[tuple[int, int]] = []
-    for stage, state in enumerate(result.states):
-        atom = task.query.atoms[tdp.atom_of_stage[stage]]
-        per_tuple = task.lineage.get(atom.relation_name)
-        if per_tuple is None:
-            continue
-        merged.extend(per_tuple[tdp.tuple_ids[stage][state]])
-    merged.sort()
-    witness_ids = tuple(tuple_id for _atom, tuple_id in merged)
-    witness = tuple(
-        database[query.atoms[atom_index].relation_name].tuples[tuple_id]
-        for atom_index, tuple_id in merged
+    logical = LogicalPlan(
+        query=query,
+        strategy="union-of-trees",
+        dioid=dioid,
+        algorithm=algorithm,
+        projection="all_weight",
     )
-    return witness_ids, witness
-
-
-def _make_tie_lift(tie: TieBreakingDioid, var_position: dict[str, int]):
-    """Lift bag weights into the tie-breaking dioid with their bindings.
-
-    Variables absent from ``var_position`` (e.g. non-head variables in
-    the UCQ pipeline) simply do not participate in tie-breaking.
-    """
-
-    def lift(atom, values, raw_weight):
-        bindings = {
-            var_position[var]: value
-            for var, value in zip(atom.variables, values)
-            if var in var_position
-        }
-        return tie.lift(raw_weight, bindings)
-
-    return lift
+    return UnionPhysical(logical, database, tasks, dedup=dedup).iter(counter)
 
 
 def ranked_enumerate_ucq(
@@ -295,6 +149,8 @@ def ranked_enumerate_ucq(
     Cyclic members are decomposed and their trees flattened into the
     top-level union.
     """
+    from repro.engine.plan import make_tie_lift
+
     if not queries:
         raise ValueError("the union needs at least one query")
     head_arity = len(queries[0].head)
@@ -311,7 +167,7 @@ def ranked_enumerate_ucq(
 
     def add_member(member_db, member_query, head):
         positions = {v: i for i, v in enumerate(head)}
-        lift = _make_tie_lift(tie, positions)
+        lift = make_tie_lift(tie, positions)
         tree = build_join_tree(member_query)
         tdp = build_tdp(member_db, tree, dioid=tie, lift=lift)
         members.append(make_enumerator(tdp, algorithm, counter=counter))
@@ -347,3 +203,10 @@ def ranked_enumerate_ucq(
             )
 
     return generate()
+
+
+def _member_of(members, result) -> int:
+    for index, member in enumerate(members):
+        if result.tdp is member.tdp:
+            return index
+    raise ValueError("result does not belong to any member enumerator")

@@ -9,8 +9,6 @@ query is slower than expected (e.g. an unintended Cartesian product).
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.data.database import Database
 from repro.decomposition.cycle import decompose_cycle, detect_simple_cycle
 from repro.decomposition.generic import decompose_generic
@@ -21,8 +19,12 @@ from repro.query.jointree import JoinTree, build_join_tree
 from repro.ranking.dioid import TROPICAL, SelectiveDioid
 
 
-def _tree_ascii(tree: JoinTree) -> list[str]:
-    """Indentation-based rendering of the join forest."""
+def tree_ascii(tree: JoinTree) -> list[str]:
+    """Indentation-based rendering of the join forest.
+
+    Shared by this module's report and the engine's
+    :meth:`~repro.engine.plan.LogicalPlan.explain`.
+    """
     lines: list[str] = []
     atoms = tree.query.atoms
 
@@ -39,22 +41,18 @@ def _tree_ascii(tree: JoinTree) -> list[str]:
 
 
 def _tdp_stats(tdp: TDP) -> list[str]:
+    stats = tdp.stats()
     lines = []
-    for stage in range(tdp.num_stages):
-        atom = tdp.query.atoms[tdp.atom_of_stage[stage]]
-        conns = {
-            conn.uid
-            for state_conns in tdp.child_conns[stage]
-            for conn in state_conns
-        }
+    for entry in stats["stages"]:
+        atom = tdp.query.atoms[entry["atom"]]
         lines.append(
-            f"  stage {stage} ({atom.relation_name}): "
-            f"{len(tdp.tuples[stage])} alive states, "
-            f"{len(conns)} child connectors"
+            f"  stage {entry['stage']} ({atom.relation_name}): "
+            f"{entry['states']} alive states, "
+            f"{entry['connectors']} child connectors"
         )
     lines.append(
-        f"  total: {tdp.num_states()} states, {tdp.num_connectors} connectors, "
-        f"best weight {tdp.best_weight!r}"
+        f"  total: {stats['states']} states, {stats['connectors']} connectors, "
+        f"best weight {stats['best_weight']!r}"
     )
     return lines
 
@@ -82,7 +80,7 @@ def explain(
     if query.is_acyclic():
         lines.append("plan: acyclic -> join tree -> T-DP -> any-k")
         tree = build_join_tree(query)
-        lines.extend(_tree_ascii(tree))
+        lines.extend(tree_ascii(tree))
         tdp = build_tdp(database, tree, dioid=dioid)
         lines.append("bottom-up statistics:")
         lines.extend(_tdp_stats(tdp))

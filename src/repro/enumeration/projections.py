@@ -27,9 +27,8 @@ The min-weight pipeline follows the paper's Example 19 construction:
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any
 
-from repro.anyk.base import make_enumerator
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.dp.builder import build_tdp
@@ -51,31 +50,15 @@ def enumerate_all_weight(
 
     Duplicates of a head assignment are returned once per witness, each
     with its own weight, exactly like the paper's first SQL variant.
+    Thin wrapper over the plan layer (the logic lives in
+    :class:`repro.engine.plan.ProjectionPhysical`).
     """
-    from repro.enumeration.api import QueryResult, ranked_enumerate
+    from repro.engine.plan import bind, plan
 
-    full_query = ConjunctiveQuery(head=None, atoms=query.atoms, name=query.name)
-    inner = ranked_enumerate(
-        database, full_query, dioid=dioid, algorithm=algorithm, counter=counter
+    logical = plan(
+        query, dioid=dioid, algorithm=algorithm, projection="all_weight"
     )
-
-    def generate() -> Iterator[QueryResult]:
-        head_set = set(query.head)
-        for result in inner:
-            projected = {
-                var: value
-                for var, value in result.assignment.items()
-                if var in head_set
-            }
-            yield QueryResult(
-                result.weight,
-                projected,
-                query.head,
-                witness_ids=result.witness_ids,
-                witness=result.witness,
-            )
-
-    return generate()
+    return bind(logical, database).iter(counter)
 
 
 class FreeConnexPlan:
@@ -218,22 +201,14 @@ def enumerate_min_weight(
 
     Each distinct head assignment is returned exactly once, weighted by
     the minimum weight over all witnesses projecting to it, in ranked
-    order with TTF O(n) and logarithmic delay (Theorem 20).
+    order with TTF O(n) and logarithmic delay (Theorem 20).  Thin
+    wrapper over the plan layer (the logic lives in
+    :class:`repro.engine.plan.MinWeightPhysical`, which builds on
+    :func:`build_free_connex_plan`).
     """
-    from repro.enumeration.api import QueryResult
+    from repro.engine.plan import bind, plan
 
-    plan = build_free_connex_plan(database, query, dioid=dioid)
-
-    def generate() -> Iterator[QueryResult]:
-        if plan.empty:
-            return
-        tdp = build_tdp(plan.database, plan.tree, dioid=dioid)
-        enumerator = make_enumerator(tdp, algorithm, counter=counter)
-        for result in enumerator:
-            yield QueryResult(
-                dioid.times(plan.offset, result.weight),
-                result.assignment,
-                query.head,
-            )
-
-    return generate()
+    logical = plan(
+        query, dioid=dioid, algorithm=algorithm, projection="min_weight"
+    )
+    return bind(logical, database).iter(counter)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Iterator
+from typing import Iterator
 
 from repro.data.database import Database
 from repro.data.relation import Relation

@@ -47,10 +47,15 @@ class Atom:
                 return False
         return True
 
-    def __eq__(self, other) -> bool:
+    def canonical(self) -> tuple:
+        """Stable, hashable description used by query fingerprints."""
+        return (self.relation_name, self.variables)
+
+    def __eq__(self, other):
+        if not isinstance(other, Atom):
+            return NotImplemented
         return (
-            isinstance(other, Atom)
-            and self.relation_name == other.relation_name
+            self.relation_name == other.relation_name
             and self.variables == other.variables
         )
 

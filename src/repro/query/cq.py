@@ -100,14 +100,37 @@ class ConjunctiveQuery:
         edges.append(frozenset(self.head))
         return Hypergraph(nodes=self._variables, edges=edges).is_acyclic()
 
+    # -- identity ---------------------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """Stable, hashable description of the query's semantics.
+
+        Covers the head and the atom sequence (relation names + variable
+        lists) — everything equality considers; the display ``name`` is
+        deliberately excluded so renamed copies of the same query compare
+        and fingerprint identically.
+        """
+        return (self.head, tuple(atom.canonical() for atom in self.atoms))
+
+    def fingerprint(self) -> str:
+        """A stable hex digest identifying the query across processes.
+
+        Two queries have equal fingerprints iff they are ``==``; unlike
+        ``hash()`` the digest does not depend on ``PYTHONHASHSEED``, so
+        it is usable as a persistent plan-cache key (the engine keys its
+        prepared-query cache on it).
+        """
+        import hashlib
+
+        payload = repr(self.canonical()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:32]
+
     # -- misc -------------------------------------------------------------------
 
-    def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, ConjunctiveQuery)
-            and self.head == other.head
-            and self.atoms == other.atoms
-        )
+    def __eq__(self, other):
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self.head == other.head and self.atoms == other.atoms
 
     def __hash__(self) -> int:
         return hash((self.head, self.atoms))

@@ -98,25 +98,45 @@ def parse_query_with_constants(
     return query, selections
 
 
-def apply_selections(
+def rewrite_for_selections(
+    query: ConjunctiveQuery,
+    selections: list[SelectionCondition],
+) -> ConjunctiveQuery:
+    """Rewrite selected atoms to their derived relation names (pure).
+
+    The renaming is deterministic (``<name>__sel<atom_index>``) and
+    database-independent, so the engine can plan over the rewritten
+    query before any data is filtered.
+    """
+    if not selections:
+        return query
+    new_atoms = list(query.atoms)
+    for atom_index in {c.atom_index for c in selections}:
+        atom = query.atoms[atom_index]
+        derived_name = f"{atom.relation_name}__sel{atom_index}"
+        new_atoms[atom_index] = Atom(derived_name, atom.variables)
+    return ConjunctiveQuery(head=query.head, atoms=new_atoms, name=query.name)
+
+
+def filter_database(
     database: Database,
     query: ConjunctiveQuery,
     selections: list[SelectionCondition],
-) -> tuple[Database, ConjunctiveQuery]:
-    """Filter the selected atoms' relations; rewrite the query to use them.
+) -> Database:
+    """Materialise the filtered per-atom relations (the O(n) data work).
 
-    Each atom with conditions gets its own filtered relation copy
-    (``<name>__sel<atom_index>``), so self-joins with different
-    selections stay independent.  O(n) total, as the paper promises.
+    ``query`` is the *original* (pre-rewrite) query; the derived
+    relations carry the names :func:`rewrite_for_selections` expects.
+    Each atom with conditions gets its own filtered copy, so self-joins
+    with different selections stay independent.
     """
     if not selections:
-        return database, query
+        return database
     by_atom: dict[int, list[SelectionCondition]] = {}
     for condition in selections:
         by_atom.setdefault(condition.atom_index, []).append(condition)
 
     new_relations = dict(database.relations)
-    new_atoms = list(query.atoms)
     for atom_index, conditions in by_atom.items():
         atom = query.atoms[atom_index]
         base = database[atom.relation_name]
@@ -127,11 +147,25 @@ def apply_selections(
 
         derived_name = f"{atom.relation_name}__sel{atom_index}"
         new_relations[derived_name] = base.filter(keep, name=derived_name)
-        new_atoms[atom_index] = Atom(derived_name, atom.variables)
-    rewritten = ConjunctiveQuery(
-        head=query.head, atoms=new_atoms, name=query.name
+    return Database(new_relations)
+
+
+def apply_selections(
+    database: Database,
+    query: ConjunctiveQuery,
+    selections: list[SelectionCondition],
+) -> tuple[Database, ConjunctiveQuery]:
+    """Filter the selected atoms' relations; rewrite the query to use them.
+
+    O(n) total, as the paper promises.  Composition of
+    :func:`filter_database` and :func:`rewrite_for_selections`.
+    """
+    if not selections:
+        return database, query
+    return (
+        filter_database(database, query, selections),
+        rewrite_for_selections(query, selections),
     )
-    return Database(new_relations), rewritten
 
 
 def prepare(

@@ -6,7 +6,6 @@ and data distributions, every algorithm must return exactly the oracle's
 """
 
 import random
-from collections import Counter
 
 import pytest
 

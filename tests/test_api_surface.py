@@ -1,6 +1,5 @@
 """Public-API surface tests: QueryResult, dispatch, overlapping unions."""
 
-import pytest
 
 from repro.data.database import Database
 from repro.data.generators import uniform_database, worst_case_cycle_database

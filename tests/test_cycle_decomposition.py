@@ -1,6 +1,5 @@
 """Simple-cycle decomposition tests (Section 5.3.1, Fig 8)."""
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@ from repro.data.relation import Relation
 from repro.dp.builder import build_tdp, build_tdp_for_query
 from repro.query.builders import path_query, star_query
 from repro.query.parser import parse_query
-from repro.ranking.dioid import TROPICAL
 
 
 class TestExample6:

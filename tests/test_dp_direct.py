@@ -1,6 +1,5 @@
 """Direct DP construction tests: the paper's Fig 1 and Fig 7 instances."""
 
-import itertools
 import random
 
 import pytest

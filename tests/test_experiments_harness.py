@@ -1,6 +1,5 @@
 """Tests for the experiment harness (runner, workloads, SQL baseline)."""
 
-import pytest
 
 from repro.data.generators import uniform_database
 from repro.experiments.runner import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.query.builders import cycle_query, path_query, star_query
-from repro.query.cq import ConjunctiveQuery
 from repro.query.hypergraph import Hypergraph, gyo_reduction
 from repro.query.jointree import JoinTree, build_join_tree
 from repro.query.parser import parse_query

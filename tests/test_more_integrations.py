@@ -1,7 +1,6 @@
 """Cross-feature integration tests: exotic dioids on the full pipeline,
 exact-arithmetic tie handling, Boolean evaluation on cyclic queries."""
 
-import math
 from fractions import Fraction
 
 import pytest
@@ -12,7 +11,7 @@ from repro.data.relation import Relation
 from repro.enumeration.api import evaluate_boolean, ranked_enumerate
 from repro.query.builders import cycle_query, path_query
 from repro.query.parser import parse_query
-from repro.ranking.dioid import MAX_TIMES, TROPICAL
+from repro.ranking.dioid import MAX_TIMES
 from tests.conftest import brute_force, weight_signature
 
 

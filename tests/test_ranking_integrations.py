@@ -17,7 +17,7 @@ from repro.ranking.dioid import (
     LexicographicDioid,
 )
 from repro.ranking.weights import attribute_weight_rewrite
-from tests.conftest import brute_force, weight_signature
+from tests.conftest import brute_force
 
 
 class TestMaxPlus:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.anyk.product import RankedProduct
-from repro.dp.graph import ChoiceSet
 from repro.ranking.dioid import TROPICAL
 
 
