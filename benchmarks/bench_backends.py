@@ -1,0 +1,116 @@
+"""Storage backends head-to-head: cold load, warm plan, enumeration.
+
+One dataset (a 4-path over uniform relations), one top-k query, three
+ways of storing the tuples:
+
+* ``memory``       — CSV parsed into in-memory lists (the historical path);
+* ``sqlite``       — CSV bulk-ingested into a fresh SQLite file, query
+                     bound against the persistent store;
+* ``sqlite-warm``  — the already-populated SQLite file merely reopened
+                     (the cross-process warm start: no ingestion at all).
+
+Each cell reports the three phases separately: ``load_ms`` (build/open
+the database), ``preprocess_ms`` (plan bind: join tree + T-DP
+bottom-up), and ``enum_ms`` — plus a warm in-process re-run
+(``warm_enum_ms``) over the same prepared plan, whose preprocessing
+must be ~0 regardless of backend.
+
+Set ``BENCH_SMOKE=1`` to shrink the dataset for CI smoke runs (the
+assertions still execute, so a backend perf/correctness regression
+fails the job quickly).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.data.backend import SQLiteBackend
+from repro.data.generators import uniform_database
+from repro.data.io import load_database, save_database
+from repro.engine import Engine
+from repro.experiments.runner import measure_cold_start, measure_enumeration
+from repro.query.builders import path_query
+
+FIGURE = "backends"
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+RELATIONS = 4
+TUPLES = 200 if SMOKE else 4_000
+K = 100 if SMOKE else 1_000
+QUERY = path_query(RELATIONS)
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory) -> dict:
+    """Generate the dataset once; persist it as CSV and as a SQLite file."""
+    root = tmp_path_factory.mktemp("bench_backends")
+    csv_dir = os.path.join(str(root), "csv")
+    db_path = os.path.join(str(root), "data.db")
+    database = uniform_database(
+        RELATIONS, TUPLES, domain_size=max(2, TUPLES // 8), seed=11
+    )
+    save_database(database, csv_dir)
+    with SQLiteBackend(db_path) as backend:
+        for relation in database:
+            backend.ingest(relation)
+    return {"csv": csv_dir, "db": db_path}
+
+
+def _factory(kind: str, dataset: dict, scratch: str):
+    """The database-opening step each backend pays on a cold start."""
+    if kind == "memory":
+        return lambda: load_database(dataset["csv"])
+    if kind == "sqlite":
+        def build():
+            path = os.path.join(scratch, "fresh.db")
+            if os.path.exists(path):
+                os.remove(path)
+            return load_database(dataset["csv"], backend=SQLiteBackend(path))
+        return build
+    if kind == "sqlite-warm":
+        def reopen():
+            path = os.path.join(scratch, "warm.db")
+            if not os.path.exists(path):
+                shutil.copy(dataset["db"], path)
+            return SQLiteBackend(path).database()
+        return reopen
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("kind", ["memory", "sqlite", "sqlite-warm"])
+def test_backend_cold_and_warm(benchmark, dataset, tmp_path, kind):
+    factory = _factory(kind, dataset, str(tmp_path))
+
+    def job():
+        return measure_cold_start(factory, QUERY, "take2", K)
+
+    cold = pedantic(benchmark, job, rounds=1 if SMOKE else 3)
+    assert cold.produced > 0
+
+    # Warm in-process pass: same database, prepared plan reused.
+    engine = Engine(factory())
+    prepared = engine.prepare(QUERY, algorithm="take2")
+    prepared.bind()
+    warm = measure_enumeration(prepared, K)
+    assert warm.preprocess == 0.0, "warm run must skip preprocessing"
+    assert warm.produced == cold.produced
+    engine.close()
+
+    benchmark.extra_info["backend"] = kind
+    benchmark.extra_info["n_tuples"] = TUPLES * RELATIONS
+    benchmark.extra_info["load_ms"] = round(cold.load * 1e3, 3)
+    benchmark.extra_info["preprocess_ms"] = round(cold.preprocess * 1e3, 3)
+    benchmark.extra_info["enum_ms"] = round(cold.enumeration * 1e3, 3)
+    benchmark.extra_info["warm_enum_ms"] = round(warm.enumeration * 1e3, 3)
+    record_result(
+        FIGURE,
+        f"{kind:<12} n={TUPLES * RELATIONS:<7} "
+        f"load={cold.load * 1e3:8.2f} ms  "
+        f"pre={cold.preprocess * 1e3:8.2f} ms  "
+        f"enum={cold.enumeration * 1e3:8.2f} ms  |  "
+        f"warm enum={warm.enumeration * 1e3:8.2f} ms  "
+        f"({cold.produced} results)",
+    )

@@ -29,6 +29,17 @@ only the enumeration phase::
     prepared = engine.prepare(query)   # preprocessing paid here, once
     top5 = prepared.top(5)
     top50 = prepared.top(50)           # enumeration-only
+
+Datasets can live on a persistent storage backend instead of in-memory
+lists; the same plans run unchanged over a SQLite file::
+
+    from repro import SQLiteBackend
+
+    backend = SQLiteBackend("data.db")     # reopening skips ingestion
+    for relation in db:
+        backend.ingest(relation)
+    with Engine.from_backend(backend) as engine:
+        print(engine.execute(query, k=5))
 """
 
 from repro.anyk import (
@@ -40,7 +51,15 @@ from repro.anyk import (
     UnionEnumerator,
     make_enumerator,
 )
-from repro.data import Database, HashIndex, IndexCache, Relation
+from repro.data import (
+    Database,
+    HashIndex,
+    IndexCache,
+    MemoryBackend,
+    Relation,
+    SQLiteBackend,
+    StorageBackend,
+)
 from repro.dp import TDP, build_tdp, build_tdp_for_query
 from repro.engine import Engine, LogicalPlan, PhysicalPlan, PreparedQuery, plan
 from repro.enumeration import QueryResult, ranked_enumerate
@@ -73,6 +92,9 @@ __all__ = [
     "Relation",
     "HashIndex",
     "IndexCache",
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
     "Engine",
     "PreparedQuery",
     "LogicalPlan",

@@ -7,11 +7,19 @@ Commands:
       python -m repro.cli query data/ "Q(x,z) :- R(x,y), S(y,z)" --top 5
 
 * ``explain``  — print the evaluation plan for a query;
-* ``generate`` — write one of the paper's synthetic workloads as CSV.
+* ``generate`` — write one of the paper's synthetic workloads as CSV
+  and/or straight into a SQLite file (``--db-path``).
 
 Relations are CSV files named ``<relation>.csv`` with a trailing weight
 column (see :mod:`repro.data.io`).  Constants in queries (``R(x, 5)``)
 are compiled into selections automatically.
+
+Storage backends (``--backend memory|sqlite``): with ``--backend
+sqlite --db-path data.db`` the query runs over a persistent SQLite
+database.  An empty/missing ``.db`` file is populated once from the
+CSV directory; a populated one is opened directly — the CSV directory
+may then be omitted, and repeated invocations skip ingestion entirely
+(the cross-process warm start).
 """
 
 from __future__ import annotations
@@ -20,6 +28,8 @@ import argparse
 import itertools
 import sys
 
+from repro.data.backend import SQLiteBackend
+from repro.data.database import Database
 from repro.data.io import load_database, save_database
 from repro.engine import Engine
 from repro.ranking.dioid import BOOLEAN, MAX_PLUS, MAX_TIMES, TROPICAL
@@ -41,9 +51,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--backend", default="memory",
+                         choices=["memory", "sqlite"],
+                         help="where relation tuples live (default: memory)")
+        cmd.add_argument("--db-path", default=None, metavar="FILE",
+                         help="SQLite database file (required with "
+                              "--backend sqlite); ingested from the CSV "
+                              "directory when empty, reused as-is otherwise")
+
     query_cmd = commands.add_parser("query", help="run a ranked query")
-    query_cmd.add_argument("data", help="directory of CSV relations")
+    query_cmd.add_argument("data", nargs="?", default=None,
+                           help="directory of CSV relations (optional when "
+                                "an already-populated --db-path is given)")
     query_cmd.add_argument("text", help="query, e.g. 'Q(x) :- R(x, y)'")
+    add_backend_options(query_cmd)
     query_cmd.add_argument("--top", type=int, default=10,
                            help="number of results (default 10; 0 = all)")
     query_cmd.add_argument("--algorithm", default="take2",
@@ -62,25 +84,51 @@ def build_parser() -> argparse.ArgumentParser:
                                 "prepared plan (preprocessing paid once)")
 
     explain_cmd = commands.add_parser("explain", help="show the query plan")
-    explain_cmd.add_argument("data", help="directory of CSV relations")
+    explain_cmd.add_argument("data", nargs="?", default=None,
+                             help="directory of CSV relations (optional when "
+                                  "an already-populated --db-path is given)")
     explain_cmd.add_argument("text", help="the query")
+    add_backend_options(explain_cmd)
 
     gen_cmd = commands.add_parser(
-        "generate", help="write a synthetic workload as CSV"
+        "generate", help="write a synthetic workload as CSV and/or SQLite"
     )
     gen_cmd.add_argument("kind", choices=["uniform", "cycle-worst-case",
                                           "bitcoin-like", "twitter-like"])
-    gen_cmd.add_argument("out", help="output directory")
+    gen_cmd.add_argument("out", nargs="?", default=None,
+                         help="output CSV directory (optional with --db-path)")
+    gen_cmd.add_argument("--db-path", default=None, metavar="FILE",
+                         help="also/instead write into this SQLite file")
     gen_cmd.add_argument("--relations", type=int, default=3)
     gen_cmd.add_argument("--tuples", type=int, default=1000)
     gen_cmd.add_argument("--seed", type=int, default=0)
     return parser
 
 
+def _open_database(args: argparse.Namespace) -> Database:
+    """Open the queried database per ``--backend``/``--db-path``/``data``."""
+    if args.backend == "sqlite":
+        if not args.db_path:
+            raise SystemExit("--backend sqlite requires --db-path FILE")
+        backend = SQLiteBackend(args.db_path)
+        if backend.relation_names():
+            # Warm start: the file already holds the dataset.
+            return backend.database()
+        if args.data is None:
+            backend.close()
+            raise SystemExit(
+                f"{args.db_path}: empty database and no CSV directory given"
+            )
+        return load_database(args.data, backend=backend)
+    if args.data is None:
+        raise SystemExit("a CSV data directory is required with --backend memory")
+    return load_database(args.data)
+
+
 def _command_query(args: argparse.Namespace) -> int:
     import time
 
-    engine = Engine(load_database(args.data))
+    engine = Engine(_open_database(args))
     limit = None if args.top == 0 else args.top
     repeats = max(1, args.repeat)
     count = 0
@@ -123,18 +171,18 @@ def _command_query(args: argparse.Namespace) -> int:
                 f"run {run + 1}: preprocessing={preprocess * 1e3:.2f} ms  "
                 f"enumeration={enumeration * 1e3:.2f} ms  ({count} results)"
             )
+    engine.close()
     return 0
 
 
 def _command_explain(args: argparse.Namespace) -> int:
     # One parse, one bind: the physical report reuses the bound T-DP's
     # statistics instead of rebuilding the plan a second time.
-    print(Engine(load_database(args.data)).explain(args.text))
+    print(Engine(_open_database(args)).explain(args.text))
     return 0
 
 
 def _command_generate(args: argparse.Namespace) -> int:
-    from repro.data.database import Database
     from repro.data.generators import (
         uniform_database,
         worst_case_cycle_database,
@@ -157,9 +205,18 @@ def _command_generate(args: argparse.Namespace) -> int:
             [twitter_like(num_nodes=max(4, args.tuples // 8),
                           num_edges=args.tuples, seed=args.seed)]
         )
-    save_database(database, args.out)
-    print(f"wrote {len(database)} relations "
-          f"({database.total_tuples()} tuples) to {args.out}")
+    if args.out is None and args.db_path is None:
+        raise SystemExit("generate needs an output directory and/or --db-path")
+    if args.out is not None:
+        save_database(database, args.out)
+        print(f"wrote {len(database)} relations "
+              f"({database.total_tuples()} tuples) to {args.out}")
+    if args.db_path is not None:
+        with SQLiteBackend(args.db_path) as backend:
+            for relation in database:
+                backend.ingest(relation)
+        print(f"wrote {len(database)} relations "
+              f"({database.total_tuples()} tuples) to {args.db_path}")
     return 0
 
 

@@ -1,0 +1,564 @@
+"""Pluggable storage backends: where relation tuples physically live.
+
+The any-k algorithms only need sequential access to ``(tuple, weight)``
+rows plus cheap cardinality/degree statistics (Section 2.3's linear-time
+preprocessing assumes nothing more); they are agnostic to *where* the
+rows are stored.  This module makes that boundary explicit:
+
+* :class:`StorageBackend` is the protocol every backend implements —
+  create/drop/append/extend for writes, lazy (optionally weight-sorted)
+  row iteration for reads, and server-side degree statistics for the
+  heavy/light partitioning of the cycle decomposition.
+* :class:`MemoryBackend` is the original in-memory implementation
+  (Python lists inside :class:`~repro.data.relation.Relation`) extracted
+  behind the protocol.
+* :class:`SQLiteBackend` persists relations to a ``.db`` file via the
+  stdlib ``sqlite3`` module, using the paper's Appendix-B schema
+  (columns ``a1..a_arity`` plus a weight column ``w``).  Relations
+  loaded from it materialise lazily, so a prepared query can bind
+  against a persistent dataset without an up-front full scan, and a
+  second process gets a *cross-process warm start*: it reopens the
+  ``.db`` file and skips CSV ingestion entirely.
+
+Backends store scalar values (int / float / str / bytes / None).
+Richer weight domains (e.g. the lexicographic tuple weights) stay
+in-memory only.
+
+Every mutation through a backend bumps a per-relation *version
+counter* that is persisted (SQLite) or delegated to the stored relation
+(memory).  :class:`~repro.data.relation.Relation` objects constructed
+from a backend consult that counter, so the engine's prepared-query
+invalidation (and the :class:`~repro.data.index.IndexCache` stamps)
+stay sound even when several ``Relation`` views — including
+``rename``-aliased copies — share one table.  Mutations through a
+*different* backend instance (another process) are picked up on the
+next open; within one process, route writes through one backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import sqlite3
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+#: Table names a backend may never hand to user data.
+_RESERVED_PREFIXES = ("sqlite_", "repro_")
+
+
+def validate_identifier(name: str) -> str:
+    """Return ``name`` if it is a safe SQL identifier, else raise.
+
+    Relation names end up inside ``CREATE TABLE`` / ``INSERT`` /
+    ``CREATE INDEX`` statements, where placeholders cannot be used;
+    restricting them to ``[A-Za-z_][A-Za-z0-9_]*`` (minus reserved
+    prefixes) closes the injection hole instead of trusting callers.
+    """
+    if not isinstance(name, str) or not _IDENTIFIER.match(name):
+        raise ValueError(
+            f"unsafe relation name {name!r}: must match "
+            "[A-Za-z_][A-Za-z0-9_]*"
+        )
+    lowered = name.lower()
+    if lowered.startswith(_RESERVED_PREFIXES):
+        raise ValueError(
+            f"relation name {name!r} uses a reserved prefix "
+            f"{_RESERVED_PREFIXES}"
+        )
+    return name
+
+
+def quote_identifier(name: str) -> str:
+    """Validate ``name`` and wrap it in SQL double quotes."""
+    return f'"{validate_identifier(name)}"'
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What a storage backend must provide to host relations.
+
+    The contract mirrors what the paper's preprocessing phase consumes:
+    one sequential pass over each relation (:meth:`iter_rows`), optional
+    weight-sorted access (:meth:`sorted_rows`, rank-join style), and
+    degree statistics (:meth:`degree_statistics`) for the heavy/light
+    threshold of the cycle decomposition — plus enough bookkeeping
+    (arity, cardinality, a monotone per-relation version counter) for
+    the engine's cache invalidation to observe every mutation.
+
+    Row *position* is identity: the ``i``-th row yielded by
+    :meth:`iter_rows` is tuple id ``i`` (witnesses reference it), so
+    backends must iterate in stable insertion order and never reorder
+    or delete rows in place.
+    """
+
+    def relation_names(self) -> list[str]:
+        """Names of all stored relations, in creation order."""
+        ...
+
+    def arity(self, name: str) -> int:
+        """Number of value columns (excluding the weight) of ``name``."""
+        ...
+
+    def cardinality(self, name: str) -> int:
+        """Number of stored rows of ``name`` (no materialisation)."""
+        ...
+
+    def version(self, name: str) -> int:
+        """Monotone mutation counter for ``name`` (cache invalidation)."""
+        ...
+
+    def create(self, name: str, arity: int, replace: bool = False) -> None:
+        """Create an empty relation (``replace=True`` drops any old one)."""
+        ...
+
+    def drop(self, name: str) -> None:
+        """Remove the relation called ``name`` (KeyError if absent)."""
+        ...
+
+    def append(self, name: str, values: tuple, weight: Any = 0.0) -> None:
+        """Append one row; bumps the relation's version counter."""
+        ...
+
+    def extend(self, name: str, rows: Iterable[tuple[tuple, Any]]) -> int:
+        """Bulk-append ``(tuple, weight)`` rows (streaming; one version
+        bump for the whole batch).  Returns the number of rows added."""
+        ...
+
+    def iter_rows(self, name: str) -> Iterator[tuple[tuple, Any]]:
+        """Lazily yield ``(tuple, weight)`` rows in insertion order."""
+        ...
+
+    def sorted_rows(
+        self, name: str, descending: bool = False
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Yield rows ordered by weight (ties in insertion order)."""
+        ...
+
+    def fetch_tuple(self, name: str, position: int) -> tuple[tuple, Any]:
+        """The single row at insertion position ``position``."""
+        ...
+
+    def degree_statistics(
+        self, name: str, columns: Sequence[int]
+    ) -> dict[tuple, int]:
+        """Occurrence count per distinct projection onto ``columns``.
+
+        Computed server-side where possible (SQL ``GROUP BY``), so the
+        heavy/light split of the cycle decomposition does not force a
+        client-side pass over the relation.
+        """
+        ...
+
+    def ingest(self, relation: "Relation", name: str | None = None) -> str:
+        """Copy ``relation``'s rows in (replacing ``name``); returns name."""
+        ...
+
+    def relation(self, name: str) -> "Relation":
+        """A :class:`Relation` view of the stored relation ``name``."""
+        ...
+
+    def database(self) -> "Database":
+        """A :class:`Database` over every stored relation."""
+        ...
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+        ...
+
+
+class MemoryBackend:
+    """The in-memory storage the library started with, behind the protocol.
+
+    Rows live in Python lists inside :class:`Relation` objects;
+    :meth:`relation` hands out the stored object itself (zero-copy), so
+    version counters are exactly the relation's own and the fast paths
+    of the algorithms are untouched.
+    """
+
+    def __init__(self, relations: Iterable["Relation"] | None = None):
+        self._relations: dict[str, Relation] = {}
+        for relation in relations or ():
+            self.ingest(relation)
+
+    # -- protocol --------------------------------------------------------------
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def _get(self, name: str) -> "Relation":
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r} in backend") from None
+
+    def arity(self, name: str) -> int:
+        return self._get(name).arity
+
+    def cardinality(self, name: str) -> int:
+        return len(self._get(name))
+
+    def version(self, name: str) -> int:
+        return self._get(name).version
+
+    def create(self, name: str, arity: int, replace: bool = False) -> None:
+        from repro.data.relation import Relation
+
+        validate_identifier(name)
+        existing = self._relations.get(name)
+        if existing is not None:
+            if not replace:
+                raise ValueError(f"relation {name!r} already exists")
+            # Replace *in place* so Database views holding this object
+            # observe the swap, compensating the version counter for the
+            # dropped cardinality (the engine's invalidation stamp sums
+            # len + version and must stay strictly monotone) — the same
+            # contract SQLiteBackend.create upholds.
+            existing._version += len(existing._tuples) + 1
+            existing._tuples = []
+            existing._weights = []
+            existing._cardinality = None
+            existing.arity = arity
+            return
+        self._relations[name] = Relation(name, arity)
+
+    def drop(self, name: str) -> None:
+        self._get(name)
+        del self._relations[name]
+
+    def append(self, name: str, values: tuple, weight: Any = 0.0) -> None:
+        self._get(name).add(values, weight)
+
+    def extend(self, name: str, rows: Iterable[tuple[tuple, Any]]) -> int:
+        relation = self._get(name)
+        arity = relation.arity
+        # Stage the whole batch before touching the relation: a row
+        # source failing mid-stream must not leave a partial append
+        # (same all-or-nothing contract as SQLiteBackend.extend).
+        staged: list[tuple[tuple, Any]] = []
+        for values, weight in rows:
+            values = tuple(values)
+            if len(values) != arity:
+                raise ValueError(
+                    f"tuple {values!r} does not match arity {arity} of {name}"
+                )
+            staged.append((values, weight))
+        for values, weight in staged:
+            relation.add(values, weight)
+        return len(staged)
+
+    def iter_rows(self, name: str) -> Iterator[tuple[tuple, Any]]:
+        return iter(list(self._get(name).rows()))
+
+    def sorted_rows(
+        self, name: str, descending: bool = False
+    ) -> Iterator[tuple[tuple, Any]]:
+        relation = self._get(name)
+        rows = sorted(relation.rows(), key=lambda row: row[1], reverse=descending)
+        return iter(rows)
+
+    def fetch_tuple(self, name: str, position: int) -> tuple[tuple, Any]:
+        relation = self._get(name)
+        return relation.tuples[position], relation.weights[position]
+
+    def degree_statistics(
+        self, name: str, columns: Sequence[int]
+    ) -> dict[tuple, int]:
+        cols = tuple(columns)
+        counts: dict[tuple, int] = {}
+        for values in self._get(name).tuples:
+            key = tuple(values[c] for c in cols)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def ingest(self, relation: "Relation", name: str | None = None) -> str:
+        name = name or relation.name
+        self.create(name, relation.arity, replace=True)
+        stored = self._relations[name]
+        for values, weight in relation.rows():
+            stored._tuples.append(values)
+            stored._weights.append(weight)
+        stored._version += 1
+        return name
+
+    def relation(self, name: str) -> "Relation":
+        return self._get(name)
+
+    def database(self) -> "Database":
+        from repro.data.database import Database
+
+        return Database.from_backend(self)
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"MemoryBackend({len(self._relations)} relations)"
+
+
+class SQLiteBackend:
+    """Relations persisted in one SQLite file (or ``:memory:``).
+
+    Each relation is a table ``"name"(a1, .., a_arity, w)`` — the
+    paper's Appendix-B schema.  Value columns are declared without a
+    type, giving them BLOB affinity so ints, floats, and strings round
+    trip unchanged.  Insertion order is identity: rows are only ever
+    appended, so ``rowid == position + 1`` and witnesses resolve with a
+    point lookup instead of a scan.
+
+    A catalog table ``repro_relations`` records each relation's arity
+    and a monotone version counter; the counter is mirrored in memory so
+    the engine's per-execution version checks cost a dict lookup, not a
+    query.  Reopening the file in another process reads the persisted
+    counters back — the basis of cross-process warm starts.
+    """
+
+    CATALOG = "repro_relations"
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {self.CATALOG} "
+            "(name TEXT PRIMARY KEY, arity INTEGER NOT NULL, "
+            "version INTEGER NOT NULL DEFAULT 0)"
+        )
+        self._conn.commit()
+        #: In-memory mirror of the catalog: name -> [arity, version].
+        self._meta: dict[str, list[int]] = {
+            row[0]: [row[1], row[2]]
+            for row in self._conn.execute(
+                f"SELECT name, arity, version FROM {self.CATALOG} ORDER BY rowid"
+            )
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection (raises once :meth:`close` was called)."""
+        if self._conn is None:
+            raise RuntimeError(f"SQLiteBackend({self.path!r}) is closed")
+        return self._conn
+
+    def _meta_of(self, name: str) -> list[int]:
+        try:
+            return self._meta[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r} in backend") from None
+
+    def _bump(self, name: str, by: int = 1) -> None:
+        meta = self._meta_of(name)
+        meta[1] += by
+        self.connection.execute(
+            f"UPDATE {self.CATALOG} SET version = ? WHERE name = ?",
+            (meta[1], name),
+        )
+
+    @staticmethod
+    def _columns(arity: int) -> list[str]:
+        return [f"a{i + 1}" for i in range(arity)]
+
+    # -- protocol --------------------------------------------------------------
+
+    def relation_names(self) -> list[str]:
+        return list(self._meta)
+
+    def arity(self, name: str) -> int:
+        return self._meta_of(name)[0]
+
+    def cardinality(self, name: str) -> int:
+        table = quote_identifier(name)
+        self._meta_of(name)
+        (count,) = self.connection.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()
+        return count
+
+    def version(self, name: str) -> int:
+        return self._meta_of(name)[1]
+
+    def create(self, name: str, arity: int, replace: bool = False) -> None:
+        if arity < 1:
+            raise ValueError("relation arity must be at least 1")
+        table = quote_identifier(name)
+        conn = self.connection
+        if name in self._meta:
+            if not replace:
+                raise ValueError(f"relation {name!r} already exists")
+            # Replacement may shrink the cardinality; compensate in the
+            # version counter so the (len + version) stamp the engine
+            # sums for invalidation stays strictly monotone.
+            (old_count,) = conn.execute(
+                f"SELECT COUNT(*) FROM {table}"
+            ).fetchone()
+            old_version = self._meta[name][1] + old_count
+            conn.execute(f"DROP TABLE {table}")
+            conn.execute(
+                f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,)
+            )
+        else:
+            old_version = -1
+        columns = ", ".join(self._columns(arity) + ["w"])
+        conn.execute(f"CREATE TABLE {table} ({columns})")
+        conn.execute(
+            f"INSERT INTO {self.CATALOG} (name, arity, version) VALUES (?, ?, ?)",
+            (name, arity, old_version + 1),
+        )
+        conn.commit()
+        self._meta[name] = [arity, old_version + 1]
+
+    def drop(self, name: str) -> None:
+        table = quote_identifier(name)
+        self._meta_of(name)
+        conn = self.connection
+        conn.execute(f"DROP TABLE {table}")
+        conn.execute(f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,))
+        conn.commit()
+        del self._meta[name]
+
+    def append(self, name: str, values: tuple, weight: Any = 0.0) -> None:
+        arity = self.arity(name)
+        if len(values) != arity:
+            raise ValueError(
+                f"tuple {values!r} does not match arity {arity} of {name}"
+            )
+        table = quote_identifier(name)
+        placeholders = ", ".join("?" for _ in range(arity + 1))
+        self.connection.execute(
+            f"INSERT INTO {table} VALUES ({placeholders})",
+            tuple(values) + (weight,),
+        )
+        self._bump(name)
+        self.connection.commit()
+
+    def extend(self, name: str, rows: Iterable[tuple[tuple, Any]]) -> int:
+        arity = self.arity(name)
+        table = quote_identifier(name)
+        placeholders = ", ".join("?" for _ in range(arity + 1))
+        counter = itertools.count(1)
+        count = 0
+
+        def flat() -> Iterator[tuple]:
+            nonlocal count
+            for values, weight in rows:
+                if len(values) != arity:
+                    raise ValueError(
+                        f"tuple {values!r} does not match arity {arity} "
+                        f"of {name}"
+                    )
+                count = next(counter)
+                yield tuple(values) + (weight,)
+
+        # executemany consumes the generator lazily: ingestion streams
+        # through SQLite without materialising the batch in Python.
+        try:
+            self.connection.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})", flat()
+            )
+        except BaseException:
+            # A failing row source must not leave a partial batch in the
+            # open transaction (the next unrelated commit would persist
+            # it without any version bump).
+            self.connection.rollback()
+            raise
+        if count:
+            self._bump(name)
+        self.connection.commit()
+        return count
+
+    def iter_rows(self, name: str) -> Iterator[tuple[tuple, Any]]:
+        table = quote_identifier(name)
+        self._meta_of(name)
+        cursor = self.connection.execute(
+            f"SELECT * FROM {table} ORDER BY rowid"
+        )
+        return ((tuple(row[:-1]), row[-1]) for row in cursor)
+
+    def sorted_rows(
+        self, name: str, descending: bool = False
+    ) -> Iterator[tuple[tuple, Any]]:
+        table = quote_identifier(name)
+        self._meta_of(name)
+        order = "DESC" if descending else "ASC"
+        cursor = self.connection.execute(
+            f"SELECT * FROM {table} ORDER BY w {order}, rowid ASC"
+        )
+        return ((tuple(row[:-1]), row[-1]) for row in cursor)
+
+    def fetch_tuple(self, name: str, position: int) -> tuple[tuple, Any]:
+        table = quote_identifier(name)
+        self._meta_of(name)
+        # Append-only tables keep rowid == insertion position + 1, so
+        # witness recovery is a point lookup, not an OFFSET scan.
+        row = self.connection.execute(
+            f"SELECT * FROM {table} WHERE rowid = ?", (position + 1,)
+        ).fetchone()
+        if row is None:
+            raise IndexError(f"{name}: no tuple at position {position}")
+        return tuple(row[:-1]), row[-1]
+
+    def degree_statistics(
+        self, name: str, columns: Sequence[int]
+    ) -> dict[tuple, int]:
+        arity = self.arity(name)
+        cols = tuple(columns)
+        if not cols or any(c < 0 or c >= arity for c in cols):
+            raise ValueError(f"bad column subset {cols!r} for arity {arity}")
+        table = quote_identifier(name)
+        select = ", ".join(f"a{c + 1}" for c in cols)
+        cursor = self.connection.execute(
+            f"SELECT {select}, COUNT(*) FROM {table} GROUP BY {select}"
+        )
+        return {tuple(row[:-1]): row[-1] for row in cursor}
+
+    def create_index(self, name: str, columns: Sequence[int]) -> str:
+        """A persistent b-tree access path on ``columns`` (idempotent)."""
+        arity = self.arity(name)
+        cols = tuple(columns)
+        if not cols or any(c < 0 or c >= arity for c in cols):
+            raise ValueError(f"bad column subset {cols!r} for arity {arity}")
+        table = quote_identifier(name)
+        suffix = "_".join(f"a{c + 1}" for c in cols)
+        index_name = quote_identifier(f"idx_{name}_{suffix}")
+        self.connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {index_name} ON {table} "
+            f"({', '.join(f'a{c + 1}' for c in cols)})"
+        )
+        self.connection.commit()
+        return f"idx_{name}_{suffix}"
+
+    def ingest(self, relation: "Relation", name: str | None = None) -> str:
+        name = name or relation.name
+        self.create(name, relation.arity, replace=True)
+        self.extend(name, relation.rows())
+        return name
+
+    def relation(self, name: str) -> "Relation":
+        from repro.data.relation import Relation
+
+        return Relation.from_backend(self, name)
+
+    def database(self) -> "Database":
+        from repro.data.database import Database
+
+        return Database.from_backend(self)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._conn is None else f"{len(self._meta)} relations"
+        return f"SQLiteBackend({self.path!r}, {state})"

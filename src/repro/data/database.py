@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.data.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.backend import StorageBackend
 
 
 class Database:
@@ -12,10 +15,18 @@ class Database:
 
     ``n`` in the paper's cost model is the maximum cardinality of any
     relation referenced by the query; :meth:`max_cardinality` provides it.
+
+    A database may be a plain in-memory collection (the default) or a
+    view over a :class:`~repro.data.backend.StorageBackend`
+    (:meth:`from_backend`), in which case its relations read lazily from
+    the backing store and :attr:`version` still observes every mutation
+    made through any view of the store.
     """
 
     def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] | None = None):
         self.relations: dict[str, Relation] = {}
+        #: The storage backend this database was opened from (if any).
+        self.backend: StorageBackend | None = None
         self._structure_version = 0
         if relations is None:
             return
@@ -27,6 +38,32 @@ class Database:
         else:
             for relation in relations:
                 self.add(relation)
+
+    @classmethod
+    def from_backend(cls, backend: "StorageBackend") -> "Database":
+        """Open every relation stored in ``backend`` as one database.
+
+        Relations come back as the backend's views (lazy for SQLite,
+        the stored objects themselves for the memory backend), so no
+        tuples are read until an execution needs them — opening a large
+        persistent ``.db`` file is O(#relations), not O(data).
+        """
+        database = cls(
+            [backend.relation(name) for name in backend.relation_names()]
+        )
+        database.backend = backend
+        return database
+
+    def close(self) -> None:
+        """Close the owning backend, if any (idempotent)."""
+        if self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     @property
     def version(self) -> int:
@@ -93,7 +130,13 @@ class Database:
         return sum(len(r) for r in self.relations.values())
 
     def __repr__(self) -> str:
+        def size(relation: Relation) -> object:
+            try:
+                return len(relation)
+            except Exception:  # e.g. the owning backend was closed
+                return "?"
+
         inner = ", ".join(
-            f"{name}[{len(rel)}]" for name, rel in self.relations.items()
+            f"{name}[{size(rel)}]" for name, rel in self.relations.items()
         )
         return f"Database({inner})"

@@ -78,12 +78,16 @@ class IndexCache:
     share the linear-time index builds of Section 2.3.
     """
 
-    __slots__ = ("_indexes", "hits", "misses")
+    __slots__ = ("_indexes", "_degrees", "hits", "misses", "pushdowns")
 
     def __init__(self):
         self._indexes: dict[tuple, tuple[tuple, HashIndex]] = {}
+        #: Memoised backend degree statistics, stamped like _indexes.
+        self._degrees: dict[tuple, tuple[tuple, dict[tuple, int]]] = {}
         self.hits = 0
         self.misses = 0
+        #: Degree-statistics requests answered server-side by a backend.
+        self.pushdowns = 0
 
     def get(self, relation: Relation, columns: Sequence[int]) -> HashIndex:
         """The index of ``relation`` on ``columns`` (built at most once)."""
@@ -99,8 +103,35 @@ class IndexCache:
         self.misses += 1
         return index
 
+    def degrees(self, relation: Relation, columns: Sequence[int]) -> dict[tuple, int]:
+        """Occurrence count per distinct key of ``relation`` on ``columns``.
+
+        This is the degree information behind the heavy/light threshold
+        of the cycle decomposition (Section 5.2).  For a backend-stored,
+        not-yet-materialised relation the counts are computed *server
+        side* (SQL ``GROUP BY`` for SQLite) so asking for statistics
+        does not force the relation into memory; otherwise they are
+        derived from the (cached) hash index.
+        """
+        columns = tuple(columns)
+        backend = relation.backend
+        if backend is not None and not relation.is_materialized:
+            key = (relation.name, columns)
+            stamp = (id(relation), relation.version)
+            entry = self._degrees.get(key)
+            if entry is not None and entry[0] == stamp:
+                self.hits += 1
+                return entry[1]
+            self.pushdowns += 1
+            counts = backend.degree_statistics(relation.table, columns)
+            self._degrees[key] = (stamp, counts)
+            return counts
+        index = self.get(relation, columns)
+        return {key: len(positions) for key, positions in index.items()}
+
     def clear(self) -> None:
         self._indexes.clear()
+        self._degrees.clear()
 
     def __len__(self) -> int:
         return len(self._indexes)

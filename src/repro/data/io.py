@@ -1,20 +1,32 @@
-"""CSV import/export for relations and databases.
+"""CSV import/export for relations, databases, and storage backends.
 
 A relation is stored as one CSV file: one row per tuple, the weight in
 a trailing column named ``w`` (written by :func:`write_relation_csv`,
 optional on read).  Values are parsed as ``int`` where possible, then
 ``float``, else kept as strings — adequate for the graph and synthetic
-workloads this library targets.
+workloads this library targets (note the inference is lossy: a *string*
+that looks numeric, like ``"007"``, reads back as the number).
+
+Reading can target either an in-memory :class:`Relation`
+(:func:`read_relation_csv`) or any
+:class:`~repro.data.backend.StorageBackend` (:func:`ingest_csv`), and
+ingestion streams row-by-row through the backend's bulk ``extend`` —
+a CSV larger than memory loads into a SQLite backend without ever being
+held as a Python list.
 """
 
 from __future__ import annotations
 
 import csv
+import itertools
 import os
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.data.database import Database
 from repro.data.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.backend import StorageBackend
 
 
 def _parse_value(token: str) -> Any:
@@ -28,6 +40,65 @@ def _parse_value(token: str) -> Any:
         return token
 
 
+class CsvRows:
+    """A re-iterable stream of ``(tuple, weight)`` rows from one CSV file.
+
+    Shared by :func:`read_relation_csv` (materialising) and
+    :func:`ingest_csv` (streaming into a backend).  Each iteration
+    reopens the file, so the stream can be consumed more than once.
+    ``weight_column`` selects the weight column by index (negative
+    indexes count from the right); ``None`` means weight-less rows
+    (weights become 0.0).  With ``has_header`` the first row is
+    skipped; a trailing header column literally named ``w`` marks the
+    weight column regardless of ``weight_column``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        weight_column: int | None = -1,
+        has_header: bool = False,
+        delimiter: str = ",",
+    ):
+        self.path = path
+        self.has_header = has_header
+        self.delimiter = delimiter
+        self.header: list[str] | None = None
+        self.weight_column = weight_column
+        if has_header:
+            with open(path, newline="") as handle:
+                self.header = next(
+                    csv.reader(handle, delimiter=delimiter), None
+                )
+            if self.header and self.header[-1].strip().lower() == "w":
+                self.weight_column = -1
+
+    def header_arity(self) -> int | None:
+        """Arity implied by the header row (None without a header)."""
+        if not self.header:
+            return None
+        if self.weight_column is None:
+            return len(self.header)
+        return len(self.header) - 1
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=self.delimiter)
+            rows = iter(reader)
+            if self.has_header:
+                next(rows, None)
+            weight_column = self.weight_column
+            for row in rows:
+                if not row or all(not cell.strip() for cell in row):
+                    continue
+                values = [_parse_value(cell.strip()) for cell in row]
+                if weight_column is None:
+                    weight = 0.0
+                else:
+                    weight = float(values.pop(weight_column))
+                yield tuple(values), weight
+
+
 def read_relation_csv(
     path: str,
     name: str | None = None,
@@ -35,41 +106,81 @@ def read_relation_csv(
     has_header: bool = False,
     delimiter: str = ",",
 ) -> Relation:
-    """Load a relation from CSV.
+    """Load a relation from CSV (see :class:`CsvRows` for the format).
 
-    ``weight_column`` selects the weight column by index (negative
-    indexes count from the right; default: last column); pass ``None``
-    for weight-less files (weights become 0.0).  With ``has_header`` the
-    first row is skipped; a trailing header column literally named
-    ``w`` marks the weight column regardless of ``weight_column``.
+    A file with a header but no data rows loads as an *empty* relation
+    whose arity comes from the header; a file with neither is an error.
     """
     if name is None:
         name = os.path.splitext(os.path.basename(path))[0]
+    stream = CsvRows(
+        path,
+        weight_column=weight_column,
+        has_header=has_header,
+        delimiter=delimiter,
+    )
     tuples: list[tuple] = []
     weights: list[Any] = []
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        rows = iter(reader)
-        if has_header:
-            header = next(rows, None)
-            if header and header[-1].strip().lower() == "w":
-                weight_column = -1
-        for row in rows:
-            if not row or all(not cell.strip() for cell in row):
-                continue
-            values = [_parse_value(cell.strip()) for cell in row]
-            if weight_column is None:
-                weight = 0.0
-            else:
-                weight = float(values.pop(weight_column))
-            tuples.append(tuple(values))
-            weights.append(weight)
+    for values, weight in stream:
+        tuples.append(values)
+        weights.append(weight)
     if not tuples:
-        raise ValueError(f"{path}: no tuples found")
+        arity = stream.header_arity()
+        if not arity:
+            raise ValueError(f"{path}: no tuples found")
+        return Relation(name, arity)
     arity = len(tuples[0])
     if any(len(t) != arity for t in tuples):
         raise ValueError(f"{path}: rows have inconsistent arity")
     return Relation(name, arity, tuples, weights)
+
+
+def ingest_csv(
+    backend: "StorageBackend",
+    path: str,
+    name: str | None = None,
+    weight_column: int | None = -1,
+    has_header: bool = False,
+    delimiter: str = ",",
+) -> str:
+    """Bulk-load one CSV file into ``backend`` (replacing ``name``).
+
+    Rows stream through :meth:`StorageBackend.extend` without being
+    materialised in Python; returns the relation name.
+    """
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    stream = CsvRows(
+        path,
+        weight_column=weight_column,
+        has_header=has_header,
+        delimiter=delimiter,
+    )
+    rows = iter(stream)
+    first = next(rows, None)
+    if first is None:
+        arity = stream.header_arity()
+        if not arity:
+            raise ValueError(f"{path}: no tuples found")
+        backend.create(name, arity, replace=True)
+        return name
+    arity = len(first[0])
+
+    def checked() -> Iterator[tuple[tuple, Any]]:
+        for values, weight in itertools.chain([first], rows):
+            if len(values) != arity:
+                raise ValueError(f"{path}: rows have inconsistent arity")
+            yield values, weight
+
+    backend.create(name, arity, replace=True)
+    try:
+        backend.extend(name, checked())
+    except BaseException:
+        # Any mid-stream failure (ragged row, csv/decode error, storage
+        # error) must not leave a half-ingested relation behind.
+        backend.drop(name)
+        raise
+    return name
 
 
 def write_relation_csv(
@@ -78,7 +189,11 @@ def write_relation_csv(
     include_header: bool = True,
     delimiter: str = ",",
 ) -> None:
-    """Write a relation as CSV with a trailing weight column ``w``."""
+    """Write a relation as CSV with a trailing weight column ``w``.
+
+    Works for any storage backend: rows stream via ``Relation.rows()``
+    (lazy for backend-stored relations).
+    """
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
         if include_header:
@@ -89,27 +204,67 @@ def write_relation_csv(
             writer.writerow(list(values) + [weight])
 
 
-def load_database(directory: str, delimiter: str = ",") -> Database:
+def _sniff_header(path: str, delimiter: str) -> bool:
+    """Heuristic from :func:`save_database`'s output: a non-numeric
+    first cell means the first row is a header."""
+    with open(path, newline="") as handle:
+        first = handle.readline()
+    return bool(first) and not first.split(delimiter)[0].strip().lstrip(
+        "-"
+    ).replace(".", "", 1).isdigit()
+
+
+def load_database(
+    directory: str,
+    delimiter: str = ",",
+    backend: "StorageBackend | None" = None,
+) -> Database:
     """Load every ``*.csv`` in ``directory`` as a relation named by file.
 
     Files are assumed to carry the header written by
     :func:`write_relation_csv` (detected by a trailing ``w`` column).
+    Without ``backend`` the relations are materialised in memory (the
+    historical behaviour); with one, each file is bulk-ingested into the
+    backend and the returned database reads (lazily) from it.  Backend
+    ingestion is all-or-nothing per directory: if any file fails to
+    parse, the relations this call already ingested are dropped again,
+    so a half-loaded ``.db`` file is never mistaken for a complete
+    dataset on the next (warm-start) open.
     """
-    database = Database()
-    for entry in sorted(os.listdir(directory)):
-        if not entry.endswith(".csv"):
-            continue
-        path = os.path.join(directory, entry)
-        with open(path, newline="") as handle:
-            first = handle.readline()
-        has_header = bool(first) and not first.split(delimiter)[0].strip().lstrip(
-            "-"
-        ).replace(".", "", 1).isdigit()
-        database.add(
-            read_relation_csv(path, has_header=has_header, delimiter=delimiter)
-        )
-    if not len(database):
+    paths = [
+        os.path.join(directory, entry)
+        for entry in sorted(os.listdir(directory))
+        if entry.endswith(".csv")
+    ]
+    if not paths:
         raise ValueError(f"no CSV relations found in {directory!r}")
+    if backend is not None:
+        ingested: list[str] = []
+        try:
+            for path in paths:
+                ingested.append(
+                    ingest_csv(
+                        backend,
+                        path,
+                        has_header=_sniff_header(path, delimiter),
+                        delimiter=delimiter,
+                    )
+                )
+        except BaseException:
+            for name in ingested:
+                if name in backend.relation_names():
+                    backend.drop(name)
+            raise
+        return backend.database()
+    database = Database()
+    for path in paths:
+        database.add(
+            read_relation_csv(
+                path,
+                has_header=_sniff_header(path, delimiter),
+                delimiter=delimiter,
+            )
+        )
     return database
 
 

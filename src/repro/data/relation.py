@@ -1,15 +1,26 @@
-"""In-memory relations with per-tuple weights.
+"""Relations with per-tuple weights, over pluggable storage.
 
 A :class:`Relation` is an ordered multiset of fixed-arity tuples, each
 carrying a weight from the ranking domain (Definition 4 assigns result
 weights by aggregating input-tuple weights).  Tuples are plain Python
 tuples of hashable values; weights default to ``0.0`` (the tropical
 ``one``) when not given.
+
+Tuples either live directly in Python lists (the default, and the
+in-memory fast path the algorithms were written against) or in a
+:class:`~repro.data.backend.StorageBackend` (e.g. a SQLite file), in
+which case the relation is a *lazy view*: ``rows()`` streams from the
+backend without materialising, while ``tuples``/``weights`` materialise
+on first access and transparently refresh when the backend-side version
+counter shows the table changed underneath them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.backend import StorageBackend
 
 
 class Relation:
@@ -20,7 +31,10 @@ class Relation:
     multiset, so duplicate tuples are allowed and keep distinct weights.
     """
 
-    __slots__ = ("name", "arity", "tuples", "weights", "_version")
+    __slots__ = (
+        "name", "arity", "backend", "_table", "_tuples", "_weights",
+        "_version", "_cardinality",
+    )
 
     def __init__(
         self,
@@ -33,30 +47,109 @@ class Relation:
             raise ValueError("relation arity must be at least 1")
         self.name = name
         self.arity = arity
-        self.tuples: list[tuple] = [tuple(t) for t in (tuples or [])]
-        for t in self.tuples:
+        #: Storage backend this relation is a view of (None = plain lists).
+        self.backend: StorageBackend | None = None
+        #: Backend-side table name (may differ from ``name`` after
+        #: :meth:`rename`, which aliases the same stored table).
+        self._table = name
+        self._cardinality: tuple[int, int] | None = None
+        self._tuples: list[tuple] | None = [tuple(t) for t in (tuples or [])]
+        for t in self._tuples:
             if len(t) != arity:
                 raise ValueError(
                     f"tuple {t!r} does not match arity {arity} of {name}"
                 )
         if weights is None:
-            self.weights: list[Any] = [0.0] * len(self.tuples)
+            self._weights: list[Any] | None = [0.0] * len(self._tuples)
         else:
-            self.weights = list(weights)
-        if len(self.weights) != len(self.tuples):
+            self._weights = list(weights)
+        if len(self._weights) != len(self._tuples):
             raise ValueError(
-                f"{name}: {len(self.tuples)} tuples but "
-                f"{len(self.weights)} weights"
+                f"{name}: {len(self._tuples)} tuples but "
+                f"{len(self._weights)} weights"
             )
         self._version = 0
+
+    # -- backend plumbing ------------------------------------------------------
+
+    @classmethod
+    def from_backend(
+        cls, backend: "StorageBackend", name: str, table: str | None = None
+    ) -> "Relation":
+        """A lazy view of the stored relation ``table`` (default: ``name``).
+
+        Nothing is read up front beyond the arity; tuples materialise on
+        first ``tuples``/``weights`` access, and ``rows()`` streams
+        without materialising at all.
+        """
+        table = table or name
+        relation = cls(name, backend.arity(table))
+        relation.backend = backend
+        relation._table = table
+        relation._tuples = None
+        relation._weights = None
+        relation._version = backend.version(table)
+        return relation
+
+    @property
+    def table(self) -> str:
+        """The backend-side table this relation reads (== name unless aliased)."""
+        return self._table
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the tuples currently live in local Python lists."""
+        return self._tuples is not None
+
+    def _refresh(self) -> None:
+        """(Re)materialise from the backend when absent or stale."""
+        current = self.backend.version(self._table)
+        if self._tuples is not None and self._version == current:
+            return
+        self.arity = self.backend.arity(self._table)
+        tuples: list[tuple] = []
+        weights: list[Any] = []
+        for values, weight in self.backend.iter_rows(self._table):
+            tuples.append(values)
+            weights.append(weight)
+        self._tuples = tuples
+        self._weights = weights
+        self._version = current
+        self._cardinality = None
+
+    @property
+    def tuples(self) -> list[tuple]:
+        if self.backend is not None:
+            self._refresh()
+        return self._tuples
+
+    @tuples.setter
+    def tuples(self, value: list[tuple]) -> None:
+        self._tuples = value
+        self._cardinality = None
+
+    @property
+    def weights(self) -> list[Any]:
+        if self.backend is not None:
+            self._refresh()
+        return self._weights
+
+    @weights.setter
+    def weights(self, value: list[Any]) -> None:
+        self._weights = value
 
     @property
     def version(self) -> int:
         """Mutation counter: bumped by :meth:`add`.
 
         Together with ``len(self)`` this stamps the relation's content
-        for cache invalidation (engine plan cache, index cache).
+        for cache invalidation (engine plan cache, index cache).  For a
+        backend-stored relation the counter is the *backend's*, so
+        mutations through any view of the same table — including
+        ``rename``-aliased copies — are observed by every view.
         """
+        if self.backend is not None:
+            return self.backend.version(self._table)
         return self._version
 
     # -- construction helpers -------------------------------------------------
@@ -73,52 +166,110 @@ class Relation:
         return cls(name, 2, tuples, weights)
 
     def add(self, values: tuple, weight: Any = 0.0) -> None:
-        """Append one tuple with its weight."""
+        """Append one tuple with its weight (write-through when backed)."""
         values = tuple(values)
         if len(values) != self.arity:
             raise ValueError(
                 f"tuple {values!r} does not match arity {self.arity}"
             )
-        self.tuples.append(values)
-        self.weights.append(weight)
+        if self.backend is not None:
+            before = self.backend.version(self._table)
+            self.backend.append(self._table, values, weight)
+            if self._tuples is not None:
+                if self._version == before:
+                    # Local copy was current: extend it in place and
+                    # stamp it valid for the new backend version.
+                    self._tuples.append(values)
+                    self._weights.append(weight)
+                    self._version = self.backend.version(self._table)
+                else:
+                    # An aliased view mutated the table since we
+                    # materialised; drop the stale copy instead of
+                    # appending to it.
+                    self._tuples = None
+                    self._weights = None
+            self._cardinality = None
+            return
+        self._tuples.append(values)
+        self._weights.append(weight)
         self._version += 1
 
     # -- container protocol ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self.backend is None:
+            return len(self._tuples)
+        if self._tuples is not None:
+            # Materialised view: refresh if another view of the same
+            # table mutated it (no-op when the version still matches).
+            self._refresh()
+            return len(self._tuples)
+        # Unmaterialised: COUNT(*) on the backend, cached per version.
+        current = self.backend.version(self._table)
+        if self._cardinality is None or self._cardinality[0] != current:
+            self._cardinality = (
+                current, self.backend.cardinality(self._table)
+            )
+        return self._cardinality[1]
 
     def __iter__(self) -> Iterator[tuple]:
+        if self._tuples is None:
+            return (values for values, _weight in self.rows())
         return iter(self.tuples)
 
     def rows(self) -> Iterator[tuple[tuple, Any]]:
-        """Iterate ``(tuple, weight)`` pairs."""
-        return zip(self.tuples, self.weights)
+        """Iterate ``(tuple, weight)`` pairs.
+
+        For an unmaterialised backend relation this streams straight
+        from storage — the single pass the T-DP bottom-up build needs —
+        without pulling the relation into memory.
+        """
+        if self._tuples is None:
+            return self.backend.iter_rows(self._table)
+        if self.backend is not None:
+            self._refresh()
+        return zip(self._tuples, self._weights)
+
+    def tuple_at(self, position: int) -> tuple:
+        """The tuple with id ``position`` (point lookup when backed)."""
+        if self.backend is not None:
+            if self._tuples is None:
+                return self.backend.fetch_tuple(self._table, position)[0]
+            self._refresh()
+        return self._tuples[position]
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}, arity={self.arity}, n={len(self)})"
+        where = "" if self.backend is None else f", backend={self.backend!r}"
+        try:
+            n: object = len(self)
+        except Exception:  # e.g. the owning backend was closed
+            n = "?"
+        return f"Relation({self.name!r}, arity={self.arity}, n={n}{where})"
 
     # -- relational operations -------------------------------------------------
 
     def rename(self, name: str) -> "Relation":
         """A shallow copy under a different name (for self-joins).
 
-        The copy shares tuple/weight storage; mutate through exactly one
-        of the two objects so version stamps stay meaningful.
+        The copy shares storage: the tuple/weight lists in memory, or
+        the backend table for a backend-stored relation (where version
+        counters keep every alias coherent — see :attr:`version`).
         """
         copy = Relation(name, self.arity)
-        copy.tuples = self.tuples
-        copy.weights = self.weights
+        copy.backend = self.backend
+        copy._table = self._table
+        copy._tuples = self._tuples
+        copy._weights = self._weights
         copy._version = self._version
         return copy
 
     def filter(self, predicate: Callable[[tuple], bool], name: str | None = None) -> "Relation":
-        """Selection: keep tuples satisfying ``predicate``."""
+        """Selection: keep tuples satisfying ``predicate`` (materialised)."""
         out = Relation(name or self.name, self.arity)
         for values, weight in self.rows():
             if predicate(values):
-                out.tuples.append(values)
-                out.weights.append(weight)
+                out._tuples.append(values)
+                out._weights.append(weight)
         return out
 
     def project(
@@ -137,27 +288,39 @@ class Relation:
         """
         out = Relation(name or f"{self.name}_proj", len(columns))
         seen: set[tuple] = set()
-        for values in self.tuples:
+        for values in self:
             projected = tuple(values[c] for c in columns)
             if distinct:
                 if projected in seen:
                     continue
                 seen.add(projected)
-            out.tuples.append(projected)
-            out.weights.append(default_weight)
+            out._tuples.append(projected)
+            out._weights.append(default_weight)
         return out
 
     def column_values(self, column: int) -> set:
         """Distinct values appearing in ``column``."""
-        return {values[column] for values in self.tuples}
+        return {values[column] for values in self}
 
     def sorted_by_weight(self, key: Callable[[Any], Any] | None = None) -> "Relation":
-        """Copy with tuples ordered by weight (rank-join style sorted access)."""
-        order = sorted(
-            range(len(self.tuples)),
-            key=(lambda i: key(self.weights[i])) if key else (lambda i: self.weights[i]),
-        )
+        """Copy with tuples ordered by weight (rank-join style sorted access).
+
+        A backend-stored relation delegates the natural-order sort to
+        the backend (``ORDER BY w`` in SQLite) instead of sorting
+        client-side; a custom ``key`` always sorts locally.
+        """
         out = Relation(self.name, self.arity)
-        out.tuples = [self.tuples[i] for i in order]
-        out.weights = [self.weights[i] for i in order]
+        if key is None and self.backend is not None and self._tuples is None:
+            for values, weight in self.backend.sorted_rows(self._table):
+                out._tuples.append(values)
+                out._weights.append(weight)
+            return out
+        tuples = self.tuples
+        weights = self.weights
+        order = sorted(
+            range(len(tuples)),
+            key=(lambda i: key(weights[i])) if key else (lambda i: weights[i]),
+        )
+        out._tuples = [tuples[i] for i in order]
+        out._weights = [weights[i] for i in order]
         return out

@@ -109,16 +109,20 @@ def _heavy_values(
     """Entry-attribute values with >= ``threshold`` occurrences.
 
     With an :class:`~repro.data.index.IndexCache` the degree statistics
-    come from a (possibly cached) hash index on the entry column, so
-    repeated decompositions of the same database skip the counting pass.
+    come from :meth:`~repro.data.index.IndexCache.degrees`: a (possibly
+    cached) hash index on the entry column for in-memory relations, or a
+    server-side ``GROUP BY`` for backend-stored ones — so repeated
+    decompositions of the same database skip the counting pass, and a
+    SQLite-backed relation is not materialised just to be counted.
     """
     entry_pos = cycle_atom.entry_pos
     if indexes is not None:
-        index = indexes.get(cycle_atom.relation, (entry_pos,))
         return {
             key[0]
-            for key, positions in index.items()
-            if len(positions) >= threshold
+            for key, count in indexes.degrees(
+                cycle_atom.relation, (entry_pos,)
+            ).items()
+            if count >= threshold
         }
     counts: dict = {}
     for values in cycle_atom.relation.tuples:

@@ -174,7 +174,16 @@ class PreparedQuery:
 
 
 class Engine:
-    """Session object: one database, cached prepared queries and indexes."""
+    """Session object: one database, cached prepared queries and indexes.
+
+    The database may live on any storage backend; an engine over a
+    :class:`~repro.data.backend.SQLiteBackend` database binds plans
+    against the persistent store (lazy row streams, server-side degree
+    statistics) and gets cross-process warm starts for free — reopening
+    the ``.db`` file skips ingestion, and only the in-process plan/T-DP
+    caches are rebuilt.  Engines are context managers; leaving the
+    ``with`` block closes the owning backend.
+    """
 
     def __init__(self, database: Database, max_cached_plans: int = 64):
         self.database = database
@@ -302,11 +311,29 @@ class Engine:
         """Number of prepared queries currently in the plan cache."""
         return len(self._plans)
 
+    @classmethod
+    def from_backend(cls, backend, max_cached_plans: int = 64) -> "Engine":
+        """An engine over every relation stored in ``backend``."""
+        return cls(
+            Database.from_backend(backend), max_cached_plans=max_cached_plans
+        )
+
     def clear_caches(self) -> None:
         """Drop all cached plans and indexes (e.g. before re-profiling)."""
         self._plans.clear()
         self._physicals.clear()
         self.indexes.clear()
+
+    def close(self) -> None:
+        """Drop caches and close the database's storage backend."""
+        self.clear_caches()
+        self.database.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -515,8 +515,10 @@ def recover_witness(
         merged.extend(per_tuple[tdp.tuple_ids[stage][state]])
     merged.sort()
     witness_ids = tuple(tuple_id for _atom, tuple_id in merged)
+    # tuple_at is a plain list index in memory and a rowid point lookup
+    # for backend-stored relations (no materialisation per witness).
     witness = tuple(
-        database[query.atoms[atom_index].relation_name].tuples[tuple_id]
+        database[query.atoms[atom_index].relation_name].tuple_at(tuple_id)
         for atom_index, tuple_id in merged
     )
     return witness_ids, witness

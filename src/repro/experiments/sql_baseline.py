@@ -15,6 +15,7 @@ import sqlite3
 import time
 from typing import Iterable
 
+from repro.data.backend import quote_identifier
 from repro.data.database import Database
 from repro.query.cq import ConjunctiveQuery
 
@@ -24,19 +25,24 @@ def load_sqlite(database: Database, names: Iterable[str]) -> sqlite3.Connection:
 
     Tables get columns ``a1..a_arity`` plus ``w`` (the tuple weight),
     matching the paper's Appendix B schema, and an index on ``a1``.
+    Relation names are validated and quoted before they reach the SQL
+    text (they cannot be bound as placeholders), so a hostile name
+    raises ``ValueError`` instead of rewriting the statements.
     """
     conn = sqlite3.connect(":memory:")
     cursor = conn.cursor()
     for name in dict.fromkeys(names):
         relation = database[name]
+        table = quote_identifier(name)
+        index = quote_identifier(f"idx_{name}_a1")
         columns = ", ".join(f"a{i + 1}" for i in range(relation.arity))
-        cursor.execute(f"CREATE TABLE {name} ({columns}, w REAL)")
+        cursor.execute(f"CREATE TABLE {table} ({columns}, w REAL)")
         placeholders = ", ".join("?" for _ in range(relation.arity + 1))
         cursor.executemany(
-            f"INSERT INTO {name} VALUES ({placeholders})",
+            f"INSERT INTO {table} VALUES ({placeholders})",
             (t + (w,) for t, w in relation.rows()),
         )
-        cursor.execute(f"CREATE INDEX idx_{name}_a1 ON {name} (a1)")
+        cursor.execute(f"CREATE INDEX {index} ON {table} (a1)")
     conn.commit()
     return conn
 
@@ -45,7 +51,7 @@ def query_to_sql(query: ConjunctiveQuery, limit: int | None = None) -> str:
     """Translate a full CQ into the paper's Appendix-B-style SQL."""
     aliases = [f"t{i}" for i in range(query.num_atoms)]
     from_clause = ", ".join(
-        f"{atom.relation_name} {alias}"
+        f"{quote_identifier(atom.relation_name)} {alias}"
         for atom, alias in zip(query.atoms, aliases)
     )
     # Equality predicates from shared variables.

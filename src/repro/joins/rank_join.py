@@ -35,15 +35,17 @@ Item = tuple[float, dict]
 
 def _relation_stream(relation: Relation, atom: Atom) -> Iterator[Item]:
     """Tuples of one atom as (weight, assignment), heaviest first."""
+    tuples = relation.tuples
+    weights = relation.weights
     order = sorted(
-        range(len(relation)), key=lambda i: relation.weights[i], reverse=True
+        range(len(tuples)), key=lambda i: weights[i], reverse=True
     )
     check = atom.has_repeated_variables()
     for i in order:
-        values = relation.tuples[i]
+        values = tuples[i]
         if check and not atom.satisfies_repeats(values):
             continue
-        yield (relation.weights[i], dict(zip(atom.variables, values)))
+        yield (weights[i], dict(zip(atom.variables, values)))
 
 
 class RankJoin:

@@ -58,7 +58,12 @@ def yannakakis(
     ]
 
     # Working tuple lists per stage (indices into the base relations).
+    # Tuple/weight lists are bound once up front: element-wise access in
+    # the backtracking join below must not re-enter the (backend-aware)
+    # Relation properties per lookup.
     relations = [database[atom.relation_name] for atom in atoms]
+    rel_tuples = [relation.tuples for relation in relations]
+    rel_weights = [relation.weights for relation in relations]
     alive: list[list[int]] = []
     for stage, relation in enumerate(relations):
         atom = atoms[stage]
@@ -66,7 +71,7 @@ def yannakakis(
             alive.append(
                 [
                     i
-                    for i, values in enumerate(relation.tuples)
+                    for i, values in enumerate(rel_tuples[stage])
                     if atom.satisfies_repeats(values)
                 ]
             )
@@ -74,9 +79,9 @@ def yannakakis(
             alive.append(list(range(len(relation))))
 
     def keys_of(stage: int, positions: tuple[int, ...]) -> set:
-        relation = relations[stage]
+        tuples = rel_tuples[stage]
         return {
-            tuple(relation.tuples[i][p] for p in positions)
+            tuple(tuples[i][p] for p in positions)
             for i in alive[stage]
         }
 
@@ -87,11 +92,11 @@ def yannakakis(
             continue
         child_keys = keys_of(stage, own_positions[stage])
         positions = parent_positions[stage]
-        relation = relations[p]
+        tuples = rel_tuples[p]
         alive[p] = [
             i
             for i in alive[p]
-            if tuple(relation.tuples[i][q] for q in positions) in child_keys
+            if tuple(tuples[i][q] for q in positions) in child_keys
         ]
     # Top-down semi-join pass: parent reduces child.
     for stage in range(num_stages):
@@ -100,21 +105,21 @@ def yannakakis(
             continue
         parent_keys = keys_of(p, parent_positions[stage])
         positions = own_positions[stage]
-        relation = relations[stage]
+        tuples = rel_tuples[stage]
         alive[stage] = [
             i
             for i in alive[stage]
-            if tuple(relation.tuples[i][q] for q in positions) in parent_keys
+            if tuple(tuples[i][q] for q in positions) in parent_keys
         ]
 
     # Index alive tuples of each stage by the join key with the parent.
     buckets: list[dict[tuple, list[int]]] = []
     for stage in range(num_stages):
         positions = own_positions[stage]
-        relation = relations[stage]
+        tuples = rel_tuples[stage]
         index: dict[tuple, list[int]] = {}
         for i in alive[stage]:
-            key = tuple(relation.tuples[i][p] for p in positions)
+            key = tuple(tuples[i][p] for p in positions)
             index.setdefault(key, []).append(i)
         buckets.append(index)
 
@@ -132,8 +137,7 @@ def yannakakis(
         if p == -1:
             yield from buckets[stage].get((), [])
             return
-        relation = relations[p]
-        parent_tuple = relation.tuples[chosen_index[p]]
+        parent_tuple = rel_tuples[p][chosen_index[p]]
         key = tuple(parent_tuple[q] for q in parent_positions[stage])
         yield from buckets[stage].get(key, [])
 
@@ -146,12 +150,11 @@ def yannakakis(
             level -= 1
             continue
         chosen_index[level] = tuple_index
-        relation = relations[level]
-        values = relation.tuples[tuple_index]
+        values = rel_tuples[level][tuple_index]
         for var, value in zip(atoms[level].variables, values):
             assignment[var_position[var]] = value
         chosen_weight[level + 1] = times(
-            chosen_weight[level], relation.weights[tuple_index]
+            chosen_weight[level], rel_weights[level][tuple_index]
         )
         if counter is not None:
             counter.intermediate_tuples += 1

@@ -1,0 +1,187 @@
+"""Differential conformance: every any-k variant, every storage backend.
+
+For randomized (seeded) acyclic and cyclic queries, the ranked stream
+produced over a :class:`SQLiteBackend` must be *identical* to the one
+produced over in-memory storage — same plans, same T-DPs, same floats,
+since SQLite REAL round-trips IEEE doubles exactly — and both must
+agree with the Batch oracle (full join, then sort) up to aggregation
+order.  Extends the cross-oracle pattern of ``test_cross_oracle.py``
+one axis further: implementation x storage backend.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.data.backend import MemoryBackend, SQLiteBackend
+from repro.data.database import Database
+from repro.data.generators import uniform_database, worst_case_cycle_database
+from repro.data.relation import Relation
+from repro.engine import Engine
+from repro.query.builders import cycle_query, path_query, star_query
+
+#: The any-k variants of Section 6 (batch is the oracle, not a subject).
+ANYK_VARIANTS = ["recursive", "take2", "lazy", "eager", "all"]
+#: Prefix length compared exactly across backends and variants.
+K = 150
+
+
+def random_case(seed: int):
+    """A seeded random query + database pair (acyclic or cyclic)."""
+    rng = random.Random(seed)
+    shape = rng.choice(["path", "star", "cycle"])
+    ell = rng.choice([3, 4])
+    n = rng.randint(30, 70)
+    domain = rng.randint(4, 9)
+    if shape == "cycle" and rng.random() < 0.3:
+        database = worst_case_cycle_database(ell, n, seed=seed)
+    else:
+        database = uniform_database(ell, n, domain_size=domain, seed=seed)
+    query = {"path": path_query, "star": star_query, "cycle": cycle_query}[
+        shape
+    ](ell)
+    return database, query, shape
+
+
+def sqlite_copy(database: Database, tmp_path, tag: str) -> Database:
+    backend = SQLiteBackend(str(tmp_path / f"{tag}.db"))
+    for relation in database:
+        backend.ingest(relation)
+    return backend.database()
+
+
+def memory_backend_copy(database: Database) -> Database:
+    return MemoryBackend(list(database)).database()
+
+
+def stream(database: Database, query, algorithm: str, k: int | None = K):
+    """The ranked prefix as comparable ``(weight, output)`` pairs."""
+    engine = Engine(database)
+    prepared = engine.prepare(query, algorithm=algorithm)
+    return [
+        (result.weight, result.output_tuple)
+        for result in itertools.islice(prepared.iter(), k)
+    ]
+
+
+class TestBackendsProduceIdenticalStreams:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_queries_all_variants(self, tmp_path, seed):
+        database, query, shape = random_case(seed)
+        via_sqlite = sqlite_copy(database, tmp_path, f"case{seed}")
+        via_membackend = memory_backend_copy(database)
+        oracle = sorted(
+            (round(w, 6), out)
+            for w, out in stream(database, query, "batch", k=None)
+        )
+        for algorithm in ANYK_VARIANTS:
+            reference = stream(database, query, algorithm)
+            # Bit-identical across storage backends: same tuples, same
+            # order, same arithmetic.
+            assert stream(via_sqlite, query, algorithm) == reference, (
+                f"sqlite differs from memory for {algorithm} on "
+                f"{shape} seed {seed}"
+            )
+            assert stream(via_membackend, query, algorithm) == reference
+            # And the ranked prefix agrees with the Batch oracle.
+            assert [
+                (round(w, 6), out) for w, out in reference
+            ] == oracle[: len(reference)], (
+                f"{algorithm} on {shape} seed {seed} diverges from Batch"
+            )
+
+    @pytest.mark.parametrize("algorithm", ANYK_VARIANTS)
+    def test_full_enumeration_on_cycle(self, tmp_path, algorithm):
+        """Cyclic (union-of-decompositions) path, full output, both stores."""
+        database = worst_case_cycle_database(4, 40, seed=12)
+        query = cycle_query(4)
+        reference = stream(database, query, algorithm, k=None)
+        assert (
+            stream(sqlite_copy(database, tmp_path, algorithm), query,
+                   algorithm, k=None)
+            == reference
+        )
+        weights = [w for w, _ in reference]
+        assert weights == sorted(weights)
+
+    def test_query_with_constant_selection(self, tmp_path):
+        """Selections compiled from query text filter both backends alike."""
+        database = uniform_database(3, 50, domain_size=5, seed=33)
+        text = "Q(x, y, z) :- R1(x, y), R2(y, z), R3(z, 2)"
+        via_sqlite = sqlite_copy(database, tmp_path, "sel")
+        for algorithm in ("take2", "recursive"):
+            mem = [
+                (r.weight, r.output_tuple)
+                for r in itertools.islice(
+                    Engine(database).prepare(text, algorithm=algorithm).iter(), K
+                )
+            ]
+            sql = [
+                (r.weight, r.output_tuple)
+                for r in itertools.islice(
+                    Engine(via_sqlite).prepare(text, algorithm=algorithm).iter(), K
+                )
+            ]
+            assert mem == sql
+            assert mem, "selection case should not be empty"
+
+    def test_witnesses_match_across_backends(self, tmp_path):
+        """Witness recovery (rowid point lookups) returns the same tuples."""
+        database = uniform_database(3, 40, domain_size=4, seed=5)
+        query = cycle_query(3)
+        via_sqlite = sqlite_copy(database, tmp_path, "wit")
+        mem = list(
+            itertools.islice(Engine(database).prepare(query).iter(), 25)
+        )
+        sql = list(
+            itertools.islice(Engine(via_sqlite).prepare(query).iter(), 25)
+        )
+        assert [r.witness for r in mem] == [r.witness for r in sql]
+        assert [r.witness_ids for r in mem] == [r.witness_ids for r in sql]
+
+
+class TestDegreeStatisticsPushdown:
+    def test_cycle_plan_uses_server_side_degrees(self, tmp_path):
+        """Binding a cyclic query over SQLite asks the backend for degrees."""
+        database = worst_case_cycle_database(4, 30, seed=3)
+        via_sqlite = sqlite_copy(database, tmp_path, "deg")
+        engine = Engine(via_sqlite)
+        prepared = engine.prepare(cycle_query(4))
+        prepared.bind()
+        assert engine.indexes.pushdowns > 0
+
+    def test_pushdown_matches_client_side_counts(self, tmp_path):
+        database = uniform_database(1, 60, domain_size=5, seed=8)
+        relation = database["R1"]
+        backend = SQLiteBackend(str(tmp_path / "cnt.db"))
+        backend.ingest(relation)
+        lazy = backend.relation("R1")
+        from repro.data.index import IndexCache
+
+        cache = IndexCache()
+        pushed = cache.degrees(lazy, (0,))
+        assert cache.pushdowns == 1
+        local = cache.degrees(relation, (0,))
+        assert pushed == local
+        # Repeats are memoised (no second GROUP BY)...
+        assert cache.degrees(lazy, (0,)) == pushed
+        assert cache.pushdowns == 1
+        # ...until a mutation invalidates the stamp.
+        lazy.add((99, 99), 0.0)
+        refreshed = cache.degrees(lazy, (0,))
+        assert cache.pushdowns == 2
+        assert refreshed[(99,)] == 1
+        backend.close()
+
+
+def test_empty_relation_conformance(tmp_path):
+    """A joined-away empty relation yields an empty stream on both stores."""
+    database = Database([
+        Relation("R", 2, [(1, 2)], [1.0]),
+        Relation("S", 2),
+    ])
+    query_text = "Q(x, y, z) :- R(x, y), S(y, z)"
+    assert list(Engine(database).prepare(query_text).iter()) == []
+    via_sqlite = sqlite_copy(database, tmp_path, "empty")
+    assert list(Engine(via_sqlite).prepare(query_text).iter()) == []
