@@ -1,0 +1,179 @@
+"""Serving under concurrent load: latency percentiles and throughput.
+
+One engine, one live asyncio server (in-process, thread-hosted), N
+concurrent clients — each with its own TCP connection and named session
+— paginating a top-K query in fixed-size pages.  Reported per session
+count: p50/p95/p99 fetch latency and aggregate answers/sec.
+
+Two correctness gates ride along (they are the ISSUE-3 acceptance
+criteria, so a regression fails the benchmark, not just skews it):
+
+* every concurrent session's ranked prefix is **bit-identical** to a
+  single-session baseline run — concurrency must not perturb ranking;
+* ``prepared.top(5)`` followed by ``prepared.top(100)`` performs zero
+  duplicate enumeration steps (OpCounter-attributed), i.e. the shared
+  emitted-prefix cache works under the serving path too.
+
+Clients mix any-k algorithms (half ``take2``, half ``lazy``), so the
+load exercises distinct memoized streams over one shared physical plan.
+
+Set ``BENCH_SMOKE=1`` for the CI-sized run (assertions still execute).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.data.generators import uniform_database
+from repro.engine import Engine
+from repro.experiments.runner import LatencyStats
+from repro.serve import ServeClient, ServerThread
+from repro.util.counters import OpCounter
+
+FIGURE = "serving"
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+RELATIONS = 3
+TUPLES = 300 if SMOKE else 3_000
+K = 120 if SMOKE else 1_000
+PAGE = 20 if SMOKE else 50
+SESSION_COUNTS = [1, 8] if SMOKE else [1, 2, 4, 8, 16]
+QUERY_TEXT = "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+
+
+def signature(results):
+    return [(round(r.weight, 6), r.output_tuple) for r in results]
+
+
+def wire_signature(rows):
+    return [
+        (
+            round(row["weight"], 6),
+            tuple(row["assignment"][v] for v in ("x1", "x2", "x3", "x4")),
+        )
+        for row in rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    database = uniform_database(
+        RELATIONS, TUPLES, domain_size=max(2, TUPLES // 10), seed=13
+    )
+    engine = Engine(database)
+    # Pay preprocessing before the timed load (the serving steady state).
+    engine.prepare(QUERY_TEXT, algorithm="take2").bind()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def baseline(engine) -> list:
+    """Single-session ranked prefix every concurrent session must match."""
+    return signature(
+        itertools.islice(engine.prepare(QUERY_TEXT, algorithm="take2").iter(), K)
+    )
+
+
+@pytest.fixture(scope="module")
+def server(engine):
+    with ServerThread(engine, slice_size=32, max_sessions=128) as address:
+        yield address
+
+
+def _client_job(
+    address: tuple,
+    name: str,
+    algorithm: str,
+    latencies: list[float],
+    outputs: dict,
+    errors: list,
+) -> None:
+    try:
+        with ServeClient(*address, timeout=120) as client:
+            cursor = client.prepare(name, QUERY_TEXT, algorithm=algorithm)[
+                "cursor"
+            ]
+            rows: list[dict] = []
+            while len(rows) < K:
+                start = time.perf_counter()
+                page = client.fetch(name, cursor, min(PAGE, K - len(rows)))
+                latencies.append(time.perf_counter() - start)
+                rows.extend(page.results)
+                if page.exhausted:
+                    break
+            outputs[name] = wire_signature(rows[:K])
+    except Exception as exc:  # pragma: no cover - failure detail
+        errors.append(exc)
+
+
+@pytest.mark.parametrize("sessions", SESSION_COUNTS)
+def test_concurrent_sessions_latency(benchmark, engine, baseline, server, sessions):
+    def job() -> LatencyStats:
+        latencies: list[float] = []
+        outputs: dict = {}
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=_client_job,
+                args=(
+                    server,
+                    f"bench-{sessions}-{i}",
+                    "take2" if i % 2 == 0 else "lazy",
+                    latencies,
+                    outputs,
+                    errors,
+                ),
+            )
+            for i in range(sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        assert len(outputs) == sessions
+        # Bit-identical ranked prefixes vs. the single-session baseline.
+        for name, rows in outputs.items():
+            assert rows == baseline[: len(rows)], (
+                f"{name} diverged from the single-session prefix"
+            )
+        return LatencyStats.from_samples(
+            latencies, answers=sessions * K, elapsed=elapsed
+        )
+
+    stats = pedantic(benchmark, job, rounds=1 if SMOKE else 3)
+    benchmark.extra_info.update(stats.as_dict())
+    benchmark.extra_info["sessions"] = sessions
+    record_result(
+        FIGURE,
+        f"sessions={sessions:<3} page={PAGE:<4} K={K:<6} {stats.row()}",
+    )
+
+
+def test_top_prefix_reuse_under_serving(engine):
+    """ISSUE-3 acceptance: top(5) then top(100) — zero duplicate steps."""
+    prepared = engine.prepare(QUERY_TEXT, algorithm="take2")
+    prepared.invalidate()  # fresh stream: measure from a cold prefix
+    c5, c100 = OpCounter(), OpCounter()
+    top5 = prepared.top(5, counter=c5)
+    top100 = prepared.top(100, counter=c100)
+    fresh = OpCounter()
+    list(itertools.islice(prepared.iter(fresh), 100))
+    duplicates = {
+        op: getattr(c5, op) + getattr(c100, op) - getattr(fresh, op)
+        for op in OpCounter.__slots__
+    }
+    assert all(extra == 0 for extra in duplicates.values()), duplicates
+    assert signature(top100[:5]) == signature(top5)
+    record_result(
+        FIGURE,
+        f"prefix reuse: top(5)+top(100) == one top(100)  "
+        f"({fresh.total_pq_ops()} pq ops total, 0 duplicated)",
+    )

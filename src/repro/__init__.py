@@ -28,7 +28,13 @@ only the enumeration phase::
     engine = Engine(db)
     prepared = engine.prepare(query)   # preprocessing paid here, once
     top5 = prepared.top(5)
-    top50 = prepared.top(50)           # enumeration-only
+    top50 = prepared.top(50)           # enumerates answers 6..50 only
+
+``top`` calls (and :meth:`PreparedQuery.cursor` pagination handles)
+share a memoized emitted-prefix stream, so overlapping requests never
+repeat enumeration work.  The :mod:`repro.serve` subsystem exposes the
+same engine over a streaming JSON-lines server with named sessions and
+resumable cursors (``python -m repro.cli serve``).
 
 Datasets can live on a persistent storage backend instead of in-memory
 lists; the same plans run unchanged over a SQLite file::
@@ -61,7 +67,14 @@ from repro.data import (
     StorageBackend,
 )
 from repro.dp import TDP, build_tdp, build_tdp_for_query
-from repro.engine import Engine, LogicalPlan, PhysicalPlan, PreparedQuery, plan
+from repro.engine import (
+    Engine,
+    LogicalPlan,
+    PhysicalPlan,
+    PrefixStream,
+    PreparedQuery,
+    plan,
+)
 from repro.enumeration import QueryResult, ranked_enumerate
 from repro.homomorphism import min_cost_homomorphism, ranked_homomorphisms
 from repro.query import (
@@ -78,10 +91,18 @@ from repro.ranking import (
     BOOLEAN,
     MAX_PLUS,
     MAX_TIMES,
+    NAMED_DIOIDS,
     TROPICAL,
     LexicographicDioid,
     SelectiveDioid,
     TieBreakingDioid,
+)
+from repro.serve import (
+    Cursor,
+    ServeClient,
+    ServeServer,
+    ServerThread,
+    SessionManager,
 )
 from repro.util import OpCounter
 
@@ -123,8 +144,15 @@ __all__ = [
     "MAX_PLUS",
     "MAX_TIMES",
     "BOOLEAN",
+    "NAMED_DIOIDS",
     "LexicographicDioid",
     "TieBreakingDioid",
+    "PrefixStream",
+    "Cursor",
+    "SessionManager",
+    "ServeServer",
+    "ServerThread",
+    "ServeClient",
     "OpCounter",
     "QueryResult",
     "ranked_enumerate",

@@ -56,7 +56,23 @@ class Enumerator:
     Subclasses implement :meth:`_next_result`, returning ``None`` when
     exhausted.  The iterator protocol plus :meth:`top` cover the paper's
     any-k usage: pull results until satisfied, no k fixed in advance.
+    :meth:`step` pulls a *bounded* batch — the time-slicing primitive
+    for embedding raw enumerators in cooperative schedulers.  (The
+    serving layer slices at the result level instead, through
+    :class:`~repro.engine.stream.PrefixStream`, because its slices must
+    also be memoized; ``step`` is the equivalent for direct
+    ``make_enumerator`` embeddings that need no memo.)
     """
+
+    #: Set once :meth:`_next_result` has returned ``None``; after that
+    #: no further results will ever be produced (so schedulers can drop
+    #: the enumeration without probing it again).
+    _finished = False
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the enumeration has produced its last result."""
+        return self._finished
 
     def __iter__(self) -> Iterator[RankedResult]:
         return self
@@ -64,8 +80,27 @@ class Enumerator:
     def __next__(self) -> RankedResult:
         result = self._next_result()
         if result is None:
+            self._finished = True
             raise StopIteration
         return result
+
+    def step(self, n: int) -> list[RankedResult]:
+        """Pull at most ``n`` further results (bounded batch).
+
+        Returns fewer than ``n`` results exactly when the enumeration
+        ran dry; :attr:`exhausted` is then ``True``.  Any-k's anytime
+        property makes this cheap: each batch costs only the incremental
+        delay of the results it yields, so a caller can interleave
+        batches of many enumerations without losing work or order.
+        """
+        out: list[RankedResult] = []
+        while len(out) < n and not self._finished:
+            result = self._next_result()
+            if result is None:
+                self._finished = True
+                break
+            out.append(result)
+        return out
 
     def _next_result(self) -> RankedResult | None:
         raise NotImplementedError

@@ -8,7 +8,14 @@ Commands:
 
 * ``explain``  — print the evaluation plan for a query;
 * ``generate`` — write one of the paper's synthetic workloads as CSV
-  and/or straight into a SQLite file (``--db-path``).
+  and/or straight into a SQLite file (``--db-path``);
+* ``serve``    — start the streaming query server over a dataset::
+
+      python -m repro.cli serve data/ --port 7654
+
+  Clients speak the JSON-lines protocol of :mod:`repro.serve.protocol`
+  (``prepare``/``fetch``/``explain``/``close``); see
+  :class:`repro.serve.client.ServeClient`.
 
 Relations are CSV files named ``<relation>.csv`` with a trailing weight
 column (see :mod:`repro.data.io`).  Constants in queries (``R(x, 5)``)
@@ -32,16 +39,11 @@ from repro.data.backend import SQLiteBackend
 from repro.data.database import Database
 from repro.data.io import load_database, save_database
 from repro.engine import Engine
-from repro.ranking.dioid import BOOLEAN, MAX_PLUS, MAX_TIMES, TROPICAL
+from repro.ranking.dioid import NAMED_DIOIDS
 
-DIOIDS = {
-    "tropical": TROPICAL,
-    "min-sum": TROPICAL,
-    "max-plus": MAX_PLUS,
-    "max-sum": MAX_PLUS,
-    "max-times": MAX_TIMES,
-    "boolean": BOOLEAN,
-}
+#: Kept as a module-level alias: the flag choices below and the serving
+#: protocol resolve ranking functions through the same shared registry.
+DIOIDS = NAMED_DIOIDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   "an already-populated --db-path is given)")
     explain_cmd.add_argument("text", help="the query")
     add_backend_options(explain_cmd)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="start the streaming query server over a dataset"
+    )
+    serve_cmd.add_argument("data", nargs="?", default=None,
+                           help="directory of CSV relations (optional when "
+                                "an already-populated --db-path is given)")
+    add_backend_options(serve_cmd)
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7654,
+                           help="TCP port (default 7654; 0 = ephemeral)")
+    serve_cmd.add_argument("--max-sessions", type=int, default=64,
+                           help="LRU-evict named sessions beyond this count")
+    serve_cmd.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                           help="expire sessions idle for this long")
+    serve_cmd.add_argument("--budget", type=int, default=None,
+                           help="per-session cap on total served results")
+    serve_cmd.add_argument("--slice", type=int, default=64, metavar="RESULTS",
+                           help="scheduler time-slice: results enumerated "
+                                "between event-loop yields (default 64)")
 
     gen_cmd = commands.add_parser(
         "generate", help="write a synthetic workload as CSV and/or SQLite"
@@ -182,6 +204,41 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeServer
+
+    engine = Engine(_open_database(args))
+    server = ServeServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.ttl,
+        result_budget=args.budget,
+        slice_size=args.slice,
+    )
+
+    async def main() -> None:
+        host, port = await server.start()
+        relations = ", ".join(
+            f"{rel.name}[{len(rel)}]" for rel in engine.database
+        )
+        print(f"serving {relations}")
+        print(f"listening on {host}:{port}  (JSON lines; ops: "
+              "prepare, fetch, explain, close, stats, ping)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        engine.close()
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     from repro.data.generators import (
         uniform_database,
@@ -226,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_query(args)
     if args.command == "explain":
         return _command_explain(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "generate":
         return _command_generate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

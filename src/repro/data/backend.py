@@ -40,6 +40,7 @@ from __future__ import annotations
 import itertools
 import re
 import sqlite3
+import threading
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -315,23 +316,49 @@ class SQLiteBackend:
     the engine's per-execution version checks cost a dict lookup, not a
     query.  Reopening the file in another process reads the persisted
     counters back — the basis of cross-process warm starts.
+
+    **Concurrency.**  A file-backed backend hands each thread its own
+    connection (created on first use, WAL journal so concurrent readers
+    never block the writer), which is what lets many serving sessions
+    stream lazily from one ``.db`` at once — sqlite3 connections must
+    not be stepped from two threads simultaneously, but one connection
+    per thread side-steps that entirely.  ``:memory:`` databases exist
+    per-connection, so they keep a single shared connection
+    (``check_same_thread=False``; the sqlite library serialises access
+    internally).  Catalog/metadata mutations are guarded by a lock in
+    both modes.
     """
 
     CATALOG = "repro_relations"
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
-        self._conn.execute(
+        self._closed = False
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        #: Open connections with their owning thread (None = shared),
+        #: so dead threads' connections are reclaimed (see connection)
+        #: and close() can shut every one down.
+        self._connections: list[
+            tuple[threading.Thread | None, sqlite3.Connection]
+        ] = []
+        #: Single shared connection for ":memory:" (per-thread
+        #: connections would each see a distinct empty database).
+        self._shared: sqlite3.Connection | None = None
+        if path == ":memory:":
+            self._shared = sqlite3.connect(path, check_same_thread=False)
+            self._connections.append((None, self._shared))
+        conn = self.connection
+        conn.execute(
             f"CREATE TABLE IF NOT EXISTS {self.CATALOG} "
             "(name TEXT PRIMARY KEY, arity INTEGER NOT NULL, "
             "version INTEGER NOT NULL DEFAULT 0)"
         )
-        self._conn.commit()
+        conn.commit()
         #: In-memory mirror of the catalog: name -> [arity, version].
         self._meta: dict[str, list[int]] = {
             row[0]: [row[1], row[2]]
-            for row in self._conn.execute(
+            for row in conn.execute(
                 f"SELECT name, arity, version FROM {self.CATALOG} ORDER BY rowid"
             )
         }
@@ -340,10 +367,44 @@ class SQLiteBackend:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The live connection (raises once :meth:`close` was called)."""
-        if self._conn is None:
+        """The calling thread's connection (raises after :meth:`close`).
+
+        File-backed: one connection per thread, opened lazily.  Memory:
+        the single shared connection.
+        """
+        if self._closed:
             raise RuntimeError(f"SQLiteBackend({self.path!r}) is closed")
-        return self._conn
+        if self._shared is not None:
+            return self._shared
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            # check_same_thread=False so close() (from whichever thread
+            # owns the backend) may close connections opened by others;
+            # each connection is still *used* by its opening thread only.
+            conn = sqlite3.connect(self.path, check_same_thread=False)
+            conn.execute("PRAGMA busy_timeout = 10000")
+            conn.execute("PRAGMA journal_mode = WAL")
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    raise RuntimeError(
+                        f"SQLiteBackend({self.path!r}) is closed"
+                    )
+                # Reclaim connections whose owning thread exited (a
+                # serve process sees steady thread churn; without this
+                # the handle count grows until EMFILE).
+                dead = [
+                    entry
+                    for entry in self._connections
+                    if entry[0] is not None and not entry[0].is_alive()
+                ]
+                for entry in dead:
+                    self._connections.remove(entry)
+                self._connections.append((threading.current_thread(), conn))
+            for _owner, stale in dead:
+                stale.close()
+            self._local.conn = conn
+        return conn
 
     def _meta_of(self, name: str) -> list[int]:
         try:
@@ -385,6 +446,10 @@ class SQLiteBackend:
     def create(self, name: str, arity: int, replace: bool = False) -> None:
         if arity < 1:
             raise ValueError("relation arity must be at least 1")
+        with self._lock:
+            self._create_locked(name, arity, replace)
+
+    def _create_locked(self, name: str, arity: int, replace: bool) -> None:
         table = quote_identifier(name)
         conn = self.connection
         if name in self._meta:
@@ -413,63 +478,66 @@ class SQLiteBackend:
         self._meta[name] = [arity, old_version + 1]
 
     def drop(self, name: str) -> None:
-        table = quote_identifier(name)
-        self._meta_of(name)
-        conn = self.connection
-        conn.execute(f"DROP TABLE {table}")
-        conn.execute(f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,))
-        conn.commit()
-        del self._meta[name]
+        with self._lock:
+            table = quote_identifier(name)
+            self._meta_of(name)
+            conn = self.connection
+            conn.execute(f"DROP TABLE {table}")
+            conn.execute(f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,))
+            conn.commit()
+            del self._meta[name]
 
     def append(self, name: str, values: tuple, weight: Any = 0.0) -> None:
-        arity = self.arity(name)
-        if len(values) != arity:
-            raise ValueError(
-                f"tuple {values!r} does not match arity {arity} of {name}"
+        with self._lock:
+            arity = self.arity(name)
+            if len(values) != arity:
+                raise ValueError(
+                    f"tuple {values!r} does not match arity {arity} of {name}"
+                )
+            table = quote_identifier(name)
+            placeholders = ", ".join("?" for _ in range(arity + 1))
+            self.connection.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})",
+                tuple(values) + (weight,),
             )
-        table = quote_identifier(name)
-        placeholders = ", ".join("?" for _ in range(arity + 1))
-        self.connection.execute(
-            f"INSERT INTO {table} VALUES ({placeholders})",
-            tuple(values) + (weight,),
-        )
-        self._bump(name)
-        self.connection.commit()
+            self._bump(name)
+            self.connection.commit()
 
     def extend(self, name: str, rows: Iterable[tuple[tuple, Any]]) -> int:
-        arity = self.arity(name)
-        table = quote_identifier(name)
-        placeholders = ", ".join("?" for _ in range(arity + 1))
-        counter = itertools.count(1)
-        count = 0
+        with self._lock:
+            arity = self.arity(name)
+            table = quote_identifier(name)
+            placeholders = ", ".join("?" for _ in range(arity + 1))
+            counter = itertools.count(1)
+            count = 0
 
-        def flat() -> Iterator[tuple]:
-            nonlocal count
-            for values, weight in rows:
-                if len(values) != arity:
-                    raise ValueError(
-                        f"tuple {values!r} does not match arity {arity} "
-                        f"of {name}"
-                    )
-                count = next(counter)
-                yield tuple(values) + (weight,)
+            def flat() -> Iterator[tuple]:
+                nonlocal count
+                for values, weight in rows:
+                    if len(values) != arity:
+                        raise ValueError(
+                            f"tuple {values!r} does not match arity {arity} "
+                            f"of {name}"
+                        )
+                    count = next(counter)
+                    yield tuple(values) + (weight,)
 
-        # executemany consumes the generator lazily: ingestion streams
-        # through SQLite without materialising the batch in Python.
-        try:
-            self.connection.executemany(
-                f"INSERT INTO {table} VALUES ({placeholders})", flat()
-            )
-        except BaseException:
-            # A failing row source must not leave a partial batch in the
-            # open transaction (the next unrelated commit would persist
-            # it without any version bump).
-            self.connection.rollback()
-            raise
-        if count:
-            self._bump(name)
-        self.connection.commit()
-        return count
+            # executemany consumes the generator lazily: ingestion streams
+            # through SQLite without materialising the batch in Python.
+            try:
+                self.connection.executemany(
+                    f"INSERT INTO {table} VALUES ({placeholders})", flat()
+                )
+            except BaseException:
+                # A failing row source must not leave a partial batch in
+                # the open transaction (the next unrelated commit would
+                # persist it without any version bump).
+                self.connection.rollback()
+                raise
+            if count:
+                self._bump(name)
+            self.connection.commit()
+            return count
 
     def iter_rows(self, name: str) -> Iterator[tuple[tuple, Any]]:
         table = quote_identifier(name)
@@ -525,11 +593,12 @@ class SQLiteBackend:
         table = quote_identifier(name)
         suffix = "_".join(f"a{c + 1}" for c in cols)
         index_name = quote_identifier(f"idx_{name}_{suffix}")
-        self.connection.execute(
-            f"CREATE INDEX IF NOT EXISTS {index_name} ON {table} "
-            f"({', '.join(f'a{c + 1}' for c in cols)})"
-        )
-        self.connection.commit()
+        with self._lock:
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {index_name} ON {table} "
+                f"({', '.join(f'a{c + 1}' for c in cols)})"
+            )
+            self.connection.commit()
         return f"idx_{name}_{suffix}"
 
     def ingest(self, relation: "Relation", name: str | None = None) -> str:
@@ -549,9 +618,14 @@ class SQLiteBackend:
         return Database.from_backend(self)
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections, self._connections = self._connections, []
+            self._shared = None
+        for _owner, conn in connections:
+            conn.close()
 
     def __enter__(self) -> "SQLiteBackend":
         return self
@@ -560,5 +634,5 @@ class SQLiteBackend:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._conn is None else f"{len(self._meta)} relations"
+        state = "closed" if self._closed else f"{len(self._meta)} relations"
         return f"SQLiteBackend({self.path!r}, {state})"

@@ -13,6 +13,7 @@ per-request enumeration phase:
 """
 
 from repro.engine.engine import Engine, EngineStats, PreparedQuery
+from repro.engine.stream import PrefixStream
 from repro.engine.plan import (
     ACYCLIC_TDP,
     ALL_WEIGHT_PROJECTION,
@@ -29,6 +30,7 @@ __all__ = [
     "Engine",
     "EngineStats",
     "PreparedQuery",
+    "PrefixStream",
     "LogicalPlan",
     "PhysicalPlan",
     "plan",

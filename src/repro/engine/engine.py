@@ -24,13 +24,15 @@ results are never stale.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.data.database import Database
 from repro.data.index import IndexCache
 from repro.engine.plan import LogicalPlan, PhysicalPlan, bind, plan
+from repro.engine.stream import PrefixStream
 from repro.enumeration.result import QueryResult
 from repro.query.cq import ConjunctiveQuery
 from repro.query.selections import (
@@ -42,6 +44,9 @@ from repro.query.selections import (
 from repro.ranking.dioid import TROPICAL, SelectiveDioid
 from repro.util.counters import OpCounter
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.serve.cursor import Cursor
+
 
 @dataclass
 class EngineStats:
@@ -51,6 +56,8 @@ class EngineStats:
     prepare_misses: int = 0
     binds: int = 0
     evictions: int = 0
+    stream_hits: int = 0
+    stream_misses: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +65,8 @@ class EngineStats:
             "prepare_misses": self.prepare_misses,
             "binds": self.binds,
             "evictions": self.evictions,
+            "stream_hits": self.stream_hits,
+            "stream_misses": self.stream_misses,
         }
 
 
@@ -129,6 +138,20 @@ class PreparedQuery:
         """
         version = self.engine.database.version
         if not force and self._physical is not None and self._bound_version == version:
+            # Converge on the engine's canonical physical for this key
+            # when one exists (a sibling PreparedQuery — e.g. created
+            # after this one was LRU-evicted from the plan cache — may
+            # have re-bound): the stream cache stamps by physical-plan
+            # identity, so divergent-but-equivalent plans would churn
+            # the memoized prefix on every alternation.  (Lock-free
+            # dict peek; the version check makes a raced entry safe.)
+            entry = self.engine._physicals.get(self.physical_key)
+            if (
+                entry is not None
+                and entry[0] == version
+                and entry[1] is not self._physical
+            ):
+                self._physical = entry[1]
             return self._physical
         self._physical = self.engine._bind_physical(self, version, force=force)
         self._bound_version = version
@@ -138,22 +161,72 @@ class PreparedQuery:
         """Drop the cached physical plan (next run re-preprocesses)."""
         self._physical = None
         self._bound_version = -1
-        self.engine._physicals.pop(self.physical_key, None)
+        with self.engine._lock:
+            self.engine._physicals.pop(self.physical_key, None)
+        with self.engine._stream_lock:
+            self.engine._streams.pop(self.stream_key, None)
 
     # -- execution (enumeration phase only, when bound) ------------------------
 
+    @property
+    def stream_key(self) -> tuple:
+        """Engine-level key of this query's shared result stream.
+
+        Streams memoize *emitted results*, whose order may depend on how
+        the any-k algorithm breaks ties — so unlike the physical plan,
+        the stream key includes the algorithm.
+        """
+        return self.physical_key + (self.logical.algorithm,)
+
     def iter(self, counter: OpCounter | None = None) -> Iterator[QueryResult]:
-        """Start one ranked enumeration run (lazy; TT(k) to pull k)."""
+        """Start one ranked enumeration run (lazy; TT(k) to pull k).
+
+        Always a *fresh* enumeration over the shared bound plan: the
+        instrumented cost of the run is exactly the paper's TT(k), which
+        the experiment harness relies on.  Use :meth:`top` or
+        :meth:`cursor` for the memoizing serving path.
+        """
         return self.bind().iter(counter, algorithm=self.logical.algorithm)
 
     def __iter__(self) -> Iterator[QueryResult]:
         return self.iter()
 
+    def stream(self) -> PrefixStream:
+        """The shared memoized result stream for the current db version.
+
+        One stream per (physical plan, algorithm) lives on the engine;
+        overlapping :meth:`top` calls and any number of cursors consume
+        it without re-enumerating the common prefix.  A database
+        mutation invalidates it together with the physical plan.
+        """
+        return self.engine._stream_for(self)
+
     def top(self, k: int, counter: OpCounter | None = None) -> list[QueryResult]:
-        """The first ``k`` ranked answers (fewer if the output is smaller)."""
-        return self.bind().top(
-            k, counter=counter, algorithm=self.logical.algorithm
-        )
+        """The first ``k`` ranked answers (fewer if the output is smaller).
+
+        Served from the shared prefix stream: ``top(5)`` then
+        ``top(100)`` enumerates answers 6..100 only, and a repeated
+        ``top(k)`` does no enumeration work at all.  A passed
+        ``counter`` receives the operations spent *on behalf of this
+        call* (zero for fully memoized prefixes).
+
+        The memoized prefix is retained (that is the point: later
+        overlapping requests replay it), so a huge one-off ``top(k)``
+        holds its k results until a database mutation, LRU pressure, or
+        an explicit :meth:`invalidate`/``engine.clear_caches()``; use
+        :meth:`iter` for transient full scans.
+        """
+        return self.stream().prefix(k, counter=counter)
+
+    def cursor(self, budget: int | None = None) -> "Cursor":
+        """A pausable, resumable pagination handle over :meth:`stream`.
+
+        Cursors over the same prepared query share the emitted prefix;
+        see :class:`repro.serve.cursor.Cursor`.
+        """
+        from repro.serve.cursor import Cursor
+
+        return Cursor(self, budget=budget)
 
     def first(self, counter: OpCounter | None = None) -> QueryResult | None:
         """The top-ranked answer, or ``None`` on empty output (TTF cost)."""
@@ -190,10 +263,27 @@ class Engine:
         self.max_cached_plans = max_cached_plans
         self.indexes = IndexCache()
         self.stats = EngineStats()
+        #: Guards the plan/physical caches and their stats.  Binding
+        #: (preprocessing) runs under this lock, so concurrent sessions
+        #: binding the same query preprocess once; enumeration and
+        #: stream lookups do NOT take it (streams have their own lock
+        #: below), so a long-running fetch — and a heavy bind — never
+        #: blocks another session's already-bound fetch.
+        self._lock = threading.RLock()
         self._plans: OrderedDict[tuple, PreparedQuery] = OrderedDict()
         #: Bound physical plans, shared across algorithm variants:
         #: physical_key -> (database version at bind, PhysicalPlan).
         self._physicals: OrderedDict[tuple, tuple[int, PhysicalPlan]] = (
+            OrderedDict()
+        )
+        #: Shared memoized result streams, under their own lock (never
+        #: nested with ``_lock``): stream_key -> (bound physical plan at
+        #: creation, stream).  Stamping with the physical plan *object*
+        #: (not a version number) makes staleness structurally
+        #: impossible: a stream is served only to callers whose bind()
+        #: resolved to the exact plan it wraps.
+        self._stream_lock = threading.RLock()
+        self._streams: OrderedDict[tuple, tuple[PhysicalPlan, PrefixStream]] = (
             OrderedDict()
         )
 
@@ -229,11 +319,14 @@ class Engine:
             cycle_threshold,
         )
         key = physical_key + (algorithm.lower(),)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self._plans.move_to_end(key)
-            self.stats.prepare_hits += 1
-            return cached
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.stats.prepare_hits += 1
+                return cached
+        # Planning is pure (no database access), so it runs outside the
+        # lock; a racing duplicate prepare just loses the insert below.
         logical = plan(
             planned_query,
             dioid=dioid,
@@ -248,34 +341,79 @@ class Engine:
             selections=selections,
             source_query=source_query,
         )
-        self._plans[key] = prepared
-        self.stats.prepare_misses += 1
-        while len(self._plans) > self.max_cached_plans:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            raced = self._plans.get(key)
+            if raced is not None:
+                self._plans.move_to_end(key)
+                self.stats.prepare_hits += 1
+                return raced
+            self._plans[key] = prepared
+            self.stats.prepare_misses += 1
+            while len(self._plans) > self.max_cached_plans:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
         return prepared
 
     def _bind_physical(
         self, prepared: PreparedQuery, version: int, force: bool = False
     ) -> PhysicalPlan:
-        """Fetch or build the shared physical plan for ``prepared``."""
-        key = prepared.physical_key
-        entry = self._physicals.get(key)
-        if not force and entry is not None and entry[0] == version:
+        """Fetch or build the shared physical plan for ``prepared``.
+
+        Runs under the engine lock: concurrent sessions binding the
+        same physical key preprocess once, and the LRU eviction below
+        never races a lookup.
+        """
+        with self._lock:
+            key = prepared.physical_key
+            entry = self._physicals.get(key)
+            if not force and entry is not None and entry[0] == version:
+                self._physicals.move_to_end(key)
+                return entry[1]
+            database = self.database
+            if prepared.selections:
+                database = filter_database(
+                    database, prepared._source_query, list(prepared.selections)
+                )
+            physical = bind(prepared.logical, database, indexes=self.indexes)
+            self._physicals[key] = (version, physical)
             self._physicals.move_to_end(key)
-            return entry[1]
-        database = self.database
-        if prepared.selections:
-            database = filter_database(
-                database, prepared._source_query, list(prepared.selections)
+            while len(self._physicals) > self.max_cached_plans:
+                self._physicals.popitem(last=False)
+            self.stats.binds += 1
+            return physical
+
+    def _stream_for(self, prepared: PreparedQuery) -> PrefixStream:
+        """Fetch or create the shared memoized stream for ``prepared``.
+
+        Stamped with the bound physical plan it wraps: a database
+        mutation rebinds (``Database.version`` discipline), the stamp no
+        longer matches, and a fresh stream over the fresh plan replaces
+        the entry — a raced stale insert can at worst serve the
+        requester whose bind predated the mutation, never later ones.
+        The stream pulls lazily: creating it does no enumeration work.
+
+        Memoized prefixes live until replaced, LRU-evicted, or
+        explicitly dropped (:meth:`PreparedQuery.invalidate`,
+        :meth:`clear_caches`) — the serving layer bounds their growth
+        with per-session result budgets.
+        """
+        physical = prepared.bind()
+        with self._stream_lock:
+            key = prepared.stream_key
+            entry = self._streams.get(key)
+            if entry is not None and entry[0] is physical:
+                self._streams.move_to_end(key)
+                self.stats.stream_hits += 1
+                return entry[1]
+            algorithm = prepared.logical.algorithm
+            stream = PrefixStream(
+                lambda counter: physical.iter(counter, algorithm=algorithm)
             )
-        physical = bind(prepared.logical, database, indexes=self.indexes)
-        self._physicals[key] = (version, physical)
-        self._physicals.move_to_end(key)
-        while len(self._physicals) > self.max_cached_plans:
-            self._physicals.popitem(last=False)
-        self.stats.binds += 1
-        return physical
+            self._streams[key] = (physical, stream)
+            self.stats.stream_misses += 1
+            while len(self._streams) > self.max_cached_plans:
+                self._streams.popitem(last=False)
+            return stream
 
     @staticmethod
     def _resolve(
@@ -319,10 +457,17 @@ class Engine:
         )
 
     def clear_caches(self) -> None:
-        """Drop all cached plans and indexes (e.g. before re-profiling)."""
-        self._plans.clear()
-        self._physicals.clear()
-        self.indexes.clear()
+        """Drop all cached plans, streams, and indexes.
+
+        Also the explicit way to release memoized result prefixes on a
+        long-lived engine over a never-mutating database.
+        """
+        with self._lock:
+            self._plans.clear()
+            self._physicals.clear()
+            self.indexes.clear()
+        with self._stream_lock:
+            self._streams.clear()
 
     def close(self) -> None:
         """Drop caches and close the database's storage backend."""

@@ -1,0 +1,177 @@
+"""Memoized result streams: the emitted-prefix cache behind serving.
+
+Ranked enumeration is monotone — the first ``k`` answers of a run are a
+prefix of the first ``k + j`` answers of the same run — so re-running
+the enumeration to serve an overlapping request is pure waste.  A
+:class:`PrefixStream` wraps one enumeration run and memoizes every
+result it has emitted:
+
+* ``prefix(100)`` after ``prefix(5)`` enumerates only answers 6..100 —
+  zero duplicate enumeration steps (assertable via the attributed
+  :class:`~repro.util.counters.OpCounter` deltas);
+* any number of cursors/readers can consume the same stream at
+  different positions (pagination, overlapping ``top(k)`` calls) while
+  the underlying enumerator advances at most once per rank.
+
+Streams are engine-cached per ``(physical plan, algorithm)`` and
+version-stamped, so the engine's :attr:`Database.version` invalidation
+extends to them: a database mutation makes the next request rebuild the
+stream against a freshly bound plan (see ``Engine._stream_for``).
+
+Extension is guarded by a lock, making one stream safe to share across
+threads as well as asyncio tasks; the memoized prefix itself is
+append-only, so replays need no locking at all.
+"""
+
+from __future__ import annotations
+
+from threading import RLock
+from typing import Any, Callable, Iterator
+
+from repro.enumeration.result import QueryResult
+from repro.util.counters import OpCounter
+
+
+class PrefixStream:
+    """One enumeration run with a memoized, shareable emitted prefix.
+
+    ``factory`` starts the underlying run lazily (on the first pull) and
+    receives the stream's internal :class:`OpCounter`, so every
+    enumeration operation ever spent on this stream is accounted exactly
+    once.  Callers that pass their own counter to :meth:`ensure` /
+    :meth:`prefix` get the *delta* spent on their behalf — replayed
+    results attribute zero operations, which is precisely the claim the
+    serving layer's "no repeated-prefix work" tests assert.
+    """
+
+    __slots__ = (
+        "_factory", "_iterator", "_results", "_exhausted", "_lock",
+        "counter", "replays", "extensions",
+    )
+
+    def __init__(
+        self,
+        factory: Callable[[OpCounter], Iterator[QueryResult]],
+    ):
+        self._factory = factory
+        self._iterator: Iterator[QueryResult] | None = None
+        self._results: list[QueryResult] = []
+        self._exhausted = False
+        self._lock = RLock()
+        #: Every enumeration operation spent by this stream, cumulative.
+        self.counter = OpCounter()
+        #: Requests answered entirely from the memo (no enumeration work).
+        self.replays = 0
+        #: Results pulled from the underlying enumerator.
+        self.extensions = 0
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def produced(self) -> int:
+        """Number of results materialised so far."""
+        return len(self._results)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the underlying enumeration ran dry."""
+        return self._exhausted
+
+    @property
+    def done(self) -> bool:
+        """Exhausted *and* the full output is memoized (total is known)."""
+        return self._exhausted
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- extension -------------------------------------------------------------
+
+    def ensure(self, n: int, counter: OpCounter | None = None) -> int:
+        """Grow the memoized prefix to at least ``n`` results.
+
+        Returns the number of results actually available (``< n`` only
+        when the output is smaller).  Work done on behalf of this call
+        is added to ``counter`` as a delta of the stream's internal
+        counter; calls that are fully served by the memo add nothing.
+        """
+        if n < 0:
+            # Mirrors itertools.islice (the pre-memoization top(k)
+            # path): a negative request is a caller bug, not "almost
+            # everything" via Python's negative slicing.
+            raise ValueError(f"result count must be non-negative, got {n}")
+        if len(self._results) >= n:
+            self.replays += 1
+            return n
+        with self._lock:
+            if self._exhausted or len(self._results) >= n:
+                return min(n, len(self._results))
+            before = self.counter.as_dict() if counter is not None else None
+            if self._iterator is None:
+                self._iterator = self._factory(self.counter)
+            results = self._results
+            iterator = self._iterator
+            while len(results) < n:
+                nxt = next(iterator, None)
+                if nxt is None:
+                    self._exhausted = True
+                    break
+                results.append(nxt)
+                self.extensions += 1
+            if counter is not None:
+                after = self.counter.as_dict()
+                for name, value in after.items():
+                    setattr(
+                        counter,
+                        name,
+                        getattr(counter, name) + value - before[name],
+                    )
+            return len(results)
+
+    def prefix(
+        self, k: int, counter: OpCounter | None = None
+    ) -> list[QueryResult]:
+        """The first ``k`` ranked answers (fewer if the output is smaller)."""
+        available = self.ensure(k, counter=counter)
+        return self._results[:available]
+
+    def slice(
+        self, start: int, stop: int, counter: OpCounter | None = None
+    ) -> list[QueryResult]:
+        """Results ``start..stop-1`` (clamped to the actual output size)."""
+        if start < 0:
+            raise ValueError(f"slice start must be non-negative, got {start}")
+        if stop <= start:
+            return []
+        available = self.ensure(stop, counter=counter)
+        return self._results[start:min(stop, available)]
+
+    def get(self, index: int, counter: OpCounter | None = None) -> QueryResult | None:
+        """The answer at rank ``index`` (0-based), or ``None`` past the end."""
+        if index < 0:
+            raise ValueError(f"rank must be non-negative, got {index}")
+        available = self.ensure(index + 1, counter=counter)
+        return self._results[index] if index < available else None
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        """Replay-then-extend iteration over the whole ranked output."""
+        index = 0
+        while True:
+            result = self.get(index)
+            if result is None:
+                return
+            yield result
+            index += 1
+
+    def stats(self) -> dict[str, Any]:
+        """Observability snapshot (memo size, replay/extension counts)."""
+        return {
+            "produced": len(self._results),
+            "exhausted": self._exhausted,
+            "replays": self.replays,
+            "extensions": self.extensions,
+        }
+
+    def __repr__(self) -> str:
+        state = "exhausted" if self._exhausted else "open"
+        return f"PrefixStream({len(self._results)} memoized, {state})"

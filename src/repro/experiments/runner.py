@@ -13,6 +13,11 @@ already been paid and only the enumeration phase runs.
 Checkpoint curves record the elapsed time after every ``checkpoint``
 results, which is exactly what the paper's "#Results vs Time" plots
 show.
+
+For the serving layer, :class:`LatencyStats` summarises request
+latencies measured under concurrent load (p50/p95/p99 plus
+answers-per-second throughput) — the numbers a paginated top-k service
+is judged on, as opposed to the single-run TT(k) curves above.
 """
 
 from __future__ import annotations
@@ -182,6 +187,82 @@ def measure_full_enumeration(
 ) -> TTKResult:
     """TTL: cold-start enumeration of the complete ranked output."""
     return measure_ttk(database, query, algorithm, k=None, dioid=dioid)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (nearest-rank method).
+
+    Nearest-rank (as opposed to interpolation) reports a latency that
+    some request actually experienced, the convention for serving tail
+    latencies.  ``q`` is in percent, e.g. ``99`` for p99.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LatencyStats:
+    """Request-latency summary under (possibly concurrent) load."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    #: Total answers delivered across all timed requests.
+    answers: int = 0
+    #: Wall-clock of the whole load run (for throughput; 0 = unknown).
+    elapsed: float = 0.0
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: list[float],
+        answers: int = 0,
+        elapsed: float = 0.0,
+    ) -> "LatencyStats":
+        """Summarise per-request latencies (seconds)."""
+        return cls(
+            count=len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            mean=sum(samples) / len(samples),
+            answers=answers,
+            elapsed=elapsed,
+        )
+
+    @property
+    def answers_per_second(self) -> float:
+        """Aggregate throughput across the measured window."""
+        return self.answers / self.elapsed if self.elapsed > 0 else 0.0
+
+    def row(self) -> str:
+        text = (
+            f"{self.count:5d} fetches  "
+            f"p50={self.p50 * 1e3:8.2f} ms  "
+            f"p95={self.p95 * 1e3:8.2f} ms  "
+            f"p99={self.p99 * 1e3:8.2f} ms"
+        )
+        if self.elapsed > 0:
+            text += f"  {self.answers_per_second:10.0f} answers/s"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": round(self.p50 * 1e3, 3),
+            "p95_ms": round(self.p95 * 1e3, 3),
+            "p99_ms": round(self.p99 * 1e3, 3),
+            "mean_ms": round(self.mean * 1e3, 3),
+            "answers": self.answers,
+            "answers_per_second": round(self.answers_per_second, 1),
+        }
 
 
 def curve_table(results: list[TTKResult], label: str = "") -> str:

@@ -24,6 +24,7 @@ from repro.ranking.dioid import (
     BOOLEAN,
     MAX_PLUS,
     MAX_TIMES,
+    NAMED_DIOIDS,
     TROPICAL,
     BooleanDioid,
     LexicographicDioid,
@@ -56,6 +57,7 @@ __all__ = [
     "MAX_PLUS",
     "MAX_TIMES",
     "BOOLEAN",
+    "NAMED_DIOIDS",
     "column_weights",
     "random_weights",
     "unit_weights",

@@ -312,3 +312,17 @@ TROPICAL = TropicalDioid()
 MAX_PLUS = MaxPlusDioid()
 MAX_TIMES = MaxTimesDioid()
 BOOLEAN = BooleanDioid()
+
+#: Name -> shared instance, for surfaces that take the ranking function
+#: as a string (the CLI flags and the serving wire protocol).  Sharing
+#: one registry matters beyond convenience: the engine's plan-cache key
+#: uses dioid *identity*, so every name must resolve to the same object
+#: on every request.
+NAMED_DIOIDS: dict[str, SelectiveDioid] = {
+    "tropical": TROPICAL,
+    "min-sum": TROPICAL,
+    "max-plus": MAX_PLUS,
+    "max-sum": MAX_PLUS,
+    "max-times": MAX_TIMES,
+    "boolean": BOOLEAN,
+}

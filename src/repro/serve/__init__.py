@@ -1,0 +1,53 @@
+"""Serving subsystem: concurrent sessions, resumable cursors, a server.
+
+The layer that turns the any-k engine into a *service*: after one
+preprocessing pass, many clients page through ranked answers with
+incremental delay per page and zero repeated-prefix work.
+
+* :mod:`repro.serve.cursor` — :class:`Cursor`, a pausable/resumable
+  pagination handle over a shared memoized result stream;
+* :mod:`repro.serve.session` — :class:`SessionManager`: named sessions,
+  LRU/TTL eviction, per-session result budgets, and the cooperative
+  scheduler that time-slices concurrent enumerations;
+* :mod:`repro.serve.protocol` — the JSON-lines wire protocol;
+* :mod:`repro.serve.server` — the asyncio TCP server
+  (:class:`ServeServer`) and its thread-hosted harness
+  (:class:`ServerThread`);
+* :mod:`repro.serve.client` — a small synchronous client
+  (:class:`ServeClient`) used by tests, benchmarks, and examples.
+
+Start a server from the command line with ``python -m repro.cli serve``.
+"""
+
+from repro.serve.cursor import Cursor, CursorBudgetExceeded, fetch_all
+from repro.serve.session import (
+    CooperativeScheduler,
+    FetchOutcome,
+    ServeError,
+    Session,
+    SessionBudgetExceeded,
+    SessionManager,
+    UnknownCursor,
+    UnknownSession,
+)
+from repro.serve.server import ServeServer, ServerThread
+from repro.serve.client import FetchPage, ServeClient, ServeClientError
+
+__all__ = [
+    "Cursor",
+    "CursorBudgetExceeded",
+    "fetch_all",
+    "CooperativeScheduler",
+    "FetchOutcome",
+    "ServeError",
+    "Session",
+    "SessionBudgetExceeded",
+    "SessionManager",
+    "UnknownCursor",
+    "UnknownSession",
+    "ServeServer",
+    "ServerThread",
+    "FetchPage",
+    "ServeClient",
+    "ServeClientError",
+]

@@ -1,0 +1,183 @@
+"""A small synchronous client for the JSON-lines query server.
+
+Used by the tests, the load benchmark, and the pagination example; it
+doubles as executable documentation of the protocol.  One socket per
+client; requests are serialised per connection (the server multiplexes
+fairness across *connections*, not within one), so concurrent load is
+driven by creating one client per worker thread.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator
+
+from repro.serve import protocol
+
+
+class ServeClientError(Exception):
+    """An ``ok: false`` response from the server."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class FetchPage:
+    """One fetch's worth of answers plus the cursor state after it."""
+
+    __slots__ = ("results", "served", "position", "exhausted")
+
+    def __init__(
+        self,
+        results: list[dict],
+        served: int,
+        position: int,
+        exhausted: bool,
+    ):
+        self.results = results
+        self.served = served
+        self.position = position
+        self.exhausted = exhausted
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchPage({len(self.results)} results, "
+            f"position={self.position}, exhausted={self.exhausted})"
+        )
+
+
+class ServeClient:
+    """Blocking JSON-lines client: ``prepare`` / ``fetch`` / ``explain`` /
+    ``close`` plus ``stats`` and ``ping``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- transport -------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def _read_final(self) -> dict:
+        """Read one response line, raising on protocol errors."""
+        message = self._read()
+        if not message.get("ok", False):
+            raise ServeClientError(
+                message.get("error", "unknown"), message.get("message", "")
+            )
+        return message
+
+    def request(self, message: dict) -> dict:
+        """Send one non-streaming request, return its response."""
+        self._send(message)
+        return self._read_final()
+
+    # -- protocol ops ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"})["ok"]
+
+    def prepare(
+        self,
+        session: str,
+        query: str,
+        algorithm: str = "take2",
+        dioid: str = "tropical",
+        projection: str = "all_weight",
+        budget: int | None = None,
+    ) -> dict:
+        """Open a cursor for ``query`` in ``session``; returns the
+        response (``cursor``, ``strategy``, ``algorithm``)."""
+        message: dict[str, Any] = {
+            "op": "prepare",
+            "session": session,
+            "query": query,
+            "algorithm": algorithm,
+            "dioid": dioid,
+            "projection": projection,
+        }
+        if budget is not None:
+            message["budget"] = budget
+        return self.request(message)
+
+    def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
+        """The next ``n`` ranked answers of a cursor (may be fewer)."""
+        self._send(
+            {"op": "fetch", "session": session, "cursor": cursor, "n": n}
+        )
+        results: list[dict] = []
+        while True:
+            message = self._read()
+            if "result" in message:
+                results.append(message["result"])
+                continue
+            if not message.get("ok", False):
+                raise ServeClientError(
+                    message.get("error", "unknown"),
+                    message.get("message", ""),
+                )
+            return FetchPage(
+                results,
+                message["served"],
+                message["position"],
+                message["exhausted"],
+            )
+
+    def fetch_all(
+        self, session: str, cursor: str, page_size: int = 64
+    ) -> list[dict]:
+        """Paginate a cursor to exhaustion (test/bench convenience)."""
+        out: list[dict] = []
+        while True:
+            page = self.fetch(session, cursor, page_size)
+            out.extend(page.results)
+            if page.exhausted or page.served == 0:
+                return out
+
+    def explain(self, session: str, cursor: str) -> str:
+        return self.request(
+            {"op": "explain", "session": session, "cursor": cursor}
+        )["plan"]
+
+    def close_cursor(self, session: str, cursor: str) -> None:
+        self.request({"op": "close", "session": session, "cursor": cursor})
+
+    def close_session(self, session: str) -> None:
+        self.request({"op": "close", "session": session})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host}:{self.port})"

@@ -1,0 +1,236 @@
+"""Resumable cursors: pagination handles over shared ranked streams.
+
+A :class:`Cursor` is the serving-side face of any-k's anytime property:
+after one preprocessing pass, "the next page" costs only the incremental
+enumeration delay of the page itself.  Cursors are thin — position plus
+bookkeeping — because all heavy state lives in the shared
+:class:`~repro.engine.stream.PrefixStream`:
+
+* pausing is free (a cursor *is* its position; nothing runs between
+  fetches);
+* resuming replays nothing — the stream extends from wherever its memo
+  ends, so a cursor's concatenated pages are bit-identical to one
+  uninterrupted enumeration;
+* many cursors over the same prepared query (overlapping pages, a
+  re-read after a client retry) share one underlying enumeration.
+
+A cursor pins the stream of the database version it was opened at:
+mutations mid-pagination never shift pages under a client (snapshot
+semantics — append-only backends keep witness ids stable, so replayed
+pages stay valid).  Open a new cursor, or call :meth:`refresh`, to see
+new data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterator
+
+from repro.engine.engine import PreparedQuery
+from repro.engine.stream import PrefixStream
+from repro.enumeration.result import QueryResult
+from repro.util.counters import OpCounter
+
+
+class CursorBudgetExceeded(Exception):
+    """Raised when a fetch would push a cursor past its result budget."""
+
+    def __init__(self, budget: int, requested: int, served: int):
+        self.budget = budget
+        self.requested = requested
+        self.served = served
+        super().__init__(
+            f"cursor budget of {budget} results exhausted "
+            f"({served} served, {requested} more requested)"
+        )
+
+
+class Cursor:
+    """A pausable, resumable reader over one prepared query's answers.
+
+    ``fetch(n)`` returns the next ``n`` ranked answers and advances;
+    an empty list means the output is exhausted.  ``budget`` caps the
+    total number of answers this cursor may ever serve (the serving
+    layer's per-session defence against a client paginating a
+    combinatorial output to the bottom).
+    """
+
+    __slots__ = ("prepared", "_stream", "_position", "budget", "fetches", "_lock")
+
+    def __init__(
+        self,
+        prepared: PreparedQuery,
+        budget: int | None = None,
+    ):
+        self.prepared = prepared
+        self._stream: PrefixStream = prepared.stream()
+        self._position = 0
+        self.budget = budget
+        #: Number of fetch calls served (observability).
+        self.fetches = 0
+        #: Serialises position updates: a cursor id may legitimately be
+        #: consumed from several connections/threads, and interleaved
+        #: fetches must partition the stream into contiguous,
+        #: exactly-once pages (never corrupt or double-serve one).
+        self._lock = threading.Lock()
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Rank of the next answer this cursor will yield (0-based)."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the cursor has consumed the complete ranked output."""
+        return (
+            self._stream.exhausted
+            and self._position >= self._stream.produced
+        )
+
+    @property
+    def stream(self) -> PrefixStream:
+        """The shared memoized stream this cursor reads from."""
+        return self._stream
+
+    @property
+    def remaining_budget(self) -> int | None:
+        """Answers this cursor may still serve (None = unlimited)."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self._position)
+
+    # -- consumption -----------------------------------------------------------
+
+    def fetch(
+        self, n: int, counter: OpCounter | None = None
+    ) -> list[QueryResult]:
+        """The next ``n`` ranked answers (empty when exhausted).
+
+        Raises :class:`CursorBudgetExceeded` only when honouring the
+        request would actually overrun the budget — i.e. the output
+        still has more answers than the budget allows to serve.  A page
+        that merely *asks* past the budget but is truncated by the end
+        of the output is served normally, so fixed-size pagination
+        never trips on a small result set.
+        """
+        if n < 0:
+            raise ValueError(f"fetch size must be non-negative, got {n}")
+        with self._lock:
+            if self.budget is not None and self._position + n > self.budget:
+                allowed = max(0, self.budget - self._position)
+                # Probe one answer past the allowance (memoized, not
+                # served): only a genuinely larger output is an overrun.
+                available = self._stream.ensure(
+                    self._position + allowed + 1, counter=counter
+                )
+                if available > self._position + allowed:
+                    raise CursorBudgetExceeded(self.budget, n, self._position)
+                n = allowed
+            results = self._stream.slice(
+                self._position, self._position + n, counter=counter
+            )
+            self._position += len(results)
+            self.fetches += 1
+            return results
+
+    def unfetch(self, start: int, count: int) -> bool:
+        """Undo one fetch that began at ``start`` and served ``count``.
+
+        Atomic take-back for a page that never reached its consumer
+        (e.g. the client disconnected while the server streamed it):
+        succeeds only when nothing else advanced the cursor since, so a
+        concurrent reader's consumption is never rolled back.  Returns
+        whether the position was restored.
+        """
+        with self._lock:
+            if self._position == start + count:
+                self._position = start
+                return True
+            return False
+
+    def peek(self, counter: OpCounter | None = None) -> QueryResult | None:
+        """The next answer without advancing (None when exhausted)."""
+        return self._stream.get(self._position, counter=counter)
+
+    def skip(self, n: int) -> int:
+        """Advance past ``n`` answers without returning them.
+
+        The skipped prefix is still enumerated (ranked enumeration has
+        no random access), but it is memoized, so a later ``rewind`` +
+        ``fetch`` replays it for free.  Returns the number actually
+        skipped (less than ``n`` at the end of the output).
+        """
+        if n < 0:
+            raise ValueError(f"skip count must be non-negative, got {n}")
+        with self._lock:
+            available = self._stream.ensure(self._position + n)
+            skipped = max(0, min(n, available - self._position))
+            self._position += skipped
+            return skipped
+
+    def rewind(self, position: int = 0) -> None:
+        """Reset to an earlier rank; re-reads replay the shared memo."""
+        with self._lock:
+            if position < 0 or position > self._position:
+                raise ValueError(
+                    f"cannot rewind to {position} "
+                    f"(cursor is at {self._position})"
+                )
+            self._position = position
+
+    def refresh(self) -> None:
+        """Re-pin to the current database version, restarting at rank 0."""
+        with self._lock:
+            self._stream = self.prepared.stream()
+            self._position = 0
+
+    def clamped(self, n: int) -> int:
+        """``n`` trimmed to the remaining budget (used by every drain
+        loop and the scheduler, so the trim rule lives in one place)."""
+        remaining = self.remaining_budget
+        return n if remaining is None else min(n, remaining)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        """Drain the remaining answers, stopping at the budget."""
+        while self.clamped(1):
+            page = self.fetch(1)
+            if not page:
+                return
+            yield page[0]
+
+    def pages(self, size: int) -> Iterator[list[QueryResult]]:
+        """Iterate the remaining answers in fetch-sized pages.
+
+        A budgeted cursor yields what the budget allows and stops —
+        unlike :meth:`fetch`, which treats an over-budget request as
+        the caller's error.
+        """
+        if size < 1:
+            raise ValueError(f"page size must be positive, got {size}")
+        while True:
+            clamped = self.clamped(size)
+            if clamped == 0:
+                return
+            page = self.fetch(clamped)
+            if not page:
+                return
+            yield page
+            if len(page) < clamped:
+                return
+
+    def __repr__(self) -> str:
+        state = "exhausted" if self.exhausted else "open"
+        return (
+            f"Cursor({self.prepared.logical.query.name} @ {self._position}, "
+            f"{state})"
+        )
+
+
+def fetch_all(cursor: Cursor, page_size: int = 64) -> list[QueryResult]:
+    """Drain ``cursor`` in pages (test/bench helper)."""
+    return list(
+        itertools.chain.from_iterable(cursor.pages(page_size))
+    )

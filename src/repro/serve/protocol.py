@@ -1,0 +1,115 @@
+"""The JSON-lines wire protocol of the streaming query server.
+
+One request per line, JSON-encoded; responses are one or more lines.
+Every request carries ``op`` plus op-specific fields:
+
+``prepare``
+    ``{"op": "prepare", "session": "s1", "query": "Q(x,z) :- R(x,y), S(y,z)",
+    "algorithm": "take2", "dioid": "tropical", "projection": "all_weight",
+    "budget": 1000}`` → ``{"ok": true, "op": "prepare", "cursor": "c0",
+    "strategy": "acyclic-tdp"}``.  Opens (or touches) the session and
+    returns a cursor positioned at rank 0.
+
+``fetch``
+    ``{"op": "fetch", "session": "s1", "cursor": "c0", "n": 10}`` →
+    ten ``{"result": {"index": i, "weight": w, "assignment": {...}}}``
+    lines (streamed as they are enumerated, honouring transport
+    backpressure) followed by the terminator ``{"ok": true, "op":
+    "fetch", "served": 10, "position": 10, "exhausted": false}``.
+    Repeating the request returns the *next* page — pagination is the
+    default, no offset bookkeeping client-side.
+
+``explain``
+    → ``{"ok": true, "op": "explain", "plan": "..."}`` (the bound
+    physical plan report).
+
+``close``
+    With ``cursor``: closes one cursor.  Without: closes the whole
+    session.  → ``{"ok": true, "op": "close"}``.
+
+``stats`` / ``ping``
+    Server observability and liveness.
+
+Errors are single lines ``{"ok": false, "error": "<code>", "message":
+"..."}``; the connection stays usable (one bad request does not tear
+down the session).
+
+Weights may be floats, ints, bools, or tuples (lexicographic dioids);
+tuples are transported as JSON arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.enumeration.result import QueryResult
+
+#: Protocol error codes (mirrored by ServeError subclasses).
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_OP = "unknown_op"
+ERR_UNKNOWN_SESSION = "unknown_session"
+ERR_UNKNOWN_CURSOR = "unknown_cursor"
+ERR_BUDGET = "budget_exceeded"
+ERR_QUERY = "bad_query"
+ERR_INTERNAL = "internal"
+
+#: Ops a server must implement.
+OPS = ("prepare", "fetch", "explain", "close", "stats", "ping")
+
+
+def _jsonable(value: Any) -> Any:
+    """Map result values onto the JSON data model (tuples → arrays)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def encode(message: dict) -> bytes:
+    """One protocol line: compact JSON plus the newline terminator.
+
+    No ``default=`` hook: tuples encode as arrays natively, and a value
+    json cannot represent should fail with the standard, descriptive
+    ``TypeError`` (a hook returning the object unchanged would turn it
+    into an opaque circular-reference error instead).
+    """
+    return (
+        json.dumps(message, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError(f"protocol messages are JSON objects, got {line!r}")
+    return message
+
+
+def result_message(index: int, result: QueryResult) -> dict:
+    """The wire form of one ranked answer."""
+    payload: dict[str, Any] = {
+        "index": index,
+        "weight": _jsonable(result.weight),
+        "assignment": {
+            var: _jsonable(value)
+            for var, value in result.assignment.items()
+        },
+    }
+    if result.witness_ids is not None:
+        payload["witness_ids"] = _jsonable(result.witness_ids)
+    return {"result": payload}
+
+
+def ok(op: str, **fields: Any) -> dict:
+    """A success terminator/response line."""
+    message = {"ok": True, "op": op}
+    message.update(fields)
+    return message
+
+
+def error(code: str, message: str) -> dict:
+    """An error response line."""
+    return {"ok": False, "error": code, "message": message}

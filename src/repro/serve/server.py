@@ -1,0 +1,379 @@
+"""The asyncio streaming query server (stdlib only).
+
+:class:`ServeServer` exposes one :class:`~repro.engine.Engine` over a
+TCP JSON-lines protocol (see :mod:`repro.serve.protocol`).  Design
+points that matter for serving ranked enumeration:
+
+* **Streaming with backpressure** — fetch results are written (and
+  ``drain()``-ed) per scheduler slice while the enumeration advances,
+  so the first answers of a page reach a slow client before the last
+  ones are computed, and a client that stops reading suspends its own
+  enumeration instead of buffering the server into the ground.
+* **Cooperative fairness** — every fetch runs through the session
+  manager's :class:`~repro.serve.session.CooperativeScheduler`, which
+  yields to the event loop between bounded slices.  Concurrent
+  connections therefore interleave at slice granularity: a worst-case
+  cycle query grinding through its output cannot starve a cheap path
+  query on another connection.
+* **Shared work** — connections are stateless transports; all state
+  (sessions, cursors, memoized prefixes) lives behind the engine, so
+  two clients paginating the same query share one enumeration.
+
+:class:`ServerThread` hosts the server's event loop in a daemon thread,
+which is how the tests, the load benchmark, and the example embed a
+live server without blocking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.engine.engine import Engine
+from repro.serve import protocol
+from repro.serve.cursor import CursorBudgetExceeded
+from repro.serve.session import (
+    ServeError,
+    SessionBudgetExceeded,
+    SessionManager,
+    UnknownCursor,
+    UnknownSession,
+)
+
+#: ServeError subclasses → protocol error codes.
+_ERROR_CODES = {
+    UnknownSession: protocol.ERR_UNKNOWN_SESSION,
+    UnknownCursor: protocol.ERR_UNKNOWN_CURSOR,
+    SessionBudgetExceeded: protocol.ERR_BUDGET,
+}
+
+
+class ServeServer:
+    """A TCP JSON-lines front end over one engine's prepared queries."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        result_budget: int | None = None,
+        slice_size: int = 64,
+    ):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.manager = SessionManager(
+            engine,
+            max_sessions=max_sessions,
+            ttl_seconds=ttl_seconds,
+            result_budget=result_budget,
+            slice_size=slice_size,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self.connections = 0
+        self.requests = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                self.requests += 1
+                try:
+                    request = protocol.decode(stripped)
+                except ValueError as exc:
+                    writer.write(
+                        protocol.encode(
+                            protocol.error(
+                                protocol.ERR_BAD_REQUEST, str(exc)
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                await self._dispatch(request, writer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown: finish quietly so the drained task does
+            # not surface a cancellation to the streams machinery.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if op in protocol.OPS else None
+        if handler is None:
+            writer.write(
+                protocol.encode(
+                    protocol.error(
+                        protocol.ERR_UNKNOWN_OP, f"unknown op {op!r}"
+                    )
+                )
+            )
+            return
+        try:
+            await handler(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            # Transport-level failures end the connection (handled by
+            # the caller); writing an error line would be pointless.
+            raise
+        except ServeError as exc:
+            writer.write(
+                protocol.encode(
+                    protocol.error(
+                        _ERROR_CODES.get(type(exc), protocol.ERR_BAD_REQUEST),
+                        str(exc),
+                    )
+                )
+            )
+        except CursorBudgetExceeded as exc:
+            writer.write(
+                protocol.encode(protocol.error(protocol.ERR_BUDGET, str(exc)))
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            # Planner/parser rejections (bad query text, unknown
+            # relation, unsupported algorithm) — the client's fault.
+            writer.write(
+                protocol.encode(protocol.error(protocol.ERR_QUERY, str(exc)))
+            )
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            writer.write(
+                protocol.encode(
+                    protocol.error(protocol.ERR_INTERNAL, repr(exc))
+                )
+            )
+
+    # -- ops -------------------------------------------------------------------
+
+    @staticmethod
+    def _require(request: dict, *fields: str) -> list[Any]:
+        values = []
+        for name in fields:
+            if name not in request:
+                raise ServeError(f"missing field {name!r}")
+            values.append(request[name])
+        return values
+
+    async def _op_prepare(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.ranking.dioid import NAMED_DIOIDS
+
+        session_name, query = self._require(request, "session", "query")
+        dioid_name = request.get("dioid", "tropical")
+        if dioid_name not in NAMED_DIOIDS:
+            raise ServeError(
+                f"unknown dioid {dioid_name!r} "
+                f"(expected one of {sorted(NAMED_DIOIDS)})"
+            )
+        session, cursor_id = self.manager.open_cursor(
+            session_name,
+            query,
+            algorithm=request.get("algorithm", "take2"),
+            dioid=NAMED_DIOIDS[dioid_name],
+            projection=request.get("projection", "all_weight"),
+            budget=request.get("budget"),
+        )
+        cursor = session.cursor(cursor_id)
+        writer.write(
+            protocol.encode(
+                protocol.ok(
+                    "prepare",
+                    session=session.name,
+                    cursor=cursor_id,
+                    strategy=cursor.prepared.logical.strategy,
+                    algorithm=cursor.prepared.logical.algorithm,
+                )
+            )
+        )
+
+    async def _op_fetch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        session_name, cursor_id = self._require(request, "session", "cursor")
+        n = request.get("n", 10)
+        if not isinstance(n, int) or n < 0:
+            raise ServeError(f"fetch size must be a non-negative int, got {n!r}")
+
+        # Stream slice by slice: the sink runs after every scheduler
+        # slice, so results go out (and drain() applies transport
+        # backpressure) while the enumeration is still advancing.
+        # Budget clamping/reservation all happens inside fetch_async —
+        # one slice loop for the sync, async, and wire paths.
+        async def sink(start_rank: int, page) -> None:
+            if writer.is_closing():
+                # Client went away mid-stream: abort the fetch now (the
+                # scheduler rewinds the undelivered slice) instead of
+                # enumerating and writing the rest into a dead socket.
+                raise ConnectionResetError("client disconnected mid-fetch")
+            for offset, result in enumerate(page):
+                writer.write(
+                    protocol.encode(
+                        protocol.result_message(start_rank + offset, result)
+                    )
+                )
+            await writer.drain()
+
+        outcome = await self.manager.fetch_async(
+            session_name, cursor_id, n, sink=sink
+        )
+        writer.write(
+            protocol.encode(
+                protocol.ok(
+                    "fetch",
+                    served=len(outcome.results),
+                    position=outcome.position,
+                    exhausted=outcome.exhausted,
+                )
+            )
+        )
+
+    async def _op_explain(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        session_name, cursor_id = self._require(request, "session", "cursor")
+        plan = self.manager.explain(session_name, cursor_id)
+        writer.write(protocol.encode(protocol.ok("explain", plan=plan)))
+
+    async def _op_close(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        (session_name,) = self._require(request, "session")
+        cursor_id = request.get("cursor")
+        if cursor_id is None:
+            self.manager.close_session(session_name)
+        else:
+            self.manager.close_cursor(session_name, cursor_id)
+        writer.write(protocol.encode(protocol.ok("close")))
+
+    async def _op_stats(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        stats = self.manager.stats()
+        stats["connections"] = self.connections
+        stats["requests"] = self.requests
+        writer.write(protocol.encode(protocol.ok("stats", stats=stats)))
+
+    async def _op_ping(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(protocol.encode(protocol.ok("ping")))
+
+
+class ServerThread:
+    """A :class:`ServeServer` hosted on a daemon-thread event loop.
+
+    Lets synchronous code (tests, benchmarks, the example script) run a
+    live server in-process::
+
+        with ServerThread(engine) as address:
+            client = ServeClient(*address)
+            ...
+    """
+
+    def __init__(self, engine: Engine, **server_options: Any):
+        self.server = ServeServer(engine, **server_options)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop_requested: asyncio.Event | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Start the loop thread; blocks until the socket is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        return self.server.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        self._stop_requested = asyncio.Event()
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            try:
+                await self._stop_requested.wait()
+            finally:
+                await self.server.stop()
+
+        try:
+            loop.run_until_complete(main())
+            # Drain connection handlers before closing the loop so open
+            # sockets shut down cleanly instead of being destroyed.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        finally:
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop, self._loop = self._loop, None
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(self._stop_requested.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

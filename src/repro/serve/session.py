@@ -1,0 +1,501 @@
+"""Named serving sessions: cursors, budgets, eviction, fair scheduling.
+
+One :class:`SessionManager` wraps one :class:`~repro.engine.Engine` and
+multiplexes it across many clients:
+
+* a :class:`Session` is a named bundle of open cursors with its own
+  result budget and last-used stamp; sessions are LRU-ordered and
+  evicted past ``max_sessions`` or after ``ttl_seconds`` idle;
+* every fetch is routed through a :class:`CooperativeScheduler`, which
+  splits it into bounded slices (``slice_size`` results at a time).  In
+  the asyncio server each slice is followed by a yield to the event
+  loop, so a heavy request — say a cycle query enumerating its
+  worst-case output — cannot starve cheap path queries queued behind
+  it: they interleave at slice granularity, each paying only its own
+  incremental any-k delay;
+* budgets are enforced per session across all its cursors, which is the
+  backstop that keeps one client from walking a combinatorial output to
+  the bottom through the memoizing prefix cache.
+
+The manager is thread-safe (one lock for the session table; streams and
+engine caches have their own), so the same object serves an asyncio
+event loop, worker threads, or both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.engine.engine import Engine
+from repro.enumeration.result import QueryResult
+from repro.serve.cursor import Cursor, CursorBudgetExceeded
+
+
+class ServeError(Exception):
+    """Base class for serving-layer errors (carries a protocol code)."""
+
+    code = "serve_error"
+
+
+class UnknownSession(ServeError):
+    code = "unknown_session"
+
+
+class UnknownCursor(ServeError):
+    code = "unknown_cursor"
+
+
+class SessionBudgetExceeded(ServeError):
+    code = "budget_exceeded"
+
+
+@dataclass
+class FetchOutcome:
+    """One fetch's results plus the cursor state the client needs."""
+
+    results: list[QueryResult]
+    position: int
+    exhausted: bool
+    #: Scheduler slices this fetch was split into (observability).
+    slices: int = 1
+
+
+class CooperativeScheduler:
+    """Time-slices fetches into bounded batches for fair interleaving.
+
+    The synchronous :meth:`run` keeps the slicing (so budget checks and
+    accounting are identical on every path); the asynchronous
+    :meth:`run_async` additionally yields to the event loop between
+    slices — that yield is the entire fairness mechanism, and it works
+    precisely because any-k enumeration is incremental: a slice of
+    ``slice_size`` results costs only those results' delays, never a
+    full re-ranking.
+    """
+
+    def __init__(self, slice_size: int = 64):
+        if slice_size < 1:
+            raise ValueError(f"slice size must be positive, got {slice_size}")
+        self.slice_size = slice_size
+        #: Total slices executed (over all fetches).
+        self.slices = 0
+        #: Total event-loop yields taken between slices.
+        self.yields = 0
+
+    def _slices(self, n: int) -> Iterator[int]:
+        full, rest = divmod(n, self.slice_size)
+        for _ in range(full):
+            yield self.slice_size
+        if rest:
+            yield rest
+
+
+    def _fetch_slice(
+        self, cursor: Cursor, size: int
+    ) -> list[QueryResult] | None:
+        """One budget-tolerant slice; ``None`` means "stop serving now".
+
+        The upfront clamp can be raced by another consumer of the same
+        cursor (two connections may share a cursor id), so a budget trip
+        *mid-slicing* is treated as end-of-page — the results already
+        served stay served — rather than an error that would discard
+        them.
+        """
+        try:
+            return cursor.fetch(size)
+        except CursorBudgetExceeded:
+            remaining = cursor.remaining_budget or 0
+            if not remaining:
+                return None
+            try:
+                return cursor.fetch(remaining)
+            except CursorBudgetExceeded:
+                return None
+
+    def run(self, cursor: Cursor, n: int) -> tuple[list[QueryResult], int]:
+        """Fetch ``n`` results as a sequence of bounded slices."""
+        out: list[QueryResult] = []
+        used = 0
+        for size in self._slices(cursor.clamped(n)):
+            page = self._fetch_slice(cursor, size)
+            if page is None:
+                break
+            out.extend(page)
+            self.slices += 1
+            used += 1
+            if len(page) < size:
+                break
+        return out, max(1, used)
+
+    async def run_async(
+        self,
+        cursor: Cursor,
+        n: int,
+        sink: "Callable | None" = None,
+    ) -> tuple[list[QueryResult], int]:
+        """Like :meth:`run`, yielding to the event loop between slices.
+
+        ``sink`` (``async def sink(start_rank, page)``) is awaited after
+        every slice — the server streams each page out (with transport
+        backpressure) while the enumeration is still advancing.
+        """
+        out: list[QueryResult] = []
+        used = 0
+        for size in self._slices(cursor.clamped(n)):
+            start = cursor.position
+            page = self._fetch_slice(cursor, size)
+            if page is None:
+                break
+            self.slices += 1
+            used += 1
+            out.extend(page)
+            if sink is not None:
+                try:
+                    await sink(start, page)
+                except BaseException:
+                    # Slice never reached the client (disconnect mid
+                    # stream): take it back so the cursor's position
+                    # reflects *delivered* results — a reconnecting
+                    # client re-fetches this page instead of silently
+                    # losing it (the memo makes the replay free).
+                    # unfetch is conditional: it never rolls back a
+                    # concurrent reader's consumption of this cursor.
+                    cursor.unfetch(start, len(page))
+                    raise
+            if len(page) < size:
+                break
+            self.yields += 1
+            await asyncio.sleep(0)
+        return out, max(1, used)
+
+
+@dataclass
+class Session:
+    """One client's named state: open cursors plus a result budget."""
+
+    name: str
+    budget: int | None = None
+    created: float = 0.0
+    last_used: float = 0.0
+    served: int = 0
+    cursors: dict[str, Cursor] = field(default_factory=dict)
+    queries: dict[str, str] = field(default_factory=dict)
+    _next_cursor: int = 0
+
+    def check_budget(self, n: int) -> None:
+        """Raise if serving ``n`` more results would overrun the budget.
+
+        Checked *before* any enumeration work: an over-budget request
+        fails fast instead of advancing the cursor and discarding the
+        page.
+        """
+        if self.budget is not None and self.served + n > self.budget:
+            raise SessionBudgetExceeded(
+                f"session {self.name!r}: budget of {self.budget} results "
+                f"exhausted ({self.served} served, {n} more requested)"
+            )
+
+    def new_cursor_id(self) -> str:
+        cursor_id = f"c{self._next_cursor}"
+        self._next_cursor += 1
+        return cursor_id
+
+    def cursor(self, cursor_id: str) -> Cursor:
+        try:
+            return self.cursors[cursor_id]
+        except KeyError:
+            raise UnknownCursor(
+                f"session {self.name!r} has no cursor {cursor_id!r}"
+            ) from None
+
+
+class SessionManager:
+    """Named sessions over one engine, with eviction and fair fetches.
+
+    ``result_budget`` is the default per-session cap (None = unlimited);
+    ``ttl_seconds`` expires idle sessions lazily (on any access) and via
+    :meth:`evict_expired`; ``max_sessions`` LRU-evicts the
+    least-recently-used session, closing its cursors.  Evicting a
+    session drops its cursors but not the engine's memoized streams —
+    a re-opened session over the same query resumes from the shared
+    prefix without re-enumerating.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        result_budget: int | None = None,
+        slice_size: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self.engine = engine
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self.result_budget = result_budget
+        self.scheduler = CooperativeScheduler(slice_size)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: dict[str, Session] = {}
+        self.evictions = 0
+        self.expirations = 0
+
+    # -- session lifecycle -----------------------------------------------------
+
+    def session(self, name: str, create: bool = True) -> Session:
+        """Fetch (and LRU-touch) the named session, creating it if asked."""
+        with self._lock:
+            self._sweep_expired_locked()
+            session = self._sessions.get(name)
+            if session is None:
+                if not create:
+                    raise UnknownSession(f"no session named {name!r}")
+                now = self._clock()
+                session = Session(
+                    name,
+                    budget=self.result_budget,
+                    created=now,
+                    last_used=now,
+                )
+                self._sessions[name] = session
+                while len(self._sessions) > self.max_sessions:
+                    evicted = min(
+                        self._sessions.values(), key=lambda s: s.last_used
+                    )
+                    self._drop_locked(evicted.name)
+                    self.evictions += 1
+            else:
+                session.last_used = self._clock()
+            return session
+
+    def _sweep_expired_locked(self) -> None:
+        if self.ttl_seconds is None:
+            return
+        deadline = self._clock() - self.ttl_seconds
+        for name in [
+            name
+            for name, session in self._sessions.items()
+            if session.last_used < deadline
+        ]:
+            self._drop_locked(name)
+            self.expirations += 1
+
+    def evict_expired(self) -> int:
+        """Expire idle sessions now; returns how many were dropped."""
+        with self._lock:
+            before = len(self._sessions)
+            self._sweep_expired_locked()
+            return before - len(self._sessions)
+
+    def _drop_locked(self, name: str) -> None:
+        session = self._sessions.pop(name, None)
+        if session is not None:
+            session.cursors.clear()
+
+    def close_session(self, name: str) -> None:
+        """Drop the named session and all its cursors."""
+        with self._lock:
+            if name not in self._sessions:
+                raise UnknownSession(f"no session named {name!r}")
+            self._drop_locked(name)
+
+    def session_names(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    # -- cursors ---------------------------------------------------------------
+
+    def open_cursor(
+        self,
+        session_name: str,
+        query: str,
+        algorithm: str = "take2",
+        dioid=None,
+        projection: str = "all_weight",
+        budget: int | None = None,
+    ) -> tuple[Session, str]:
+        """Prepare ``query`` in the session; returns its new cursor id.
+
+        Preparation goes through the engine's caches, so many sessions
+        opening cursors on the same query share one plan, one bound
+        T-DP, and one memoized stream.
+        """
+        from repro.ranking.dioid import TROPICAL
+
+        # Prepare/bind runs outside the manager lock (it can be the
+        # slow part); the session is resolved *atomically with* cursor
+        # registration below, so an eviction or TTL expiry racing the
+        # prepare can never leave the cursor on an orphaned session.
+        prepared = self.engine.prepare(
+            query,
+            dioid=TROPICAL if dioid is None else dioid,
+            algorithm=algorithm,
+            projection=projection,
+        )
+        cursor = prepared.cursor(budget=budget)
+        with self._lock:
+            session = self.session(session_name)
+            cursor_id = session.new_cursor_id()
+            session.cursors[cursor_id] = cursor
+            session.queries[cursor_id] = (
+                query if isinstance(query, str) else repr(query)
+            )
+        return session, cursor_id
+
+    def cursor(self, session_name: str, cursor_id: str) -> Cursor:
+        return self.session(session_name, create=False).cursor(cursor_id)
+
+    def close_cursor(self, session_name: str, cursor_id: str) -> None:
+        session = self.session(session_name, create=False)
+        with self._lock:
+            session.cursor(cursor_id)
+            del session.cursors[cursor_id]
+            session.queries.pop(cursor_id, None)
+
+    # -- fetching --------------------------------------------------------------
+
+    def reserve_budget(self, session: Session, n: int) -> None:
+        """Atomically check *and reserve* ``n`` results of budget.
+
+        Reservation (instead of check-then-record around the fetch)
+        closes the overrun race: two concurrent over-half-budget
+        fetches on one session cannot both pass the check, whether they
+        interleave across threads or across the event loop's awaits.
+        Unused reservation is returned via :meth:`settle_budget`.
+        """
+        with self._lock:
+            session.check_budget(n)
+            session.served += n
+
+    def settle_budget(self, session: Session, reserved: int, served: int) -> None:
+        """Refund the unused part of a reservation (``served <= reserved``)."""
+        with self._lock:
+            session.served -= reserved - served
+
+    def _fetch_prologue(
+        self, session_name: str, cursor_id: str, n: int
+    ) -> tuple[Session, Cursor, int]:
+        """Resolve the cursor, clamp ``n`` to its budget, reserve session
+        budget for the clamped amount (refunded after the fetch)."""
+        if n < 0:
+            raise ServeError(f"fetch size must be non-negative, got {n}")
+        session = self.session(session_name, create=False)
+        cursor = session.cursor(cursor_id)
+        n = cursor.clamped(n)
+        self.reserve_budget(session, n)
+        return session, cursor, n
+
+    def _fetch_epilogue(
+        self,
+        session: Session,
+        cursor: Cursor,
+        results: list[QueryResult],
+        slices: int,
+    ) -> FetchOutcome:
+        return FetchOutcome(
+            results=results,
+            position=cursor.position,
+            exhausted=cursor.exhausted,
+            slices=slices,
+        )
+
+    def fetch(
+        self, session_name: str, cursor_id: str, n: int
+    ) -> FetchOutcome:
+        """Serve the next ``n`` answers of a cursor (synchronous path)."""
+        session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
+        begin = cursor.position
+        served = 0
+        try:
+            results, slices = self.scheduler.run(cursor, n)
+            served = len(results)
+        finally:
+            # Exception path: charge whatever the cursor actually
+            # consumed (delivered slices), not zero — a client that
+            # aborts fetches mid-flight must still spend its budget.
+            if served == 0:
+                served = max(0, cursor.position - begin)
+            self.settle_budget(session, n, served)
+        return self._fetch_epilogue(session, cursor, results, slices)
+
+    async def fetch_async(
+        self,
+        session_name: str,
+        cursor_id: str,
+        n: int,
+        sink: "Callable | None" = None,
+    ) -> FetchOutcome:
+        """Serve the next ``n`` answers, time-sliced across the event loop.
+
+        ``sink`` streams each slice as it is enumerated (see
+        :meth:`CooperativeScheduler.run_async`) — the server's
+        backpressure path.
+        """
+        session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
+        begin = cursor.position
+        served = 0
+        try:
+            results, slices = await self.scheduler.run_async(
+                cursor, n, sink=sink
+            )
+            served = len(results)
+        finally:
+            # Exception path: the scheduler rewound the undelivered
+            # slice, so the position delta is exactly what the client
+            # received — charge that, never zero, against the budget.
+            if served == 0:
+                served = max(0, cursor.position - begin)
+            self.settle_budget(session, n, served)
+        return self._fetch_epilogue(session, cursor, results, slices)
+
+    # -- observability ---------------------------------------------------------
+
+    def explain(self, session_name: str, cursor_id: str) -> str:
+        """The (bound) plan report of a cursor's prepared query."""
+        return self.cursor(session_name, cursor_id).prepared.explain()
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot across sessions, scheduler, and engine caches."""
+        with self._lock:
+            sessions = {
+                name: {
+                    "cursors": {
+                        cursor_id: {
+                            "query": session.queries.get(cursor_id, ""),
+                            "position": cursor.position,
+                            "exhausted": cursor.exhausted,
+                        }
+                        for cursor_id, cursor in session.cursors.items()
+                    },
+                    "served": session.served,
+                    "budget": session.budget,
+                    "idle_seconds": round(
+                        self._clock() - session.last_used, 3
+                    ),
+                }
+                for name, session in self._sessions.items()
+            }
+            return {
+                "sessions": sessions,
+                "session_count": len(sessions),
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "scheduler": {
+                    "slice_size": self.scheduler.slice_size,
+                    "slices": self.scheduler.slices,
+                    "yields": self.scheduler.yields,
+                },
+                "engine": self.engine.stats.as_dict(),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionManager({len(self._sessions)} sessions, "
+            f"max={self.max_sessions}, ttl={self.ttl_seconds})"
+        )
