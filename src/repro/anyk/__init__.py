@@ -14,10 +14,22 @@ Two families over (T-)DP problems:
 
 Plus the :class:`repro.anyk.batch.Batch` baseline (full result + sort)
 and the :class:`repro.anyk.union.UnionEnumerator` for UT-DP problems.
+
+Each family also has a *flat* port (:mod:`repro.anyk.flat`) whose inner
+loops index into the compiled :class:`~repro.dp.flat.CompiledTDP`
+arrays with native float arithmetic; :func:`make_enumerator` dispatches
+to it automatically when the ranking dioid supports key-space
+compilation, with bit-identical ranked output.
 """
 
 from repro.anyk.base import Enumerator, RankedResult, make_enumerator
 from repro.anyk.batch import Batch
+from repro.anyk.flat import (
+    FlatAnyKPart,
+    FlatBatch,
+    FlatRecursive,
+    make_flat_enumerator,
+)
 from repro.anyk.partition import AnyKPart
 from repro.anyk.recursive import Recursive
 from repro.anyk.strategies import (
@@ -37,6 +49,10 @@ __all__ = [
     "AnyKPart",
     "Recursive",
     "Batch",
+    "FlatAnyKPart",
+    "FlatRecursive",
+    "FlatBatch",
+    "make_flat_enumerator",
     "UnionEnumerator",
     "SuccessorStrategy",
     "EagerStrategy",

@@ -126,12 +126,25 @@ class Enumerator:
         return result.tdp.dioid.key(result.weight) <= result.tdp.dioid.key(bound)
 
 
-def make_enumerator(tdp: TDP, algorithm: str = "take2", counter=None) -> Enumerator:
+def make_enumerator(
+    tdp: TDP,
+    algorithm: str = "take2",
+    counter=None,
+    flat: bool | None = None,
+) -> Enumerator:
     """Instantiate an any-k enumerator over ``tdp`` by algorithm name.
 
     Names (paper Section 7): ``take2``, ``lazy``, ``eager``, ``all``,
     ``recursive``, ``batch``, and ``batch_nosort`` (Batch without the
     final sort, the paper's "Batch(No sort)" reference line).
+
+    ``flat`` selects the enumeration core: ``None`` (default) uses the
+    compiled flat core (:mod:`repro.anyk.flat`) whenever the dioid
+    satisfies the ``key_is_value`` contract and transparently falls
+    back to the object-graph enumerators otherwise; ``False`` forces
+    the object-graph path (the differential-testing reference);
+    ``True`` requires the flat core and raises if the dioid does not
+    support it.  Both cores produce bit-identical ranked output.
     """
     from repro.anyk.batch import Batch
     from repro.anyk.partition import AnyKPart
@@ -139,6 +152,18 @@ def make_enumerator(tdp: TDP, algorithm: str = "take2", counter=None) -> Enumera
     from repro.anyk.strategies import ALGORITHMS
 
     name = algorithm.lower()
+    if flat is None or flat:
+        from repro.anyk.flat import make_flat_enumerator
+        from repro.dp.flat import compile_tdp
+
+        compiled = compile_tdp(tdp)
+        if compiled is not None:
+            return make_flat_enumerator(compiled, name, counter=counter)
+        if flat:
+            raise ValueError(
+                f"{tdp.dioid!r} does not support the compiled flat core "
+                "(no key_is_value contract)"
+            )
     if name in ALGORITHMS:
         return AnyKPart(tdp, strategy=ALGORITHMS[name](), counter=counter)
     if name == "recursive":

@@ -1,0 +1,1064 @@
+"""Flat enumeration loops over a :class:`~repro.dp.flat.CompiledTDP`.
+
+Ports of every any-k enumerator — the four anyK-part strategy variants
+(Take2/Lazy/Eager/All), anyK-rec (Recursive), and the Batch baselines —
+whose inner loops index into the compiled core's flat arrays instead of
+walking ``ChoiceSet`` object graphs:
+
+* weight combination is native float ``+``/``-`` in dioid *key space*
+  (the ``key_is_value`` contract) — no ``SelectiveDioid.times``/``key``
+  dispatch anywhere on the hot path;
+* connector ranking structures live in a uid-indexed list (no dict
+  hashing); for the Take2 and Eager strategies the candidate carries
+  the raw heapified/sorted ``(key, state)`` list itself, so entry reads
+  are direct C-level list indexing with no view object in between;
+* ``heappush``/``heappop`` and every per-iteration attribute are bound
+  to locals once per call;
+* op-counting is zero-cost when disabled: each enumerator selects a
+  *counter-free compiled loop variant* at construction instead of
+  branching ``if counter is not None`` per operation;
+* results carry only ``(key, states)``; witness tuples and variable
+  assignments materialise lazily from the source T-DP's ``tuple_ids``
+  at result-construction time (:class:`~repro.anyk.base.RankedResult`).
+
+Every loop replicates the object-graph algorithms' candidate ordering
+exactly — same push sequence, same tie-breaking sequence numbers, and
+float operations that are the bit-exact ``key``-image of the object
+path's ``times`` calls — so the ranked output is bit-identical to
+:mod:`repro.anyk.partition` / :mod:`repro.anyk.recursive` /
+:mod:`repro.anyk.batch` (asserted by ``tests/test_flat_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.anyk.base import Enumerator, RankedResult
+from repro.anyk.strategies import FLAT_VIEWS
+from repro.dp.flat import CompiledTDP
+from repro.util.counters import OpCounter
+
+
+class FlatAnyKPart(Enumerator):
+    """Algorithm 1 over the compiled core (strategies via flat views).
+
+    Candidate tuples are ``(key, seq, prefix, stage, carrier, pos)`` —
+    in key space the candidate's total completion weight *is* its key,
+    so no separate total rides along.  Sibling totals derive in O(1) by
+    key-space subtraction (always valid: ``(R, +)`` is a group), which
+    coincides with the object path's inverse-based derivation.
+
+    ``carrier`` is the bare ranking list for the Take2/Eager specialised
+    loops and a flat view object (:data:`~repro.anyk.strategies
+    .FLAT_VIEWS`) for Lazy/All and for the counting variant; each
+    enumerator instance uses exactly one carrier kind, selected with the
+    loop variant at construction.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTDP,
+        kind: str,
+        counter: OpCounter | None = None,
+    ):
+        self.compiled = compiled
+        self.tdp = compiled.tdp
+        self.dioid = compiled.dioid
+        self.kind = kind
+        self.counter = counter
+        self._view_class = FLAT_VIEWS[kind]
+        #: uid -> per-run ranking structure (lists or views, see class doc).
+        self._views: list = [None] * compiled.num_connectors
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._exhausted = compiled.empty
+
+        bare_lists = counter is None and kind in ("take2", "eager")
+        if counter is not None:
+            self._next_result = self._next_result_counted
+        elif kind == "take2":
+            # Compiled generator loop: the ~20 local bindings of the
+            # hot loop happen once for the whole run, not per result.
+            self._gen = (
+                self._generate_take2_chain()
+                if compiled.is_chain
+                else self._generate_take2()
+            )
+            self._next_result = self._next_from_gen
+        elif kind == "eager":
+            self._gen = (
+                self._generate_eager_chain()
+                if compiled.is_chain
+                else self._generate_eager()
+            )
+            self._next_result = self._next_from_gen
+
+        if not self._exhausted and not bare_lists:
+            # Generator variants seed their own candidate heap on first
+            # resume (the chain loops use a narrower candidate layout).
+            uid = compiled.root_uid[0]  # stage 0 is always a root stage
+            carrier = self._view(uid)
+            self._seq = 1
+            self._heap.append(
+                (compiled.best_key, 1, None, 0, carrier, carrier.best)
+            )
+            if counter is not None:
+                counter.pq_push += 1
+                counter.candidates_created += 1
+
+    def _next_from_gen(self) -> RankedResult | None:
+        return next(self._gen, None)
+
+    def __iter__(self):
+        # Hand out the compiled generator itself when one drives this
+        # run: ``for`` loops then resume it directly with no
+        # ``__next__``/``_next_result`` frames in between.  The
+        # generator marks ``_finished`` on exhaustion, and interleaving
+        # with ``step``/``top`` stays consistent because every
+        # consumption path pulls from the same generator.
+        gen = getattr(self, "_gen", None)
+        return self if gen is None else gen
+
+    def _view(self, uid: int):
+        view = self._views[uid]
+        if view is None:
+            view = self._view_class(self.compiled.pairs(uid))
+            self._views[uid] = view
+        return view
+
+    def peak_candidates(self) -> int:
+        """Current size of the candidate priority queue (MEM diagnostics)."""
+        return len(self._heap)
+
+    # -- Take2 hot loop (bare heap lists, counter-free) ------------------------
+
+    def _generate_take2(self):
+        compiled = self.compiled
+        tdp = self.tdp
+        heap = self._heap
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        conn_of = compiled.conn_of
+        root_uid = compiled.root_uid
+        heaps = compiled._take2_heaps
+        take2_heap = compiled.take2_heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        vfk = compiled.vfk
+        new_result = RankedResult.__new__
+        result_cls = RankedResult
+        seq = 0
+        if not compiled.empty:
+            uid = root_uid[0]
+            entries = heaps[uid]
+            if entries is None:
+                entries = take2_heap(uid)
+            seq = 1
+            heap.append((compiled.best_key, 1, None, 0, entries, 0))
+
+        while heap:
+            total, _seq, prefix, stage, entries, pos = heappop(heap)
+            states = [0] * num_stages
+            node = prefix
+            fill = stage - 1
+            while node is not None:
+                states[fill] = node[0]
+                node = node[1]
+                fill -= 1
+
+            for j in range(stage, num_stages):
+                entry = entries[pos]
+                # Successors of position pos are its static-heap children.
+                left = 2 * pos + 1
+                if left < len(entries):
+                    base = total - entry[0]
+                    seq += 1
+                    heappush(
+                        heap,
+                        (base + entries[left][0], seq, prefix, j, entries, left),
+                    )
+                    right = left + 1
+                    if right < len(entries):
+                        seq += 1
+                        heappush(
+                            heap,
+                            (
+                                base + entries[right][0],
+                                seq, prefix, j, entries, right,
+                            ),
+                        )
+                state = entry[1]
+                states[j] = state
+                prefix = (state, prefix)
+                next_stage = j + 1
+                if next_stage < num_stages:
+                    parent = parent_stage[next_stage]
+                    if parent == -1:
+                        uid = root_uid[next_stage]
+                    else:
+                        uid = conn_of[next_stage][states[parent]]
+                    entries = heaps[uid]
+                    if entries is None:
+                        entries = take2_heap(uid)
+                    pos = 0
+
+            res = new_result(result_cls)
+            res.weight = total if vfk is None else vfk(total)
+            res.key = total
+            res.states = tuple(states)
+            res.tdp = tdp
+            yield res
+        self._finished = True
+
+    def _generate_take2_chain(self):
+        """Take2 loop specialised for chain T-DPs (path-shaped trees).
+
+        The parent of stage ``j + 1`` is always ``j``, so the extension
+        step needs no parent bookkeeping and no partial ``states``
+        vector: the prefix linked list alone carries the solution, and
+        the states tuple is materialised in a single walk per result.
+        Candidates shrink to ``(key, seq, prefix, stage, pos)`` — the
+        choice-set list is recovered at pop time from ``prefix[0]``
+        (the parent's state), which every push site has already warmed.
+        """
+        compiled = self.compiled
+        tdp = self.tdp
+        heap = self._heap
+        num_stages = compiled.num_stages
+        last = num_stages - 1
+        #: conn_next[j] maps stage j's chosen state -> stage j+1's uid.
+        conn_next = [compiled.conn_of[j + 1] for j in range(last)]
+        conn_next.append(None)
+        heaps = compiled._take2_heaps
+        take2_heap = compiled.take2_heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        vfk = compiled.vfk
+        new_result = RankedResult.__new__
+        result_cls = RankedResult
+
+        seq = 0
+        root_entries = None
+        if not compiled.empty:
+            root_entries = take2_heap(compiled.root_uid[0])
+            seq = 1
+            heap.append((compiled.best_key, 1, None, 0, 0))
+
+        while heap:
+            total, _seq, prefix, stage, pos = heappop(heap)
+            if stage:
+                entries = heaps[conn_next[stage - 1][prefix[0]]]
+            else:
+                entries = root_entries
+            for j in range(stage, num_stages):
+                entry = entries[pos]
+                left = 2 * pos + 1
+                size = len(entries)
+                if left < size:
+                    base = total - entry[0]
+                    seq += 1
+                    heappush(heap, (base + entries[left][0], seq, prefix, j, left))
+                    right = left + 1
+                    if right < size:
+                        seq += 1
+                        heappush(
+                            heap, (base + entries[right][0], seq, prefix, j, right)
+                        )
+                state = entry[1]
+                prefix = (state, prefix)
+                if j < last:
+                    uid = conn_next[j][state]
+                    entries = heaps[uid]
+                    if entries is None:
+                        entries = take2_heap(uid)
+                    pos = 0
+
+            states = [0] * num_stages
+            node = prefix
+            fill = last
+            while node is not None:
+                states[fill] = node[0]
+                node = node[1]
+                fill -= 1
+            res = new_result(result_cls)
+            res.weight = total if vfk is None else vfk(total)
+            res.key = total
+            res.states = tuple(states)
+            res.tdp = tdp
+            yield res
+        self._finished = True
+
+    # -- Eager hot loop (bare sorted lists, counter-free) ----------------------
+
+    def _generate_eager(self):
+        compiled = self.compiled
+        tdp = self.tdp
+        heap = self._heap
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        conn_of = compiled.conn_of
+        root_uid = compiled.root_uid
+        lists = compiled._sorted_pairs
+        sorted_pairs = compiled.sorted_pairs
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        vfk = compiled.vfk
+        new_result = RankedResult.__new__
+        result_cls = RankedResult
+        seq = 0
+        if not compiled.empty:
+            uid = root_uid[0]
+            entries = lists[uid]
+            if entries is None:
+                entries = sorted_pairs(uid)
+            seq = 1
+            heap.append((compiled.best_key, 1, None, 0, entries, 0))
+
+        while heap:
+            total, _seq, prefix, stage, entries, pos = heappop(heap)
+            states = [0] * num_stages
+            node = prefix
+            fill = stage - 1
+            while node is not None:
+                states[fill] = node[0]
+                node = node[1]
+                fill -= 1
+
+            for j in range(stage, num_stages):
+                entry = entries[pos]
+                # Successor of position pos in a sorted list is pos + 1.
+                succ = pos + 1
+                if succ < len(entries):
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            total - entry[0] + entries[succ][0],
+                            seq, prefix, j, entries, succ,
+                        ),
+                    )
+                state = entry[1]
+                states[j] = state
+                prefix = (state, prefix)
+                next_stage = j + 1
+                if next_stage < num_stages:
+                    parent = parent_stage[next_stage]
+                    if parent == -1:
+                        uid = root_uid[next_stage]
+                    else:
+                        uid = conn_of[next_stage][states[parent]]
+                    entries = lists[uid]
+                    if entries is None:
+                        entries = sorted_pairs(uid)
+                    pos = 0
+
+            res = new_result(result_cls)
+            res.weight = total if vfk is None else vfk(total)
+            res.key = total
+            res.states = tuple(states)
+            res.tdp = tdp
+            yield res
+        self._finished = True
+
+    def _generate_eager_chain(self):
+        """Eager loop specialised for chain T-DPs (see take2 variant)."""
+        compiled = self.compiled
+        tdp = self.tdp
+        heap = self._heap
+        num_stages = compiled.num_stages
+        last = num_stages - 1
+        conn_next = [compiled.conn_of[j + 1] for j in range(last)]
+        conn_next.append(None)
+        lists = compiled._sorted_pairs
+        sorted_pairs = compiled.sorted_pairs
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        vfk = compiled.vfk
+        new_result = RankedResult.__new__
+        result_cls = RankedResult
+
+        seq = 0
+        root_entries = None
+        if not compiled.empty:
+            root_entries = sorted_pairs(compiled.root_uid[0])
+            seq = 1
+            heap.append((compiled.best_key, 1, None, 0, 0))
+
+        while heap:
+            total, _seq, prefix, stage, pos = heappop(heap)
+            if stage:
+                entries = lists[conn_next[stage - 1][prefix[0]]]
+            else:
+                entries = root_entries
+            for j in range(stage, num_stages):
+                entry = entries[pos]
+                succ = pos + 1
+                if succ < len(entries):
+                    seq += 1
+                    heappush(
+                        heap,
+                        (total - entry[0] + entries[succ][0], seq, prefix, j, succ),
+                    )
+                state = entry[1]
+                prefix = (state, prefix)
+                if j < last:
+                    uid = conn_next[j][state]
+                    entries = lists[uid]
+                    if entries is None:
+                        entries = sorted_pairs(uid)
+                    pos = 0
+
+            states = [0] * num_stages
+            node = prefix
+            fill = last
+            while node is not None:
+                states[fill] = node[0]
+                node = node[1]
+                fill -= 1
+            res = new_result(result_cls)
+            res.weight = total if vfk is None else vfk(total)
+            res.key = total
+            res.states = tuple(states)
+            res.tdp = tdp
+            yield res
+        self._finished = True
+
+    # -- generic loop (Lazy/All flat views, counter-free) ----------------------
+
+    def _next_result(self) -> RankedResult | None:
+        heap = self._heap
+        if not heap:
+            return None
+        compiled = self.compiled
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        conn_of = compiled.conn_of
+        root_uid = compiled.root_uid
+        views = self._views
+        view_class = self._view_class
+        pairs_of = compiled.pairs
+        heappush = heapq.heappush
+        seq = self._seq
+
+        total, _seq, prefix, stage, view, pos = heapq.heappop(heap)
+        states = [0] * num_stages
+        node = prefix
+        fill = stage - 1
+        while node is not None:
+            states[fill] = node[0]
+            node = node[1]
+            fill -= 1
+
+        for j in range(stage, num_stages):
+            entry = view.entry_at(pos)
+            succs = view.succ(pos)
+            if succs:
+                base = total - entry[0]
+                entry_at = view.entry_at
+                for succ_pos in succs:
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            base + entry_at(succ_pos)[0],
+                            seq, prefix, j, view, succ_pos,
+                        ),
+                    )
+            state = entry[1]
+            states[j] = state
+            prefix = (state, prefix)
+            next_stage = j + 1
+            if next_stage < num_stages:
+                parent = parent_stage[next_stage]
+                if parent == -1:
+                    uid = root_uid[next_stage]
+                else:
+                    uid = conn_of[next_stage][states[parent]]
+                view = views[uid]
+                if view is None:
+                    view = view_class(pairs_of(uid))
+                    views[uid] = view
+                pos = view.best
+
+        self._seq = seq
+        vfk = compiled.vfk
+        return RankedResult(
+            total if vfk is None else vfk(total), total, tuple(states), self.tdp
+        )
+
+    # -- counting variant (identical ordering, instrumented) -------------------
+
+    def _next_result_counted(self) -> RankedResult | None:
+        heap = self._heap
+        if not heap:
+            return None
+        compiled = self.compiled
+        counter = self.counter
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        conn_of = compiled.conn_of
+        root_uid = compiled.root_uid
+        views = self._views
+        view_class = self._view_class
+        pairs_of = compiled.pairs
+        heappush = heapq.heappush
+        seq = self._seq
+
+        total, _seq, prefix, stage, view, pos = heapq.heappop(heap)
+        counter.pq_pop += 1
+        states = [0] * num_stages
+        node = prefix
+        fill = stage - 1
+        while node is not None:
+            states[fill] = node[0]
+            node = node[1]
+            fill -= 1
+
+        for j in range(stage, num_stages):
+            entry = view.entry_at(pos)
+            succs = view.succ(pos)
+            counter.successor_calls += 1
+            if succs:
+                base = total - entry[0]
+                entry_at = view.entry_at
+                for succ_pos in succs:
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            base + entry_at(succ_pos)[0],
+                            seq, prefix, j, view, succ_pos,
+                        ),
+                    )
+                    counter.pq_push += 1
+                    counter.candidates_created += 1
+            state = entry[1]
+            states[j] = state
+            prefix = (state, prefix)
+            next_stage = j + 1
+            if next_stage < num_stages:
+                parent = parent_stage[next_stage]
+                if parent == -1:
+                    uid = root_uid[next_stage]
+                else:
+                    uid = conn_of[next_stage][states[parent]]
+                view = views[uid]
+                if view is None:
+                    view = view_class(pairs_of(uid))
+                    views[uid] = view
+                pos = view.best
+            counter.expansions += 1
+
+        self._seq = seq
+        counter.results += 1
+        vfk = compiled.vfk
+        return RankedResult(
+            total if vfk is None else vfk(total), total, tuple(states), self.tdp
+        )
+
+
+class FlatRankedProduct:
+    """Key-space port of :class:`~repro.anyk.product.RankedProduct`.
+
+    Branch streams are addressed by connector uid through an
+    ``ensure(uid, j)`` callback returning flat solution entries
+    ``(key, state, js)``; aggregate weights are plain float sums.  The
+    Lawler marker scheme, memoized ``outputs``, and heap tie-breaking
+    sequence are identical to the object version, so combination order
+    matches bit-for-bit.  ``get`` is bound at construction to a
+    counter-free or counting variant.
+    """
+
+    __slots__ = ("uids", "ensure", "outputs", "_heap", "_seq", "counter", "get")
+
+    def __init__(
+        self,
+        uids: tuple[int, ...],
+        ensure: Callable[[int, int], tuple | None],
+        counter: OpCounter | None = None,
+    ):
+        self.uids = tuple(uids)
+        self.ensure = ensure
+        self.counter = counter
+        self.outputs: list[tuple[float, tuple[int, ...]]] = []
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self.get = self._get if counter is None else self._get_counted
+        firsts = [ensure(uid, 0) for uid in self.uids]
+        if any(entry is None for entry in firsts):
+            return  # dead product: some branch has no solution at all
+        key = 0.0
+        for entry in firsts:
+            key += entry[0]
+        self._seq = 1
+        self._heap.append((key, 1, (0,) * len(self.uids), 0))
+        if counter is not None:
+            counter.pq_push += 1
+
+    def _advance(self, j: int, counter: OpCounter | None):
+        outputs = self.outputs
+        ensure = self.ensure
+        uids = self.uids
+        width = len(uids)
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        append = outputs.append
+        seq = self._seq
+        while len(outputs) <= j:
+            if not heap:
+                self._seq = seq
+                return None
+            key, _seq, vector, marker = heappop(heap)
+            if counter is not None:
+                counter.pq_pop += 1
+            append((key, vector))
+            for i in range(marker, width):
+                bumped = ensure(uids[i], vector[i] + 1)
+                if bumped is None:
+                    continue
+                new_vector = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
+                new_key = 0.0
+                for branch, rank in enumerate(new_vector):
+                    new_key += ensure(uids[branch], rank)[0]
+                seq += 1
+                heappush(heap, (new_key, seq, new_vector, i))
+                if counter is not None:
+                    counter.pq_push += 1
+        self._seq = seq
+        return outputs[j]
+
+    def _get(self, j: int) -> tuple[float, tuple[int, ...]] | None:
+        outputs = self.outputs
+        if j < len(outputs):
+            return outputs[j]
+        return self._advance(j, None)
+
+    def _get_counted(self, j: int) -> tuple[float, tuple[int, ...]] | None:
+        outputs = self.outputs
+        if j < len(outputs):
+            return outputs[j]
+        return self._advance(j, self.counter)
+
+
+class FlatRecursive(Enumerator):
+    """anyK-rec (Algorithm 2) over the compiled core.
+
+    Memoized per-connector solution lists and candidate heaps live in
+    uid-indexed lists; solution entries are ``(key, state, js)``
+    triples in key space.  ``_ensure`` — the innermost loop of
+    Recursive — comes in counter-free and counting compiled variants
+    (selected once at construction), each with the per-stage suffix
+    computation inlined per branch-arity instead of dispatching through
+    a ``_state_suffix`` helper per pop.
+    """
+
+    def __init__(self, compiled: CompiledTDP, counter: OpCounter | None = None):
+        self.compiled = compiled
+        self.tdp = compiled.tdp
+        self.dioid = compiled.dioid
+        self.counter = counter
+        num_connectors = compiled.num_connectors
+        #: uid -> ranked solutions [(key, state, js), ...]
+        self._sols: list[list[tuple] | None] = [None] * num_connectors
+        #: uid -> candidate heap [(key, state, js), ...]
+        self._heaps: list[list[tuple] | None] = [None] * num_connectors
+        #: (stage, state) -> FlatRankedProduct for multi-branch states
+        self._products: dict[tuple[int, int], FlatRankedProduct] = {}
+        self._rank = 0
+        self._exhausted = compiled.empty
+        self._roots = compiled.root_stages
+        #: Pure chain (every stage has at most one branch): result
+        #: reconstruction is an iterative walk instead of a recursion.
+        self._chain = all(b <= 1 for b in compiled.num_branches)
+        self._root_product: FlatRankedProduct | None = None
+        if counter is not None:
+            self._ensure = self._ensure_counted
+        if not self._exhausted and len(self._roots) > 1:
+            self._root_product = FlatRankedProduct(
+                tuple(compiled.root_uid[r] for r in self._roots),
+                self._ensure,
+                counter=counter,
+            )
+        if counter is None and not self._exhausted and self._root_product is None:
+            # Compiled generator loop for the common single-root case:
+            # the root connector's advance step is inlined and every hot
+            # local binds once for the whole run.  (The counting variant
+            # and the multi-root union keep the method-based loop.)
+            self._gen = self._generate()
+            self._next_result = self._next_from_gen
+
+    def _next_from_gen(self) -> RankedResult | None:
+        return next(self._gen, None)
+
+    def __iter__(self):
+        # See FlatAnyKPart.__iter__: direct generator hand-out.
+        gen = getattr(self, "_gen", None)
+        return self if gen is None else gen
+
+    def _generate(self):
+        compiled = self.compiled
+        tdp = self.tdp
+        vfk = compiled.vfk
+        new_result = RankedResult.__new__
+        result_cls = RankedResult
+        num_stages = compiled.num_stages
+        last = num_stages - 1
+        all_sols = self._sols
+        child_uids = compiled.child_uids
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        chain = self._chain
+        reconstruct = self._reconstruct
+        ensure = self._ensure
+        product_of = self._product
+
+        root_uid = compiled.root_uid[self._roots[0]]
+        sols = all_sols[root_uid]
+        if sols is None:
+            sols = all_sols[root_uid] = []
+            self._heaps[root_uid] = compiled.rea_heap(root_uid)
+        heap = self._heaps[root_uid]
+        append = sols.append
+        root_branches, root_own, root_child_row, root_stage = (
+            compiled.conn_meta[root_uid]
+        )
+
+        rank = 0
+        while True:
+            if rank < len(sols):
+                item = sols[rank]
+            else:
+                # Inlined root-connector advance (one `next` call).
+                if not heap:
+                    self._finished = True
+                    return
+                item = heappop(heap)
+                append(item)
+                state = item[1]
+                next_js = item[2] + 1
+                if root_branches == 1:
+                    child_uid = root_child_row[state]
+                    child_sols = all_sols[child_uid]
+                    if child_sols is not None and next_js < len(child_sols):
+                        entry = child_sols[next_js]
+                    else:
+                        entry = ensure(child_uid, next_js)
+                    if entry is not None:
+                        heappush(
+                            heap, (root_own[state] + entry[0], state, next_js)
+                        )
+                elif root_branches:
+                    combo = product_of(root_stage, state).get(next_js)
+                    if combo is not None:
+                        heappush(
+                            heap, (root_own[state] + combo[0], state, next_js)
+                        )
+            key = item[0]
+            if chain:
+                # In a chain, connector depth == stage: walk the
+                # memoized solution lists appending states in order.
+                states = []
+                add_state = states.append
+                sol = item
+                for stage in range(last):
+                    add_state(sol[1])
+                    uid = child_uids[stage][sol[1]]
+                    sol = all_sols[uid][sol[2]]
+                add_state(sol[1])
+            else:
+                states = [0] * num_stages
+                reconstruct(root_uid, rank, states)
+            res = new_result(result_cls)
+            res.weight = key if vfk is None else vfk(key)
+            res.key = key
+            res.states = tuple(states)
+            res.tdp = tdp
+            yield res
+            rank += 1
+
+    # -- per-connector REA (counter-free compiled variant) ---------------------
+
+    def _ensure(self, uid: int, j: int) -> tuple | None:
+        """Solution ``Π_{j+1}`` of connector ``uid`` (0-based), or ``None``."""
+        all_sols = self._sols
+        sols = all_sols[uid]
+        if sols is None:
+            sols = all_sols[uid] = []
+            self._heaps[uid] = self.compiled.rea_heap(uid)
+        if j < len(sols):
+            return sols[j]
+        heap = self._heaps[uid]
+        branches, own_keys, child_row, stage = self.compiled.conn_meta[uid]
+        heappop = heapq.heappop
+        append = sols.append
+
+        if branches == 0:
+            # Leaf connector: one suffix per state — drain, no bumps.
+            while len(sols) <= j:
+                if not heap:
+                    return None
+                append(heappop(heap))
+            return sols[j]
+
+        heappush = heapq.heappush
+        if branches == 1:
+            ensure = self._ensure
+            while len(sols) <= j:
+                if not heap:
+                    return None
+                item = heappop(heap)
+                append(item)
+                state = item[1]
+                next_js = item[2] + 1
+                # Inlined memo hit: thanks to connector sharing most
+                # child lookups land in an already-advanced solution
+                # list, so skip the recursive call for those.
+                child_uid = child_row[state]
+                child_sols = all_sols[child_uid]
+                if child_sols is not None and next_js < len(child_sols):
+                    entry = child_sols[next_js]
+                else:
+                    entry = ensure(child_uid, next_js)
+                if entry is not None:
+                    heappush(heap, (own_keys[state] + entry[0], state, next_js))
+            return sols[j]
+
+        product_of = self._product
+        while len(sols) <= j:
+            if not heap:
+                return None
+            item = heappop(heap)
+            append(item)
+            state = item[1]
+            next_js = item[2] + 1
+            combo = product_of(stage, state).get(next_js)
+            if combo is not None:
+                heappush(heap, (own_keys[state] + combo[0], state, next_js))
+        return sols[j]
+
+    # -- counting variant (identical ordering, instrumented) -------------------
+
+    def _ensure_counted(self, uid: int, j: int) -> tuple | None:
+        sols = self._sols[uid]
+        if sols is None:
+            sols = self._sols[uid] = []
+            self._heaps[uid] = self.compiled.rea_heap(uid)
+        if j < len(sols):
+            return sols[j]
+        heap = self._heaps[uid]
+        compiled = self.compiled
+        counter = self.counter
+        stage = compiled.conn_stage[uid]
+        branches = compiled.num_branches[stage]
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        append = sols.append
+        own_keys = compiled.values_key[stage]
+        child_row = compiled.child_uids[stage]
+        ensure = self._ensure_counted
+        product_of = self._product
+        while len(sols) <= j:
+            if not heap:
+                return None
+            item = heappop(heap)
+            counter.pq_pop += 1
+            counter.next_calls += 1
+            append(item)
+            state = item[1]
+            next_js = item[2] + 1
+            if branches == 0:
+                continue
+            if branches == 1:
+                entry = ensure(child_row[state], next_js)
+                bumped = (
+                    None if entry is None else own_keys[state] + entry[0]
+                )
+            else:
+                combo = product_of(stage, state).get(next_js)
+                bumped = (
+                    None if combo is None else own_keys[state] + combo[0]
+                )
+            if bumped is not None:
+                heappush(heap, (bumped, state, next_js))
+                counter.pq_push += 1
+        return sols[j]
+
+    def _product(self, stage: int, state: int) -> FlatRankedProduct:
+        key = (stage, state)
+        product = self._products.get(key)
+        if product is None:
+            compiled = self.compiled
+            branches = compiled.num_branches[stage]
+            base = state * branches
+            uids = tuple(compiled.child_uids[stage][base:base + branches])
+            product = FlatRankedProduct(
+                uids, self._ensure, counter=self.counter
+            )
+            self._products[key] = product
+        return product
+
+    # -- result reconstruction -------------------------------------------------
+
+    def _reconstruct(self, uid: int, j: int, states: list[int]) -> None:
+        _key, state, js = self._sols[uid][j]
+        compiled = self.compiled
+        stage = compiled.conn_stage[uid]
+        states[stage] = state
+        branches = compiled.num_branches[stage]
+        if branches == 0:
+            return
+        if branches == 1:
+            self._reconstruct(compiled.child_uids[stage][state], js, states)
+            return
+        vector = self._products[(stage, state)].outputs[js][1]
+        base = state * branches
+        child_uids = compiled.child_uids[stage]
+        for branch in range(branches):
+            self._reconstruct(child_uids[base + branch], vector[branch], states)
+
+    # -- iterator protocol -----------------------------------------------------
+
+    def _next_result(self) -> RankedResult | None:
+        if self._exhausted:
+            return None
+        compiled = self.compiled
+        rank = self._rank
+        states = [0] * compiled.num_stages
+        if self._root_product is not None:
+            combo = self._root_product.get(rank)
+            if combo is None:
+                self._exhausted = True
+                return None
+            key, vector = combo
+            for branch, root in enumerate(self._roots):
+                self._reconstruct(
+                    compiled.root_uid[root], vector[branch], states
+                )
+        else:
+            root_uid = compiled.root_uid[self._roots[0]]
+            entry = self._ensure(root_uid, rank)
+            if entry is None:
+                self._exhausted = True
+                return None
+            key = entry[0]
+            if self._chain:
+                # Iterative walk down the chain of memoized solutions.
+                all_sols = self._sols
+                conn_stage = compiled.conn_stage
+                num_branches = compiled.num_branches
+                child_uids = compiled.child_uids
+                uid = root_uid
+                j = rank
+                while True:
+                    _key, state, js = all_sols[uid][j]
+                    stage = conn_stage[uid]
+                    states[stage] = state
+                    if num_branches[stage] == 0:
+                        break
+                    uid = child_uids[stage][state]
+                    j = js
+            else:
+                self._reconstruct(root_uid, rank, states)
+        self._rank += 1
+        counter = self.counter
+        if counter is not None:
+            counter.results += 1
+        vfk = compiled.vfk
+        return RankedResult(
+            key if vfk is None else vfk(key), key, tuple(states), self.tdp
+        )
+
+
+class FlatBatch(Enumerator):
+    """Batch baseline over the compiled core (full output, optional sort).
+
+    Backtracks over the compiled entry pairs with float prefix sums;
+    sorting ``(key, states)`` matches the object Batch's deterministic
+    cross-algorithm order.  The visit-counting branch stays inline (one
+    test per intermediate tuple): Batch materialises everything up
+    front, so it has no per-result delay path to keep branch-free.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledTDP,
+        sort: bool = True,
+        counter: OpCounter | None = None,
+    ):
+        self.compiled = compiled
+        self.tdp = compiled.tdp
+        self.dioid = compiled.dioid
+        self.counter = counter
+        self.sorted = sort
+        results = list(self._solutions(counter))
+        if sort:
+            results.sort()
+        self.size = len(results)
+        self._iter = iter(results)
+
+    def _solutions(self, counter: OpCounter | None):
+        compiled = self.compiled
+        if compiled.empty:
+            return
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        conn_of = compiled.conn_of
+        root_uid = compiled.root_uid
+        values_key = compiled.values_key
+        pairs = compiled._pairs
+
+        states = [0] * num_stages
+        prefix_key = [0.0] * (num_stages + 1)
+        iterators: list = [None] * num_stages
+        iterators[0] = iter(pairs[root_uid[0]])
+        level = 0
+        last = num_stages - 1
+        while level >= 0:
+            entry = next(iterators[level], None)
+            if entry is None:
+                level -= 1
+                continue
+            state = entry[1]
+            states[level] = state
+            prefix_key[level + 1] = prefix_key[level] + values_key[level][state]
+            if counter is not None:
+                counter.intermediate_tuples += 1
+            if level == last:
+                yield (prefix_key[num_stages], tuple(states))
+            else:
+                level += 1
+                parent = parent_stage[level]
+                if parent == -1:
+                    uid = root_uid[level]
+                else:
+                    uid = conn_of[level][states[parent]]
+                iterators[level] = iter(pairs[uid])
+
+    def _next_result(self) -> RankedResult | None:
+        item = next(self._iter, None)
+        if item is None:
+            return None
+        key, states = item
+        if self.counter is not None:
+            self.counter.results += 1
+        vfk = self.compiled.vfk
+        return RankedResult(
+            key if vfk is None else vfk(key), key, states, self.tdp
+        )
+
+
+def make_flat_enumerator(
+    compiled: CompiledTDP, algorithm: str, counter: OpCounter | None = None
+) -> Enumerator:
+    """Instantiate a flat enumerator over ``compiled`` by algorithm name."""
+    if algorithm in FLAT_VIEWS:
+        return FlatAnyKPart(compiled, algorithm, counter=counter)
+    if algorithm == "recursive":
+        return FlatRecursive(compiled, counter=counter)
+    if algorithm == "batch":
+        return FlatBatch(compiled, counter=counter)
+    if algorithm == "batch_nosort":
+        return FlatBatch(compiled, sort=False, counter=counter)
+    raise ValueError(f"unknown any-k algorithm {algorithm!r}")

@@ -71,26 +71,41 @@ class RankedProduct:
         outputs = self.outputs
         if j < len(outputs):
             return outputs[j]
+        # Hot loop: every per-iteration attribute — the dioid methods,
+        # the heap primitives, the list appenders — binds once here.
         dioid = self.dioid
         times = dioid.times
+        key_of = dioid.key
+        one = dioid.one
         ensure = self.ensure
         conns = self.conns
         width = len(conns)
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        append = outputs.append
+        counter = self.counter
+        seq = self._seq
         while len(outputs) <= j:
-            if not self._heap:
+            if not heap:
+                self._seq = seq
                 return None
-            _key, _seq, vector, marker, value = heapq.heappop(self._heap)
-            if self.counter is not None:
-                self.counter.pq_pop += 1
-            outputs.append((value, vector))
+            _key, _seq, vector, marker, value = heappop(heap)
+            if counter is not None:
+                counter.pq_pop += 1
+            append((value, vector))
             for i in range(marker, width):
                 bumped = ensure(conns[i], vector[i] + 1)
                 if bumped is None:
                     continue
                 new_vector = vector[:i] + (vector[i] + 1,) + vector[i + 1:]
-                new_value = dioid.one
+                new_value = one
                 for branch, rank in enumerate(new_vector):
                     entry = ensure(conns[branch], rank)
                     new_value = times(new_value, entry[1])
-                self._push(dioid.key(new_value), new_vector, i, new_value)
+                seq += 1
+                heappush(heap, (key_of(new_value), seq, new_vector, i, new_value))
+                if counter is not None:
+                    counter.pq_push += 1
+        self._seq = seq
         return outputs[j]

@@ -186,3 +186,94 @@ ALGORITHMS: dict[str, type[SuccessorStrategy]] = {
     "take2": Take2Strategy,
     "all": AllStrategy,
 }
+
+
+# -- flat (compiled-core) views -------------------------------------------------
+#
+# The same four strategies, ported to the key-space ``(key, state)``
+# pairs of a :class:`~repro.dp.flat.CompiledTDP`.  Two deliberate
+# differences from the object views above:
+#
+# * ``entry_at`` is an *attribute* bound once at construction — for the
+#   list-backed views it is the list's C-level ``__getitem__``, so the
+#   hot loop pays no Python-level method frame per entry read;
+# * construction takes the connector's shared pair list (see
+#   ``CompiledTDP.pairs``) instead of a ``ChoiceSet``; views that
+#   reorder copy it first, exactly like the object views copy
+#   ``conn.entries``.
+#
+# Position semantics, successor rules, and tie-breaking are identical to
+# the object views: pairs ``(key, state)`` order exactly like triples
+# ``(key, state, value)`` because ``state`` is unique per entry, which
+# is what makes the flat and object paths bit-identical.
+
+
+class FlatEagerView:
+    """Eager Sort over key-space pairs (sorted copy, successor = pos+1)."""
+
+    __slots__ = ("entries", "entry_at", "best")
+
+    def __init__(self, pairs: list[tuple]):
+        self.entries = sorted(pairs)
+        self.entry_at = self.entries.__getitem__
+        self.best = 0
+
+    def succ(self, pos: int) -> Sequence[int]:
+        return (pos + 1,) if pos + 1 < len(self.entries) else ()
+
+
+class FlatLazyView:
+    """Lazy Sort over key-space pairs (heap drained into a sorted prefix)."""
+
+    __slots__ = ("lazy", "entry_at", "best")
+
+    def __init__(self, pairs: list[tuple]):
+        self.lazy = LazySortedList(pairs, prefetch=2)
+        self.entry_at = self.lazy.get
+        self.best = 0
+
+    def succ(self, pos: int) -> Sequence[int]:
+        return (pos + 1,) if self.lazy.get(pos + 1) is not None else ()
+
+
+class FlatTake2View:
+    """Take2 over key-space pairs: one heapify, successors = heap children."""
+
+    __slots__ = ("entries", "entry_at", "best")
+
+    def __init__(self, pairs: list[tuple]):
+        import heapq
+
+        self.entries = list(pairs)  # private copy: the base list is shared
+        heapq.heapify(self.entries)
+        self.entry_at = self.entries.__getitem__
+        self.best = 0
+
+    def succ(self, pos: int) -> Sequence[int]:
+        return heap_children(pos, len(self.entries))
+
+
+class FlatAllView:
+    """All over key-space pairs: every non-top choice succeeds the top."""
+
+    __slots__ = ("entries", "entry_at", "best")
+
+    def __init__(self, pairs: list[tuple]):
+        self.entries = pairs  # read-only: no copy needed
+        self.entry_at = pairs.__getitem__
+        self.best = pairs.index(min(pairs))
+
+    def succ(self, pos: int) -> Sequence[int]:
+        if pos != self.best:
+            return ()
+        best = self.best
+        return tuple(p for p in range(len(self.entries)) if p != best)
+
+
+#: Name -> flat view class, used by :class:`repro.anyk.flat.FlatAnyKPart`.
+FLAT_VIEWS: dict[str, type] = {
+    "eager": FlatEagerView,
+    "lazy": FlatLazyView,
+    "take2": FlatTake2View,
+    "all": FlatAllView,
+}

@@ -63,18 +63,34 @@ class UnionEnumerator(Enumerator):
             self.counter.pq_push += 1
 
     def _next_result(self) -> RankedResult | None:
-        while self._heap:
-            _key, _seq, index, result = heapq.heappop(self._heap)
-            if self.counter is not None:
-                self.counter.pq_pop += 1
-            self._refill(index)
-            if self.dedup:
-                ident = self.identity(result)
+        # Merge loop: bind the heap primitives, the member table, and
+        # the dedup callables to locals once per call — a result that
+        # survives dedup exits on the first iteration, but duplicate
+        # runs spin here and should not re-resolve attributes per spin.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        members = self.members
+        counter = self.counter
+        dedup = self.dedup
+        identity = self.identity
+        while heap:
+            _key, _seq, index, result = heappop(heap)
+            if counter is not None:
+                counter.pq_pop += 1
+            refill = members[index]._next_result()
+            if refill is not None:
+                self._seq += 1
+                heappush(heap, (refill.key, self._seq, index, refill))
+                if counter is not None:
+                    counter.pq_push += 1
+            if dedup:
+                ident = identity(result)
                 if ident == self._last_identity:
                     continue
                 self._last_identity = ident
-            if self.counter is not None:
-                self.counter.results += 1
+            if counter is not None:
+                counter.results += 1
             return result
         return None
 

@@ -7,16 +7,23 @@ Fig 3 is realised by :class:`repro.dp.graph.ChoiceSet` "connector"
 objects grouping child states by join value, keeping the graph at
 O(l*n) size and *sharing* all ranking data structures between parent
 states with the same join value.
+
+For enumeration, a built T-DP is lowered once (per database version)
+into the flat :class:`repro.dp.flat.CompiledTDP` arrays whenever the
+ranking dioid supports key-space arithmetic; see :mod:`repro.dp.flat`.
 """
 
 from repro.dp.builder import build_tdp, build_tdp_for_query
 from repro.dp.direct import DPProblem, k_lightest_paths
+from repro.dp.flat import CompiledTDP, compile_tdp
 from repro.dp.graph import ChoiceSet, TDP
 from repro.dp.theta import band_predicate, build_theta_path, comparison_predicate
 
 __all__ = [
     "ChoiceSet",
     "TDP",
+    "CompiledTDP",
+    "compile_tdp",
     "build_tdp",
     "build_tdp_for_query",
     "DPProblem",

@@ -33,9 +33,15 @@ class ChoiceSet:
     deliberately *unsorted*: TTF optimality requires linear-time
     preprocessing, and each any-k strategy builds its own (lazy)
     structure on top, cached per enumerator run keyed by :attr:`uid`.
+
+    :attr:`min_entry` is computed lazily on first access and cached:
+    the builder creates one connector per join-key group of a stage,
+    including groups no parent state ever points at, and a connector
+    only referenced by an enumerator that never reaches its subtree
+    should not pay a linear ``min`` during preprocessing.
     """
 
-    __slots__ = ("uid", "stage", "entries", "min_entry")
+    __slots__ = ("uid", "stage", "entries", "_min_entry")
 
     def __init__(self, uid: int, stage: int, entries: list[tuple]):
         if not entries:
@@ -43,7 +49,20 @@ class ChoiceSet:
         self.uid = uid
         self.stage = stage
         self.entries = entries
-        self.min_entry = min(entries)
+        self._min_entry: tuple | None = None
+
+    @property
+    def min_entry(self) -> tuple:
+        """The least entry (cached after the first access)."""
+        entry = self._min_entry
+        if entry is None:
+            entry = self._min_entry = min(self.entries)
+        return entry
+
+    @min_entry.setter
+    def min_entry(self, entry: tuple) -> None:
+        # Kept assignable: verify()-style tests inject corrupted minima.
+        self._min_entry = entry
 
     @property
     def min_value(self) -> Any:
@@ -58,9 +77,11 @@ class ChoiceSet:
         return len(self.entries)
 
     def __repr__(self) -> str:
+        cached = self._min_entry
+        shown = "?" if cached is None else repr(cached[0])
         return (
             f"ChoiceSet(uid={self.uid}, stage={self.stage}, "
-            f"size={len(self.entries)}, min={self.min_entry[0]!r})"
+            f"size={len(self.entries)}, min={shown})"
         )
 
 
@@ -130,6 +151,12 @@ class TDP:
         self.best_weight: Any = dioid.zero
         #: Number of connectors created (uids are 0 .. num_connectors-1).
         self.num_connectors: int = 0
+        #: Memoized :class:`~repro.dp.flat.CompiledTDP` (or ``False``
+        #: when the dioid does not support the flat fast path); filled
+        #: by :func:`repro.dp.flat.compile_tdp`, shared by every
+        #: enumerator run — and, through the engine's physical-plan
+        #: cache, by every algorithm variant and serving session.
+        self._compiled: Any = None
 
     # -- navigation ---------------------------------------------------------------
 

@@ -12,9 +12,10 @@ hands out :class:`PreparedQuery` objects::
 fingerprint plus execution options (dioid, algorithm, projection,
 cycle threshold), LRU-evicted beyond ``max_cached_plans``.  Bound
 *physical* plans are additionally shared across prepared queries that
-differ only in the any-k algorithm — the built T-DPs are
+differ only in the any-k algorithm — the built T-DPs (and their
+compiled flat enumeration cores, see :mod:`repro.dp.flat`) are
 algorithm-independent, so switching algorithms costs no second
-preprocessing pass.  A prepared
+preprocessing or compilation pass.  A prepared
 query stamps the database's monotone :attr:`Database.version` when it
 binds; any mutation (``Database.add``/``remove``/``touch`` or
 ``Relation.add`` on a contained relation) changes the version, and the
@@ -134,7 +135,10 @@ class PreparedQuery:
         A no-op when already bound at the current version (unless
         ``force``).  Delegates to the engine's shared physical-plan
         cache, so sibling prepared queries (same query/dioid/projection,
-        different algorithm) bind at most once per database version.
+        different algorithm) bind at most once per database version —
+        and, since binding also compiles the flat enumeration core,
+        the ``CompiledTDP`` is version-stamped and shared the same way
+        (across algorithms, cursors, and serving sessions).
         """
         version = self.engine.database.version
         if not force and self._physical is not None and self._bound_version == version:

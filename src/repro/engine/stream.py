@@ -17,6 +17,11 @@ Streams are engine-cached per ``(physical plan, algorithm)`` and
 version-stamped, so the engine's :attr:`Database.version` invalidation
 extends to them: a database mutation makes the next request rebuild the
 stream against a freshly bound plan (see ``Engine._stream_for``).
+The enumerator under a stream runs on the physical plan's compiled
+flat core when the dioid supports it (``repro.dp.flat``) — the
+stream's internal counter selects the *counting* compiled loop
+variants, so per-request ``OpCounter`` attribution keeps working on
+the fast path.
 
 Extension is guarded by a lock, making one stream safe to share across
 threads as well as asyncio tasks; the memoized prefix itself is

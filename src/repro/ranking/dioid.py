@@ -42,6 +42,18 @@ class SelectiveDioid(ABC):
     #: Whether ``times`` has an inverse (the monoid is a group).
     has_inverse: bool = False
 
+    #: Fast-path contract (see ``repro.dp.flat``): when ``True``, the
+    #: order key *carries the whole value* — keys are plain floats,
+    #: ``key`` is additive over ``times`` (``key(times(a, b)) ==
+    #: key(a) + key(b)`` bit-for-bit under IEEE arithmetic), and the
+    #: original value is recoverable via :meth:`value_from_key`.  The
+    #: compiled enumeration core then runs entirely in key space with
+    #: native ``+`` / float comparison instead of ``times``/``key``
+    #: dispatch.  True for the tropical min/max dioids; leave ``False``
+    #: for any dioid whose key is not an additive float image (the
+    #: enumerators transparently fall back to the generic path).
+    key_is_value: bool = False
+
     @property
     @abstractmethod
     def zero(self) -> Any:
@@ -67,6 +79,16 @@ class SelectiveDioid(ABC):
     def divide(self, a: Any, b: Any) -> Any:
         """Return ``c`` with ``times(c, b) == a``; only if ``has_inverse``."""
         raise NotImplementedError(f"{type(self).__name__} has no inverse")
+
+    def value_from_key(self, key: Any) -> Any:
+        """Recover the dioid value whose order key is ``key``.
+
+        Only meaningful when :attr:`key_is_value` is ``True``; the
+        default (identity) covers dioids whose key *is* the value, e.g.
+        tropical min-plus.  Dioids with an order-flipping key (max-plus
+        uses ``key(a) = -a``) override this with the inverse map.
+        """
+        return key
 
     def leq(self, a: Any, b: Any) -> bool:
         """Total order induced by selectivity: ``a`` ranks no worse than ``b``."""
@@ -97,6 +119,8 @@ class TropicalDioid(SelectiveDioid):
     """
 
     has_inverse = True
+    #: Keys are the values themselves: the compiled flat core applies.
+    key_is_value = True
 
     @property
     def zero(self) -> float:
@@ -123,6 +147,9 @@ class MaxPlusDioid(SelectiveDioid):
     """
 
     has_inverse = True
+    #: ``key(a) = -a`` is an additive, invertible float image of the
+    #: value (IEEE negation is exact), so the flat key-space core applies.
+    key_is_value = True
 
     @property
     def zero(self) -> float:
@@ -140,6 +167,9 @@ class MaxPlusDioid(SelectiveDioid):
 
     def divide(self, a: float, b: float) -> float:
         return a - b
+
+    def value_from_key(self, key: float) -> float:
+        return -key
 
 
 class MaxTimesDioid(SelectiveDioid):

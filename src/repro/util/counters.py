@@ -18,6 +18,14 @@ class OpCounter:
     per candidate, per priority-queue operation).  The counter favours
     plain attribute increments over dict lookups to keep the overhead of
     instrumented runs low.
+
+    Counting is strictly opt-in on the hot path: the compiled flat
+    enumerators (:mod:`repro.anyk.flat`) select a *counting loop
+    variant* at construction when a counter is passed, and an entirely
+    branch-free variant otherwise — disabled instrumentation costs
+    zero per-operation tests.  Both variants count the same semantic
+    events at the same points as the object-graph enumerators, so
+    instrumented runs are comparable across cores.
     """
 
     __slots__ = (

@@ -15,6 +15,15 @@ Three access patterns appear in the paper (Section 4.1.3):
 Entries are ``(key, payload)`` tuples whose first component is the dioid
 order key; ties fall through to the payload, which is an ``int`` state
 identifier in all call sites, so tuple comparison is always well defined.
+
+The compiled flat core (:mod:`repro.anyk.flat`) relies on one further
+property of these structures: Take2's heap array and Eager's sorted
+list are *never mutated after construction*, so ``CompiledTDP`` caches
+them per connector and shares them across enumerator runs, algorithms,
+and concurrent sessions — where the object-graph strategies rebuild a
+private view per run.  ``heapify`` and ``sorted`` are deterministic
+given the comparison outcomes, which is why the shared structures
+preserve bit-identical candidate ordering.
 """
 
 from __future__ import annotations

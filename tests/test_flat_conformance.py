@@ -1,0 +1,278 @@
+"""Differential conformance: compiled flat core vs. object-graph path.
+
+The flat enumeration core (:mod:`repro.dp.flat` + :mod:`repro.anyk.flat`)
+claims *bit-identical* ranked output to the object-graph enumerators —
+same weights, same keys, same state vectors, same tie-breaking — for
+every any-k variant, because every float operation it performs is the
+exact ``key``-image of the corresponding ``times`` call and every heap
+ordering decision is replicated.  This suite pins that claim:
+
+* all 7 variants, flat (``flat=None`` auto) vs. forced object path
+  (``flat=False``), on tropical and max-plus (both compile) and on the
+  lexicographic dioid (no ``key_is_value`` — must transparently fall
+  back to the object path and still agree);
+* counting and counter-free compiled loop variants produce the same
+  stream, and op-counts match the object path exactly;
+* both storage backends (memory and SQLite) through the engine;
+* a hypothesis sweep over random weighted databases.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anyk.base import make_enumerator
+from repro.anyk.flat import FlatAnyKPart, FlatRecursive
+from repro.data.backend import SQLiteBackend
+from repro.data.database import Database
+from repro.data.generators import uniform_database
+from repro.data.relation import Relation
+from repro.dp.builder import build_tdp_for_query
+from repro.dp.flat import CompiledTDP, compile_tdp
+from repro.engine import Engine
+from repro.query.builders import path_query, star_query
+from repro.query.parser import parse_query
+from repro.ranking.dioid import (
+    MAX_PLUS,
+    TROPICAL,
+    LexicographicDioid,
+    SelectiveDioid,
+)
+from repro.util.counters import OpCounter
+
+ALL_VARIANTS = [
+    "take2", "lazy", "eager", "all", "recursive", "batch", "batch_nosort",
+]
+FAST_DIOIDS = [TROPICAL, MAX_PLUS]
+
+
+def signature(results):
+    """Exact stream fingerprint: weight, key, and state vector."""
+    return [(r.weight, r.key, r.states) for r in results]
+
+
+def build(shape: str, size: int, n: int, dioid, seed: int = 7):
+    db = uniform_database(size, n, domain_size=max(2, n // 5), seed=seed)
+    query = path_query(size) if shape == "path" else star_query(size)
+    return build_tdp_for_query(db, query, dioid=dioid)
+
+
+class TestFlatBitIdentical:
+    @pytest.mark.parametrize("algorithm", ALL_VARIANTS)
+    @pytest.mark.parametrize("shape", ["path", "star"])
+    def test_all_variants_tropical(self, algorithm, shape):
+        tdp = build(shape, 4, 120, TROPICAL)
+        reference = signature(make_enumerator(tdp, algorithm, flat=False))
+        assert reference, "workload must not be empty"
+        assert signature(make_enumerator(tdp, algorithm)) == reference
+
+    @pytest.mark.parametrize("algorithm", ALL_VARIANTS)
+    def test_all_variants_max_plus(self, algorithm):
+        tdp = build("path", 3, 90, MAX_PLUS)
+        reference = signature(make_enumerator(tdp, algorithm, flat=False))
+        assert signature(make_enumerator(tdp, algorithm)) == reference
+
+    @pytest.mark.parametrize("algorithm", ALL_VARIANTS)
+    def test_counting_variant_matches_and_counts_agree(self, algorithm):
+        tdp = build("star", 4, 80, TROPICAL)
+        flat_counter, object_counter = OpCounter(), OpCounter()
+        flat = signature(make_enumerator(tdp, algorithm, counter=flat_counter))
+        reference = signature(
+            make_enumerator(tdp, algorithm, counter=object_counter, flat=False)
+        )
+        assert flat == reference
+        assert flat_counter.as_dict() == object_counter.as_dict()
+
+    def test_interleaved_step_top_iter(self):
+        tdp = build("path", 4, 60, TROPICAL)
+        reference = signature(make_enumerator(tdp, "take2", flat=False))
+        enum = make_enumerator(tdp, "take2")
+        got = signature(enum.step(7)) + signature(enum.top(5))
+        got += signature(enum)
+        assert got == reference
+        assert enum.exhausted
+
+
+class TestGenericDioidFallback:
+    """Non-``key_is_value`` dioids keep the object path, transparently."""
+
+    def _lex_tdp(self, algorithm_seed: int = 0):
+        dioid = LexicographicDioid(2)
+        rng = random.Random(31 + algorithm_seed)
+        rows_r = [((i, rng.randrange(6)), dioid.unit_vector(0, rng.random()))
+                  for i in range(30)]
+        rows_s = [((i % 6, rng.randrange(5)), dioid.unit_vector(1, rng.random()))
+                  for i in range(30)]
+        db = Database([
+            Relation("R", 2, [v for v, _ in rows_r], [w for _, w in rows_r]),
+            Relation("S", 2, [v for v, _ in rows_s], [w for _, w in rows_s]),
+        ])
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        return build_tdp_for_query(db, query, dioid=dioid), dioid
+
+    @pytest.mark.parametrize("algorithm", ALL_VARIANTS)
+    def test_lexicographic_identical_through_fallback(self, algorithm):
+        tdp, _dioid = self._lex_tdp()
+        reference = signature(make_enumerator(tdp, algorithm, flat=False))
+        assert reference
+        # flat=None auto-falls back: identical stream, object enumerator.
+        auto = make_enumerator(tdp, algorithm)
+        assert not isinstance(auto, (FlatAnyKPart, FlatRecursive))
+        assert signature(auto) == reference
+
+    def test_compile_refuses_generic_dioid(self):
+        tdp, _dioid = self._lex_tdp()
+        assert compile_tdp(tdp) is None
+        assert compile_tdp(tdp) is None  # memoized negative answer
+        with pytest.raises(ValueError, match="key_is_value"):
+            make_enumerator(tdp, "take2", flat=True)
+
+    def test_flat_forced_on_supported_dioid(self):
+        tdp = build("path", 3, 40, TROPICAL)
+        enum = make_enumerator(tdp, "take2", flat=True)
+        assert isinstance(enum, FlatAnyKPart)
+
+
+class TestKeyIsValueContract:
+    def test_tropical_key_roundtrip(self):
+        assert TROPICAL.key_is_value
+        assert TROPICAL.value_from_key(TROPICAL.key(3.5)) == 3.5
+
+    def test_max_plus_key_roundtrip(self):
+        assert MAX_PLUS.key_is_value
+        assert MAX_PLUS.value_from_key(MAX_PLUS.key(3.5)) == 3.5
+        assert MAX_PLUS.key(2.0) == -2.0
+
+    def test_key_additivity(self):
+        rng = random.Random(5)
+        for dioid in FAST_DIOIDS:
+            for _ in range(50):
+                a, b = rng.random() * 10, rng.random() * 10
+                assert dioid.key(dioid.times(a, b)) == dioid.key(a) + dioid.key(b)
+
+    def test_generic_dioids_not_marked(self):
+        assert not LexicographicDioid(2).key_is_value
+        assert not SelectiveDioid.key_is_value
+
+
+class TestCompiledStructure:
+    def test_compile_memoized_and_shared(self):
+        tdp = build("path", 3, 40, TROPICAL)
+        compiled = compile_tdp(tdp)
+        assert isinstance(compiled, CompiledTDP)
+        assert compile_tdp(tdp) is compiled
+        # Shared by enumerators of different algorithms.
+        e1 = make_enumerator(tdp, "take2")
+        e2 = make_enumerator(tdp, "recursive")
+        assert e1.compiled is compiled and e2.compiled is compiled
+
+    def test_layout_matches_tdp(self):
+        tdp = build("star", 4, 50, TROPICAL)
+        compiled = compile_tdp(tdp)
+        assert compiled.num_stages == tdp.num_stages
+        assert not compiled.is_chain  # star is not a chain
+        stats = compiled.stats()
+        assert stats["states"] == tdp.num_states()
+        total_entries = sum(
+            len(compiled.pairs(uid)) for uid in range(compiled.num_connectors)
+        )
+        assert stats["entries"] == total_entries
+        # CSR slices reproduce the ChoiceSet entry pairs, in order.
+        conn = tdp.connector_for(0, None)
+        assert compiled.pairs(conn.uid) == [
+            (entry[0], entry[1]) for entry in conn.entries
+        ]
+
+    def test_chain_flag_on_paths(self):
+        tdp = build("path", 4, 30, TROPICAL)
+        assert compile_tdp(tdp).is_chain
+
+    def test_empty_output(self):
+        db = Database([
+            Relation("R", 2, [(1, 2)], [1.0]),
+            Relation("S", 2, [(99, 100)], [1.0]),
+        ])
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        tdp = build_tdp_for_query(db, query)
+        for algorithm in ALL_VARIANTS:
+            assert list(make_enumerator(tdp, algorithm)) == []
+
+    def test_shared_static_structures_are_not_mutated(self):
+        tdp = build("path", 3, 60, TROPICAL)
+        compiled = compile_tdp(tdp)
+        first = signature(make_enumerator(tdp, "take2"))
+        uid = compiled.root_uid[0]
+        heap_snapshot = list(compiled.take2_heap(uid))
+        sorted_snapshot = list(compiled.sorted_pairs(uid))
+        signature(make_enumerator(tdp, "take2"))
+        signature(make_enumerator(tdp, "eager"))
+        assert compiled.take2_heap(uid) == heap_snapshot
+        assert compiled.sorted_pairs(uid) == sorted_snapshot
+        assert signature(make_enumerator(tdp, "take2")) == first
+
+
+class TestEngineBackends:
+    """Flat vs. object parity holds through the engine on both backends."""
+
+    QUERY = "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)"
+
+    def _database(self):
+        return uniform_database(2, 80, domain_size=12, seed=19)
+
+    def _engine_prefix(self, database, algorithm, k=60):
+        engine = Engine(database)
+        prepared = engine.prepare(self.QUERY, algorithm=algorithm)
+        return [
+            (r.weight, r.output_tuple)
+            for r in itertools.islice(prepared.iter(), k)
+        ]
+
+    @pytest.mark.parametrize("algorithm", ["take2", "recursive", "lazy"])
+    def test_memory_vs_sqlite_on_flat_core(self, algorithm, tmp_path):
+        memory = self._database()
+        backend = SQLiteBackend(str(tmp_path / f"{algorithm}.db"))
+        for relation in memory:
+            backend.ingest(relation)
+        reference = self._engine_prefix(memory, algorithm)
+        assert reference
+        assert self._engine_prefix(backend.database(), algorithm) == reference
+
+    def test_engine_compiles_at_bind(self):
+        engine = Engine(self._database())
+        prepared = engine.prepare(self.QUERY, algorithm="take2")
+        physical = prepared.bind()
+        assert physical.compiled is not None
+        assert physical.tdp._compiled is physical.compiled
+        # Sibling algorithm shares the same physical plan and core.
+        sibling = engine.prepare(self.QUERY, algorithm="recursive")
+        assert sibling.bind().compiled is physical.compiled
+
+    def test_prefix_stream_uses_counting_variant(self):
+        engine = Engine(self._database())
+        prepared = engine.prepare(self.QUERY, algorithm="take2")
+        counter = OpCounter()
+        top = prepared.top(10, counter=counter)
+        assert len(top) == 10
+        assert counter.pq_pop > 0  # compiled counting loop attributed ops
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    algorithm=st.sampled_from(["take2", "recursive", "lazy", "eager", "all"]),
+)
+def test_hypothesis_flat_matches_object(seed, algorithm):
+    rng = random.Random(seed)
+    size = rng.choice([2, 3])
+    n = rng.randint(10, 40)
+    db = uniform_database(
+        size, n, domain_size=rng.randint(2, 8), seed=seed
+    )
+    query = path_query(size) if rng.random() < 0.5 else star_query(size)
+    tdp = build_tdp_for_query(db, query, dioid=rng.choice(FAST_DIOIDS))
+    assert signature(make_enumerator(tdp, algorithm)) == signature(
+        make_enumerator(tdp, algorithm, flat=False)
+    )
