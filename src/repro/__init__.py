@@ -97,6 +97,13 @@ from repro.ranking import (
     SelectiveDioid,
     TieBreakingDioid,
 )
+from repro.parallel import (
+    ParallelPreprocessor,
+    Sharder,
+    ShardedPhysical,
+    ShardMerge,
+    ShardSpec,
+)
 from repro.serve import (
     Cursor,
     ServeClient,
@@ -148,6 +155,11 @@ __all__ = [
     "LexicographicDioid",
     "TieBreakingDioid",
     "PrefixStream",
+    "ShardSpec",
+    "Sharder",
+    "ShardedPhysical",
+    "ShardMerge",
+    "ParallelPreprocessor",
     "Cursor",
     "SessionManager",
     "ServeServer",

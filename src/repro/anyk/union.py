@@ -8,25 +8,26 @@ decompositions), duplicates of an output tuple must arrive
 *consecutively* so that O(1) look-behind suffices to drop them — that is
 guaranteed by ranking each member with the Section 6.3 tie-breaking
 dioid, whose keys append the canonical output assignment.
+
+The merge loop itself lives in :class:`~repro.anyk.merge.RankedMerge`,
+shared with the parallel execution layer's shard merge
+(:mod:`repro.parallel`); this module keeps the union-specific
+configuration (duplicate elimination on by default, results counted at
+the union level — the historical UT-DP accounting).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Sequence
+from typing import Sequence
 
-from repro.anyk.base import Enumerator, RankedResult
+from repro.anyk.base import Enumerator
+from repro.anyk.merge import IdentityFn, RankedMerge, _default_identity
 from repro.util.counters import OpCounter
 
-#: Maps a result to the identity used for duplicate elimination.
-IdentityFn = Callable[[RankedResult], Any]
+__all__ = ["UnionEnumerator", "IdentityFn", "_default_identity"]
 
 
-def _default_identity(result: RankedResult) -> tuple:
-    return result.output_tuple()
-
-
-class UnionEnumerator(Enumerator):
+class UnionEnumerator(RankedMerge):
     """Merge several ranked streams; optionally drop consecutive duplicates.
 
     All member enumerators must rank by the *same* dioid so that their
@@ -43,64 +44,10 @@ class UnionEnumerator(Enumerator):
         dedup: bool = True,
         counter: OpCounter | None = None,
     ):
-        self.members = list(members)
-        self.identity = identity if identity is not None else _default_identity
-        self.dedup = dedup
-        self.counter = counter
-        self._heap: list[tuple] = []
-        self._seq = 0
-        self._last_identity: Any = _SENTINEL
-        for index, member in enumerate(self.members):
-            self._refill(index)
-
-    def _refill(self, index: int) -> None:
-        result = self.members[index]._next_result()
-        if result is None:
-            return
-        self._seq += 1
-        heapq.heappush(self._heap, (result.key, self._seq, index, result))
-        if self.counter is not None:
-            self.counter.pq_push += 1
-
-    def _next_result(self) -> RankedResult | None:
-        # Merge loop: bind the heap primitives, the member table, and
-        # the dedup callables to locals once per call — a result that
-        # survives dedup exits on the first iteration, but duplicate
-        # runs spin here and should not re-resolve attributes per spin.
-        heap = self._heap
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        members = self.members
-        counter = self.counter
-        dedup = self.dedup
-        identity = self.identity
-        while heap:
-            _key, _seq, index, result = heappop(heap)
-            if counter is not None:
-                counter.pq_pop += 1
-            refill = members[index]._next_result()
-            if refill is not None:
-                self._seq += 1
-                heappush(heap, (refill.key, self._seq, index, refill))
-                if counter is not None:
-                    counter.pq_push += 1
-            if dedup:
-                ident = identity(result)
-                if ident == self._last_identity:
-                    continue
-                self._last_identity = ident
-            if counter is not None:
-                counter.results += 1
-            return result
-        return None
-
-
-class _Sentinel:
-    def __eq__(self, other) -> bool:
-        return other is self
-
-    def __repr__(self) -> str:
-        return "<no previous result>"
-
-
-_SENTINEL = _Sentinel()
+        super().__init__(
+            members,
+            identity=identity,
+            dedup=dedup,
+            counter=counter,
+            count_results=True,
+        )

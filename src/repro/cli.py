@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_options(query_cmd)
     query_cmd.add_argument("--top", type=int, default=10,
                            help="number of results (default 10; 0 = all)")
+    query_cmd.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="partition the anchor relation into N "
+                                "fragments and run the parallel execution "
+                                "layer (fragment T-DPs + ranked merge)")
+    query_cmd.add_argument("--shard-parallel", default="auto",
+                           choices=["auto", "fused", "thread", "process"],
+                           help="fragment build mode with --shards "
+                                "(default: auto)")
     query_cmd.add_argument("--algorithm", default="take2",
                            choices=["take2", "lazy", "eager", "all",
                                     "recursive", "batch"])
@@ -91,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "an already-populated --db-path is given)")
     explain_cmd.add_argument("text", help="the query")
     add_backend_options(explain_cmd)
+    explain_cmd.add_argument("--shards", type=int, default=None, metavar="N",
+                             help="show the sharded plan (anchor atom, "
+                                  "fragment layout, build mode)")
 
     serve_cmd = commands.add_parser(
         "serve", help="start the streaming query server over a dataset"
@@ -164,6 +175,8 @@ def _command_query(args: argparse.Namespace) -> int:
             dioid=DIOIDS[args.dioid],
             algorithm=args.algorithm,
             projection=args.projection,
+            shards=args.shards,
+            shard_parallel=args.shard_parallel,
         )
         prepared.bind()
         preprocess = time.perf_counter() - start
@@ -200,7 +213,9 @@ def _command_query(args: argparse.Namespace) -> int:
 def _command_explain(args: argparse.Namespace) -> int:
     # One parse, one bind: the physical report reuses the bound T-DP's
     # statistics instead of rebuilding the plan a second time.
-    print(Engine(_open_database(args)).explain(args.text))
+    print(
+        Engine(_open_database(args)).explain(args.text, shards=args.shards)
+    )
     return 0
 
 

@@ -56,6 +56,8 @@ class EngineStats:
     prepare_hits: int = 0
     prepare_misses: int = 0
     binds: int = 0
+    #: Binds that went through the parallel execution layer.
+    sharded_binds: int = 0
     evictions: int = 0
     stream_hits: int = 0
     stream_misses: int = 0
@@ -65,6 +67,7 @@ class EngineStats:
             "prepare_hits": self.prepare_hits,
             "prepare_misses": self.prepare_misses,
             "binds": self.binds,
+            "sharded_binds": self.sharded_binds,
             "evictions": self.evictions,
             "stream_hits": self.stream_hits,
             "stream_misses": self.stream_misses,
@@ -178,7 +181,11 @@ class PreparedQuery:
 
         Streams memoize *emitted results*, whose order may depend on how
         the any-k algorithm breaks ties — so unlike the physical plan,
-        the stream key includes the algorithm.
+        the stream key includes the algorithm.  The shard configuration
+        rides in through ``physical_key``: a prefix memoized under one
+        ``shards=`` can interleave exact-weight ties differently from
+        another fragmentation, so re-preparing with a different shard
+        count must (and does) get a fresh stream, never a stale prefix.
         """
         return self.physical_key + (self.logical.algorithm,)
 
@@ -298,6 +305,12 @@ class Engine:
         algorithm: str = "take2",
         projection: str = "all_weight",
         cycle_threshold: int | None = None,
+        shards: "int | Any | None" = None,
+        shard_atom: int | None = None,
+        shard_strategy: str = "range",
+        shard_tie_break: str = "arrival",
+        shard_parallel: str = "auto",
+        shard_workers: int | None = None,
     ) -> PreparedQuery:
         """Plan ``query`` (or fetch the cached plan) for later execution.
 
@@ -306,7 +319,23 @@ class Engine:
         into selections applied at bind time.  Binding is deferred: the
         first execution (or an explicit :meth:`PreparedQuery.bind`) runs
         the preprocessing phase.
+
+        ``shards`` (an int or a prebuilt
+        :class:`repro.parallel.sharder.ShardSpec`) routes binding
+        through the parallel execution layer: the anchor relation is
+        partitioned into that many fragments, fragment T-DPs build
+        concurrently (:class:`~repro.parallel.build.ParallelPreprocessor`),
+        and enumeration merges the per-fragment streams.  The shard
+        configuration is part of the physical *and* stream cache keys,
+        so re-preparing with a different ``shards=`` never reuses a
+        bound plan or a memoized result prefix built under another
+        fragmentation.  The remaining ``shard_*`` keywords refine the
+        spec (ignored when ``shards`` is ``None`` or already a spec).
         """
+        spec = self._shard_spec(
+            shards, shard_atom, shard_strategy, shard_tie_break,
+            shard_parallel, shard_workers,
+        )
         source_query, selections = self._resolve(query)
         planned_query = (
             rewrite_for_selections(source_query, list(selections))
@@ -321,6 +350,10 @@ class Engine:
             id(dioid),
             projection,
             cycle_threshold,
+            # Only the result-affecting shard fields: prepares that
+            # differ merely in build mechanics (parallel mode, worker
+            # count) share one bound plan and one memoized prefix.
+            None if spec is None else spec.cache_key(),
         )
         key = physical_key + (algorithm.lower(),)
         with self._lock:
@@ -337,6 +370,7 @@ class Engine:
             algorithm=algorithm,
             projection=projection,
             cycle_threshold=cycle_threshold,
+            shards=spec,
         )
         prepared = PreparedQuery(
             self,
@@ -384,7 +418,29 @@ class Engine:
             while len(self._physicals) > self.max_cached_plans:
                 self._physicals.popitem(last=False)
             self.stats.binds += 1
+            if getattr(physical, "shard_count", 0):
+                self.stats.sharded_binds += 1
             return physical
+
+    @staticmethod
+    def _shard_spec(
+        shards, atom, strategy, tie_break, parallel, workers
+    ):
+        """Normalise the ``prepare`` shard keywords into a ShardSpec."""
+        if shards is None:
+            return None
+        from repro.parallel.sharder import ShardSpec
+
+        if isinstance(shards, ShardSpec):
+            return shards
+        return ShardSpec(
+            shards,
+            atom=atom,
+            strategy=strategy,
+            tie_break=tie_break,
+            parallel=parallel,
+            workers=workers,
+        )
 
     def _stream_for(self, prepared: PreparedQuery) -> PrefixStream:
         """Fetch or create the shared memoized stream for ``prepared``.

@@ -27,7 +27,10 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (lazy runtime import)
+    from repro.parallel.sharder import ShardSpec
 
 from repro.anyk.base import make_enumerator
 from repro.anyk.union import UnionEnumerator
@@ -77,6 +80,20 @@ class LogicalPlan:
     join_tree: JoinTree | None = None
     cycle_walk: list[tuple[int, str]] | None = None
     inner: "LogicalPlan | None" = None
+    #: Sharding request (:class:`repro.parallel.sharder.ShardSpec`), or
+    #: ``None``.  Only the acyclic T-DP strategy (and the all-weight
+    #: projection wrapper around it) binds sharded; other strategies
+    #: keep the spec for explain transparency and bind unsharded.
+    shard: "ShardSpec | None" = None
+
+    @property
+    def shard_supported(self) -> bool:
+        """Whether binding honours :attr:`shard` for this strategy."""
+        if self.strategy == ACYCLIC_TDP:
+            return True
+        if self.strategy == ALL_WEIGHT_PROJECTION and self.inner is not None:
+            return self.inner.shard_supported
+        return False
 
     def explain(self, indent: str = "") -> str:
         """A textual rendering of the plan (no data statistics)."""
@@ -87,6 +104,15 @@ class LogicalPlan:
         )
         if self.projection != "all_weight" or not self.query.is_full():
             lines.append(f"{indent}  projection: {self.projection}")
+        if self.shard is not None:
+            if self.shard_supported:
+                lines.append(f"{indent}  shards: {self.shard.describe()}")
+            else:
+                lines.append(
+                    f"{indent}  shards: requested {self.shard.describe()} — "
+                    f"unsupported for strategy {self.strategy}; "
+                    "binding unsharded"
+                )
         if self.join_tree is not None:
             from repro.enumeration.explain import tree_ascii
 
@@ -112,6 +138,7 @@ def plan(
     algorithm: str = "take2",
     projection: str = "all_weight",
     cycle_threshold: int | None = None,
+    shards: "ShardSpec | int | None" = None,
 ) -> LogicalPlan:
     """Classify ``query`` and build its :class:`LogicalPlan` (pure).
 
@@ -119,17 +146,32 @@ def plan(
     ``ranked_enumerate``: the Section 5.4 dispatch — acyclic T-DP,
     simple-cycle decomposition, generic decomposition — plus the Section
     8.1 projection semantics, each as an explicit plan object.
+
+    ``shards`` (an int or a :class:`repro.parallel.sharder.ShardSpec`)
+    requests the parallel execution layer; planning stays pure — the
+    anchor atom and fragment bounds are resolved against the database at
+    bind time by the :class:`~repro.parallel.sharder.Sharder`.
     """
     if projection not in VALID_PROJECTIONS:
         raise ValueError(f"unknown projection semantics {projection!r}")
     if algorithm.lower() not in VALID_ALGORITHMS:
         raise ValueError(f"unknown any-k algorithm {algorithm!r}")
+    if shards is not None:
+        from repro.parallel.sharder import ShardSpec
+
+        if isinstance(shards, int):
+            shards = ShardSpec(shards)
+        elif not isinstance(shards, ShardSpec):
+            raise TypeError(
+                f"shards must be an int or ShardSpec, got {shards!r}"
+            )
 
     common = dict(
         dioid=dioid,
         algorithm=algorithm,
         projection=projection,
         cycle_threshold=cycle_threshold,
+        shard=shards,
     )
     if projection == "min_weight":
         # Free-connex validation happens at bind time (the construction
@@ -144,6 +186,7 @@ def plan(
             dioid=dioid,
             algorithm=algorithm,
             cycle_threshold=cycle_threshold,
+            shards=shards,
         )
         return LogicalPlan(
             query, ALL_WEIGHT_PROJECTION, inner=inner, **common
@@ -472,6 +515,10 @@ def _bind(
 ) -> PhysicalPlan:
     strategy = logical.strategy
     if strategy == ACYCLIC_TDP:
+        if logical.shard is not None:
+            from repro.parallel.physical import bind_sharded
+
+            return bind_sharded(logical, database, indexes=indexes)
         tdp = build_tdp(database, logical.join_tree, dioid=logical.dioid)
         return AcyclicPhysical(logical, database, tdp)
     if strategy == SIMPLE_CYCLE_UNION:

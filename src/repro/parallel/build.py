@@ -1,0 +1,1067 @@
+"""Multi-core preprocessing: fragment T-DPs built straight to flat arrays.
+
+The unsharded bind builds an object-graph :class:`~repro.dp.graph.TDP`
+(Python triples inside :class:`ChoiceSet` objects) and then lowers it to
+a :class:`~repro.dp.flat.CompiledTDP`.  The parallel layer's fragment
+builder skips the intermediate entirely for ``key_is_value`` dioids: it
+lowers each stage *directly* into the compiled core's key-space arrays
+(one bulk backend fetch per stage, native float arithmetic, grouped
+entry pairs), which is what makes a sharded bind faster than the serial
+one even on a single core.
+
+Work sharing across fragments rests on one structural fact: the
+bottom-up construction never propagates a root restriction downward, so
+with the anchor at a component root **every non-anchor stage is
+fragment-independent**.  The builder therefore runs in two phases:
+
+* **phase A** (once): build all non-anchor stages — state arrays,
+  connector entry pools, join-key maps — shared read-only by every
+  fragment;
+* **phase B** (per fragment): scan only the fragment's slice of the
+  anchor relation, resolve child connectors against phase A's join-key
+  maps, and emit a per-fragment root connector.
+
+Per-fragment :class:`ShardCompiled` objects alias the shared uid-indexed
+structures (entry pairs, lazily heapified Take2 orders, sorted lists,
+REA heap templates), so ranking structures for shared connectors are
+built once per database version — not once per fragment.
+
+Execution modes (resolved by the :class:`~repro.parallel.sharder.Sharder`):
+
+* ``fused``   — both phases in-process; the fastest single-core path.
+* ``thread``  — phase B fragments fan out on a thread pool (the SQLite
+  driver releases the GIL inside its C fetch path).
+* ``process`` — each fragment is rebuilt start-to-finish in a worker
+  process (redundant phase A per worker, but no GIL) and the picklable
+  compiled core travels back; file-backed SQLite reopens per worker,
+  memory-backed relations ship by value.
+
+Dioids without the ``key_is_value`` contract — and the ``canonical``
+tie-break, which ranks fragments under the Section 6.3
+:class:`~repro.ranking.dioid.TieBreakingDioid` — keep the generic
+object-graph builder per fragment (:func:`build_object_fragments`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Sequence
+
+from repro.anyk.base import Enumerator, make_enumerator
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.dp.builder import build_tdp
+from repro.dp.flat import CompiledTDP
+from repro.dp.graph import TDP
+from repro.parallel.sharder import Fragment, ShardPlan, stable_hash
+from repro.query.jointree import JoinTree
+from repro.ranking.dioid import SelectiveDioid, TieBreakingDioid
+
+#: Key-space transform lanes (see ``_key_lane``).
+_LANE_ID, _LANE_NEG, _LANE_CALL = 0, 1, 2
+
+
+def _key_lane(dioid: SelectiveDioid) -> int:
+    """How raw weights map into key space for this ``key_is_value`` dioid.
+
+    Tropical keys are the values themselves, max-plus keys are their
+    negation; any other (hypothetical) additive float key falls back to
+    calling ``dioid.key`` per row.
+    """
+    probes = (1.25, -3.5, 0.0)
+    if all(dioid.key(p) == p for p in probes):
+        return _LANE_ID
+    if all(dioid.key(p) == -p for p in probes):
+        return _LANE_NEG
+    return _LANE_CALL
+
+
+def _trailing_rows(
+    relation: Relation, lo: int | None = None, hi: int | None = None
+) -> list[tuple]:
+    """Rows as flat tuples with the weight trailing (bulk, order-stable).
+
+    Backend-stored, unmaterialised relations use the backend's bulk
+    ``fetch_rows`` (a single rowid-range ``fetchall`` for SQLite);
+    in-memory relations normalise their parallel lists once per stage.
+    """
+    backend = relation.backend
+    if backend is not None and not relation.is_materialized:
+        return backend.fetch_rows(relation.table, lo, hi)
+    tuples = relation.tuples
+    weights = relation.weights
+    if lo is not None or hi is not None:
+        tuples = tuples[lo:hi]
+        weights = weights[lo:hi]
+    return [t + (w,) for t, w in zip(tuples, weights)]
+
+
+# -- the shared lower stages (phase A) -----------------------------------------
+
+
+class SharedLower:
+    """Phase A output: every fragment-independent stage, lowered flat.
+
+    All structures are read-only once built.  Connector uids are
+    assigned ``0 .. num_conns-1`` here; fragment root connectors extend
+    the uid space from ``num_conns`` upward (one per fragment).
+    """
+
+    __slots__ = (
+        "query", "tree", "dioid", "lane", "order", "num_stages",
+        "parent_stage", "children_stages", "anchor_stage", "tuples",
+        "tuple_ids", "values_key", "pi1_key", "child_uids", "conn_of",
+        "pairs", "conn_stage", "conn_min", "conn_maps", "root_uid",
+        "num_conns", "complete", "own_key_positions",
+        "parent_key_positions", "arities", "seconds",
+    )
+
+    def __init__(self, query, tree: JoinTree, dioid: SelectiveDioid, anchor_stage: int):
+        self.query = query
+        self.tree = tree
+        self.dioid = dioid
+        self.lane = _key_lane(dioid)
+        self.order = list(tree.order)
+        self.num_stages = len(self.order)
+        stage_of_atom = {a: s for s, a in enumerate(self.order)}
+        self.parent_stage = [
+            -1 if tree.parent[a] == -1 else stage_of_atom[tree.parent[a]]
+            for a in self.order
+        ]
+        self.children_stages: list[list[int]] = [[] for _ in range(self.num_stages)]
+        for stage, parent in enumerate(self.parent_stage):
+            if parent != -1:
+                self.children_stages[parent].append(stage)
+        self.anchor_stage = anchor_stage
+        if self.parent_stage[anchor_stage] != -1:
+            raise ValueError("the anchor stage must be a component root")
+        self.own_key_positions: list[tuple[int, ...]] = []
+        self.parent_key_positions: list[tuple[int, ...]] = []
+        for stage, atom_idx in enumerate(self.order):
+            atom = query.atoms[atom_idx]
+            shared = tree.shared_variables(atom_idx)
+            self.own_key_positions.append(atom.positions_of(shared))
+            if self.parent_stage[stage] == -1:
+                self.parent_key_positions.append(())
+            else:
+                parent_atom = query.atoms[tree.parent[atom_idx]]
+                self.parent_key_positions.append(parent_atom.positions_of(shared))
+        self.arities = [query.atoms[a].arity for a in self.order]
+
+        empty: list[list] = [[] for _ in range(self.num_stages)]
+        self.tuples: list[list[tuple]] = [list(x) for x in empty]
+        self.tuple_ids: list[list[int]] = [list(x) for x in empty]
+        self.values_key: list[list[float]] = [list(x) for x in empty]
+        self.pi1_key: list[list[float]] = [list(x) for x in empty]
+        #: Flattened child connector uids per stage (branch-major).
+        self.child_uids: list[list[int]] = [list(x) for x in empty]
+        #: Connector uid governing stage ``s``, indexed by parent state
+        #: (``None`` for root stages and for children of the anchor —
+        #: those rows are fragment-specific).
+        self.conn_of: list[list[int] | None] = [None] * self.num_stages
+        #: uid -> unsorted (key, state) entry pairs.
+        self.pairs: list[list[tuple[float, int]]] = []
+        self.conn_stage: list[int] = []
+        self.conn_min: list[float] = []
+        #: Per stage: join key -> connector uid (phase B resolves the
+        #: anchor's child branches against the anchor-children's maps).
+        self.conn_maps: list[dict] = [dict() for _ in range(self.num_stages)]
+        #: Root connector uids of *non-anchor* root stages.
+        self.root_uid: dict[int, int] = {}
+        self.num_conns = 0
+        #: False when some non-anchor component is empty (then every
+        #: fragment is empty regardless of its anchor rows).
+        self.complete = True
+        self.seconds = 0.0
+
+    def child_lookups(self, stage: int):
+        """Per child branch: (single_column, positions, conn_map)."""
+        return [
+            (
+                self.parent_key_positions[c][0]
+                if len(self.parent_key_positions[c]) == 1
+                else None,
+                self.parent_key_positions[c],
+                self.conn_maps[c],
+            )
+            for c in self.children_stages[stage]
+        ]
+
+
+def build_shared_lower(
+    database: Database, query, tree: JoinTree, dioid: SelectiveDioid, anchor_stage: int
+) -> SharedLower:
+    """Phase A: lower every non-anchor stage to key-space flat arrays.
+
+    Mirrors :func:`repro.dp.builder.build_tdp` stage by stage — same row
+    order, same alive filter, same left-fold weight aggregation — but in
+    dioid key space, so the produced keys are the bit-exact ``key``
+    image of the object builder's values (the PR-4 ``key_is_value``
+    contract).
+    """
+    start = time.perf_counter()
+    shared = SharedLower(query, tree, dioid, anchor_stage)
+    lane = shared.lane
+    identity = lane == _LANE_ID
+    negate = lane == _LANE_NEG
+    key_of = dioid.key
+
+    for stage in reversed(range(shared.num_stages)):
+        if stage == anchor_stage:
+            continue
+        atom = query.atoms[shared.order[stage]]
+        relation = database[atom.relation_name]
+        warity = atom.arity
+        check_repeats = atom.has_repeated_variables()
+        satisfies = atom.satisfies_repeats
+        lookups = shared.child_lookups(stage)
+        rows = _trailing_rows(relation)
+
+        tuples_out = shared.tuples[stage]
+        ids_out = shared.tuple_ids[stage]
+        vk_out = shared.values_key[stage]
+        pk_out = shared.pi1_key[stage]
+        cu_out = shared.child_uids[stage]
+        t_append = tuples_out.append
+        i_append = ids_out.append
+        v_append = vk_out.append
+        p_append = pk_out.append
+        c_append = cu_out.append
+
+        own_pos = shared.own_key_positions[stage]
+        own_single = own_pos[0] if len(own_pos) == 1 else None
+        groups: dict = {}
+        g_get = groups.get
+        conn_min = shared.conn_min
+        state = 0
+
+        if len(lookups) == 1 and lookups[0][0] is not None and own_single is not None:
+            # Hot path: one single-column child branch, single-column
+            # own join key — the chain layout of path queries and
+            # cycle-decomposition members.
+            child_col, _positions, cmap = lookups[0]
+            cm_get = cmap.get
+            for tid, row in enumerate(rows):
+                if check_repeats and not satisfies(row):
+                    continue
+                cu = cm_get(row[child_col])
+                if cu is None:
+                    continue
+                pi = conn_min[cu]
+                w = row[warity]
+                k = w if identity else (-w if negate else key_of(w))
+                entry = (k + pi, state)
+                jk = row[own_single]
+                bucket = g_get(jk)
+                if bucket is None:
+                    groups[jk] = [entry]
+                else:
+                    bucket.append(entry)
+                t_append(row)
+                i_append(tid)
+                v_append(k)
+                p_append(pi)
+                c_append(cu)
+                state += 1
+        else:
+            for tid, row in enumerate(rows):
+                if check_repeats and not satisfies(row):
+                    continue
+                pi = 0.0
+                conns: list[int] = []
+                dead = False
+                for single, positions, cmap in lookups:
+                    if single is None:
+                        cu = cmap.get(tuple(row[p] for p in positions))
+                    else:
+                        cu = cmap.get(row[single])
+                    if cu is None:
+                        dead = True
+                        break
+                    conns.append(cu)
+                    pi = pi + conn_min[cu]
+                if dead:
+                    continue
+                w = row[warity]
+                k = w if identity else (-w if negate else key_of(w))
+                entry = (k + pi, state)
+                if own_single is None:
+                    jk = tuple(row[p] for p in own_pos)
+                else:
+                    jk = row[own_single]
+                bucket = g_get(jk)
+                if bucket is None:
+                    groups[jk] = [entry]
+                else:
+                    bucket.append(entry)
+                t_append(row)
+                i_append(tid)
+                v_append(k)
+                p_append(pi)
+                cu_out.extend(conns)
+                state += 1
+
+        cmap_out = shared.conn_maps[stage]
+        uid = shared.num_conns
+        pairs = shared.pairs
+        conn_stage = shared.conn_stage
+        conn_min_out = shared.conn_min
+        for join_key, entries in groups.items():
+            cmap_out[join_key] = uid
+            pairs.append(entries)
+            conn_stage.append(stage)
+            conn_min_out.append(min(entries)[0])
+            uid += 1
+        shared.num_conns = uid
+
+        if shared.parent_stage[stage] == -1:
+            root = cmap_out.get(())
+            if root is None:
+                shared.complete = False
+            else:
+                shared.root_uid[stage] = root
+
+    # conn_of rows for stages whose parent is a shared (non-anchor)
+    # stage; children of the anchor get fragment-specific rows later.
+    for stage in range(shared.num_stages):
+        parent = shared.parent_stage[stage]
+        if parent == -1 or parent == anchor_stage:
+            continue
+        fanout = len(shared.children_stages[parent])
+        branch = shared.children_stages[parent].index(stage)
+        row = shared.child_uids[parent]
+        shared.conn_of[stage] = row[branch::fanout] if fanout else []
+
+    shared.seconds = time.perf_counter() - start
+    return shared
+
+
+# -- the per-fragment result-assembly shell ------------------------------------
+
+
+class FragmentTDP(TDP):
+    """A connector-free T-DP shell behind one fragment's compiled core.
+
+    Carries exactly what result assembly needs — per-stage rows, global
+    tuple ids, the query — and no :class:`ChoiceSet` graph (the flat
+    enumerators never walk one).  Stored rows may carry the trailing
+    backend weight; :meth:`witness` slices them back to atom arity.
+    ``_compiled`` points at the fragment's :class:`ShardCompiled`, so
+    ``make_enumerator(shell)`` transparently runs the flat core.
+    """
+
+    def __init__(self, dioid, atom_of_stage, parent_stage, query, join_tree, arities):
+        super().__init__(
+            dioid, atom_of_stage, parent_stage, query=query, join_tree=join_tree
+        )
+        self._arities = list(arities)
+        self._empty = True
+
+    def is_empty(self) -> bool:
+        return self._empty
+
+    def witness(self, states: Sequence[int]) -> tuple:
+        arities = self._arities
+        by_atom = sorted(
+            (self.atom_of_stage[stage], self.tuples[stage][state][: arities[stage]])
+            for stage, state in enumerate(states)
+        )
+        return tuple(t for _atom, t in by_atom)
+
+
+class ShardCompiled(CompiledTDP):
+    """One fragment's compiled core, aliasing the shared structures.
+
+    Never constructed through ``CompiledTDP.__init__``; ``assemble``
+    fills the slots directly.  The uid-indexed lists (entry pairs and
+    the three lazily built ranking-structure caches) are the *same list
+    objects* across all fragments of a shard plan — a ranking structure
+    for a shared connector is built once and reused by every fragment,
+    algorithm, and serving session (the lazy fill is the same benign
+    race the base class documents).
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def assemble(cls, **fields) -> "ShardCompiled":
+        self = cls.__new__(cls)
+        for name, value in fields.items():
+            setattr(self, name, value)
+        return self
+
+    def conn_size(self, uid: int) -> int:
+        return len(self._pairs[uid])
+
+    def stats(self) -> dict:
+        return {
+            "stages": self.num_stages,
+            "connectors": self.num_connectors,
+            "entries": sum(len(p) for p in self._pairs if p),
+            "states": sum(len(v) for v in self.values_key),
+            "empty": self.empty,
+        }
+
+
+# -- phase B: one fragment -----------------------------------------------------
+
+
+def _values_from_keys(dioid: SelectiveDioid, keys: list[float], lane: int) -> list:
+    if lane == _LANE_ID:
+        return keys  # the key *is* the value: alias, no copy
+    if lane == _LANE_NEG:
+        return [-k for k in keys]
+    vfk = dioid.value_from_key
+    return [vfk(k) for k in keys]
+
+
+def build_fragment(
+    shared: SharedLower,
+    fragment: Fragment,
+    rows: list[tuple],
+    global_ids: Sequence[int] | None,
+    uid: int,
+    uid_space: int,
+    shared_lists: dict,
+) -> tuple[ShardCompiled, float]:
+    """Phase B: lower one anchor fragment and assemble its compiled core.
+
+    ``rows`` is the fragment's slice of the anchor relation (trailing
+    weight); ``global_ids`` maps local row positions to insertion
+    positions (``None`` for range fragments, whose ids are ``lo +
+    local``).  ``uid`` is the fragment root connector's id inside the
+    common uid space of ``uid_space`` connectors; ``shared_lists`` holds
+    the cross-fragment aliased structures (see :func:`_shared_lists`).
+    """
+    start = time.perf_counter()
+    query = shared.query
+    anchor = shared.anchor_stage
+    atom = query.atoms[shared.order[anchor]]
+    warity = atom.arity
+    check_repeats = atom.has_repeated_variables()
+    satisfies = atom.satisfies_repeats
+    lookups = shared.child_lookups(anchor)
+    lane = shared.lane
+    identity = lane == _LANE_ID
+    negate = lane == _LANE_NEG
+    key_of = shared.dioid.key
+    conn_min = shared.conn_min
+    base = fragment.lo if global_ids is None else None
+
+    tuples_out: list[tuple] = []
+    ids_out: list[int] = []
+    vk_out: list[float] = []
+    pk_out: list[float] = []
+    cu_out: list[int] = []
+    entries: list[tuple[float, int]] = []
+    t_append = tuples_out.append
+    i_append = ids_out.append
+    v_append = vk_out.append
+    p_append = pk_out.append
+    e_append = entries.append
+    state = 0
+
+    if len(lookups) == 1 and lookups[0][0] is not None:
+        child_col, _positions, cmap = lookups[0]
+        cm_get = cmap.get
+        c_append = cu_out.append
+        for local, row in enumerate(rows):
+            if check_repeats and not satisfies(row):
+                continue
+            cu = cm_get(row[child_col])
+            if cu is None:
+                continue
+            pi = conn_min[cu]
+            w = row[warity]
+            k = w if identity else (-w if negate else key_of(w))
+            e_append((k + pi, state))
+            t_append(row)
+            i_append(base + local if base is not None else global_ids[local])
+            v_append(k)
+            p_append(pi)
+            c_append(cu)
+            state += 1
+    else:
+        for local, row in enumerate(rows):
+            if check_repeats and not satisfies(row):
+                continue
+            pi = 0.0
+            conns: list[int] = []
+            dead = False
+            for single, positions, cmap in lookups:
+                if single is None:
+                    cu = cmap.get(tuple(row[p] for p in positions))
+                else:
+                    cu = cmap.get(row[single])
+                if cu is None:
+                    dead = True
+                    break
+                conns.append(cu)
+                pi = pi + conn_min[cu]
+            if dead:
+                continue
+            w = row[warity]
+            k = w if identity else (-w if negate else key_of(w))
+            e_append((k + pi, state))
+            t_append(row)
+            i_append(base + local if base is not None else global_ids[local])
+            v_append(k)
+            p_append(pi)
+            cu_out.extend(conns)
+            state += 1
+
+    # -- assemble the fragment's compiled core ---------------------------------
+    num_stages = shared.num_stages
+    children = shared.children_stages
+    fanout = len(children[anchor])
+    root_stages = [s for s, p in enumerate(shared.parent_stage) if p == -1]
+
+    empty = not entries or not shared.complete
+    frag_min = min(entries)[0] if entries else None
+    best_key = 0.0
+    for root in root_stages:
+        if root == anchor:
+            if frag_min is None:
+                empty = True
+                break
+            best_key = best_key + frag_min
+        else:
+            root_conn = shared.root_uid.get(root)
+            if root_conn is None:
+                empty = True
+                break
+            best_key = best_key + conn_min[root_conn]
+    if empty:
+        best_key = shared.dioid.key(shared.dioid.zero)
+
+    pairs = shared_lists["pairs"]
+    pairs[uid] = entries
+    conn_stage = shared_lists["conn_stage"]
+    conn_stage[uid] = anchor
+
+    values_key = list(shared.values_key)
+    values_key[anchor] = vk_out
+    pi1_key = list(shared.pi1_key)
+    pi1_key[anchor] = pk_out
+    child_uids = list(shared.child_uids)
+    child_uids[anchor] = cu_out
+    conn_of = list(shared.conn_of)
+    for branch, child in enumerate(children[anchor]):
+        conn_of[child] = cu_out[branch::fanout] if fanout else []
+    root_uid = dict(shared.root_uid)
+    root_uid[anchor] = uid
+    conn_meta = shared_lists["conn_meta"]
+    conn_meta[uid] = (fanout, vk_out, cu_out, anchor)
+
+    dioid = shared.dioid
+    shell = FragmentTDP(
+        dioid,
+        shared.order,
+        shared.parent_stage,
+        query,
+        shared.tree,
+        shared.arities,
+    )
+    shell.tuples = list(shared.tuples)
+    shell.tuples[anchor] = tuples_out
+    shell.tuple_ids = list(shared.tuple_ids)
+    shell.tuple_ids[anchor] = ids_out
+    shell.values = [
+        _values_from_keys(dioid, keys, lane) for keys in values_key
+    ]
+    shell.pi1 = [_values_from_keys(dioid, keys, lane) for keys in pi1_key]
+    shell.num_connectors = uid_space
+    shell.best_weight = (
+        dioid.zero if empty else dioid.value_from_key(best_key)
+    )
+    shell._empty = empty
+
+    vfk = (
+        None
+        if type(dioid).value_from_key is SelectiveDioid.value_from_key
+        else dioid.value_from_key
+    )
+    compiled = ShardCompiled.assemble(
+        tdp=shell,
+        dioid=dioid,
+        num_stages=num_stages,
+        num_connectors=uid_space,
+        parent_stage=shared.parent_stage,
+        children_stages=children,
+        branch_index=shell.branch_index,
+        num_branches=[len(c) for c in children],
+        values_key=values_key,
+        pi1_key=pi1_key,
+        conn_offsets=None,
+        entry_key=None,
+        entry_state=None,
+        conn_stage=conn_stage,
+        child_uids=child_uids,
+        conn_of=conn_of,
+        conn_meta=conn_meta,
+        root_stages=root_stages,
+        root_uid=root_uid,
+        best_key=best_key,
+        empty=empty,
+        vfk=vfk,
+        is_chain=all(
+            shared.parent_stage[j] == j - 1 for j in range(num_stages)
+        ),
+        _pairs=pairs,
+        _take2_heaps=shared_lists["take2"],
+        _sorted_pairs=shared_lists["sorted"],
+        _rea_heaps=shared_lists["rea"],
+    )
+    shell._compiled = compiled
+    return compiled, time.perf_counter() - start
+
+
+def _shared_lists(shared: SharedLower, num_fragments: int) -> dict:
+    """The cross-fragment aliased uid-indexed structures (pre-sized).
+
+    Fragment slots are assigned by index, so concurrent phase-B builds
+    on a thread pool never resize a shared list.
+    """
+    total = shared.num_conns + num_fragments
+    tail = [None] * num_fragments
+    return {
+        "pairs": shared.pairs + tail,
+        "conn_stage": shared.conn_stage + tail,
+        "conn_meta": [
+            None
+            if shared.conn_stage[uid] < 0
+            else (
+                len(shared.children_stages[shared.conn_stage[uid]]),
+                shared.values_key[shared.conn_stage[uid]],
+                shared.child_uids[shared.conn_stage[uid]],
+                shared.conn_stage[uid],
+            )
+            for uid in range(shared.num_conns)
+        ]
+        + tail,
+        "take2": [None] * total,
+        "sorted": [None] * total,
+        "rea": [None] * total,
+    }
+
+
+# -- fragment row sources ------------------------------------------------------
+
+
+def _anchor_relation(database: Database, query, shared_order, anchor_stage: int) -> Relation:
+    return database[query.atoms[shared_order[anchor_stage]].relation_name]
+
+
+def _hash_buckets(
+    relation: Relation, shards: int
+) -> list[tuple[list[tuple], list[int]]]:
+    """One scan of the anchor relation, bucketed by stable content hash."""
+    arity = relation.arity
+    buckets: list[tuple[list[tuple], list[int]]] = [
+        ([], []) for _ in range(shards)
+    ]
+    for gid, row in enumerate(_trailing_rows(relation)):
+        rows, gids = buckets[stable_hash(row[:arity]) % shards]
+        rows.append(row)
+        gids.append(gid)
+    return buckets
+
+
+# -- the object-graph fragment path --------------------------------------------
+
+
+def _restricted_database(
+    database: Database, anchor_name: str, tuples: list, weights: list
+) -> Database:
+    """A database view replacing the anchor relation with one fragment.
+
+    Shares every other relation object; only sound when ``anchor_name``
+    occurs in exactly one atom (the sharder enforces that for this
+    path).
+    """
+    restricted = Database()
+    for relation in database:
+        if relation.name == anchor_name:
+            restricted.relations[relation.name] = Relation(
+                relation.name, relation.arity, tuples, weights
+            )
+        else:
+            restricted.relations[relation.name] = relation
+    return restricted
+
+
+def build_object_fragment(
+    database: Database,
+    shard_plan: ShardPlan,
+    fragment: Fragment,
+    dioid: SelectiveDioid,
+    lift,
+    anchor_rows: tuple[list[tuple], list],
+    global_ids: Sequence[int] | None,
+) -> TDP:
+    """One fragment through the generic builder (canonical/object path)."""
+    query = shard_plan.join_tree.query
+    anchor_name = query.atoms[shard_plan.anchor_atom].relation_name
+    tuples, weights = anchor_rows
+    restricted = _restricted_database(database, anchor_name, tuples, weights)
+    tdp = build_tdp(restricted, shard_plan.join_tree, dioid=dioid, lift=lift)
+    anchor_stage = shard_plan.anchor_stage
+    local_ids = tdp.tuple_ids[anchor_stage]
+    if global_ids is None:
+        lo = fragment.lo
+        tdp.tuple_ids[anchor_stage] = [lo + i for i in local_ids]
+    else:
+        tdp.tuple_ids[anchor_stage] = [global_ids[i] for i in local_ids]
+    return tdp
+
+
+# -- process-mode worker -------------------------------------------------------
+
+
+def _database_recipe(database: Database) -> dict:
+    """A picklable description a worker can reopen the database from."""
+    backend = database.backend
+    path = getattr(backend, "path", None)
+    if backend is not None and path is not None and path != ":memory:":
+        return {
+            "kind": "sqlite",
+            "path": path,
+            "tables": {
+                relation.name: relation.table for relation in database
+            },
+        }
+    return {
+        "kind": "memory",
+        "relations": {
+            relation.name: (
+                relation.arity,
+                list(relation.tuples),
+                list(relation.weights),
+            )
+            for relation in database
+        },
+    }
+
+
+def _open_recipe(recipe: dict) -> Database:
+    if recipe["kind"] == "sqlite":
+        from repro.data.backend import SQLiteBackend
+
+        backend = SQLiteBackend(recipe["path"])
+        database = Database(
+            [
+                Relation.from_backend(backend, name, table)
+                for name, table in recipe["tables"].items()
+            ]
+        )
+        database.backend = backend
+        return database
+    return Database(
+        [
+            Relation(name, arity, tuples, weights)
+            for name, (arity, tuples, weights) in recipe["relations"].items()
+        ]
+    )
+
+
+def _process_build_fragment(payload: tuple) -> tuple[int, Any, float]:
+    """Worker entry point: rebuild one fragment start to finish.
+
+    Redundantly re-runs phase A inside the worker (no shared memory),
+    which is the price of true GIL-free parallelism; the returned
+    compiled core is picklable (arrays, plain tuples, singleton dioids).
+    """
+    (recipe, query, parents, dioid, anchor_stage, fragment, shards) = payload
+    database = _open_recipe(recipe)
+    try:
+        tree = JoinTree(query, parents)
+        shared = build_shared_lower(database, query, tree, dioid, anchor_stage)
+        relation = _anchor_relation(database, query, shared.order, anchor_stage)
+        if fragment.kind == "range":
+            rows = _trailing_rows(relation, fragment.lo, fragment.hi)
+            gids = None
+        else:
+            rows, gids = _hash_buckets(relation, shards)[fragment.index]
+        lists = _shared_lists(shared, 1)
+        compiled, seconds = build_fragment(
+            shared, fragment, rows, gids, shared.num_conns,
+            shared.num_conns + 1, lists,
+        )
+        return fragment.index, compiled, shared.seconds + seconds
+    finally:
+        database.close()
+
+
+# -- orchestration -------------------------------------------------------------
+
+
+class FragmentRuntime:
+    """One built fragment, ready to hand out enumerators."""
+
+    __slots__ = ("index", "compiled", "tdp", "empty", "seconds", "anchor_stage")
+
+    def __init__(
+        self,
+        index: int,
+        compiled: ShardCompiled | None,
+        tdp: TDP | None,
+        seconds: float,
+        anchor_stage: int = 0,
+    ):
+        self.index = index
+        self.compiled = compiled
+        self.tdp = tdp if tdp is not None else (compiled.tdp if compiled else None)
+        self.empty = compiled.empty if compiled is not None else tdp.is_empty()
+        self.seconds = seconds
+        self.anchor_stage = anchor_stage
+
+    def make_enumerator(self, algorithm: str, counter=None) -> Enumerator:
+        if self.compiled is not None:
+            from repro.anyk.flat import make_flat_enumerator
+
+            return make_flat_enumerator(self.compiled, algorithm, counter=counter)
+        return make_enumerator(self.tdp, algorithm, counter=counter)
+
+    def anchor_states(self) -> int:
+        """Alive states at the anchor stage (this fragment's own slice)."""
+        if self.compiled is not None:
+            return len(self.compiled.values_key[self.anchor_stage])
+        return len(self.tdp.tuples[self.anchor_stage])
+
+
+class PreprocessResult:
+    """What the preprocessor hands the sharded physical plan."""
+
+    __slots__ = (
+        "fragments", "mode", "workers", "shared_seconds", "notes", "tie",
+    )
+
+    def __init__(self, fragments, mode, workers, shared_seconds, notes, tie):
+        self.fragments: list[FragmentRuntime] = fragments
+        self.mode = mode
+        self.workers = workers
+        self.shared_seconds = shared_seconds
+        self.notes: list[str] = notes
+        #: The TieBreakingDioid fragments rank under (canonical mode).
+        self.tie: TieBreakingDioid | None = tie
+
+
+class ParallelPreprocessor:
+    """Builds every fragment of a shard plan, per the resolved mode.
+
+    The worker-pool modes degrade gracefully: an unavailable process
+    pool (sandboxed environments without semaphores, say) falls back to
+    the fused in-process path and records a note the physical plan's
+    ``explain`` surfaces, rather than failing the bind.
+    """
+
+    def __init__(self, database: Database, logical, shard_plan: ShardPlan):
+        self.database = database
+        self.logical = logical
+        self.shard_plan = shard_plan
+
+    # -- flat path -------------------------------------------------------------
+
+    def _flat_fragment_sources(self, shared: SharedLower):
+        """Per fragment: ``(fragment, loader)`` with a *lazy* row loader.
+
+        The loader runs inside the building worker, so in thread mode
+        the per-fragment rowid-range fetches happen on the pool threads
+        — each on its own SQLite connection, overlapping inside the
+        GIL-released C fetch path — instead of serially up front.  Hash
+        fragments share one eager bucketing scan (a single pass assigns
+        every row); only range fragments defer.
+        """
+        plan = self.shard_plan
+        relation = _anchor_relation(
+            self.database, shared.query, shared.order, plan.anchor_stage
+        )
+        if plan.spec.strategy == "hash":
+            buckets = _hash_buckets(relation, plan.spec.shards)
+
+            def hash_loader(fragment: Fragment):
+                return buckets[fragment.index]
+
+            return [(fragment, hash_loader) for fragment in plan.fragments]
+
+        def range_loader(fragment: Fragment):
+            return _trailing_rows(relation, fragment.lo, fragment.hi), None
+
+        return [(fragment, range_loader) for fragment in plan.fragments]
+
+    def _build_flat(self) -> PreprocessResult:
+        plan = self.shard_plan
+        notes = list(plan.notes)
+        mode = plan.mode
+        if mode == "process":
+            try:
+                return self._build_flat_process(notes)
+            except (
+                OSError,            # spawn/semaphore restrictions
+                ImportError,
+                PermissionError,
+                RuntimeError,       # incl. BrokenProcessPool (worker died)
+                pickle.PicklingError,
+            ) as exc:
+                notes.append(
+                    f"process pool unavailable ({exc!r}); fell back to "
+                    "the fused in-process build"
+                )
+                mode = "fused"
+        shared = build_shared_lower(
+            self.database,
+            self.logical.query,
+            plan.join_tree,
+            self.logical.dioid,
+            plan.anchor_stage,
+        )
+        lists = _shared_lists(shared, len(plan.fragments))
+        sources = self._flat_fragment_sources(shared)
+        uid_space = shared.num_conns + len(plan.fragments)
+
+        def one(source) -> FragmentRuntime:
+            fragment, loader = source
+            rows, gids = loader(fragment)
+            compiled, seconds = build_fragment(
+                shared, fragment, rows, gids,
+                shared.num_conns + fragment.index, uid_space, lists,
+            )
+            return FragmentRuntime(
+                fragment.index, compiled, None, seconds,
+                anchor_stage=plan.anchor_stage,
+            )
+
+        if mode == "thread" and plan.workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                fragments = list(pool.map(one, sources))
+        else:
+            fragments = [one(source) for source in sources]
+        return PreprocessResult(
+            fragments, mode, plan.workers, shared.seconds, notes, None
+        )
+
+    def _build_flat_process(self, notes: list[str]) -> PreprocessResult:
+        from concurrent.futures import ProcessPoolExecutor
+
+        plan = self.shard_plan
+        recipe = _database_recipe(self.database)
+        payloads = [
+            (
+                recipe,
+                self.logical.query,
+                list(plan.join_tree.parent),
+                self.logical.dioid,
+                plan.anchor_stage,
+                fragment,
+                plan.spec.shards,
+            )
+            for fragment in plan.fragments
+        ]
+        context = None
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix platforms
+            context = None
+        with ProcessPoolExecutor(
+            max_workers=plan.workers, mp_context=context
+        ) as pool:
+            results = list(pool.map(_process_build_fragment, payloads))
+        fragments = [
+            FragmentRuntime(
+                index, compiled, None, seconds,
+                anchor_stage=plan.anchor_stage,
+            )
+            for index, compiled, seconds in sorted(results)
+        ]
+        return PreprocessResult(
+            fragments, "process", plan.workers, 0.0, notes, None
+        )
+
+    # -- object path -----------------------------------------------------------
+
+    def _build_object(self) -> PreprocessResult:
+        from repro.engine.plan import make_tie_lift
+
+        plan = self.shard_plan
+        logical = self.logical
+        notes = list(plan.notes)
+        query = logical.query
+        tie = None
+        dioid: SelectiveDioid = logical.dioid
+        lift = None
+        if plan.spec.tie_break == "canonical":
+            variables = query.variables
+            tie = TieBreakingDioid(logical.dioid, len(variables))
+            var_position = {v: i for i, v in enumerate(variables)}
+            lift = make_tie_lift(tie, var_position)
+            dioid = tie
+
+        relation = _anchor_relation(
+            self.database, query, list(plan.join_tree.order), plan.anchor_stage
+        )
+        tuples = relation.tuples
+        weights = relation.weights
+        if plan.spec.strategy == "hash":
+            arity = relation.arity
+            assignment = [
+                stable_hash(t) % plan.spec.shards if len(t) == arity else
+                stable_hash(t[:arity]) % plan.spec.shards
+                for t in tuples
+            ]
+            sources = []
+            for fragment in plan.fragments:
+                gids = [
+                    gid for gid, f in enumerate(assignment) if f == fragment.index
+                ]
+                sources.append(
+                    (
+                        fragment,
+                        ([tuples[g] for g in gids], [weights[g] for g in gids]),
+                        gids,
+                    )
+                )
+        else:
+            sources = [
+                (
+                    fragment,
+                    (tuples[fragment.lo:fragment.hi], weights[fragment.lo:fragment.hi]),
+                    None,
+                )
+                for fragment in plan.fragments
+            ]
+
+        def one(source) -> FragmentRuntime:
+            fragment, rows, gids = source
+            start = time.perf_counter()
+            tdp = build_object_fragment(
+                self.database, plan, fragment, dioid, lift, rows, gids
+            )
+            return FragmentRuntime(
+                fragment.index, None, tdp, time.perf_counter() - start,
+                anchor_stage=plan.anchor_stage,
+            )
+
+        if plan.mode == "thread" and plan.workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                fragments = list(pool.map(one, sources))
+        else:
+            fragments = [one(source) for source in sources]
+        return PreprocessResult(
+            fragments, plan.mode, plan.workers, 0.0, notes, tie
+        )
+
+    # -- entry point -----------------------------------------------------------
+
+    def build(self) -> PreprocessResult:
+        flat_path = (
+            getattr(self.logical.dioid, "key_is_value", False)
+            and self.shard_plan.spec.tie_break == "arrival"
+        )
+        return self._build_flat() if flat_path else self._build_object()

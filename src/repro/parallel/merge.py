@@ -1,0 +1,71 @@
+"""ShardMerge: the ranked k-way merge over per-fragment any-k streams.
+
+Built on the shared merge core (:class:`repro.anyk.merge.RankedMerge`,
+the same loop the UT-DP union enumerator runs on).  Differences from the
+union configuration:
+
+* no duplicate elimination — fragments partition the answer set, so
+  duplicates across members are structurally impossible;
+* result counting stays with the member enumerators — each fragment's
+  counting loop already counts its emitted results, and the merge only
+  adds its own priority-queue traffic, so an :class:`OpCounter` passed
+  through a :class:`~repro.engine.stream.PrefixStream` attributes every
+  operation exactly once;
+* per-member emit attribution (``member_counts``) is surfaced as
+  :meth:`shard_counts` for the physical plan's explain/stats output.
+
+Deterministic tie-breaking: exact-key ties between fragments resolve by
+heap insertion sequence — fragments are seeded in index order and
+refills re-enter at pop time — so a given fragmentation always merges
+into the same sequence.  Partition-*independent* tie order additionally
+requires canonically tie-broken keys (``tie_break="canonical"`` in
+:class:`~repro.parallel.sharder.ShardSpec`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.anyk.base import Enumerator
+from repro.anyk.merge import ConcatenatedStreams, RankedMerge
+from repro.util.counters import OpCounter
+
+
+class ShardMerge(RankedMerge):
+    """Ranked merge over per-fragment enumerators (see module docstring)."""
+
+    def __init__(
+        self,
+        members: Sequence[Enumerator],
+        counter: OpCounter | None = None,
+    ):
+        super().__init__(
+            members,
+            dedup=False,
+            counter=counter,
+            count_results=False,
+        )
+
+    def shard_counts(self) -> list[int]:
+        """Results each fragment has contributed to the merged output."""
+        return list(self.member_counts)
+
+
+class ShardConcat(ConcatenatedStreams):
+    """Fragment streams chained in index order (the ``batch_nosort`` path).
+
+    ``batch_nosort`` carries no ranking contract; with contiguous range
+    fragments the concatenation reproduces the unsharded backtracking
+    order exactly (root states are visited in insertion order either
+    way).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Enumerator],
+        counter: OpCounter | None = None,
+    ):
+        super().__init__(members, counter=counter, count_results=False)
+
+    def shard_counts(self) -> list[int]:
+        return list(self.member_counts)

@@ -1,0 +1,153 @@
+"""ShardedPhysical: the bound form of a sharded logical plan.
+
+Holds one built fragment per shard — compiled flat cores on the fast
+path, object-graph T-DPs under the canonical tie-break or a generic
+dioid — and starts enumeration runs that merge the per-fragment any-k
+streams through :class:`~repro.parallel.merge.ShardMerge`.  Like every
+:class:`~repro.engine.plan.PhysicalPlan`, the built structures are
+read-only during enumeration and algorithm-independent: the engine
+shares one sharded bind across all any-k variants, cursors, and serving
+sessions of a database version, and the version-stamp scheme invalidates
+it exactly like an unsharded plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.data.database import Database
+from repro.engine.plan import LogicalPlan, PhysicalPlan
+from repro.enumeration.result import QueryResult
+from repro.parallel.build import ParallelPreprocessor, PreprocessResult
+from repro.parallel.merge import ShardConcat, ShardMerge
+from repro.parallel.sharder import Sharder, ShardPlan
+from repro.util.counters import OpCounter
+
+
+class ShardedPhysical(PhysicalPlan):
+    """Fragment-sharded bound plan (see module docstring)."""
+
+    def __init__(
+        self,
+        logical: LogicalPlan,
+        database: Database,
+        shard_plan: ShardPlan,
+        result: PreprocessResult,
+    ):
+        super().__init__(logical, database)
+        self.shard_plan = shard_plan
+        self.fragments = result.fragments
+        self.mode = result.mode
+        self.workers = result.workers
+        self.shared_seconds = result.shared_seconds
+        self.notes = list(result.notes)
+        #: TieBreakingDioid fragments rank under (canonical mode only).
+        self.tie = result.tie
+        #: The most recent merge run (observability: per-shard emit
+        #: attribution is read live from its ``member_counts``).
+        self._last_merge: tuple | None = None
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.fragments)
+
+    def iter(
+        self,
+        counter: OpCounter | None = None,
+        algorithm: str | None = None,
+    ) -> Iterator[QueryResult]:
+        algorithm = (algorithm or self.logical.algorithm).lower()
+        members = []
+        member_fragments = []
+        for fragment in self.fragments:
+            if fragment.empty:
+                continue
+            members.append(fragment.make_enumerator(algorithm, counter=counter))
+            member_fragments.append(fragment.index)
+        merge_cls = ShardConcat if algorithm == "batch_nosort" else ShardMerge
+        merge = merge_cls(members, counter=counter)
+        self._last_merge = (merge, member_fragments)
+        head = self.logical.query.head
+        tie = self.tie
+
+        def generate() -> Iterator[QueryResult]:
+            base_value = None if tie is None else tie.base_value
+            for result in merge:
+                yield QueryResult(
+                    result.weight if base_value is None else base_value(result.weight),
+                    result.assignment,
+                    head,
+                    witness_ids=result.witness_ids,
+                    witness=result.witness,
+                )
+
+        return generate()
+
+    def last_shard_counts(self) -> list[int] | None:
+        """Per-shard emitted counts of the most recent merge run.
+
+        Diagnostic, intentionally unsynchronised: the bound plan is
+        shared across cursors/sessions by design, so "most recent"
+        means whichever consumer last called :meth:`iter` — concurrent
+        consumers will see each other's runs here.  Per-request
+        attribution belongs to the caller's own :class:`OpCounter`.
+        """
+        if self._last_merge is None:
+            return None
+        merge, member_fragments = self._last_merge
+        counts = [0] * len(self.fragments)
+        for index, count in zip(member_fragments, merge.shard_counts()):
+            counts[index] = count
+        return counts
+
+    def _physical_stats(self) -> list[str]:
+        plan = self.shard_plan
+        lines = plan.explain(indent="  ")
+        lines.append(
+            f"  fragment builds ({self.mode}): shared lower stages "
+            f"{self.shared_seconds * 1e3:.2f} ms"
+        )
+        for fragment in self.fragments:
+            flavour = "compiled" if fragment.compiled is not None else "object"
+            status = " (EMPTY)" if fragment.empty else ""
+            lines.append(
+                f"    fragment {fragment.index}: {fragment.anchor_states()} anchor states, "
+                f"{flavour}, {fragment.seconds * 1e3:.2f} ms{status}"
+            )
+        for note in self.notes:
+            if note not in plan.notes:
+                lines.append(f"  note: {note}")
+        return lines
+
+    def shard_stats(self) -> dict:
+        """Observability snapshot for serving ``stats`` / benchmarks."""
+        return {
+            "shards": self.shard_count,
+            "anchor_atom": self.shard_plan.anchor_atom,
+            "strategy": self.shard_plan.spec.strategy,
+            "tie_break": self.shard_plan.spec.tie_break,
+            "mode": self.mode,
+            "workers": self.workers,
+            "empty_fragments": sum(1 for f in self.fragments if f.empty),
+            "fragment_states": [f.anchor_states() for f in self.fragments],
+            "fragment_build_ms": [
+                round(f.seconds * 1e3, 3) for f in self.fragments
+            ],
+            "shared_lower_ms": round(self.shared_seconds * 1e3, 3),
+            "last_shard_counts": self.last_shard_counts(),
+        }
+
+
+def bind_sharded(
+    logical: LogicalPlan, database: Database, indexes=None
+) -> ShardedPhysical:
+    """Preprocess a sharded acyclic plan: plan fragments, build, wrap."""
+    spec = logical.shard
+    flat_path = (
+        getattr(logical.dioid, "key_is_value", False)
+        and spec.tie_break == "arrival"
+    )
+    sharder = Sharder(database, indexes)
+    shard_plan = sharder.plan(logical, spec, flat_path)
+    result = ParallelPreprocessor(database, logical, shard_plan).build()
+    return ShardedPhysical(logical, database, shard_plan, result)

@@ -343,6 +343,40 @@ MAX_PLUS = MaxPlusDioid()
 MAX_TIMES = MaxTimesDioid()
 BOOLEAN = BooleanDioid()
 
+
+def _named_dioid(name: str) -> "SelectiveDioid":
+    """Pickle hook: resolve a registry name back to the shared instance.
+
+    The engine keys plan caches on dioid *identity*, so a dioid that
+    crosses a process boundary (the parallel preprocessor's worker pool
+    pickles fragment T-DPs back to the parent) must unpickle to the very
+    singleton the registry hands out — not to a fresh equal-but-distinct
+    instance.
+    """
+    return NAMED_DIOIDS[name]
+
+
+def _install_singleton_reduce() -> None:
+    # Registered after NAMED_DIOIDS below; every stateless shared
+    # instance round-trips through its canonical registry name.
+    canonical = {
+        id(TROPICAL): "tropical",
+        id(MAX_PLUS): "max-plus",
+        id(MAX_TIMES): "max-times",
+        id(BOOLEAN): "boolean",
+    }
+
+    def reduce(self):
+        name = canonical.get(id(self))
+        if name is None:
+            # A user-constructed instance: these classes are stateless,
+            # so an equal fresh instance is a faithful round trip.
+            return (type(self), ())
+        return (_named_dioid, (name,))
+
+    for cls in (TropicalDioid, MaxPlusDioid, MaxTimesDioid, BooleanDioid):
+        cls.__reduce__ = reduce
+
 #: Name -> shared instance, for surfaces that take the ranking function
 #: as a string (the CLI flags and the serving wire protocol).  Sharing
 #: one registry matters beyond convenience: the engine's plan-cache key
@@ -356,3 +390,5 @@ NAMED_DIOIDS: dict[str, SelectiveDioid] = {
     "max-times": MAX_TIMES,
     "boolean": BOOLEAN,
 }
+
+_install_singleton_reduce()

@@ -102,9 +102,16 @@ class ServeClient:
         dioid: str = "tropical",
         projection: str = "all_weight",
         budget: int | None = None,
+        shards: int | None = None,
+        shard_tie_break: str = "arrival",
     ) -> dict:
         """Open a cursor for ``query`` in ``session``; returns the
-        response (``cursor``, ``strategy``, ``algorithm``)."""
+        response (``cursor``, ``strategy``, ``algorithm``, ``shards``).
+
+        ``shards`` asks the server to bind through the parallel
+        execution layer (fragment-sharded T-DPs, ranked k-way merge);
+        the wire format and fetch semantics are unchanged.
+        """
         message: dict[str, Any] = {
             "op": "prepare",
             "session": session,
@@ -115,6 +122,10 @@ class ServeClient:
         }
         if budget is not None:
             message["budget"] = budget
+        if shards is not None:
+            message["shards"] = shards
+            if shard_tie_break != "arrival":
+                message["shard_tie_break"] = shard_tie_break
         return self.request(message)
 
     def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:

@@ -7,8 +7,16 @@ Every request carries ``op`` plus op-specific fields:
     ``{"op": "prepare", "session": "s1", "query": "Q(x,z) :- R(x,y), S(y,z)",
     "algorithm": "take2", "dioid": "tropical", "projection": "all_weight",
     "budget": 1000}`` → ``{"ok": true, "op": "prepare", "cursor": "c0",
-    "strategy": "acyclic-tdp"}``.  Opens (or touches) the session and
-    returns a cursor positioned at rank 0.
+    "strategy": "acyclic-tdp", "shards": null}``.  Opens (or touches)
+    the session and returns a cursor positioned at rank 0.  Optional
+    ``"shards": N`` binds through the parallel execution layer
+    (fragment-sharded T-DPs merged by a ranked k-way merge; see
+    :mod:`repro.parallel`), with optional ``shard_tie_break``
+    (``"arrival"``/``"canonical"``), ``shard_strategy``
+    (``"range"``/``"hash"``), and ``shard_parallel`` (``"auto"``/
+    ``"fused"``/``"thread"``/``"process"``) refinements; the
+    per-session ``stats`` entries then report the cursor's shard
+    configuration.
 
 ``fetch``
     ``{"op": "fetch", "session": "s1", "cursor": "c0", "n": 10}`` →

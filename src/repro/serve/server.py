@@ -213,6 +213,11 @@ class ServeServer:
                 f"unknown dioid {dioid_name!r} "
                 f"(expected one of {sorted(NAMED_DIOIDS)})"
             )
+        shards = request.get("shards")
+        if shards is not None and (not isinstance(shards, int) or shards < 1):
+            raise ServeError(
+                f"shards must be a positive int, got {shards!r}"
+            )
         session, cursor_id = self.manager.open_cursor(
             session_name,
             query,
@@ -220,8 +225,13 @@ class ServeServer:
             dioid=NAMED_DIOIDS[dioid_name],
             projection=request.get("projection", "all_weight"),
             budget=request.get("budget"),
+            shards=shards,
+            shard_tie_break=request.get("shard_tie_break", "arrival"),
+            shard_strategy=request.get("shard_strategy", "range"),
+            shard_parallel=request.get("shard_parallel", "auto"),
         )
         cursor = session.cursor(cursor_id)
+        shard = cursor.prepared.logical.shard
         writer.write(
             protocol.encode(
                 protocol.ok(
@@ -230,6 +240,7 @@ class ServeServer:
                     cursor=cursor_id,
                     strategy=cursor.prepared.logical.strategy,
                     algorithm=cursor.prepared.logical.algorithm,
+                    shards=None if shard is None else shard.shards,
                 )
             )
         )

@@ -319,12 +319,20 @@ class SessionManager:
         dioid=None,
         projection: str = "all_weight",
         budget: int | None = None,
+        shards: int | None = None,
+        shard_tie_break: str = "arrival",
+        shard_strategy: str = "range",
+        shard_parallel: str = "auto",
     ) -> tuple[Session, str]:
         """Prepare ``query`` in the session; returns its new cursor id.
 
         Preparation goes through the engine's caches, so many sessions
         opening cursors on the same query share one plan, one bound
-        T-DP, and one memoized stream.
+        T-DP, and one memoized stream.  ``shards`` routes the prepare
+        through the parallel execution layer; cursors over the same
+        query with *different* shard configurations get distinct plans
+        and distinct memoized prefixes (the shard spec is part of every
+        engine cache key).
         """
         from repro.ranking.dioid import TROPICAL
 
@@ -337,6 +345,10 @@ class SessionManager:
             dioid=TROPICAL if dioid is None else dioid,
             algorithm=algorithm,
             projection=projection,
+            shards=shards,
+            shard_tie_break=shard_tie_break,
+            shard_strategy=shard_strategy,
+            shard_parallel=shard_parallel,
         )
         cursor = prepared.cursor(budget=budget)
         with self._lock:
@@ -463,14 +475,22 @@ class SessionManager:
     def stats(self) -> dict[str, Any]:
         """Snapshot across sessions, scheduler, and engine caches."""
         with self._lock:
+            def cursor_stats(session: Session, cursor_id: str, cursor: Cursor) -> dict:
+                entry = {
+                    "query": session.queries.get(cursor_id, ""),
+                    "position": cursor.position,
+                    "exhausted": cursor.exhausted,
+                }
+                shard = cursor.prepared.logical.shard
+                if shard is not None:
+                    entry["shards"] = shard.shards
+                    entry["shard_tie_break"] = shard.tie_break
+                return entry
+
             sessions = {
                 name: {
                     "cursors": {
-                        cursor_id: {
-                            "query": session.queries.get(cursor_id, ""),
-                            "position": cursor.position,
-                            "exhausted": cursor.exhausted,
-                        }
+                        cursor_id: cursor_stats(session, cursor_id, cursor)
                         for cursor_id, cursor in session.cursors.items()
                     },
                     "served": session.served,
