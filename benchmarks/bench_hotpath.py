@@ -233,6 +233,91 @@ def run_benchmark() -> dict:
     }
 
 
+def run_coldstart() -> dict:
+    """Warm-start-by-mmap vs cold rebuild on the 4-path SQLite workload.
+
+    Cold = fresh backend + engine with persistence off: prepare, bind
+    (T-DP build + flat compile), first answer.  Warm = fresh backend +
+    engine over an already-written ``<db>.core``: the bind maps the
+    compiled arrays and skips the build entirely.  Both repeat with a
+    brand-new engine each time (best-of), so neither side benefits from
+    in-process caches — this is the cross-process serving-boot path.
+    """
+    import shutil
+    import tempfile
+
+    from repro.data.backend import SQLiteBackend
+    from repro.engine import Engine
+
+    n = 8_000 if SMOKE else 20_000
+    size = 4
+    tmp = tempfile.mkdtemp(prefix="bench_coldstart_")
+    path = os.path.join(tmp, "coldstart.db")
+    try:
+        database = uniform_database(size, n, domain_size=max(2, n // 4), seed=93)
+        backend = SQLiteBackend(path)
+        for relation in database.relations.values():
+            backend.ingest(relation)
+        backend.close()
+        query = path_query(size)
+
+        def first_answer(core_cache: str) -> float:
+            gc.collect()
+            start = time.perf_counter()
+            engine = Engine.from_backend(
+                SQLiteBackend(path), core_cache=core_cache
+            )
+            prepared = engine.prepare(query, algorithm="take2")
+            result = prepared.first()
+            elapsed = time.perf_counter() - start
+            assert result is not None
+            engine.close()
+            return elapsed
+
+        cold = [first_answer("off") for _ in range(REPEATS)]
+        # Write the core once, then time warm binds against it.
+        write_engine = Engine.from_backend(SQLiteBackend(path))
+        write_engine.prepare(query, algorithm="take2").bind()
+        assert write_engine.stats.core_writes == 1
+        write_engine.close()
+        warm = [first_answer("auto") for _ in range(REPEATS)]
+        # The timed warm runs must actually have hit the core file.
+        check = Engine.from_backend(SQLiteBackend(path))
+        check.prepare(query, algorithm="take2").bind()
+        assert check.stats.core_hits == 1
+        core_bytes = os.path.getsize(path + ".core")
+        check.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    cold_ms = round(min(cold) * 1e3, 3)
+    warm_ms = round(min(warm) * 1e3, 3)
+    speedup = round(cold_ms / warm_ms, 2) if warm_ms else None
+    print(
+        f"== coldstart 4-path sqlite (n={n}): rebuild TTF {cold_ms} ms, "
+        f"mmap warm TTF {warm_ms} ms, {speedup}x"
+    )
+    return {
+        "shape": "path",
+        "n": n,
+        "core_file_bytes": core_bytes,
+        "rebuild_ttf_ms": cold_ms,
+        "mmap_warm_ttf_ms": warm_ms,
+        "speedup_ttf": speedup,
+    }
+
+
+def coldstart_gate(coldstart: dict) -> list[str]:
+    """Warm-start TTF must stay >=5x below the cold-rebuild TTF."""
+    cold = coldstart["rebuild_ttf_ms"]
+    warm = coldstart["mmap_warm_ttf_ms"]
+    if warm * 5.0 > cold:
+        return [
+            f"coldstart: mmap warm TTF {warm} ms is not >=5x below the "
+            f"rebuild TTF {cold} ms ({coldstart['speedup_ttf']}x)"
+        ]
+    return []
+
+
 def regression_gate(previous: dict, current: dict) -> list[str]:
     """Flat answers/sec must not regress > TOLERANCE vs committed numbers.
 
@@ -280,8 +365,14 @@ def main() -> int:
             previous = json.load(handle)
 
     current = run_benchmark()
+    # Top-level in the mode dict (NOT under cells: the regression gate
+    # iterates cell["variants"], which coldstart rows do not have).
+    current["coldstart"] = run_coldstart()
 
-    failures = regression_gate(previous, current) if CHECK else []
+    failures = []
+    if CHECK:
+        failures = regression_gate(previous, current)
+        failures += coldstart_gate(current["coldstart"])
 
     merged = {"benchmark": "hotpath", "modes": previous.get("modes", {})}
     merged["modes"][MODE] = current

@@ -136,11 +136,22 @@ def run_ttk_benchmark(
 
 @pytest.fixture(scope="session", autouse=True)
 def fresh_reports():
-    """Truncate old reports; append TT(k) charts at session end."""
+    """Truncate old reports; append TT(k) charts at session end.
+
+    Also sweeps stray ``*.core`` files (persisted compiled cores) left
+    next to benchmark SQLite databases by interrupted runs, so a stale
+    core can never warm-start a cell that is meant to measure a cold
+    bind.
+    """
     if os.path.isdir(RESULTS_DIR):
         for name in os.listdir(RESULTS_DIR):
             if name.endswith(".txt"):
                 os.remove(os.path.join(RESULTS_DIR, name))
+    bench_dir = os.path.dirname(__file__)
+    for directory in (bench_dir, os.path.dirname(bench_dir)):
+        for name in os.listdir(directory):
+            if name.endswith(".core"):
+                os.remove(os.path.join(directory, name))
     yield
     from repro.experiments.ascii import curve_chart
 

@@ -37,6 +37,7 @@ from typing import Callable
 from repro.anyk.base import Enumerator, RankedResult
 from repro.anyk.strategies import FLAT_VIEWS
 from repro.dp.flat import CompiledTDP
+from repro.util import vec
 from repro.util.counters import OpCounter
 
 
@@ -992,11 +993,87 @@ class FlatBatch(Enumerator):
         self.dioid = compiled.dioid
         self.counter = counter
         self.sorted = sort
-        results = list(self._solutions(counter))
+        results = self._solutions_list(counter)
         if sort:
             results.sort()
         self.size = len(results)
         self._iter = iter(results)
+
+    def _solutions_list(self, counter: OpCounter | None) -> list:
+        """All ``(key, states)`` solutions in DFS preorder.
+
+        Dispatches to the numpy level-expansion kernel when it applies:
+        a CSR-backed core (``conn_offsets`` present — per-fragment
+        ``ShardCompiled`` cores keep the scalar path), no visit counting
+        (the counter increments per intermediate tuple, which the
+        vectorized expansion never materialises one at a time), numpy
+        available.  Both paths produce the identical list — same DFS
+        preorder, same left-fold float additions.
+        """
+        compiled = self.compiled
+        np = vec.np
+        if (
+            np is not None
+            and counter is None
+            and not compiled.empty
+            and compiled.conn_offsets is not None
+        ):
+            return self._solutions_vec(np)
+        return list(self._solutions(counter))
+
+    def _solutions_vec(self, np) -> list:
+        """Level-synchronous ragged expansion over the CSR entry pool.
+
+        Each level replaces every live prefix by its child entries in
+        pool order, preserving prefix order — which reproduces the
+        scalar backtracker's DFS preorder exactly.  The per-solution
+        key is grown by the same left fold ``acc + values_key[level]
+        [state]`` the scalar path uses, so keys are bit-identical; all
+        outputs convert to native Python scalars before leaving.
+        """
+        compiled = self.compiled
+        num_stages = compiled.num_stages
+        parent_stage = compiled.parent_stage
+        root_uid = compiled.root_uid
+        offsets = np.asarray(compiled.conn_offsets)
+        entry_state = np.asarray(compiled.entry_state)
+        values_key = [
+            np.asarray(v, dtype=np.float64) for v in compiled.values_key
+        ]
+
+        uid0 = root_uid[0]
+        lo = compiled.conn_offsets[uid0]
+        hi = compiled.conn_offsets[uid0 + 1]
+        states0 = entry_state[lo:hi]
+        acc = 0.0 + values_key[0][states0]
+        paths = states0.reshape(-1, 1)
+        for level in range(1, num_stages):
+            if not len(acc):
+                break
+            parent = parent_stage[level]
+            if parent == -1:
+                uids = np.full(len(acc), root_uid[level], dtype=np.int64)
+            else:
+                conn_row = np.asarray(compiled.conn_of[level])
+                uids = conn_row[paths[:, parent]]
+            starts = offsets[uids]
+            counts = offsets[uids + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                acc = acc[:0]
+                paths = paths[:0]
+                break
+            rep = np.repeat(np.arange(len(acc)), counts)
+            cum = np.cumsum(counts) - counts
+            idx = np.arange(total) - cum[rep] + starts[rep]
+            child_states = entry_state[idx]
+            acc = acc[rep] + values_key[level][child_states]
+            paths = np.concatenate(
+                [paths[rep], child_states.reshape(-1, 1)], axis=1
+            )
+        keys = acc.tolist()
+        rows = paths.tolist()
+        return [(key, tuple(states)) for key, states in zip(keys, rows)]
 
     def _solutions(self, counter: OpCounter | None):
         compiled = self.compiled
@@ -1007,12 +1084,12 @@ class FlatBatch(Enumerator):
         conn_of = compiled.conn_of
         root_uid = compiled.root_uid
         values_key = compiled.values_key
-        pairs = compiled._pairs
+        pairs_of = compiled.pairs
 
         states = [0] * num_stages
         prefix_key = [0.0] * (num_stages + 1)
         iterators: list = [None] * num_stages
-        iterators[0] = iter(pairs[root_uid[0]])
+        iterators[0] = iter(pairs_of(root_uid[0]))
         level = 0
         last = num_stages - 1
         while level >= 0:
@@ -1034,7 +1111,7 @@ class FlatBatch(Enumerator):
                     uid = root_uid[level]
                 else:
                     uid = conn_of[level][states[parent]]
-                iterators[level] = iter(pairs[uid])
+                iterators[level] = iter(pairs_of(uid))
 
     def _next_result(self) -> RankedResult | None:
         item = next(self._iter, None)

@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SQLite database file (required with "
                               "--backend sqlite); ingested from the CSV "
                               "directory when empty, reused as-is otherwise")
+        cmd.add_argument("--core-cache", default="auto",
+                         choices=["auto", "on", "off"],
+                         help="persist compiled enumeration cores next to "
+                              "the SQLite file (<db>.core) and warm-start "
+                              "from them (default: auto — on for "
+                              "file-backed databases)")
 
     query_cmd = commands.add_parser("query", help="run a ranked query")
     query_cmd.add_argument("data", nargs="?", default=None,
@@ -161,7 +167,7 @@ def _open_database(args: argparse.Namespace) -> Database:
 def _command_query(args: argparse.Namespace) -> int:
     import time
 
-    engine = Engine(_open_database(args))
+    engine = Engine(_open_database(args), core_cache=args.core_cache)
     limit = None if args.top == 0 else args.top
     repeats = max(1, args.repeat)
     count = 0
@@ -214,7 +220,9 @@ def _command_explain(args: argparse.Namespace) -> int:
     # One parse, one bind: the physical report reuses the bound T-DP's
     # statistics instead of rebuilding the plan a second time.
     print(
-        Engine(_open_database(args)).explain(args.text, shards=args.shards)
+        Engine(_open_database(args), core_cache=args.core_cache).explain(
+            args.text, shards=args.shards
+        )
     )
     return 0
 
@@ -224,7 +232,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.server import ServeServer
 
-    engine = Engine(_open_database(args))
+    engine = Engine(_open_database(args), core_cache=args.core_cache)
+    warmed = engine.warm_start()
     server = ServeServer(
         engine,
         host=args.host,
@@ -241,6 +250,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"{rel.name}[{len(rel)}]" for rel in engine.database
         )
         print(f"serving {relations}")
+        if warmed:
+            print(f"warm-started {warmed} plan(s) from the compiled core file")
         print(f"listening on {host}:{port}  (JSON lines; ops: "
               "prepare, fetch, explain, close, stats, ping)")
         await server.serve_forever()

@@ -97,6 +97,18 @@ class StorageBackend(Protocol):
     or delete rows in place.
     """
 
+    @property
+    def core_path(self) -> str | None:
+        """Where compiled enumeration cores persist for this store.
+
+        ``None`` (the default) means the backend has no durable home for
+        a ``.core`` sidecar — the engine's ``core_cache="auto"`` mode
+        then disables warm-start persistence.  File-backed backends
+        return a path *next to* their data file so the core travels
+        (and is deleted) with it.
+        """
+        return None
+
     def relation_names(self) -> list[str]:
         """Names of all stored relations, in creation order."""
         ...
@@ -202,6 +214,10 @@ class MemoryBackend:
             self.ingest(relation)
 
     # -- protocol --------------------------------------------------------------
+
+    @property
+    def core_path(self) -> str | None:
+        return None
 
     def relation_names(self) -> list[str]:
         return list(self._relations)
@@ -388,6 +404,11 @@ class SQLiteBackend:
                 f"SELECT name, arity, version FROM {self.CATALOG} ORDER BY rowid"
             )
         }
+
+    @property
+    def core_path(self) -> str | None:
+        """``<db-file>.core`` for file-backed stores, ``None`` in memory."""
+        return None if self.path == ":memory:" else self.path + ".core"
 
     # -- internals -------------------------------------------------------------
 

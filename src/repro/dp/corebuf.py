@@ -1,0 +1,977 @@
+"""Zero-copy compiled-core buffers: shared memory, mmap persistence.
+
+A :class:`~repro.dp.flat.CompiledTDP` is, deliberately, a bundle of flat
+key-space arrays (see that module's docstring).  This module gives those
+arrays a zero-copy lifecycle:
+
+* **Section buffers** — :class:`SectionWriter` packs named typed arrays
+  into one contiguous, 8-byte-aligned buffer with a ``{name: (offset,
+  count, typecode)}`` manifest; :class:`SectionView` hands back
+  ``memoryview.cast`` views over *any* buffer (bytes, ``mmap``, a
+  ``SharedMemory`` buffer) without copying.  Indexing a cast view yields
+  native Python ``float``/``int`` — never a wrapper type — which is what
+  keeps warm-started enumeration bit-identical to a cold rebuild.
+* **Shared-memory pools** (:class:`ShmPool`) — the process-pool shard
+  build packs phase A's lower-stage pools into one
+  ``multiprocessing.shared_memory`` segment; workers attach by *name*
+  (the only thing that crosses the pickle boundary) and alias the float
+  pools directly.  Cleanup is refcounted through the owning build with a
+  ``weakref.finalize`` backstop, and attached workers unregister from
+  the ``resource_tracker`` so nothing is double-freed or warned about.
+* **mmap persistence** (:class:`CoreFile` / :class:`CoreCache`) — the
+  same sections serialize to a ``<db>.core`` file next to the SQLite
+  database.  Entries are keyed by the plan fingerprint, the dioid's
+  registry name, and the shard spec, and stamped with the
+  ``Database.version`` they were built from; a cold process warm-starts
+  by ``mmap``-ing the file and skips build+compile entirely, while a
+  version mismatch reads as a miss and the rebuild rewrites the entry
+  (atomic temp-file + ``os.replace``).
+
+Only dioids that are both ``key_is_value`` and registered in
+``NAMED_DIOIDS`` (tropical min-plus, max-plus) are persistable: the
+arrays are meaningful only in an additive float key space, and the dioid
+must travel by registry name — ``id()`` and pickled instances are not
+stable across processes.
+
+This module sits in the ``dp`` layer and must not import
+``repro.parallel`` (the parallel builder imports *us*); the mapped
+sharded cores therefore reconstruct the fragment aliasing structurally
+(shared uid-indexed lists, per-fragment anchor arrays) without
+referencing the builder's classes.
+"""
+
+from __future__ import annotations
+
+import gc
+import io
+import mmap
+import os
+import pickle
+import struct
+import threading
+import weakref
+from array import array
+from multiprocessing import shared_memory
+from typing import Sequence
+
+from repro.dp.flat import CompiledTDP
+from repro.dp.graph import TDP
+from repro.ranking.dioid import NAMED_DIOIDS, SelectiveDioid
+
+#: ``<db>.core`` container magic + format version.  Bump the version on
+#: any layout change: readers treat unknown versions as a cache miss.
+CORE_MAGIC = b"RPROCORE"
+CORE_FORMAT = 1
+
+_ALIGN = 8
+_HEADER = struct.Struct("<8sII")  # magic, format, TOC length
+
+
+def _pad(size: int) -> int:
+    return (-size) % _ALIGN
+
+
+# -- section buffers -----------------------------------------------------------
+
+
+class SectionWriter:
+    """Packs named typed arrays into one aligned buffer + manifest."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+        self._size = 0
+        self.manifest: dict[str, tuple[int, int, str]] = {}
+
+    def add(self, name: str, typecode: str, values) -> None:
+        data = values if isinstance(values, array) else array(typecode, values)
+        if data.typecode != typecode:
+            raise ValueError(f"section {name}: {data.typecode} != {typecode}")
+        pad = _pad(self._size)
+        if pad:
+            self._chunks.append(b"\x00" * pad)
+            self._size += pad
+        self.manifest[name] = (self._size, len(data), typecode)
+        raw = data.tobytes()
+        self._chunks.append(raw)
+        self._size += len(raw)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class SectionView:
+    """Zero-copy typed views over a section buffer (any buffer protocol)."""
+
+    def __init__(self, buffer, manifest: dict, base: int = 0):
+        self._mv = memoryview(buffer)
+        self._manifest = manifest
+        self._base = base
+
+    def view(self, name: str) -> memoryview:
+        offset, count, typecode = self._manifest[name]
+        itemsize = array(typecode).itemsize
+        start = self._base + offset
+        return self._mv[start:start + count * itemsize].cast(typecode)
+
+
+# -- persistence keys ----------------------------------------------------------
+
+
+def dioid_core_name(dioid: SelectiveDioid) -> str | None:
+    """The registry name a persistable dioid travels under, or ``None``."""
+    if not getattr(dioid, "key_is_value", False):
+        return None
+    for name, registered in NAMED_DIOIDS.items():
+        if registered is dioid:
+            return name
+    return None
+
+
+def core_key(query, dioid: SelectiveDioid, shard_key: tuple | None) -> str | None:
+    """A stable cache key for one (query, dioid, shard spec) plan.
+
+    ``None`` when the plan is not persistable (unregistered or
+    non-``key_is_value`` dioid).  The query contributes its canonical
+    fingerprint (PYTHONHASHSEED-independent), the shard spec its
+    ``cache_key()`` tuple of primitives.
+    """
+    name = dioid_core_name(dioid)
+    if name is None:
+        return None
+    return repr((query.fingerprint(), name, shard_key))
+
+
+# -- mapped shells and cores ---------------------------------------------------
+
+
+class LazyRows:
+    """A per-stage row sequence materialised per index from the backend.
+
+    Stands in for the builder's eagerly fetched row lists on warm-start
+    and process-assembled fragments: result construction touches only
+    the states a run actually emits, so rows are point-fetched (and
+    memoized) instead of bulk-loaded.  Rows are the relation's bare
+    value tuples — exactly what witness/assignment need.
+    """
+
+    __slots__ = ("relation", "ids", "_cache")
+
+    def __init__(self, relation, ids: Sequence[int]):
+        self.relation = relation
+        self.ids = ids
+        self._cache: dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __getitem__(self, index: int) -> tuple:
+        row = self._cache.get(index)
+        if row is None:
+            row = self._cache[index] = self.relation.tuple_at(self.ids[index])
+        return row
+
+
+class _NegSeq:
+    """Lazily negated read-only view of a key sequence (max-plus values)."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys):
+        self.keys = keys
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, index: int):
+        return -self.keys[index]
+
+
+def _value_sequences(dioid: SelectiveDioid, key_stages: list) -> list:
+    """Per-stage dioid-value views over key-space sequences."""
+    key = dioid.key
+    if all(key(p) == p for p in (1.25, -3.5, 0.0)):
+        return list(key_stages)  # key is the value: alias
+    if all(key(p) == -p for p in (1.25, -3.5, 0.0)):
+        return [_NegSeq(keys) for keys in key_stages]
+    vfk = dioid.value_from_key
+    return [[vfk(k) for k in keys] for keys in key_stages]
+
+
+class MappedShell(TDP):
+    """A connector-free T-DP shell over mapped (or lazily fetched) data.
+
+    The mapped analogue of the parallel builder's ``FragmentTDP``: it
+    carries exactly what result assembly reads — per-stage rows, global
+    tuple ids, the query — and no ``ChoiceSet`` graph.  ``_compiled``
+    points at the :class:`MappedCompiled`, so ``make_enumerator(shell)``
+    transparently runs the flat core.
+    """
+
+    def __init__(self, dioid, atom_of_stage, parent_stage, query, join_tree):
+        super().__init__(
+            dioid, atom_of_stage, parent_stage, query=query, join_tree=join_tree
+        )
+        self._empty = True
+
+    def is_empty(self) -> bool:
+        return self._empty
+
+
+class MappedCompiled(CompiledTDP):
+    """A compiled core whose pools are views over a mapped buffer.
+
+    Assembled directly into the slots (never via ``__init__``); the CSR
+    pool arrays are ``memoryview.cast`` views, so nothing is copied
+    until an enumerator actually touches a connector —
+    :meth:`pairs` then materialises that connector's pair list exactly
+    like the eager base class would have.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def assemble(cls, **fields) -> "MappedCompiled":
+        self = cls.__new__(cls)
+        for name, value in fields.items():
+            setattr(self, name, value)
+        return self
+
+    def pairs(self, uid: int) -> list[tuple[float, int]]:
+        entries = self._pairs[uid]
+        if entries is None:
+            offsets = self.conn_offsets
+            lo, hi = offsets[uid], offsets[uid + 1]
+            entries = self._pairs[uid] = list(
+                zip(self.entry_key[lo:hi], self.entry_state[lo:hi])
+            )
+        return entries
+
+
+# -- export: compiled core -> sections + meta ----------------------------------
+
+
+def _require_persistable(dioid: SelectiveDioid) -> str:
+    name = dioid_core_name(dioid)
+    if name is None:
+        raise ValueError(f"{dioid!r} is not core-persistable")
+    return name
+
+
+def export_compiled(compiled: CompiledTDP) -> tuple[dict, bytes]:
+    """Serialize an unsharded compiled core to ``(meta, sections)``."""
+    name = _require_persistable(compiled.dioid)
+    tdp = compiled.tdp
+    writer = SectionWriter()
+    writer.add("entry_key", "d", compiled.entry_key)
+    writer.add("entry_state", "q", compiled.entry_state)
+    writer.add("conn_offsets", "q", compiled.conn_offsets)
+    writer.add("conn_stage", "q", compiled.conn_stage)
+    for stage in range(compiled.num_stages):
+        writer.add(f"vk{stage}", "d", compiled.values_key[stage])
+        writer.add(f"pk{stage}", "d", compiled.pi1_key[stage])
+        writer.add(f"cu{stage}", "q", compiled.child_uids[stage])
+        writer.add(f"ids{stage}", "q", tdp.tuple_ids[stage])
+    meta = {
+        "kind": "tdp",
+        "dioid": name,
+        "num_stages": compiled.num_stages,
+        "num_connectors": compiled.num_connectors,
+        "order": list(tdp.atom_of_stage),
+        "parent_stage": list(compiled.parent_stage),
+        "root_uid": dict(compiled.root_uid),
+        "best_key": compiled.best_key,
+        "empty": compiled.empty,
+        "manifest": writer.manifest,
+    }
+    return meta, writer.getvalue()
+
+
+def export_fragments(
+    fragment_cores: Sequence[CompiledTDP], anchor_stage: int
+) -> tuple[dict, bytes]:
+    """Serialize a sharded build's fragment cores to ``(meta, sections)``.
+
+    The fragments of one shard plan share a common uid space — shared
+    connectors first, then one root connector per fragment — and alias
+    one uid-indexed ``_pairs`` list, so fragment 0's view of that list
+    already contains every fragment's root entries.  The non-anchor
+    stage arrays are likewise shared; only the anchor stage differs per
+    fragment.
+    """
+    first = fragment_cores[0]
+    name = _require_persistable(first.dioid)
+    num_stages = first.num_stages
+    uid_space = first.num_connectors
+
+    writer = SectionWriter()
+    # One CSR pool across the whole shared uid space.
+    entry_key = array("d")
+    entry_state = array("q")
+    offsets = array("q", [0])
+    conn_stage = array("q")
+    total = 0
+    pairs = first._pairs
+    for uid in range(uid_space):
+        entries = pairs[uid] or ()
+        for key, state in entries:
+            entry_key.append(key)
+            entry_state.append(state)
+        total += len(entries)
+        offsets.append(total)
+        conn_stage.append(first.conn_stage[uid] if first.conn_stage[uid] is not None else -1)
+    writer.add("entry_key", "d", entry_key)
+    writer.add("entry_state", "q", entry_state)
+    writer.add("conn_offsets", "q", offsets)
+    writer.add("conn_stage", "q", conn_stage)
+    for stage in range(num_stages):
+        if stage == anchor_stage:
+            continue
+        writer.add(f"vk{stage}", "d", first.values_key[stage])
+        writer.add(f"pk{stage}", "d", first.pi1_key[stage])
+        writer.add(f"cu{stage}", "q", first.child_uids[stage])
+        writer.add(f"ids{stage}", "q", first.tdp.tuple_ids[stage])
+    fragments_meta = []
+    for index, core in enumerate(fragment_cores):
+        writer.add(f"f{index}.vk", "d", core.values_key[anchor_stage])
+        writer.add(f"f{index}.pk", "d", core.pi1_key[anchor_stage])
+        writer.add(f"f{index}.cu", "q", core.child_uids[anchor_stage])
+        writer.add(f"f{index}.ids", "q", core.tdp.tuple_ids[anchor_stage])
+        fragments_meta.append(
+            {"best_key": core.best_key, "empty": core.empty}
+        )
+    meta = {
+        "kind": "sharded",
+        "dioid": name,
+        "num_stages": num_stages,
+        "num_connectors": uid_space,
+        "order": list(first.tdp.atom_of_stage),
+        "parent_stage": list(first.parent_stage),
+        "root_uid": {
+            stage: uid
+            for stage, uid in first.root_uid.items()
+            if stage != anchor_stage
+        },
+        "anchor_stage": anchor_stage,
+        "num_fragments": len(fragment_cores),
+        "fragments": fragments_meta,
+        "manifest": writer.manifest,
+    }
+    return meta, writer.getvalue()
+
+
+# -- import: sections + meta -> mapped cores -----------------------------------
+
+
+def _conn_of_rows(shell: TDP, child_uids: list) -> list:
+    """Per non-root stage: the connector uid row indexed by parent state."""
+    conn_of: list = [None] * shell.num_stages
+    for stage in range(shell.num_stages):
+        parent = shell.parent_stage[stage]
+        if parent == -1:
+            continue
+        fanout = len(shell.children_stages[parent])
+        branch = shell.branch_index[stage]
+        row = child_uids[parent]
+        conn_of[stage] = row[branch::fanout] if fanout else []
+    return conn_of
+
+
+def _vfk_of(dioid: SelectiveDioid):
+    return (
+        None
+        if type(dioid).value_from_key is SelectiveDioid.value_from_key
+        else dioid.value_from_key
+    )
+
+
+def _assemble_mapped(
+    shell: MappedShell,
+    dioid: SelectiveDioid,
+    meta: dict,
+    values_key: list,
+    pi1_key: list,
+    child_uids: list,
+    conn_stage: list,
+    sections: SectionView,
+    root_uid: dict,
+    best_key: float,
+    empty: bool,
+    pairs: list,
+    caches: tuple[list, list, list],
+) -> MappedCompiled:
+    num_stages = meta["num_stages"]
+    uid_space = meta["num_connectors"]
+    num_branches = [len(c) for c in shell.children_stages]
+    per_stage = [
+        (num_branches[s], values_key[s], child_uids[s], s)
+        for s in range(num_stages)
+    ]
+    conn_meta = [
+        None if stage < 0 else per_stage[stage] for stage in conn_stage
+    ]
+    compiled = MappedCompiled.assemble(
+        tdp=shell,
+        dioid=dioid,
+        num_stages=num_stages,
+        num_connectors=uid_space,
+        parent_stage=list(shell.parent_stage),
+        children_stages=shell.children_stages,
+        branch_index=shell.branch_index,
+        num_branches=num_branches,
+        values_key=values_key,
+        pi1_key=pi1_key,
+        conn_offsets=sections.view("conn_offsets"),
+        entry_key=sections.view("entry_key"),
+        entry_state=sections.view("entry_state"),
+        conn_stage=conn_stage,
+        child_uids=child_uids,
+        conn_of=_conn_of_rows(shell, child_uids),
+        conn_meta=conn_meta,
+        root_stages=list(shell.root_stages),
+        root_uid=root_uid,
+        best_key=best_key,
+        empty=empty,
+        vfk=_vfk_of(dioid),
+        is_chain=all(
+            shell.parent_stage[j] == j - 1 for j in range(num_stages)
+        ),
+        _pairs=pairs,
+        _take2_heaps=caches[0],
+        _sorted_pairs=caches[1],
+        _rea_heaps=caches[2],
+    )
+    shell._compiled = compiled
+    return compiled
+
+
+def _shell_for(
+    meta: dict, dioid: SelectiveDioid, database, query, join_tree
+) -> tuple[MappedShell, list]:
+    """A mapped shell plus its per-stage relations, rows still unset."""
+    order = list(meta["order"])
+    shell = MappedShell(dioid, order, list(meta["parent_stage"]), query, join_tree)
+    relations = [
+        database[query.atoms[atom_index].relation_name] for atom_index in order
+    ]
+    return shell, relations
+
+
+def _finish_shell(
+    shell: MappedShell,
+    dioid: SelectiveDioid,
+    values_key: list,
+    pi1_key: list,
+    uid_space: int,
+    best_key: float,
+    empty: bool,
+) -> None:
+    shell.values = _value_sequences(dioid, values_key)
+    shell.pi1 = _value_sequences(dioid, pi1_key)
+    shell.num_connectors = uid_space
+    shell.best_weight = dioid.zero if empty else dioid.value_from_key(best_key)
+    shell._empty = empty
+
+
+def load_compiled(
+    meta: dict, buffer, base: int, database, query, join_tree
+) -> MappedShell:
+    """Rehydrate an unsharded core as a mapped shell (``.core`` hit)."""
+    dioid = NAMED_DIOIDS[meta["dioid"]]
+    sections = SectionView(buffer, meta["manifest"], base)
+    shell, relations = _shell_for(meta, dioid, database, query, join_tree)
+    num_stages = meta["num_stages"]
+    values_key = [sections.view(f"vk{s}") for s in range(num_stages)]
+    pi1_key = [sections.view(f"pk{s}") for s in range(num_stages)]
+    child_uids = [sections.view(f"cu{s}") for s in range(num_stages)]
+    tuple_ids = [sections.view(f"ids{s}") for s in range(num_stages)]
+    shell.tuple_ids = tuple_ids
+    shell.tuples = [
+        LazyRows(relation, ids) for relation, ids in zip(relations, tuple_ids)
+    ]
+    uid_space = meta["num_connectors"]
+    _finish_shell(
+        shell, dioid, values_key, pi1_key, uid_space,
+        meta["best_key"], meta["empty"],
+    )
+    conn_stage = list(sections.view("conn_stage"))
+    _assemble_mapped(
+        shell, dioid, meta, values_key, pi1_key, child_uids, conn_stage,
+        sections, dict(meta["root_uid"]), meta["best_key"], meta["empty"],
+        [None] * uid_space,
+        ([None] * uid_space, [None] * uid_space, [None] * uid_space),
+    )
+    return shell
+
+
+def load_fragments(
+    meta: dict, buffer, base: int, database, query, join_tree
+) -> list[MappedCompiled]:
+    """Rehydrate a sharded core as per-fragment mapped compiled cores.
+
+    Reconstructs the cold build's aliasing exactly: one ``_pairs`` list,
+    one set of lazily built ranking-structure caches, and one view per
+    shared stage array — shared by every fragment — with per-fragment
+    anchor-stage arrays and root connectors layered on top.
+    """
+    dioid = NAMED_DIOIDS[meta["dioid"]]
+    sections = SectionView(buffer, meta["manifest"], base)
+    num_stages = meta["num_stages"]
+    anchor = meta["anchor_stage"]
+    uid_space = meta["num_connectors"]
+    num_fragments = meta["num_fragments"]
+
+    shared_vk: list = [None] * num_stages
+    shared_pk: list = [None] * num_stages
+    shared_cu: list = [None] * num_stages
+    shared_ids: list = [None] * num_stages
+    for stage in range(num_stages):
+        if stage == anchor:
+            continue
+        shared_vk[stage] = sections.view(f"vk{stage}")
+        shared_pk[stage] = sections.view(f"pk{stage}")
+        shared_cu[stage] = sections.view(f"cu{stage}")
+        shared_ids[stage] = sections.view(f"ids{stage}")
+    conn_stage = list(sections.view("conn_stage"))
+    shared_root_uid = {
+        int(stage): uid for stage, uid in meta["root_uid"].items()
+    }
+    pairs: list = [None] * uid_space
+    caches = ([None] * uid_space, [None] * uid_space, [None] * uid_space)
+    shared_rows: list = [None] * num_stages
+
+    cores: list[MappedCompiled] = []
+    for index in range(num_fragments):
+        frag_meta = meta["fragments"][index]
+        shell, relations = _shell_for(meta, dioid, database, query, join_tree)
+        if index == 0:
+            for stage in range(num_stages):
+                if stage != anchor:
+                    shared_rows[stage] = LazyRows(
+                        relations[stage], shared_ids[stage]
+                    )
+        values_key = list(shared_vk)
+        values_key[anchor] = sections.view(f"f{index}.vk")
+        pi1_key = list(shared_pk)
+        pi1_key[anchor] = sections.view(f"f{index}.pk")
+        child_uids = list(shared_cu)
+        child_uids[anchor] = sections.view(f"f{index}.cu")
+        frag_ids = sections.view(f"f{index}.ids")
+        shell.tuple_ids = list(shared_ids)
+        shell.tuple_ids[anchor] = frag_ids
+        shell.tuples = list(shared_rows)
+        shell.tuples[anchor] = LazyRows(relations[anchor], frag_ids)
+        root_uid = dict(shared_root_uid)
+        root_uid[anchor] = uid_space - num_fragments + index
+        best_key = frag_meta["best_key"]
+        empty = frag_meta["empty"]
+        _finish_shell(
+            shell, dioid, values_key, pi1_key, uid_space, best_key, empty
+        )
+        cores.append(
+            _assemble_mapped(
+                shell, dioid, meta, values_key, pi1_key, child_uids,
+                conn_stage, sections, root_uid, best_key, empty,
+                pairs, caches,
+            )
+        )
+    return cores
+
+
+# -- shared-memory pools (process-pool shard build) ----------------------------
+
+
+def _cleanup_segment(segment: shared_memory.SharedMemory, owner: bool) -> None:
+    try:
+        segment.close()
+    except BufferError:  # views still exported; the OS frees at exit
+        return
+    if owner:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmPool:
+    """One shared-memory segment of packed sections, shipped by name.
+
+    The owning process creates it and unlinks it when the build
+    finishes (``destroy``), with a ``weakref.finalize`` backstop for
+    error paths that never reach the ``finally``.  Workers ``attach``
+    by name and immediately unregister from the ``resource_tracker`` —
+    the owner's tracker entry is the only one that should exist, which
+    is what keeps worker exits warning-free on pre-3.13 Pythons.
+    """
+
+    __slots__ = ("name", "segment", "owner", "_finalizer", "__weakref__")
+
+    def __init__(self, name: str, segment, owner: bool):
+        self.name = name
+        self.segment = segment
+        self.owner = owner
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segment, segment, owner
+        )
+
+    @classmethod
+    def create(cls, payload: bytes) -> "ShmPool":
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload))
+        )
+        segment.buf[: len(payload)] = payload
+        return cls(segment.name, segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmPool":
+        try:
+            segment = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Python < 3.13 has no ``track=`` and (bpo-39959) registers
+            # even a plain attach with the resource tracker; with several
+            # workers attaching the same segment the later unregisters
+            # race each other in the tracker daemon.  Suppress the
+            # registration for the duration of the attach instead —
+            # single-threaded here (pool initializer / test probe).
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+        return cls(name, segment, owner=False)
+
+    @property
+    def buf(self):
+        return self.segment.buf
+
+    def destroy(self) -> None:
+        """Release (and, for the owner, unlink) the segment now."""
+        if self._finalizer.detach() is not None:
+            _cleanup_segment(self.segment, self.owner)
+
+
+class WorkerLower:
+    """The worker-side view of phase A: what the anchor scan reads."""
+
+    __slots__ = ("lane", "conn_min", "lookups")
+
+    def __init__(self, lane: int, conn_min, lookups: list):
+        self.lane = lane
+        #: memoryview("d") aliasing the owner's pool — zero copies.
+        self.conn_min = conn_min
+        self.lookups = lookups
+
+
+def pack_worker_lower(shared) -> bytes:
+    """Pack a ``SharedLower``'s scan-relevant state for :class:`ShmPool`.
+
+    The float pool (``conn_min``) travels as a raw section workers view
+    in place; the anchor children's join-key maps are hash tables and
+    necessarily unpickle per worker — but from the mapped buffer, never
+    through the executor's task pipe.
+    """
+    writer = SectionWriter()
+    writer.add("conn_min", "d", shared.conn_min)
+    data = writer.getvalue()
+    blob = pickle.dumps(
+        {
+            "lane": shared.lane,
+            "manifest": writer.manifest,
+            "lookups": shared.child_lookups(shared.anchor_stage),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    header = struct.pack("<Q", len(blob))
+    pad = _pad(len(header) + len(blob))
+    return header + blob + b"\x00" * pad + data
+
+
+def unpack_worker_lower(buffer) -> WorkerLower:
+    """Worker side of :func:`pack_worker_lower` (views, no pool copy)."""
+    mv = memoryview(buffer)
+    (blob_len,) = struct.unpack_from("<Q", mv, 0)
+    blob = pickle.loads(mv[8:8 + blob_len])
+    data_base = 8 + blob_len + _pad(8 + blob_len)
+    sections = SectionView(mv, blob["manifest"], data_base)
+    lookups = [
+        (single, tuple(positions), cmap)
+        for single, positions, cmap in blob["lookups"]
+    ]
+    return WorkerLower(blob["lane"], sections.view("conn_min"), lookups)
+
+
+# -- the <db>.core container ---------------------------------------------------
+
+
+class CoreFile:
+    """Read/write access to one ``<db>.core`` container.
+
+    Layout: ``RPROCORE`` magic + format + TOC length, a pickled TOC
+    (``{key: {"meta", "db_version", "offset", "length"}}``), then the
+    8-byte-aligned section blobs.  Rewrites are whole-file and atomic
+    (temp file + ``os.replace``): concurrent writers last-write-win,
+    concurrent readers keep their mapping of the replaced inode.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def read_toc_and_map(self):
+        """``(toc, mmap)`` of the current file, or ``None`` if absent/bad."""
+        try:
+            fd = open(self.path, "rb")
+        except OSError:
+            return None
+        try:
+            with fd:
+                mapped = mmap.mmap(fd.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):  # empty or unreadable file
+            return None
+        try:
+            magic, fmt, toc_len = _HEADER.unpack_from(mapped, 0)
+            if magic != CORE_MAGIC or fmt != CORE_FORMAT:
+                raise ValueError("unknown core format")
+            toc = pickle.loads(mapped[_HEADER.size:_HEADER.size + toc_len])
+        except Exception:
+            mapped.close()
+            return None
+        return toc, mapped
+
+    def write(self, entries: dict[str, tuple[dict, int, bytes]]) -> None:
+        """Atomically rewrite the container with ``entries``.
+
+        ``entries`` maps key -> ``(meta, db_version, data)``; previously
+        stored entries the caller wants kept must be included (use
+        :meth:`read_entries` to collect them).
+        """
+        toc: dict[str, dict] = {}
+        blobs: list[bytes] = []
+        # First pass with placeholder offsets to size the TOC, second
+        # pass with real offsets: pickle output length depends only on
+        # the int values' magnitudes, so pad the TOC to a fixed slot by
+        # pickling twice and asserting stability.
+        offset = 0
+        order = list(entries.items())
+        for key, (meta, db_version, data) in order:
+            toc[key] = {
+                "meta": meta,
+                "db_version": db_version,
+                "offset": 0,
+                "length": len(data),
+            }
+        for _ in range(4):
+            toc_bytes = pickle.dumps(toc, protocol=pickle.HIGHEST_PROTOCOL)
+            base = _HEADER.size + len(toc_bytes)
+            base += _pad(base)
+            offset = base
+            stable = True
+            for key, (meta, db_version, data) in order:
+                if toc[key]["offset"] != offset:
+                    toc[key]["offset"] = offset
+                    stable = False
+                offset += len(data) + _pad(len(data))
+            if stable:
+                break
+        else:  # pragma: no cover - pickle size oscillation
+            raise RuntimeError("could not stabilise core TOC layout")
+        out = io.BytesIO()
+        out.write(_HEADER.pack(CORE_MAGIC, CORE_FORMAT, len(toc_bytes)))
+        out.write(toc_bytes)
+        out.write(b"\x00" * _pad(out.tell()))
+        for key, (meta, db_version, data) in order:
+            assert out.tell() == toc[key]["offset"]
+            out.write(data)
+            out.write(b"\x00" * _pad(len(data)))
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as fd:
+            fd.write(out.getvalue())
+        os.replace(tmp_path, self.path)
+
+    def read_entries(self) -> dict[str, tuple[dict, int, bytes]]:
+        """Every stored entry as ``key -> (meta, db_version, data)``."""
+        current = self.read_toc_and_map()
+        if current is None:
+            return {}
+        toc, mapped = current
+        try:
+            return {
+                key: (
+                    entry["meta"],
+                    entry["db_version"],
+                    bytes(
+                        mapped[entry["offset"]:entry["offset"] + entry["length"]]
+                    ),
+                )
+                for key, entry in toc.items()
+            }
+        finally:
+            mapped.close()
+
+
+class CoreCache:
+    """The engine-facing warm-start cache over one :class:`CoreFile`.
+
+    ``load_*`` return mapped cores on a hit, ``None`` on a miss; a
+    ``Database.version`` mismatch counts as *stale* (the caller rebuilds
+    and ``store_*`` rewrites the entry).  Counters feed the engine's
+    ``EngineStats``.  The mmap behind a hit stays open as long as loaded
+    cores reference its views; :meth:`close` releases mappings that are
+    no longer referenced and leaves the rest to garbage collection.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.writes = 0
+        self._file = CoreFile(path)
+        self._lock = threading.Lock()
+        self._maps: list[mmap.mmap] = []
+        self._stamp: tuple | None = None
+        self._toc: dict | None = None
+        self._map: mmap.mmap | None = None
+
+    # -- container access ------------------------------------------------------
+
+    def _current(self):
+        """The TOC + mapping of the file as it exists right now."""
+        try:
+            stat = os.stat(self.path)
+            stamp = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            self._stamp = None
+            self._toc = None
+            self._map = None
+            return None
+        if self._toc is not None and stamp == self._stamp:
+            return self._toc, self._map
+        loaded = self._file.read_toc_and_map()
+        if loaded is None:
+            return None
+        self._toc, self._map = loaded
+        self._stamp = stamp
+        self._maps.append(self._map)
+        return loaded
+
+    def _entry(self, key: str | None, db_version: int):
+        if key is None:
+            return None
+        current = self._current()
+        if current is None:
+            self.misses += 1
+            return None
+        toc, mapped = current
+        entry = toc.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry["db_version"] != db_version:
+            self.stale += 1
+            return None
+        self.hits += 1
+        return entry["meta"], mapped, entry["offset"]
+
+    # -- engine API ------------------------------------------------------------
+
+    def load_tdp(self, key: str | None, database, query, join_tree):
+        """A mapped unsharded shell for ``key``, or ``None``."""
+        with self._lock:
+            found = self._entry(key, database.version)
+            if found is None:
+                return None
+            meta, mapped, offset = found
+            if meta["kind"] != "tdp":
+                return None
+            return load_compiled(meta, mapped, offset, database, query, join_tree)
+
+    def load_fragment_cores(
+        self, key: str | None, database, query, join_tree,
+        anchor_stage: int, num_fragments: int,
+    ):
+        """Mapped fragment cores for ``key``, or ``None`` on any mismatch."""
+        with self._lock:
+            found = self._entry(key, database.version)
+            if found is None:
+                return None
+            meta, mapped, offset = found
+            if (
+                meta["kind"] != "sharded"
+                or meta["anchor_stage"] != anchor_stage
+                or meta["num_fragments"] != num_fragments
+            ):
+                return None
+            return load_fragments(meta, mapped, offset, database, query, join_tree)
+
+    def store(
+        self, key: str | None, database, meta: dict, data: bytes,
+        warm: dict | None = None,
+    ) -> bool:
+        """Write (or replace) one entry; keeps every other stored plan."""
+        if key is None:
+            return False
+        meta = dict(meta)
+        if warm is not None:
+            meta["warm"] = warm
+        with self._lock:
+            try:
+                entries = self._file.read_entries()
+                entries[key] = (meta, database.version, data)
+                self._file.write(entries)
+            except (OSError, pickle.PicklingError):
+                return False
+            self.writes += 1
+            return True
+
+    def entries(self):
+        """``(key, meta, db_version)`` of every stored plan (for warm boot)."""
+        with self._lock:
+            current = self._current()
+            if current is None:
+                return []
+            toc, _mapped = current
+            return [
+                (key, entry["meta"], entry["db_version"])
+                for key, entry in toc.items()
+            ]
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "writes": self.writes,
+        }
+
+    def close(self) -> None:
+        """Release mappings without live views; GC reclaims the rest.
+
+        Mapped shells and their compiled cores cross-reference each
+        other, so dropped plans may sit in cycles still pinning exported
+        views; one collection pass frees those before the close attempt.
+        A mapping with genuinely live views (a plan the caller still
+        uses) survives untouched and is retried on the next close.
+        """
+        with self._lock:
+            cycles_collected = False
+            remaining = []
+            for mapped in self._maps:
+                try:
+                    mapped.close()
+                    continue
+                except BufferError:
+                    pass
+                if not cycles_collected:
+                    cycles_collected = True
+                    gc.collect()
+                try:
+                    mapped.close()
+                except BufferError:
+                    remaining.append(mapped)
+            self._maps = remaining
+            self._stamp = None
+            self._toc = None
+            self._map = None

@@ -36,6 +36,14 @@ The compiled core is memoized on the source ``TDP`` (``TDP._compiled``),
 so the engine's version-stamped physical-plan cache shares one
 ``CompiledTDP`` across all any-k algorithm variants and all serving
 sessions of a database version.
+
+Because every array in the core is plain key-space floats/ints, a
+compiled core is *persistable*: :mod:`repro.dp.corebuf` serializes the
+pools to a ``<db>.core`` file (and to shared-memory segments for the
+process-pool shard build) and maps them back without re-running the
+build.  Only dioids that are both ``key_is_value`` and registered in
+``NAMED_DIOIDS`` — tropical min-plus and max-plus — are persisted; the
+dioid travels by registry name, never by pickled instance.
 """
 
 from __future__ import annotations
@@ -46,6 +54,14 @@ from typing import Any
 
 from repro.dp.graph import TDP
 from repro.ranking.dioid import SelectiveDioid
+from repro.util import vec
+
+#: Connector size above which :meth:`CompiledTDP.sorted_pairs` prefers a
+#: numpy ``lexsort`` over ``sorted`` on tuples.  Both orders are
+#: identical — primary key ascending, state ascending on ties (states
+#: are unique within a connector, so the tie rule is moot but kept for
+#: symmetry with the tuple comparison).
+_VEC_SORT_MIN = 64
 
 
 class CompiledTDP:
@@ -248,7 +264,7 @@ class CompiledTDP:
         """
         heap = self._take2_heaps[uid]
         if heap is None:
-            heap = list(self._pairs[uid])
+            heap = list(self.pairs(uid))
             _heapify(heap)
             self._take2_heaps[uid] = heap
         return heap
@@ -257,7 +273,19 @@ class CompiledTDP:
         """Connector ``uid``'s entries fully sorted (shared, read-only)."""
         entries = self._sorted_pairs[uid]
         if entries is None:
-            entries = self._sorted_pairs[uid] = sorted(self._pairs[uid])
+            pairs = self.pairs(uid)
+            np = vec.np
+            if np is not None and len(pairs) >= _VEC_SORT_MIN:
+                n = len(pairs)
+                keys = np.fromiter((p[0] for p in pairs), np.float64, n)
+                states = np.fromiter((p[1] for p in pairs), np.int64, n)
+                order = np.lexsort((states, keys))
+                entries = list(
+                    zip(keys[order].tolist(), states[order].tolist())
+                )
+            else:
+                entries = sorted(pairs)
+            self._sorted_pairs[uid] = entries
         return entries
 
     def rea_heap(self, uid: int) -> list[tuple[float, int, int]]:
@@ -271,7 +299,7 @@ class CompiledTDP:
         template = self._rea_heaps[uid]
         if template is None:
             template = [
-                (key, state, 0) for key, state in self._pairs[uid]
+                (key, state, 0) for key, state in self.pairs(uid)
             ]
             _heapify(template)
             self._rea_heaps[uid] = template

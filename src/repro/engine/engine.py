@@ -61,6 +61,13 @@ class EngineStats:
     evictions: int = 0
     stream_hits: int = 0
     stream_misses: int = 0
+    #: Compiled-core file counters, mirrored from the engine's
+    #: :class:`~repro.dp.corebuf.CoreCache` after every bind.  A
+    #: ``core_hit`` bind skipped the T-DP build + compile entirely.
+    core_hits: int = 0
+    core_misses: int = 0
+    core_stale: int = 0
+    core_writes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +78,10 @@ class EngineStats:
             "evictions": self.evictions,
             "stream_hits": self.stream_hits,
             "stream_misses": self.stream_misses,
+            "core_hits": self.core_hits,
+            "core_misses": self.core_misses,
+            "core_stale": self.core_stale,
+            "core_writes": self.core_writes,
         }
 
 
@@ -269,11 +280,23 @@ class Engine:
     ``with`` block closes the owning backend.
     """
 
-    def __init__(self, database: Database, max_cached_plans: int = 64):
+    def __init__(
+        self,
+        database: Database,
+        max_cached_plans: int = 64,
+        core_cache: Any = "auto",
+    ):
         self.database = database
         self.max_cached_plans = max_cached_plans
         self.indexes = IndexCache()
         self.stats = EngineStats()
+        #: Persistent compiled-core cache (``<db>.core`` warm starts).
+        #: ``"auto"``/``"on"`` attach to the backend's ``core_path``
+        #: (no-op for path-less backends, e.g. in-memory); ``"off"`` /
+        #: ``False`` / ``None`` disables persistence; any other string
+        #: is an explicit core-file path; a prebuilt
+        #: :class:`~repro.dp.corebuf.CoreCache` is used as-is.
+        self.core_cache = self._resolve_core_cache(core_cache, database)
         #: Guards the plan/physical caches and their stats.  Binding
         #: (preprocessing) runs under this lock, so concurrent sessions
         #: binding the same query preprocess once; enumeration and
@@ -392,6 +415,21 @@ class Engine:
                 self.stats.evictions += 1
         return prepared
 
+    @staticmethod
+    def _resolve_core_cache(option: Any, database: Database):
+        if option in ("off", False, None):
+            return None
+        from repro.dp.corebuf import CoreCache
+
+        if isinstance(option, CoreCache):
+            return option
+        if option in ("auto", "on", True):
+            path = getattr(database.backend, "core_path", None)
+            return None if path is None else CoreCache(path)
+        if isinstance(option, str):
+            return CoreCache(option)
+        raise ValueError(f"unknown core_cache option {option!r}")
+
     def _bind_physical(
         self, prepared: PreparedQuery, version: int, force: bool = False
     ) -> PhysicalPlan:
@@ -408,11 +446,27 @@ class Engine:
                 self._physicals.move_to_end(key)
                 return entry[1]
             database = self.database
+            core_cache = self.core_cache
             if prepared.selections:
+                # Selections bind against a filtered *copy* of the
+                # database whose contents the persistence key cannot
+                # see — never serve or store cores for those.
                 database = filter_database(
                     database, prepared._source_query, list(prepared.selections)
                 )
-            physical = bind(prepared.logical, database, indexes=self.indexes)
+                core_cache = None
+            physical = bind(
+                prepared.logical,
+                database,
+                indexes=self.indexes,
+                core_cache=core_cache,
+            )
+            if core_cache is not None:
+                stats = core_cache.stats()
+                self.stats.core_hits = stats["hits"]
+                self.stats.core_misses = stats["misses"]
+                self.stats.core_stale = stats["stale"]
+                self.stats.core_writes = stats["writes"]
             self._physicals[key] = (version, physical)
             self._physicals.move_to_end(key)
             while len(self._physicals) > self.max_cached_plans:
@@ -510,10 +564,14 @@ class Engine:
         return len(self._plans)
 
     @classmethod
-    def from_backend(cls, backend, max_cached_plans: int = 64) -> "Engine":
+    def from_backend(
+        cls, backend, max_cached_plans: int = 64, core_cache: Any = "auto"
+    ) -> "Engine":
         """An engine over every relation stored in ``backend``."""
         return cls(
-            Database.from_backend(backend), max_cached_plans=max_cached_plans
+            Database.from_backend(backend),
+            max_cached_plans=max_cached_plans,
+            core_cache=core_cache,
         )
 
     def clear_caches(self) -> None:
@@ -529,9 +587,57 @@ class Engine:
         with self._stream_lock:
             self._streams.clear()
 
+    def warm_start(self) -> int:
+        """Pre-bind every stored core matching the current database state.
+
+        Replays the replay recipes stored beside ``.core`` entries
+        (query + dioid + shard spec): each fresh entry binds straight
+        off the mmap, so a serving process answers its first request of
+        a known query at enumeration cost.  Returns how many plans were
+        warmed; entries for other database versions (or with broken
+        recipes) are skipped silently — the normal miss path handles
+        them.
+        """
+        if self.core_cache is None:
+            return 0
+        from repro.ranking.dioid import NAMED_DIOIDS
+
+        version = self.database.version
+        warmed = 0
+        for _key, meta, db_version in self.core_cache.entries():
+            if db_version != version:
+                continue
+            warm = meta.get("warm")
+            if not warm:
+                continue
+            dioid = NAMED_DIOIDS.get(warm.get("dioid"))
+            if dioid is None:
+                continue
+            try:
+                prepared = self.prepare(
+                    warm["query"], dioid=dioid, shards=warm.get("shards")
+                )
+                prepared.bind()
+            except Exception:
+                continue
+            warmed += 1
+        return warmed
+
     def close(self) -> None:
-        """Drop caches and close the database's storage backend."""
+        """Drop caches, release bound plans, and close storage.
+
+        Bound physical plans are explicitly :meth:`~repro.engine.plan.
+        PhysicalPlan.close`\\ d first: warm-started plans hold memoryview
+        slices of the core file's mmap, and the mmap can only unmap once
+        those views are gone.
+        """
+        with self._lock:
+            physicals = [entry[1] for entry in self._physicals.values()]
         self.clear_caches()
+        for physical in physicals:
+            physical.close()
+        if self.core_cache is not None:
+            self.core_cache.close()
         self.database.close()
 
     def __enter__(self) -> "Engine":

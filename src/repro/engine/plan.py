@@ -235,6 +235,14 @@ class PhysicalPlan:
     ) -> Iterator[QueryResult]:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release bind-time resources (overridden where there are any).
+
+        Mapped warm-start plans hold memoryview slices of the engine's
+        ``.core`` mmap; dropping them here lets ``CoreCache.close()``
+        actually unmap the file instead of tripping ``BufferError``.
+        """
+
     def top(
         self,
         k: int,
@@ -281,6 +289,12 @@ class AcyclicPhysical(PhysicalPlan):
         super().__init__(logical, database)
         self.tdp = tdp
         self.compiled = compile_tdp(tdp)
+
+    def close(self) -> None:
+        if self.tdp is not None:
+            self.tdp._compiled = None
+        self.tdp = None
+        self.compiled = None
 
     def iter(
         self,
@@ -460,6 +474,9 @@ class ProjectionPhysical(PhysicalPlan):
         super().__init__(logical, database)
         self.inner = inner
 
+    def close(self) -> None:
+        self.inner.close()
+
     def iter(
         self,
         counter: OpCounter | None = None,
@@ -494,6 +511,7 @@ def bind(
     logical: LogicalPlan,
     database: Database,
     indexes: IndexCache | None = None,
+    core_cache=None,
 ) -> PhysicalPlan:
     """Run the preprocessing phase of ``logical`` against ``database``.
 
@@ -501,26 +519,66 @@ def bind(
     enumeration: decomposition bag materialisation and T-DP bottom-up
     passes.  The elapsed wall-clock time is recorded on the returned
     plan as ``preprocess_seconds``.
+
+    ``core_cache`` (a :class:`repro.dp.corebuf.CoreCache`, or ``None``)
+    enables warm starts for the acyclic T-DP strategy: a fresh entry for
+    this plan's persistence key skips the build + compile entirely and
+    enumerates straight off the mmapped arrays; a miss or stale entry
+    falls through to the normal build and rewrites the file.
     """
     start = time.perf_counter()
-    physical = _bind(logical, database, indexes)
+    physical = _bind(logical, database, indexes, core_cache)
     physical.preprocess_seconds = time.perf_counter() - start
     return physical
+
+
+def warm_meta(logical: LogicalPlan) -> dict:
+    """The replay recipe stored beside a core entry (``Engine.warm_start``)."""
+    from repro.dp.corebuf import dioid_core_name
+
+    return {
+        "query": logical.query,
+        "dioid": dioid_core_name(logical.dioid),
+        "shards": logical.shard,
+    }
 
 
 def _bind(
     logical: LogicalPlan,
     database: Database,
     indexes: IndexCache | None,
+    core_cache=None,
 ) -> PhysicalPlan:
     strategy = logical.strategy
     if strategy == ACYCLIC_TDP:
         if logical.shard is not None:
             from repro.parallel.physical import bind_sharded
 
-            return bind_sharded(logical, database, indexes=indexes)
+            return bind_sharded(
+                logical, database, indexes=indexes, core_cache=core_cache
+            )
+        key = None
+        if core_cache is not None:
+            from repro.dp.corebuf import core_key
+
+            key = core_key(logical.query, logical.dioid, None)
+            shell = core_cache.load_tdp(
+                key, database, logical.query, logical.join_tree
+            )
+            if shell is not None:
+                # compile_tdp() inside AcyclicPhysical returns the
+                # pre-assembled mapped core via the TDP memo slot.
+                return AcyclicPhysical(logical, database, shell)
         tdp = build_tdp(database, logical.join_tree, dioid=logical.dioid)
-        return AcyclicPhysical(logical, database, tdp)
+        physical = AcyclicPhysical(logical, database, tdp)
+        if key is not None and physical.compiled is not None:
+            from repro.dp.corebuf import export_compiled
+
+            meta, data = export_compiled(physical.compiled)
+            core_cache.store(
+                key, database, meta, data, warm=warm_meta(logical)
+            )
+        return physical
     if strategy == SIMPLE_CYCLE_UNION:
         tasks = decompose_cycle(
             database,
@@ -539,7 +597,7 @@ def _bind(
     if strategy == FREE_CONNEX_MINWEIGHT:
         return MinWeightPhysical(logical, database)
     if strategy == ALL_WEIGHT_PROJECTION:
-        inner = _bind(logical.inner, database, indexes)
+        inner = _bind(logical.inner, database, indexes, core_cache)
         return ProjectionPhysical(logical, database, inner)
     raise AssertionError(f"unhandled strategy {strategy!r}")
 

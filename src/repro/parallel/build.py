@@ -31,10 +31,16 @@ Execution modes (resolved by the :class:`~repro.parallel.sharder.Sharder`):
 * ``fused``   — both phases in-process; the fastest single-core path.
 * ``thread``  — phase B fragments fan out on a thread pool (the SQLite
   driver releases the GIL inside its C fetch path).
-* ``process`` — each fragment is rebuilt start-to-finish in a worker
-  process (redundant phase A per worker, but no GIL) and the picklable
-  compiled core travels back; file-backed SQLite reopens per worker,
-  memory-backed relations ship by value.
+* ``process`` — phase A runs once in the parent and its pools travel to
+  the workers through one shared-memory segment
+  (:class:`repro.dp.corebuf.ShmPool`): the pool initializer ships the
+  database recipe and the segment *name* once per worker, each task
+  payload is just ``(fragment, shards)``, and workers alias the parent's
+  float pools in place — zero array copies cross the pickle boundary in
+  either direction (workers return compact per-fragment anchor arrays;
+  the parent assembles the cores against its own phase A).  File-backed
+  SQLite reopens once per worker, memory-backed relations ship by value
+  once per worker.
 
 Dioids without the ``key_is_value`` contract — and the ``canonical``
 tie-break, which ranks fragments under the Section 6.3
@@ -46,17 +52,20 @@ from __future__ import annotations
 
 import pickle
 import time
-from typing import Any, Sequence
+from array import array
+from typing import Sequence
 
 from repro.anyk.base import Enumerator, make_enumerator
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.dp.builder import build_tdp
+from repro.dp.corebuf import LazyRows, ShmPool, pack_worker_lower, unpack_worker_lower
 from repro.dp.flat import CompiledTDP
 from repro.dp.graph import TDP
 from repro.parallel.sharder import Fragment, ShardPlan, stable_hash
 from repro.query.jointree import JoinTree
 from repro.ranking.dioid import SelectiveDioid, TieBreakingDioid
+from repro.util import vec
 
 #: Key-space transform lanes (see ``_key_lane``).
 _LANE_ID, _LANE_NEG, _LANE_CALL = 0, 1, 2
@@ -416,38 +425,118 @@ def _values_from_keys(dioid: SelectiveDioid, keys: list[float], lane: int) -> li
     return [vfk(k) for k in keys]
 
 
-def build_fragment(
-    shared: SharedLower,
-    fragment: Fragment,
-    rows: list[tuple],
-    global_ids: Sequence[int] | None,
-    uid: int,
-    uid_space: int,
-    shared_lists: dict,
-) -> tuple[ShardCompiled, float]:
-    """Phase B: lower one anchor fragment and assemble its compiled core.
+#: Row count below which the vectorized phase-B scan is not worth the
+#: numpy round-trip.
+_VEC_SCAN_MIN = 512
 
-    ``rows`` is the fragment's slice of the anchor relation (trailing
-    weight); ``global_ids`` maps local row positions to insertion
-    positions (``None`` for range fragments, whose ids are ``lo +
-    local``).  ``uid`` is the fragment root connector's id inside the
-    common uid space of ``uid_space`` connectors; ``shared_lists`` holds
-    the cross-fragment aliased structures (see :func:`_shared_lists`).
+
+class _AnchorScan:
+    """The anchor scan's inputs, decoupled from :class:`SharedLower`.
+
+    Built either from a parent-process ``SharedLower`` or, in a pool
+    worker, from the shared-memory :class:`~repro.dp.corebuf.WorkerLower`
+    (whose ``conn_min`` is a memoryview aliasing the owner's pool).
     """
-    start = time.perf_counter()
-    query = shared.query
+
+    __slots__ = (
+        "warity", "check_repeats", "satisfies", "lookups", "lane",
+        "key_of", "conn_min",
+    )
+
+    def __init__(self, atom, lookups, lane, key_of, conn_min):
+        self.warity = atom.arity
+        self.check_repeats = atom.has_repeated_variables()
+        self.satisfies = atom.satisfies_repeats
+        self.lookups = lookups
+        self.lane = lane
+        self.key_of = key_of
+        self.conn_min = conn_min
+
+
+def _anchor_scan_of(shared: SharedLower) -> _AnchorScan:
     anchor = shared.anchor_stage
-    atom = query.atoms[shared.order[anchor]]
-    warity = atom.arity
-    check_repeats = atom.has_repeated_variables()
-    satisfies = atom.satisfies_repeats
-    lookups = shared.child_lookups(anchor)
-    lane = shared.lane
+    atom = shared.query.atoms[shared.order[anchor]]
+    return _AnchorScan(
+        atom, shared.child_lookups(anchor), shared.lane,
+        shared.dioid.key, shared.conn_min,
+    )
+
+
+def _scan_anchor_vec(
+    scan: _AnchorScan,
+    rows: list[tuple],
+    base: int | None,
+    global_ids: Sequence[int] | None,
+    keep_tuples: bool,
+):
+    """Vectorized chain-shape anchor scan (identity/negate lanes only).
+
+    The join-key dict probes stay in Python (hash tables do not
+    vectorize); the alive mask, the key transform, and the ``k + pi``
+    entry keys run as numpy float64 kernels — the same IEEE operations
+    in the same order as the scalar loop, so the produced arrays are
+    bit-identical.  All outputs convert back to native Python scalars
+    (``.tolist()``): nothing downstream ever sees a numpy type.
+    """
+    np = vec.np
+    child_col, _positions, cmap = scan.lookups[0]
+    cm_get = cmap.get
+    warity = scan.warity
+    n = len(rows)
+    cu_all = np.fromiter(
+        (cm_get(row[child_col], -1) for row in rows), np.int64, n
+    )
+    alive = np.flatnonzero(cu_all >= 0)
+    cu = cu_all[alive]
+    alive_list = alive.tolist()
+    w = np.fromiter((rows[i][warity] for i in alive_list), np.float64, len(alive_list))
+    k = w if scan.lane == _LANE_ID else -w
+    pi = np.asarray(scan.conn_min, dtype=np.float64)[cu]
+    ek = k + pi
+    vk_out = k.tolist()
+    pk_out = pi.tolist()
+    cu_out = cu.tolist()
+    entries = list(zip(ek.tolist(), range(len(vk_out))))
+    tuples_out = [rows[i] for i in alive_list] if keep_tuples else []
+    if base is not None:
+        ids_out = (alive + base).tolist()
+    else:
+        ids_out = [global_ids[i] for i in alive_list]
+    return entries, tuples_out, ids_out, vk_out, pk_out, cu_out
+
+
+def _scan_anchor(
+    scan: _AnchorScan,
+    rows: list[tuple],
+    base: int | None,
+    global_ids: Sequence[int] | None,
+    keep_tuples: bool = True,
+):
+    """Phase B scan: lower one fragment's anchor rows to flat arrays.
+
+    Returns ``(entries, tuples_out, ids_out, vk_out, pk_out, cu_out)``;
+    ``entries`` states are sequential (``0 .. alive-1``), which is what
+    lets pool workers ship only the value arrays.
+    """
+    warity = scan.warity
+    check_repeats = scan.check_repeats
+    satisfies = scan.satisfies
+    lookups = scan.lookups
+    lane = scan.lane
     identity = lane == _LANE_ID
     negate = lane == _LANE_NEG
-    key_of = shared.dioid.key
-    conn_min = shared.conn_min
-    base = fragment.lo if global_ids is None else None
+    key_of = scan.key_of
+    conn_min = scan.conn_min
+
+    chain = len(lookups) == 1 and lookups[0][0] is not None
+    if (
+        chain
+        and not check_repeats
+        and lane != _LANE_CALL
+        and len(rows) >= _VEC_SCAN_MIN
+        and vec.np is not None
+    ):
+        return _scan_anchor_vec(scan, rows, base, global_ids, keep_tuples)
 
     tuples_out: list[tuple] = []
     ids_out: list[int] = []
@@ -462,7 +551,7 @@ def build_fragment(
     e_append = entries.append
     state = 0
 
-    if len(lookups) == 1 and lookups[0][0] is not None:
+    if chain:
         child_col, _positions, cmap = lookups[0]
         cm_get = cmap.get
         c_append = cu_out.append
@@ -476,7 +565,8 @@ def build_fragment(
             w = row[warity]
             k = w if identity else (-w if negate else key_of(w))
             e_append((k + pi, state))
-            t_append(row)
+            if keep_tuples:
+                t_append(row)
             i_append(base + local if base is not None else global_ids[local])
             v_append(k)
             p_append(pi)
@@ -504,14 +594,55 @@ def build_fragment(
             w = row[warity]
             k = w if identity else (-w if negate else key_of(w))
             e_append((k + pi, state))
-            t_append(row)
+            if keep_tuples:
+                t_append(row)
             i_append(base + local if base is not None else global_ids[local])
             v_append(k)
             p_append(pi)
             cu_out.extend(conns)
             state += 1
 
-    # -- assemble the fragment's compiled core ---------------------------------
+    return entries, tuples_out, ids_out, vk_out, pk_out, cu_out
+
+
+def build_fragment(
+    shared: SharedLower,
+    fragment: Fragment,
+    rows: list[tuple],
+    global_ids: Sequence[int] | None,
+    uid: int,
+    uid_space: int,
+    shared_lists: dict,
+) -> tuple[ShardCompiled, float]:
+    """Phase B: lower one anchor fragment and assemble its compiled core.
+
+    ``rows`` is the fragment's slice of the anchor relation (trailing
+    weight); ``global_ids`` maps local row positions to insertion
+    positions (``None`` for range fragments, whose ids are ``lo +
+    local``).  ``uid`` is the fragment root connector's id inside the
+    common uid space of ``uid_space`` connectors; ``shared_lists`` holds
+    the cross-fragment aliased structures (see :func:`_shared_lists`).
+    """
+    start = time.perf_counter()
+    base = fragment.lo if global_ids is None else None
+    scan_out = _scan_anchor(_anchor_scan_of(shared), rows, base, global_ids)
+    compiled = _assemble_fragment(shared, scan_out, uid, uid_space, shared_lists)
+    return compiled, time.perf_counter() - start
+
+
+def _assemble_fragment(
+    shared: SharedLower,
+    scan_out: tuple,
+    uid: int,
+    uid_space: int,
+    shared_lists: dict,
+) -> ShardCompiled:
+    """Assemble one fragment's :class:`ShardCompiled` from its scan output."""
+    entries, tuples_out, ids_out, vk_out, pk_out, cu_out = scan_out
+    query = shared.query
+    anchor = shared.anchor_stage
+    lane = shared.lane
+    conn_min = shared.conn_min
     num_stages = shared.num_stages
     children = shared.children_stages
     fanout = len(children[anchor])
@@ -614,7 +745,7 @@ def build_fragment(
         _rea_heaps=shared_lists["rea"],
     )
     shell._compiled = compiled
-    return compiled, time.perf_counter() - start
+    return compiled
 
 
 def _shared_lists(shared: SharedLower, num_fragments: int) -> dict:
@@ -720,7 +851,13 @@ def build_object_fragment(
 
 
 def _database_recipe(database: Database) -> dict:
-    """A picklable description a worker can reopen the database from."""
+    """A picklable description a worker can reopen the database from.
+
+    Shipped exactly once per worker, through the pool *initializer* —
+    never inside per-fragment task payloads (a memory-backend recipe
+    carries full ``(arity, tuples, weights)`` tables, so per-payload
+    shipping used to re-pickle the whole database per fragment).
+    """
     backend = database.backend
     path = getattr(backend, "path", None)
     if backend is not None and path is not None and path != ":memory:":
@@ -765,32 +902,90 @@ def _open_recipe(recipe: dict) -> Database:
     )
 
 
-def _process_build_fragment(payload: tuple) -> tuple[int, Any, float]:
-    """Worker entry point: rebuild one fragment start to finish.
+#: Per-worker state set by :func:`_init_scan_worker` (one initializer
+#: call per pool worker; task payloads carry only ``(fragment, shards)``).
+_WORKER: dict | None = None
 
-    Redundantly re-runs phase A inside the worker (no shared memory),
-    which is the price of true GIL-free parallelism; the returned
-    compiled core is picklable (arrays, plain tuples, singleton dioids).
+
+def _init_scan_worker(
+    shm_name: str, recipe: dict, query, anchor_atom_index: int,
+    anchor_relation_name: str, dioid: SelectiveDioid,
+) -> None:
+    """Pool initializer: open the database, attach the shared pool.
+
+    Runs once per worker process.  The database connection and the
+    shared-memory attachment live for the pool's lifetime; both are
+    released explicitly at interpreter exit (``atexit``) so worker
+    shutdown stays free of ``resource_tracker`` warnings even when the
+    parent tears the pool down on an error path.
     """
-    (recipe, query, parents, dioid, anchor_stage, fragment, shards) = payload
+    global _WORKER
+    import atexit
+
     database = _open_recipe(recipe)
-    try:
-        tree = JoinTree(query, parents)
-        shared = build_shared_lower(database, query, tree, dioid, anchor_stage)
-        relation = _anchor_relation(database, query, shared.order, anchor_stage)
-        if fragment.kind == "range":
-            rows = _trailing_rows(relation, fragment.lo, fragment.hi)
-            gids = None
-        else:
-            rows, gids = _hash_buckets(relation, shards)[fragment.index]
-        lists = _shared_lists(shared, 1)
-        compiled, seconds = build_fragment(
-            shared, fragment, rows, gids, shared.num_conns,
-            shared.num_conns + 1, lists,
-        )
-        return fragment.index, compiled, shared.seconds + seconds
-    finally:
-        database.close()
+    pool = ShmPool.attach(shm_name)
+    lower = unpack_worker_lower(pool.buf)
+    atom = query.atoms[anchor_atom_index]
+    _WORKER = {
+        "database": database,
+        "pool": pool,
+        "scan": _AnchorScan(
+            atom, lower.lookups, lower.lane, dioid.key, lower.conn_min
+        ),
+        "relation": database[anchor_relation_name],
+        "buckets": None,
+    }
+    atexit.register(database.close)
+
+
+def _scan_worker_fragment(task: tuple) -> tuple:
+    """Worker entry point: phase-B scan of one fragment, arrays only.
+
+    Phase A is *not* rebuilt here — the scan resolves its child
+    connectors against the shared-memory pool the initializer attached.
+    The return value is four compact typed arrays (anchor value keys,
+    pi1 keys, child uids, global tuple ids); entry states are implied
+    (sequential) and anchor rows are re-fetched lazily by the parent, so
+    no row data or entry pools are pickled back either.
+    """
+    fragment, shards = task
+    state = _WORKER
+    start = time.perf_counter()
+    relation = state["relation"]
+    if fragment.kind == "range":
+        rows = _trailing_rows(relation, fragment.lo, fragment.hi)
+        gids = None
+        base = fragment.lo
+    else:
+        buckets = state["buckets"]
+        if buckets is None:
+            buckets = state["buckets"] = _hash_buckets(relation, shards)
+        rows, gids = buckets[fragment.index]
+        base = None
+    _entries, _tuples, ids_out, vk_out, pk_out, cu_out = _scan_anchor(
+        state["scan"], rows, base, gids, keep_tuples=False
+    )
+    return (
+        fragment.index,
+        array("d", vk_out),
+        array("d", pk_out),
+        array("q", cu_out),
+        array("q", ids_out),
+        time.perf_counter() - start,
+    )
+
+
+def _probe_worker_pool(sample_index: int) -> tuple:
+    """Test hook: what this worker observes through the shared pool.
+
+    Returns the pool segment name, the aliased ``conn_min`` length and
+    a sampled element — evidence that the worker reads the parent's
+    pool bytes in place rather than a pickled copy.
+    """
+    state = _WORKER
+    conn_min = state["scan"].conn_min
+    sample = conn_min[sample_index] if len(conn_min) else None
+    return state["pool"].name, len(conn_min), sample
 
 
 # -- orchestration -------------------------------------------------------------
@@ -947,18 +1142,18 @@ class ParallelPreprocessor:
         from concurrent.futures import ProcessPoolExecutor
 
         plan = self.shard_plan
+        query = self.logical.query
+        shared = build_shared_lower(
+            self.database, query, plan.join_tree,
+            self.logical.dioid, plan.anchor_stage,
+        )
+        lists = _shared_lists(shared, len(plan.fragments))
+        uid_space = shared.num_conns + len(plan.fragments)
         recipe = _database_recipe(self.database)
-        payloads = [
-            (
-                recipe,
-                self.logical.query,
-                list(plan.join_tree.parent),
-                self.logical.dioid,
-                plan.anchor_stage,
-                fragment,
-                plan.spec.shards,
-            )
-            for fragment in plan.fragments
+        anchor_atom_index = shared.order[plan.anchor_stage]
+        anchor_name = query.atoms[anchor_atom_index].relation_name
+        tasks = [
+            (fragment, plan.spec.shards) for fragment in plan.fragments
         ]
         context = None
         try:
@@ -967,19 +1162,53 @@ class ParallelPreprocessor:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-posix platforms
             context = None
-        with ProcessPoolExecutor(
-            max_workers=plan.workers, mp_context=context
-        ) as pool:
-            results = list(pool.map(_process_build_fragment, payloads))
-        fragments = [
-            FragmentRuntime(
-                index, compiled, None, seconds,
-                anchor_stage=plan.anchor_stage,
+        # Phase A crosses into the workers through one shared-memory
+        # segment; only its *name* rides in the initargs, and the task
+        # payloads above carry no arrays at all.
+        shm_pool = ShmPool.create(pack_worker_lower(shared))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=plan.workers,
+                mp_context=context,
+                initializer=_init_scan_worker,
+                initargs=(
+                    shm_pool.name, recipe, query, anchor_atom_index,
+                    anchor_name, self.logical.dioid,
+                ),
+            ) as pool:
+                results = list(pool.map(_scan_worker_fragment, tasks))
+        finally:
+            shm_pool.destroy()
+        relation = _anchor_relation(
+            self.database, query, shared.order, plan.anchor_stage
+        )
+        fragments = []
+        for index, vk, pk, cu, ids, seconds in sorted(results):
+            vk_out = vk.tolist()
+            pk_out = pk.tolist()
+            ids_out = ids.tolist()
+            entries = [
+                (v + p, s) for s, (v, p) in enumerate(zip(vk_out, pk_out))
+            ]
+            scan_out = (
+                entries,
+                LazyRows(relation, ids_out),
+                ids_out,
+                vk_out,
+                pk_out,
+                cu.tolist(),
             )
-            for index, compiled, seconds in sorted(results)
-        ]
+            compiled = _assemble_fragment(
+                shared, scan_out, shared.num_conns + index, uid_space, lists
+            )
+            fragments.append(
+                FragmentRuntime(
+                    index, compiled, None, seconds,
+                    anchor_stage=plan.anchor_stage,
+                )
+            )
         return PreprocessResult(
-            fragments, "process", plan.workers, 0.0, notes, None
+            fragments, "process", plan.workers, shared.seconds, notes, None
         )
 
     # -- object path -----------------------------------------------------------

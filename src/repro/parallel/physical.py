@@ -18,7 +18,11 @@ from typing import Iterator
 from repro.data.database import Database
 from repro.engine.plan import LogicalPlan, PhysicalPlan
 from repro.enumeration.result import QueryResult
-from repro.parallel.build import ParallelPreprocessor, PreprocessResult
+from repro.parallel.build import (
+    FragmentRuntime,
+    ParallelPreprocessor,
+    PreprocessResult,
+)
 from repro.parallel.merge import ShardConcat, ShardMerge
 from repro.parallel.sharder import Sharder, ShardPlan
 from repro.util.counters import OpCounter
@@ -50,6 +54,11 @@ class ShardedPhysical(PhysicalPlan):
     @property
     def shard_count(self) -> int:
         return len(self.fragments)
+
+    def close(self) -> None:
+        """Drop fragment references (releases mmap views on warm plans)."""
+        self._last_merge = None
+        self.fragments = []
 
     def iter(
         self,
@@ -139,9 +148,24 @@ class ShardedPhysical(PhysicalPlan):
 
 
 def bind_sharded(
-    logical: LogicalPlan, database: Database, indexes=None
+    logical: LogicalPlan, database: Database, indexes=None, core_cache=None
 ) -> ShardedPhysical:
-    """Preprocess a sharded acyclic plan: plan fragments, build, wrap."""
+    """Preprocess a sharded acyclic plan: plan fragments, build, wrap.
+
+    With a ``core_cache``, a fresh ``.core`` entry for this plan's
+    persistence key replaces the entire fragment build: the mapped
+    per-fragment cores alias the file's shared entry pool and stage
+    arrays exactly as the cold build's fragments alias its in-process
+    lists, so ranked output is bit-identical.  Sharding is still
+    *planned* (cheap, metadata-only) — the stored cores are validated
+    against the fresh plan's anchor stage and fragment count.
+
+    An *explicitly* requested build mode (``parallel="fused"/"thread"/
+    "process"``) always builds with that mode: the warm start only
+    replaces the build under the default ``"auto"`` policy, where the
+    engine is free to pick the fastest path.  Cold ``auto`` builds
+    still write the core so the next process can warm-start.
+    """
     spec = logical.shard
     flat_path = (
         getattr(logical.dioid, "key_is_value", False)
@@ -149,5 +173,48 @@ def bind_sharded(
     )
     sharder = Sharder(database, indexes)
     shard_plan = sharder.plan(logical, spec, flat_path)
+    key = None
+    if core_cache is not None and flat_path and spec.parallel == "auto":
+        from repro.dp.corebuf import core_key
+
+        key = core_key(logical.query, logical.dioid, spec.cache_key())
+        cores = core_cache.load_fragment_cores(
+            key,
+            database,
+            logical.query,
+            shard_plan.join_tree,
+            shard_plan.anchor_stage,
+            len(shard_plan.fragments),
+        )
+        if cores is not None:
+            fragments = [
+                FragmentRuntime(
+                    index, core, None, 0.0, shard_plan.anchor_stage
+                )
+                for index, core in enumerate(cores)
+            ]
+            result = PreprocessResult(
+                fragments,
+                "mmap",
+                shard_plan.workers,
+                0.0,
+                list(shard_plan.notes) + ["warm start from compiled core file"],
+                None,
+            )
+            return ShardedPhysical(logical, database, shard_plan, result)
     result = ParallelPreprocessor(database, logical, shard_plan).build()
+    if (
+        key is not None
+        and result.tie is None
+        and result.fragments
+        and all(f.compiled is not None for f in result.fragments)
+    ):
+        from repro.dp.corebuf import export_fragments
+
+        from repro.engine.plan import warm_meta
+
+        meta, data = export_fragments(
+            [f.compiled for f in result.fragments], shard_plan.anchor_stage
+        )
+        core_cache.store(key, database, meta, data, warm=warm_meta(logical))
     return ShardedPhysical(logical, database, shard_plan, result)

@@ -119,7 +119,10 @@ class TropicalDioid(SelectiveDioid):
     """
 
     has_inverse = True
-    #: Keys are the values themselves: the compiled flat core applies.
+    #: Keys are the values themselves: the compiled flat core applies,
+    #: and because the key IS the stored value the compiled arrays are
+    #: core-persistable — they round-trip through a ``<db>.core`` mmap
+    #: (:mod:`repro.dp.corebuf`) with no per-process rebuild.
     key_is_value = True
 
     @property
@@ -148,7 +151,10 @@ class MaxPlusDioid(SelectiveDioid):
 
     has_inverse = True
     #: ``key(a) = -a`` is an additive, invertible float image of the
-    #: value (IEEE negation is exact), so the flat key-space core applies.
+    #: value (IEEE negation is exact), so the flat key-space core applies
+    #: and, like the tropical dioid, is core-persistable: negation is
+    #: deterministic and bit-exact, so mmap-loaded arrays reproduce a
+    #: fresh compile byte-for-byte.
     key_is_value = True
 
     @property

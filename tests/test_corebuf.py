@@ -1,0 +1,389 @@
+"""Zero-copy compiled cores: persistence, shared memory, vector kernels.
+
+Covers the ``repro.dp.corebuf`` subsystem end to end:
+
+* warm-start differential — a plan loaded from a ``.core`` file is
+  bit-identical (weights, assignments, witness ids, witness tuples, in
+  sequence) to a cold rebuild, for all 7 any-k variants x two
+  persistable dioids x {unsharded, 1 shard, 4 shards};
+* staleness — mutating a relation invalidates the entry, the rebuild
+  rewrites it, and the rewritten entry hits again;
+* zero-copy process builds — pool workers observe the parent's phase-A
+  arrays through one shared-memory segment (same bytes, same segment
+  name) and task payloads carry no arrays;
+* resource hygiene — a process-mode build leaves no
+  ``resource_tracker`` warnings on stderr, and ``Engine.close()``
+  releases the core file's mmap;
+* numpy independence — the vectorized kernels are gated behind
+  ``repro.util.vec`` and the pure-``array`` fallback produces identical
+  output (also for mmap-loaded cores);
+* robustness — a corrupt ``.core`` file is treated as a miss, never an
+  error; in-memory backends simply run without persistence.
+"""
+
+import itertools
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.data.backend import SQLiteBackend
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.dp.corebuf import CoreCache, ShmPool, core_key, dioid_core_name
+from repro.engine import Engine
+from repro.query.builders import path_query
+from repro.ranking.dioid import (
+    MAX_PLUS,
+    MAX_TIMES,
+    NAMED_DIOIDS,
+    TROPICAL,
+    TieBreakingDioid,
+)
+from repro.util import vec
+
+ALL_VARIANTS = [
+    "take2", "lazy", "eager", "all", "recursive", "batch", "batch_nosort",
+]
+BASE = 64
+
+
+def decoding_weights(n: int, relation_index: int) -> list[float]:
+    assert n < BASE
+    scale = float(BASE**relation_index)
+    return [(i + 1) * scale for i in range(n)]
+
+
+def decoding_database(num_relations: int, n: int, domain: int, seed: int) -> Database:
+    rng = random.Random(seed)
+    relations = []
+    for j in range(num_relations):
+        tuples = [
+            (rng.randint(1, domain), rng.randint(1, domain)) for _ in range(n)
+        ]
+        relations.append(
+            Relation(f"R{j + 1}", 2, tuples, decoding_weights(n, j))
+        )
+    return Database(relations)
+
+
+def sqlite_database(tmp_path, tag: str, seed: int = 5) -> str:
+    path = str(tmp_path / f"{tag}.db")
+    backend = SQLiteBackend(path)
+    for relation in decoding_database(4, 40, domain=7, seed=seed):
+        backend.ingest(relation)
+    backend.close()
+    return path
+
+
+def signature(results) -> list[tuple]:
+    return [
+        (
+            result.weight,
+            tuple(sorted(result.assignment.items())),
+            result.witness_ids,
+            result.witness,
+        )
+        for result in results
+    ]
+
+
+def run(engine: Engine, query, algorithm: str, k: int | None = 200, **kwargs):
+    prepared = engine.prepare(query, algorithm=algorithm, **kwargs)
+    iterator = prepared.iter()
+    if k is not None:
+        iterator = itertools.islice(iterator, k)
+    return signature(iterator)
+
+
+def core_stats(engine: Engine) -> dict:
+    return {
+        k: v for k, v in engine.stats.as_dict().items() if k.startswith("core")
+    }
+
+
+class TestWarmStartDifferential:
+    """mmap-loaded cores are bit-identical to a cold rebuild."""
+
+    @pytest.mark.parametrize("dioid", [TROPICAL, MAX_PLUS], ids=["tropical", "max-plus"])
+    @pytest.mark.parametrize("shards", [None, 1, 4])
+    def test_all_variants_bit_identical(self, tmp_path, dioid, shards):
+        path = sqlite_database(tmp_path, "diff")
+        query = path_query(4)
+        cold = {}
+        with Engine.from_backend(SQLiteBackend(path), core_cache="off") as engine:
+            for variant in ALL_VARIANTS:
+                cold[variant] = run(
+                    engine, query, variant, dioid=dioid, shards=shards
+                )
+                assert cold[variant], "workload must produce answers"
+        # Cold bind with persistence on: writes the entry.
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            engine.prepare(query, dioid=dioid, shards=shards).bind()
+            stats = core_stats(engine)
+            assert stats["core_writes"] == 1 and stats["core_hits"] == 0
+        # Fresh process-equivalent: a new backend + engine, warm bind.
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            for variant in ALL_VARIANTS:
+                warm = run(engine, query, variant, dioid=dioid, shards=shards)
+                assert warm == cold[variant], (
+                    f"{variant} warm start diverged "
+                    f"(dioid={dioid!r}, shards={shards})"
+                )
+            stats = core_stats(engine)
+            assert stats["core_hits"] == 1 and stats["core_writes"] == 0
+
+    def test_warm_sharded_physical_reports_mmap_mode(self, tmp_path):
+        path = sqlite_database(tmp_path, "mode")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            engine.prepare(query, shards=4).bind()
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            physical = engine.prepare(query, shards=4).bind()
+            assert physical.mode == "mmap"
+            assert physical.shard_count == 4
+            assert "warm start" in " ".join(physical.notes)
+
+    def test_warm_start_replays_stored_plans(self, tmp_path):
+        path = sqlite_database(tmp_path, "boot")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            engine.prepare(query).bind()
+            engine.prepare(query, shards=2).bind()
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            assert engine.warm_start() == 2
+            assert core_stats(engine)["core_hits"] == 2
+
+
+class TestStaleness:
+    def test_mutation_invalidates_then_rewrites(self, tmp_path):
+        path = sqlite_database(tmp_path, "stale")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            engine.prepare(query).bind()
+            assert core_stats(engine)["core_writes"] == 1
+        backend = SQLiteBackend(path)
+        backend.append("R1", (1, 2), float(BASE**4))
+        with Engine.from_backend(backend) as engine:
+            reference = run(engine, query, "take2")
+            stats = core_stats(engine)
+            assert stats["core_stale"] == 1 and stats["core_hits"] == 0
+            assert stats["core_writes"] == 1, "stale entry must be rewritten"
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            assert run(engine, query, "take2") == reference
+            assert core_stats(engine)["core_hits"] == 1
+
+    def test_key_excludes_non_persistable_dioids(self):
+        query = path_query(3)
+        tie = TieBreakingDioid(TROPICAL, 3)
+        assert dioid_core_name(TROPICAL) == "tropical"
+        assert dioid_core_name(MAX_PLUS) == "max-plus"
+        assert dioid_core_name(MAX_TIMES) is None, "key is not the value"
+        assert dioid_core_name(tie) is None
+        assert core_key(query, MAX_TIMES, None) is None
+        assert core_key(query, TROPICAL, None) != core_key(
+            query, TROPICAL, (4, None, "range", "arrival")
+        )
+
+    def test_non_persistable_dioid_still_runs(self, tmp_path):
+        path = sqlite_database(tmp_path, "npd")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            assert run(engine, query, "take2", dioid=NAMED_DIOIDS["max-times"])
+            stats = core_stats(engine)
+            assert stats == {
+                "core_hits": 0, "core_misses": 0,
+                "core_stale": 0, "core_writes": 0,
+            }
+            assert not os.path.exists(path + ".core")
+
+
+class TestZeroCopyProcessBuild:
+    def _shared_setup(self, tmp_path):
+        from repro.engine.plan import plan as make_plan
+        from repro.parallel import build as pbuild
+        from repro.parallel.sharder import Sharder, ShardSpec
+
+        path = sqlite_database(tmp_path, "shm")
+        database = SQLiteBackend(path).database()
+        query = path_query(4)
+        logical = make_plan(
+            query, shards=ShardSpec(2, parallel="process", workers=2)
+        )
+        shard_plan = Sharder(database, None).plan(logical, logical.shard, True)
+        shared = pbuild.build_shared_lower(
+            database, query, shard_plan.join_tree,
+            logical.dioid, shard_plan.anchor_stage,
+        )
+        return pbuild, database, query, logical, shard_plan, shared
+
+    def test_workers_alias_one_segment(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing
+
+        pbuild, database, query, logical, shard_plan, shared = (
+            self._shared_setup(tmp_path)
+        )
+        payload = pbuild.pack_worker_lower(shared)
+        anchor_atom_index = shared.order[shard_plan.anchor_stage]
+        anchor_name = query.atoms[anchor_atom_index].relation_name
+        tasks = [(f, logical.shard.shards) for f in shard_plan.fragments]
+        # Satellite: per-fragment task payloads ship fragment metadata
+        # only — no arrays, no database recipe, no entry pools.
+        assert all(len(pickle.dumps(task)) < 512 for task in tasks)
+        shm_pool = ShmPool.create(payload)
+        try:
+            try:
+                context = multiprocessing.get_context("fork")
+                pool = ProcessPoolExecutor(
+                    max_workers=2,
+                    mp_context=context,
+                    initializer=pbuild._init_scan_worker,
+                    initargs=(
+                        shm_pool.name, pbuild._database_recipe(database),
+                        query, anchor_atom_index, anchor_name, logical.dioid,
+                    ),
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                pytest.skip(f"process pool unavailable: {exc!r}")
+            with pool:
+                try:
+                    probes = [
+                        pool.submit(pbuild._probe_worker_pool, 0).result(
+                            timeout=60
+                        )
+                        for _ in range(2)
+                    ]
+                except (OSError, RuntimeError) as exc:
+                    pytest.skip(f"process pool unavailable: {exc!r}")
+        finally:
+            shm_pool.destroy()
+            database.close()
+        for name, length, sample in probes:
+            assert name == shm_pool.name, "worker must attach by name"
+            assert length == len(shared.conn_min)
+            assert sample == shared.conn_min[0], (
+                "worker must read the parent's pool bytes in place"
+            )
+
+    def test_process_mode_build_matches_serial(self, tmp_path):
+        path = sqlite_database(tmp_path, "proc")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path), core_cache="off") as engine:
+            reference = run(engine, query, "take2", shards=2)
+        with Engine.from_backend(SQLiteBackend(path), core_cache="off") as engine:
+            prepared = engine.prepare(
+                query, algorithm="take2", shards=2, shard_parallel="process"
+            )
+            physical = prepared.bind()
+            if physical.mode != "process":
+                pytest.skip(f"process pool unavailable: {physical.notes}")
+            assert signature(
+                itertools.islice(prepared.iter(), 200)
+            ) == reference
+
+    def test_no_resource_tracker_warnings(self, tmp_path):
+        path = sqlite_database(tmp_path, "rt")
+        code = (
+            "import sys\n"
+            "from repro.data.backend import SQLiteBackend\n"
+            "from repro.engine import Engine\n"
+            "from repro.query.builders import path_query\n"
+            f"engine = Engine.from_backend(SQLiteBackend({path!r}))\n"
+            "prepared = engine.prepare(path_query(4), shards=2,\n"
+            "                          shard_parallel='process')\n"
+            "physical = prepared.bind()\n"
+            "print('MODE=' + physical.mode)\n"
+            "engine.close()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), os.path.join(os.getcwd(), "src"))
+            if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, timeout=180, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        if "MODE=process" not in proc.stdout:
+            pytest.skip(f"process pool unavailable: {proc.stdout!r}")
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "KeyError" not in proc.stderr, proc.stderr
+
+
+class TestNoNumpy:
+    """Pure-``array`` fallback conformance (also exercised by CI no-numpy)."""
+
+    def test_vectorized_paths_match_scalar(self, tmp_path, monkeypatch):
+        path = sqlite_database(tmp_path, "nonp")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            with_numpy = {
+                variant: run(engine, query, variant)
+                for variant in ALL_VARIANTS
+            }
+        monkeypatch.setattr(vec, "np", None)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            for variant in ALL_VARIANTS:
+                assert run(engine, query, variant) == with_numpy[variant]
+            assert core_stats(engine)["core_hits"] == 1, (
+                "mapped cores must load without numpy"
+            )
+
+    def test_sharded_build_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(vec, "np", None)
+        database = decoding_database(3, 30, domain=6, seed=9)
+        engine = Engine(database)
+        query = path_query(3)
+        reference = run(engine, query, "take2")
+        assert run(engine, query, "take2", shards=4) == reference
+
+
+class TestRobustness:
+    def test_corrupt_core_file_is_a_miss(self, tmp_path):
+        path = sqlite_database(tmp_path, "corrupt")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            reference = run(engine, query, "take2")
+        with open(path + ".core", "wb") as handle:
+            handle.write(b"not a core file at all")
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            assert run(engine, query, "take2") == reference
+            stats = core_stats(engine)
+            assert stats["core_hits"] == 0
+            assert stats["core_writes"] == 1, "rewritten after corruption"
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            assert run(engine, query, "take2") == reference
+            assert core_stats(engine)["core_hits"] == 1
+
+    def test_memory_backend_has_no_core_cache(self):
+        engine = Engine(decoding_database(3, 20, domain=5, seed=1))
+        assert engine.core_cache is None
+        assert run(engine, path_query(3), "take2")
+
+    def test_close_releases_the_mmap(self, tmp_path):
+        path = sqlite_database(tmp_path, "close")
+        query = path_query(4)
+        with Engine.from_backend(SQLiteBackend(path)) as engine:
+            engine.prepare(query).bind()
+        engine = Engine.from_backend(SQLiteBackend(path))
+        run(engine, query, "take2")
+        assert core_stats(engine)["core_hits"] == 1
+        engine.close()
+        assert not engine.core_cache._maps, "close() must unmap the core file"
+        os.remove(path + ".core")
+
+    def test_explicit_core_cache_path(self, tmp_path):
+        database = decoding_database(3, 20, domain=5, seed=2)
+        core_path = str(tmp_path / "explicit.core")
+        query = path_query(3)
+        engine = Engine(database, core_cache=core_path)
+        reference = run(engine, query, "take2")
+        assert os.path.exists(core_path)
+        engine2 = Engine(database, core_cache=CoreCache(core_path))
+        assert run(engine2, query, "take2") == reference
+        assert core_stats(engine2)["core_hits"] == 1
