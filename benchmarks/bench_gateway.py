@@ -1,0 +1,165 @@
+"""Gateway overhead: HTTP fetch latency vs. the raw TCP protocol.
+
+One engine behind both front doors — the JSON-lines TCP server and the
+HTTP gateway sharing a single ``SessionManager`` — paginating the same
+top-K query.  Reported: p50/p95/p99 fetch latency and answers/sec for
+each transport, so the HTTP parse/keep-alive overhead per page is
+directly visible.
+
+Correctness gates ride along (PR-7 acceptance criteria, so a
+regression fails the benchmark):
+
+* the HTTP-paginated ranked prefix is **bit-identical** to the TCP
+  prefix and to a direct engine enumeration;
+* requests run with auth + rate limiting active at the edge (a high
+  limit, so throttling never fires during the timed load — the gate is
+  that the policy checks add their cost to every request);
+* the gateway's ``/metrics`` latency window saw every timed fetch.
+
+Set ``BENCH_SMOKE=1`` for the CI-sized run (assertions still execute).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import pedantic, record_result
+from repro.data.generators import uniform_database
+from repro.engine import Engine
+from repro.experiments.runner import LatencyStats
+from repro.serve import (
+    AccessPolicy,
+    GatewayThread,
+    HttpServeClient,
+    ServeClient,
+    ServerThread,
+)
+
+FIGURE = "gateway"
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+RELATIONS = 3
+TUPLES = 300 if SMOKE else 3_000
+K = 120 if SMOKE else 1_000
+PAGE = 20 if SMOKE else 50
+TOKEN = "bench-token"
+QUERY_TEXT = "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+
+
+def signature(results):
+    return [(round(r.weight, 6), r.output_tuple) for r in results]
+
+
+def wire_signature(rows):
+    return [
+        (
+            round(row["weight"], 6),
+            tuple(row["assignment"][v] for v in ("x1", "x2", "x3", "x4")),
+        )
+        for row in rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    database = uniform_database(
+        RELATIONS, TUPLES, domain_size=max(2, TUPLES // 10), seed=13
+    )
+    engine = Engine(database)
+    engine.prepare(QUERY_TEXT, algorithm="take2").bind()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def baseline(engine) -> list:
+    return signature(
+        itertools.islice(engine.prepare(QUERY_TEXT, algorithm="take2").iter(), K)
+    )
+
+
+@pytest.fixture(scope="module")
+def stack(engine):
+    """TCP server + gateway over one shared SessionManager, edge policy on."""
+    policy = AccessPolicy(auth_token=TOKEN, rate_limit=100_000.0)
+    tcp = ServerThread(engine, slice_size=32, max_sessions=128, policy=policy)
+    tcp_address = tcp.start()
+    http = GatewayThread(engine, policy=policy, manager=tcp.server.manager)
+    http_address = http.start()
+    try:
+        yield tcp_address, http_address
+    finally:
+        http.stop()
+        tcp.stop()
+
+
+def _page_through(fetch_page) -> tuple[list[dict], list[float]]:
+    rows: list[dict] = []
+    latencies: list[float] = []
+    while len(rows) < K:
+        start = time.perf_counter()
+        page = fetch_page(min(PAGE, K - len(rows)))
+        latencies.append(time.perf_counter() - start)
+        rows.extend(page.results)
+        if page.exhausted:
+            break
+    return rows[:K], latencies
+
+
+@pytest.mark.parametrize("transport", ["tcp", "http"])
+def test_gateway_fetch_latency(benchmark, engine, baseline, stack, transport):
+    tcp_address, http_address = stack
+
+    def job() -> LatencyStats:
+        name = f"bench-{transport}"
+        start = time.perf_counter()
+        if transport == "tcp":
+            with ServeClient(*tcp_address, timeout=120, token=TOKEN) as client:
+                cursor = client.prepare(name, QUERY_TEXT, algorithm="take2")[
+                    "cursor"
+                ]
+                rows, latencies = _page_through(
+                    lambda n: client.fetch(name, cursor, n)
+                )
+                client.close_session(name)
+        else:
+            with HttpServeClient(*http_address, timeout=120, token=TOKEN) as client:
+                cursor = client.prepare(name, QUERY_TEXT, algorithm="take2")[
+                    "cursor"
+                ]
+                rows, latencies = _page_through(
+                    lambda n: client.fetch(name, cursor, n)
+                )
+                client.close_session(name)
+        elapsed = time.perf_counter() - start
+        assert wire_signature(rows) == baseline[: len(rows)], (
+            f"{transport} prefix diverged from the engine baseline"
+        )
+        return LatencyStats.from_samples(latencies, answers=K, elapsed=elapsed)
+
+    stats = pedantic(benchmark, job, rounds=1 if SMOKE else 3)
+    benchmark.extra_info.update(stats.as_dict())
+    benchmark.extra_info["transport"] = transport
+    record_result(
+        FIGURE,
+        f"transport={transport:<5} page={PAGE:<4} K={K:<6} {stats.row()}",
+    )
+
+
+def test_metrics_window_saw_the_load(stack):
+    """The /metrics latency window must have recorded gateway fetches."""
+    _, http_address = stack
+    with HttpServeClient(*http_address, token=TOKEN) as client:
+        metrics = client.metrics()
+    fetch = metrics["latency"]["fetch"]
+    assert fetch["total"] >= 1
+    assert fetch["p50_ms"] <= fetch["p99_ms"]
+    assert metrics["policy"]["denied_auth"] == 0
+    assert metrics["policy"]["throttled"] == 0
+    record_result(
+        FIGURE,
+        f"metrics: {metrics['gateway']['http_requests']} http requests, "
+        f"fetch p50 {fetch['p50_ms']:.3f} ms  p99 {fetch['p99_ms']:.3f} ms",
+    )

@@ -6,12 +6,24 @@ a client paginates the heaviest 4-hop follow chains page by page —
 each page costs only its own incremental any-k delay, and the already
 emitted prefix is never recomputed (not even by a second client).
 
+Part two upgrades to the production front door: the same engine behind
+the HTTP gateway, with bearer-token auth, a per-client rate limit, and
+a ``/metrics`` scrape — the deployment shape of ``repro serve
+--http-port --auth-token --rate-limit``.
+
 Run:  python examples/serving_topk.py
 """
 
 from repro import Database, Engine
 from repro.data.graphs import graph_statistics, twitter_like
-from repro.serve import ServeClient, ServerThread
+from repro.serve import (
+    AccessPolicy,
+    GatewayThread,
+    HttpServeClient,
+    ServeClient,
+    ServeClientError,
+    ServerThread,
+)
 
 
 def main() -> None:
@@ -71,6 +83,41 @@ def main() -> None:
                 f"engine: {served['binds']} preprocessing pass(es), "
                 f"{served['stream_misses']} enumeration stream(s) "
                 f"for {2} sessions"
+            )
+
+    # -- part two: the HTTP gateway front door ------------------------
+    # Same engine, but behind auth + rate limiting at the edge; this is
+    # what `repro serve --http-port --auth-token --rate-limit` deploys.
+    policy = AccessPolicy(auth_token="s3cret", rate_limit=50.0)
+    print("\ngateway: bearer auth + 50 req/s per client")
+    with GatewayThread(engine, policy=policy, result_budget=10_000) as (
+        host,
+        port,
+    ):
+        try:
+            with HttpServeClient(host, port) as anon:
+                anon.prepare("intruder", "Q(a, b) :- E(a, b)")
+        except ServeClientError as exc:
+            print(f"unauthenticated prepare rejected at the edge: {exc.code}")
+
+        with HttpServeClient(host, port, token="s3cret") as http:
+            cursor = http.prepare(
+                "analyst-http",
+                "Q(a, b, c, d, e) :- E(a, b), E(b, c), E(c, d), E(d, e)",
+                dioid="max-plus",
+            )["cursor"]
+            page = http.fetch("analyst-http", cursor, 5)
+            print("top chains over HTTP (identical to the TCP ranking):")
+            for rank, row in enumerate(page.results, start=1):
+                chain = " -> ".join(str(row["assignment"][v]) for v in "abcde")
+                print(f"  #{rank:<3} influence {row['weight']:8.3f}  {chain}")
+
+            metrics = http.metrics()
+            latency = metrics["latency"]["fetch"]
+            print(
+                f"gateway metrics: {metrics['gateway']['http_requests']} "
+                f"HTTP requests, fetch p95 {latency['p95_ms']:.2f} ms, "
+                f"{metrics['sessions']['session_count']} live session(s)"
             )
     engine.close()
 

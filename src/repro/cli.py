@@ -128,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--slice", type=int, default=64, metavar="RESULTS",
                            help="scheduler time-slice: results enumerated "
                                 "between event-loop yields (default 64)")
+    serve_cmd.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                           help="also serve the HTTP/WebSocket gateway on "
+                                "this port (0 = ephemeral; default: off)")
+    serve_cmd.add_argument("--auth-token", default=None, metavar="TOKEN",
+                           help="require this bearer token on every request "
+                                "(TCP and HTTP alike; default: open)")
+    serve_cmd.add_argument("--rate-limit", type=float, default=None,
+                           metavar="REQ_PER_SEC",
+                           help="per-client sustained request rate; excess "
+                                "is rejected at the edge with 429/"
+                                "ERR_THROTTLED (default: unlimited)")
+    serve_cmd.add_argument("--burst", type=float, default=None, metavar="N",
+                           help="rate-limit burst capacity (default: "
+                                "max(1, rate-limit))")
+    serve_cmd.add_argument("--max-frame", type=int, default=1 << 20,
+                           metavar="BYTES",
+                           help="largest accepted request frame (default 1MiB)")
 
     gen_cmd = commands.add_parser(
         "generate", help="write a synthetic workload as CSV and/or SQLite"
@@ -229,11 +246,27 @@ def _command_explain(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import logging
 
+    from repro.serve.gateway import GatewayServer
+    from repro.serve.policy import AccessPolicy
     from repro.serve.server import ServeServer
+
+    # The gateway emits one JSON line per request on this logger; give
+    # it a handler so `repro serve` actually shows the access log.
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
 
     engine = Engine(_open_database(args), core_cache=args.core_cache)
     warmed = engine.warm_start()
+    # One policy object for both transports: auth + rate limits cannot
+    # diverge between the TCP port and the HTTP gateway.
+    policy = None
+    if args.auth_token is not None or args.rate_limit is not None:
+        policy = AccessPolicy(
+            auth_token=args.auth_token,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+        )
     server = ServeServer(
         engine,
         host=args.host,
@@ -242,7 +275,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         ttl_seconds=args.ttl,
         result_budget=args.budget,
         slice_size=args.slice,
+        policy=policy,
+        max_frame_bytes=args.max_frame,
     )
+    gateway = None
+    if args.http_port is not None:
+        # The gateway shares the TCP server's SessionManager, so a
+        # session opened over one transport is visible on the other.
+        gateway = GatewayServer(
+            engine,
+            host=args.host,
+            port=args.http_port,
+            manager=server.manager,
+            policy=policy,
+            max_frame_bytes=args.max_frame,
+        )
 
     async def main() -> None:
         host, port = await server.start()
@@ -254,7 +301,20 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(f"warm-started {warmed} plan(s) from the compiled core file")
         print(f"listening on {host}:{port}  (JSON lines; ops: "
               "prepare, fetch, explain, close, stats, ping)")
-        await server.serve_forever()
+        servers = [server.serve_forever()]
+        if gateway is not None:
+            ghost, gport = await gateway.start()
+            print(f"gateway on http://{ghost}:{gport}  (POST /v1/prepare, "
+                  "/v1/fetch, /v1/close; GET /metrics, /healthz, /v1/ws)")
+            servers.append(gateway.serve_forever())
+        if policy is not None:
+            auth = "token required" if policy.auth_token else "open"
+            limit = (
+                f"{policy.rate_limit:g} req/s (burst {policy.burst:g})"
+                if policy.rate_limit else "unlimited"
+            )
+            print(f"edge policy: {auth}, rate limit {limit}")
+        await asyncio.gather(*servers)
 
     try:
         asyncio.run(main())

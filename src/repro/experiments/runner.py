@@ -22,7 +22,9 @@ is judged on, as opposed to the single-run TT(k) curves above.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -263,6 +265,60 @@ class LatencyStats:
             "answers": self.answers,
             "answers_per_second": round(self.answers_per_second, 1),
         }
+
+
+class LatencyWindow:
+    """A rolling window of request latencies for live ``/metrics``.
+
+    The offline path summarises a finished load run with
+    :meth:`LatencyStats.from_samples`; a *serving* process instead needs
+    percentiles over its recent history while requests keep arriving.
+    ``record`` is O(1) (bounded deque), ``snapshot`` sorts the window on
+    demand — cheap at metric-scrape frequency for the default size.
+    Thread-safe: transports on different event loops share one window.
+    """
+
+    def __init__(self, maxlen: int = 2048):
+        if maxlen < 1:
+            raise ValueError(f"window size must be positive, got {maxlen}")
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        #: Lifetime number of recorded requests (window evictions
+        #: included), so rates stay meaningful past one window.
+        self.total = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.total += 1
+
+    def snapshot(self) -> dict:
+        """Percentiles over the current window (zeros when empty)."""
+        with self._lock:
+            samples = list(self._samples)
+            total = self.total
+        if not samples:
+            return {
+                "count": 0,
+                "total": total,
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "p99_ms": 0.0,
+                "mean_ms": 0.0,
+            }
+        stats = LatencyStats.from_samples(samples)
+        return {
+            "count": stats.count,
+            "total": total,
+            "p50_ms": round(stats.p50 * 1e3, 3),
+            "p95_ms": round(stats.p95 * 1e3, 3),
+            "p99_ms": round(stats.p99 * 1e3, 3),
+            "mean_ms": round(stats.mean * 1e3, 3),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
 
 
 def curve_table(results: list[TTKResult], label: str = "") -> str:

@@ -1,14 +1,26 @@
-"""A small synchronous client for the JSON-lines query server.
+"""Clients for the serving layer: sync, async, and HTTP.
 
-Used by the tests, the load benchmark, and the pagination example; it
-doubles as executable documentation of the protocol.  One socket per
-client; requests are serialised per connection (the server multiplexes
-fairness across *connections*, not within one), so concurrent load is
-driven by creating one client per worker thread.
+* :class:`ServeClient` — blocking JSON-lines client over one socket;
+  used by the tests, the load benchmark, and the pagination example; it
+  doubles as executable documentation of the protocol.  Requests are
+  serialised per connection (the server multiplexes fairness across
+  *connections*, not within one), so concurrent load is driven by
+  creating one client per worker thread.
+* :class:`AsyncServeClient` — the same protocol over asyncio streams,
+  for event-loop-native consumers (one connection per client; drive
+  concurrency by creating several clients on one loop).
+* :class:`HttpServeClient` — a thin blocking client for the HTTP
+  gateway's request/response endpoints (:mod:`repro.serve.gateway`).
+
+All three accept ``token=`` and attach it to every request, matching
+the server-side :class:`~repro.serve.policy.AccessPolicy`.
 """
 
 from __future__ import annotations
 
+import asyncio
+import http.client
+import json
 import socket
 from typing import Any, Iterator
 
@@ -57,15 +69,24 @@ class ServeClient:
     """Blocking JSON-lines client: ``prepare`` / ``fetch`` / ``explain`` /
     ``close`` plus ``stats`` and ``ping``."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        token: str | None = None,
+    ):
         self.host = host
         self.port = port
+        self.token = token
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
 
     # -- transport -------------------------------------------------------------
 
     def _send(self, message: dict) -> None:
+        if self.token is not None and "token" not in message:
+            message = {**message, "token": self.token}
         self._file.write(protocol.encode(message))
         self._file.flush()
 
@@ -192,3 +213,273 @@ class ServeClient:
 
     def __repr__(self) -> str:
         return f"ServeClient({self.host}:{self.port})"
+
+
+class AsyncServeClient:
+    """An asyncio JSON-lines client mirroring :class:`ServeClient`.
+
+    Connect with :meth:`connect` (or ``async with``)::
+
+        async with AsyncServeClient(host, port) as client:
+            cursor = (await client.prepare("s", query))["cursor"]
+            page = await client.fetch("s", cursor, 10)
+
+    One connection per client; requests on a connection are serialised
+    (awaiting a second op mid-fetch would interleave response lines), so
+    event-loop concurrency is driven by creating several clients.
+    """
+
+    def __init__(self, host: str, port: int, token: str | None = None):
+        self.host = host
+        self.port = port
+        self.token = token
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def connect(self) -> "AsyncServeClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- transport -------------------------------------------------------------
+
+    async def _send(self, message: dict) -> None:
+        if self._writer is None:
+            await self.connect()
+        if self.token is not None and "token" not in message:
+            message = {**message, "token": self.token}
+        self._writer.write(protocol.encode(message))
+        await self._writer.drain()
+
+    async def _read(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    async def _read_final(self) -> dict:
+        message = await self._read()
+        if not message.get("ok", False):
+            raise ServeClientError(
+                message.get("error", "unknown"), message.get("message", "")
+            )
+        return message
+
+    async def request(self, message: dict) -> dict:
+        """Send one non-streaming request, return its response."""
+        await self._send(message)
+        return await self._read_final()
+
+    # -- protocol ops ----------------------------------------------------------
+
+    async def ping(self) -> bool:
+        return (await self.request({"op": "ping"}))["ok"]
+
+    async def prepare(
+        self,
+        session: str,
+        query: str,
+        algorithm: str = "take2",
+        dioid: str = "tropical",
+        projection: str = "all_weight",
+        budget: int | None = None,
+        shards: int | None = None,
+        shard_tie_break: str = "arrival",
+    ) -> dict:
+        message: dict[str, Any] = {
+            "op": "prepare",
+            "session": session,
+            "query": query,
+            "algorithm": algorithm,
+            "dioid": dioid,
+            "projection": projection,
+        }
+        if budget is not None:
+            message["budget"] = budget
+        if shards is not None:
+            message["shards"] = shards
+            if shard_tie_break != "arrival":
+                message["shard_tie_break"] = shard_tie_break
+        return await self.request(message)
+
+    async def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
+        """The next ``n`` ranked answers of a cursor (may be fewer)."""
+        await self._send(
+            {"op": "fetch", "session": session, "cursor": cursor, "n": n}
+        )
+        results: list[dict] = []
+        while True:
+            message = await self._read()
+            if "result" in message:
+                results.append(message["result"])
+                continue
+            if not message.get("ok", False):
+                raise ServeClientError(
+                    message.get("error", "unknown"),
+                    message.get("message", ""),
+                )
+            return FetchPage(
+                results,
+                message["served"],
+                message["position"],
+                message["exhausted"],
+            )
+
+    async def fetch_all(
+        self, session: str, cursor: str, page_size: int = 64
+    ) -> list[dict]:
+        """Paginate a cursor to exhaustion (test/bench convenience)."""
+        out: list[dict] = []
+        while True:
+            page = await self.fetch(session, cursor, page_size)
+            out.extend(page.results)
+            if page.exhausted or page.served == 0:
+                return out
+
+    async def explain(self, session: str, cursor: str) -> str:
+        return (
+            await self.request(
+                {"op": "explain", "session": session, "cursor": cursor}
+            )
+        )["plan"]
+
+    async def close_cursor(self, session: str, cursor: str) -> None:
+        await self.request(
+            {"op": "close", "session": session, "cursor": cursor}
+        )
+
+    async def close_session(self, session: str) -> None:
+        await self.request({"op": "close", "session": session})
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    def __repr__(self) -> str:
+        state = "connected" if self._writer is not None else "disconnected"
+        return f"AsyncServeClient({self.host}:{self.port}, {state})"
+
+
+class HttpServeClient:
+    """A blocking client for the HTTP gateway's JSON endpoints.
+
+    Thin by design — the gateway's request/response bodies *are* the
+    wire protocol's messages, so this is mostly URL plumbing plus
+    bearer-token headers.  Raises :class:`ServeClientError` carrying
+    the protocol error code on any non-2xx response, mirroring the
+    JSON-lines clients.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        token: str | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.token = token
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # -- transport -------------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One HTTP round trip; returns the decoded JSON body."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        decoded = json.loads(response.read().decode("utf-8"))
+        if response.status >= 400 or not decoded.get("ok", False):
+            raise ServeClientError(
+                decoded.get("error", f"http_{response.status}"),
+                decoded.get("message", ""),
+            )
+        return decoded
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/v1/stats")["stats"]
+
+    def prepare(self, session: str, query: str, **fields: Any) -> dict:
+        payload = {"session": session, "query": query, **fields}
+        return self.request("POST", "/v1/prepare", payload)
+
+    def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
+        response = self.request(
+            "POST",
+            "/v1/fetch",
+            {"session": session, "cursor": cursor, "n": n},
+        )
+        return FetchPage(
+            response["results"],
+            response["served"],
+            response["position"],
+            response["exhausted"],
+        )
+
+    def fetch_all(
+        self, session: str, cursor: str, page_size: int = 64
+    ) -> list[dict]:
+        out: list[dict] = []
+        while True:
+            page = self.fetch(session, cursor, page_size)
+            out.extend(page.results)
+            if page.exhausted or page.served == 0:
+                return out
+
+    def explain(self, session: str, cursor: str) -> str:
+        return self.request(
+            "POST", "/v1/explain", {"session": session, "cursor": cursor}
+        )["plan"]
+
+    def close_cursor(self, session: str, cursor: str) -> None:
+        self.request(
+            "POST", "/v1/close", {"session": session, "cursor": cursor}
+        )
+
+    def close_session(self, session: str) -> None:
+        self.request("POST", "/v1/close", {"session": session})
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "HttpServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"HttpServeClient({self.host}:{self.port})"

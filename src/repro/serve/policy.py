@@ -1,0 +1,167 @@
+"""Edge admission policy: bearer-token auth and per-client rate limits.
+
+One :class:`AccessPolicy` object is shared by every transport of a
+deployment — the TCP JSON-lines server and the HTTP/WebSocket gateway
+both consult the *same* instance — so a client sees identical
+enforcement no matter which front door it knocks on, and a deployment's
+auth/limit configuration lives in exactly one place.
+
+Two independent checks, both designed to run *before* any engine or
+scheduler work:
+
+* :meth:`AccessPolicy.authorize` — constant-time bearer-token
+  comparison (``hmac.compare_digest``).  ``auth_token=None`` means the
+  deployment is open (every request authorized).
+* :meth:`AccessPolicy.admit` — a per-client token bucket refilled at
+  ``rate_limit`` requests/second up to ``burst`` capacity.  A denied
+  request is rejected at the edge (HTTP 429 / ``ERR_THROTTLED``)
+  without touching the :class:`~repro.serve.session.SessionManager`,
+  which is the difference between *containing* a misbehaving client
+  (the cooperative scheduler's job) and *refusing* it.
+
+The policy is thread-safe: the TCP server and the gateway may run on
+different event loops in different threads over one shared policy.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from typing import Any, Callable, Hashable
+
+
+class _Bucket:
+    """One client's token-bucket state."""
+
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float):
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class AccessPolicy:
+    """Shared auth + admission-control configuration for the serve layer.
+
+    ``auth_token``
+        The bearer token every request must present (``None`` = open).
+    ``rate_limit``
+        Sustained requests/second allowed per client (``None`` =
+        unlimited).  Enforced as a token bucket, so short bursts up to
+        ``burst`` requests are absorbed before throttling starts.
+    ``burst``
+        Bucket capacity; defaults to ``max(1, rate_limit)`` so a
+        client may always issue at least one request immediately.
+    ``clock``
+        Injectable monotonic clock (tests refill buckets manually).
+    """
+
+    def __init__(
+        self,
+        auth_token: str | None = None,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ):
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {rate_limit}")
+        if burst is not None and burst < 1:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.auth_token = auth_token
+        self.rate_limit = None if rate_limit is None else float(rate_limit)
+        if burst is not None:
+            self.burst = float(burst)
+        else:
+            self.burst = (
+                None if self.rate_limit is None else max(1.0, self.rate_limit)
+            )
+        self._clock = clock
+        self._max_clients = max_clients
+        self._lock = threading.Lock()
+        self._buckets: dict[Hashable, _Bucket] = {}
+        #: Requests that failed the bearer-token check.
+        self.denied_auth = 0
+        #: Requests rejected by the rate limiter.
+        self.throttled = 0
+        #: Requests that passed both checks.
+        self.admitted = 0
+
+    # -- auth ------------------------------------------------------------------
+
+    def authorize(self, token: Any) -> bool:
+        """Whether ``token`` grants access (constant-time comparison)."""
+        if self.auth_token is None:
+            return True
+        ok = isinstance(token, str) and hmac.compare_digest(
+            token, self.auth_token
+        )
+        if not ok:
+            with self._lock:
+                self.denied_auth += 1
+        return ok
+
+    # -- admission control -----------------------------------------------------
+
+    def _bucket_locked(self, client: Hashable, now: float) -> _Bucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self._max_clients:
+                # Drop the longest-idle bucket: a returning client then
+                # starts from a full bucket, which only errs permissive.
+                oldest = min(self._buckets, key=lambda c: self._buckets[c].stamp)
+                del self._buckets[oldest]
+            bucket = self._buckets[client] = _Bucket(self.burst, now)
+        return bucket
+
+    def admit(self, client: Hashable) -> bool:
+        """Take one token from ``client``'s bucket; False = throttle now."""
+        if self.rate_limit is None:
+            with self._lock:
+                self.admitted += 1
+            return True
+        with self._lock:
+            now = self._clock()
+            bucket = self._bucket_locked(client, now)
+            bucket.tokens = min(
+                self.burst,
+                bucket.tokens + (now - bucket.stamp) * self.rate_limit,
+            )
+            bucket.stamp = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                self.admitted += 1
+                return True
+            self.throttled += 1
+            return False
+
+    def retry_after(self, client: Hashable) -> float:
+        """Seconds until ``client``'s bucket next holds a full token."""
+        if self.rate_limit is None:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                return 0.0
+            missing = max(0.0, 1.0 - bucket.tokens)
+            return missing / self.rate_limit
+
+    # -- observability ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for ``/metrics`` and the ``stats`` op."""
+        with self._lock:
+            return {
+                "auth_required": self.auth_token is not None,
+                "rate_limit": self.rate_limit,
+                "burst": self.burst,
+                "admitted": self.admitted,
+                "denied_auth": self.denied_auth,
+                "throttled": self.throttled,
+                "tracked_clients": len(self._buckets),
+            }
+
+    def __repr__(self) -> str:
+        auth = "token" if self.auth_token is not None else "open"
+        return f"AccessPolicy({auth}, rate_limit={self.rate_limit})"

@@ -61,9 +61,24 @@ ERR_UNKNOWN_CURSOR = "unknown_cursor"
 ERR_BUDGET = "budget_exceeded"
 ERR_QUERY = "bad_query"
 ERR_INTERNAL = "internal"
+#: Edge rejections (see :mod:`repro.serve.policy`): the request never
+#: reached the session manager or consumed a scheduler slice.
+ERR_UNAUTHORIZED = "unauthorized"
+ERR_THROTTLED = "throttled"
 
 #: Ops a server must implement.
 OPS = ("prepare", "fetch", "explain", "close", "stats", "ping")
+
+
+def valid_int(value: Any) -> bool:
+    """Whether ``value`` is a JSON integer (rejecting booleans).
+
+    ``bool`` is an ``int`` subclass in Python, so a bare ``isinstance``
+    check lets JSON ``true``/``false`` masquerade as ``1``/``0`` — e.g.
+    ``{"shards": true}`` silently preparing a 1-shard plan.  Every
+    integer-valued protocol field validates through here instead.
+    """
+    return isinstance(value, int) and not isinstance(value, bool)
 
 
 def _jsonable(value: Any) -> Any:

@@ -15,9 +15,20 @@ points that matter for serving ranked enumeration:
   connections therefore interleave at slice granularity: a worst-case
   cycle query grinding through its output cannot starve a cheap path
   query on another connection.
+* **Edge admission** — an optional shared
+  :class:`~repro.serve.policy.AccessPolicy` authenticates and
+  rate-limits every request *before* it reaches the session manager:
+  an unauthorized or over-limit client is refused without consuming a
+  scheduler slice.  The same policy object serves the HTTP gateway
+  (:mod:`repro.serve.gateway`), so both transports enforce one config.
 * **Shared work** — connections are stateless transports; all state
   (sessions, cursors, memoized prefixes) lives behind the engine, so
   two clients paginating the same query share one enumeration.
+
+The protocol op handlers live in :class:`OpDispatcher`, which is
+transport-agnostic (it only needs a ``write``/``drain`` writer): the
+TCP server and the gateway's WebSocket endpoint dispatch through the
+same object, so validation and semantics cannot drift between them.
 
 :class:`ServerThread` hosts the server's event loop in a daemon thread,
 which is how the tests, the load benchmark, and the example embed a
@@ -33,6 +44,7 @@ from typing import Any
 from repro.engine.engine import Engine
 from repro.serve import protocol
 from repro.serve.cursor import CursorBudgetExceeded
+from repro.serve.policy import AccessPolicy
 from repro.serve.session import (
     ServeError,
     SessionBudgetExceeded,
@@ -48,107 +60,29 @@ _ERROR_CODES = {
     SessionBudgetExceeded: protocol.ERR_BUDGET,
 }
 
+#: Bytes read from the transport per loop iteration (not a frame cap).
+_READ_CHUNK = 1 << 16
 
-class ServeServer:
-    """A TCP JSON-lines front end over one engine's prepared queries."""
 
-    def __init__(
-        self,
-        engine: Engine,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        max_sessions: int = 64,
-        ttl_seconds: float | None = None,
-        result_budget: int | None = None,
-        slice_size: int = 64,
-    ):
-        self.engine = engine
-        self.host = host
-        self.port = port
-        self.manager = SessionManager(
-            engine,
-            max_sessions=max_sessions,
-            ttl_seconds=ttl_seconds,
-            result_budget=result_budget,
-            slice_size=slice_size,
-        )
-        self._server: asyncio.AbstractServer | None = None
-        self.connections = 0
+class OpDispatcher:
+    """Protocol op handlers over one session manager, transport-agnostic.
+
+    ``dispatch`` takes a decoded request and a stream-writer-like object
+    (``write(bytes)``, ``async drain()``, ``is_closing()``); every
+    transport — the TCP server, the gateway's WebSocket endpoint, and
+    the gateway's buffered HTTP endpoints — routes through one instance,
+    so a validation rule fixed here is fixed everywhere at once.
+    """
+
+    def __init__(self, manager: SessionManager):
+        self.manager = manager
+        #: Requests dispatched (all transports sharing this dispatcher).
         self.requests = 0
 
-    # -- lifecycle -------------------------------------------------------------
-
-    async def start(self) -> tuple[str, int]:
-        """Bind and start accepting connections; returns (host, port)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.host, self.port = self._server.sockets[0].getsockname()[:2]
-        return self.host, self.port
-
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-
-    @property
-    def address(self) -> tuple[str, int]:
-        return self.host, self.port
-
-    # -- connection handling ---------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self.connections += 1
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                self.requests += 1
-                try:
-                    request = protocol.decode(stripped)
-                except ValueError as exc:
-                    writer.write(
-                        protocol.encode(
-                            protocol.error(
-                                protocol.ERR_BAD_REQUEST, str(exc)
-                            )
-                        )
-                    )
-                    await writer.drain()
-                    continue
-                await self._dispatch(request, writer)
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
-        except asyncio.CancelledError:
-            # Server shutdown: finish quietly so the drained task does
-            # not surface a cancellation to the streams machinery.
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
-                pass
-
-    async def _dispatch(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def dispatch(self, request: dict, writer: Any) -> None:
+        self.requests += 1
         op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) if op in protocol.OPS else None
+        handler = getattr(self, f"op_{op}", None) if op in protocol.OPS else None
         if handler is None:
             writer.write(
                 protocol.encode(
@@ -201,9 +135,7 @@ class ServeServer:
             values.append(request[name])
         return values
 
-    async def _op_prepare(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_prepare(self, request: dict, writer: Any) -> None:
         from repro.ranking.dioid import NAMED_DIOIDS
 
         session_name, query = self._require(request, "session", "query")
@@ -214,7 +146,9 @@ class ServeServer:
                 f"(expected one of {sorted(NAMED_DIOIDS)})"
             )
         shards = request.get("shards")
-        if shards is not None and (not isinstance(shards, int) or shards < 1):
+        if shards is not None and (
+            not protocol.valid_int(shards) or shards < 1
+        ):
             raise ServeError(
                 f"shards must be a positive int, got {shards!r}"
             )
@@ -245,12 +179,10 @@ class ServeServer:
             )
         )
 
-    async def _op_fetch(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_fetch(self, request: dict, writer: Any) -> None:
         session_name, cursor_id = self._require(request, "session", "cursor")
         n = request.get("n", 10)
-        if not isinstance(n, int) or n < 0:
+        if not protocol.valid_int(n) or n < 0:
             raise ServeError(f"fetch size must be a non-negative int, got {n!r}")
 
         # Stream slice by slice: the sink runs after every scheduler
@@ -286,16 +218,12 @@ class ServeServer:
             )
         )
 
-    async def _op_explain(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_explain(self, request: dict, writer: Any) -> None:
         session_name, cursor_id = self._require(request, "session", "cursor")
         plan = self.manager.explain(session_name, cursor_id)
         writer.write(protocol.encode(protocol.ok("explain", plan=plan)))
 
-    async def _op_close(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_close(self, request: dict, writer: Any) -> None:
         (session_name,) = self._require(request, "session")
         cursor_id = request.get("cursor")
         if cursor_id is None:
@@ -304,18 +232,209 @@ class ServeServer:
             self.manager.close_cursor(session_name, cursor_id)
         writer.write(protocol.encode(protocol.ok("close")))
 
-    async def _op_stats(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_stats(self, request: dict, writer: Any) -> None:
         stats = self.manager.stats()
-        stats["connections"] = self.connections
-        stats["requests"] = self.requests
+        extra = getattr(self, "extra_stats", None)
+        if extra is not None:
+            stats.update(extra())
         writer.write(protocol.encode(protocol.ok("stats", stats=stats)))
 
-    async def _op_ping(
-        self, request: dict, writer: asyncio.StreamWriter
-    ) -> None:
+    async def op_ping(self, request: dict, writer: Any) -> None:
         writer.write(protocol.encode(protocol.ok("ping")))
+
+
+class ServeServer:
+    """A TCP JSON-lines front end over one engine's prepared queries."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 64,
+        ttl_seconds: float | None = None,
+        result_budget: int | None = None,
+        slice_size: int = 64,
+        policy: AccessPolicy | None = None,
+        max_frame_bytes: int = 1 << 20,
+    ):
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be positive, got {max_frame_bytes}"
+            )
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.manager = SessionManager(
+            engine,
+            max_sessions=max_sessions,
+            ttl_seconds=ttl_seconds,
+            result_budget=result_budget,
+            slice_size=slice_size,
+        )
+        self.dispatcher = OpDispatcher(self.manager)
+        self.dispatcher.extra_stats = self._extra_stats
+        #: Shared edge policy (None = open deployment, no checks).
+        self.policy = policy
+        #: Largest accepted request line; longer frames are answered
+        #: with ``ERR_BAD_REQUEST`` and skipped, the connection lives on.
+        self.max_frame_bytes = max_frame_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self.connections = 0
+        self.requests = 0
+        self.oversized_frames = 0
+
+    def _extra_stats(self) -> dict:
+        extra = {"connections": self.connections, "requests": self.requests}
+        if self.policy is not None:
+            extra["policy"] = self.policy.snapshot()
+        return extra
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, close_sessions: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if close_sessions:
+            # Drop every session and its cursors so engine streams are
+            # not pinned by a dead server across restarts (the engine's
+            # own memo cache stays warm — that is its job, not ours).
+            self.manager.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    # -- connection handling ---------------------------------------------------
+
+    def _edge_check(self, request: dict, peer: Any) -> dict | None:
+        """Run the shared policy; an error message means "reject now".
+
+        Runs before dispatch, so a rejected request never reaches the
+        session manager or consumes a cooperative-scheduler slice.
+        ``ping`` stays open (liveness probes, like the gateway's
+        ``/healthz``).
+        """
+        if self.policy is None or request.get("op") == "ping":
+            return None
+        if not self.policy.authorize(request.get("token")):
+            return protocol.error(
+                protocol.ERR_UNAUTHORIZED, "missing or invalid auth token"
+            )
+        if not self.policy.admit(peer):
+            retry = self.policy.retry_after(peer)
+            return protocol.error(
+                protocol.ERR_THROTTLED,
+                f"rate limit exceeded; retry in {retry:.3f}s",
+            )
+        return None
+
+    async def _handle_line(
+        self, line: bytes, peer: Any, writer: asyncio.StreamWriter
+    ) -> None:
+        stripped = line.strip()
+        if not stripped:
+            return
+        self.requests += 1
+        try:
+            request = protocol.decode(stripped)
+        except ValueError as exc:
+            writer.write(
+                protocol.encode(
+                    protocol.error(protocol.ERR_BAD_REQUEST, str(exc))
+                )
+            )
+            await writer.drain()
+            return
+        rejection = self._edge_check(request, peer)
+        if rejection is not None:
+            writer.write(protocol.encode(rejection))
+            await writer.drain()
+            return
+        await self.dispatcher.dispatch(request, writer)
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else str(peername)
+        # Framing is done here with an explicit buffer instead of
+        # ``reader.readline()``: readline raises an uncatchable-in-place
+        # ValueError once a line outgrows the stream limit (64 KiB by
+        # default), which used to kill the handler task silently.  The
+        # explicit buffer makes the frame cap a first-class, configurable
+        # protocol error: the client gets ERR_BAD_REQUEST, the rest of
+        # the oversized line is discarded, and the connection survives.
+        buffer = bytearray()
+        discarding = False
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                buffer += chunk
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = bytes(buffer[:newline])
+                    del buffer[: newline + 1]
+                    if discarding:
+                        # Tail of a frame already reported oversized.
+                        discarding = False
+                        continue
+                    if len(line) > self.max_frame_bytes:
+                        await self._reject_oversized(writer)
+                        continue
+                    await self._handle_line(line, peer, writer)
+                if not discarding and len(buffer) > self.max_frame_bytes:
+                    await self._reject_oversized(writer)
+                    discarding = True
+                if discarding:
+                    buffer.clear()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown: finish quietly so the drained task does
+            # not surface a cancellation to the streams machinery.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _reject_oversized(self, writer: asyncio.StreamWriter) -> None:
+        self.requests += 1
+        self.oversized_frames += 1
+        writer.write(
+            protocol.encode(
+                protocol.error(
+                    protocol.ERR_BAD_REQUEST,
+                    f"request frame exceeds {self.max_frame_bytes} bytes",
+                )
+            )
+        )
+        await writer.drain()
 
 
 class ServerThread:
@@ -327,10 +446,17 @@ class ServerThread:
         with ServerThread(engine) as address:
             client = ServeClient(*address)
             ...
+
+    Subclasses swap :attr:`server_class` to host a different asyncio
+    server with the same lifecycle (see
+    :class:`~repro.serve.gateway.GatewayThread`).
     """
 
+    server_class = ServeServer
+    thread_name = "repro-serve"
+
     def __init__(self, engine: Engine, **server_options: Any):
-        self.server = ServeServer(engine, **server_options)
+        self.server = self.server_class(engine, **server_options)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -339,7 +465,7 @@ class ServerThread:
     def start(self, timeout: float = 10.0) -> tuple[str, int]:
         """Start the loop thread; blocks until the socket is bound."""
         self._thread = threading.Thread(
-            target=self._run, name="repro-serve", daemon=True
+            target=self._run, name=self.thread_name, daemon=True
         )
         self._thread.start()
         if not self._started.wait(timeout):
@@ -375,10 +501,19 @@ class ServerThread:
             loop.close()
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop thread; a no-op if the server never started.
+
+        Safe to call when :meth:`start` was never invoked or timed out
+        (``_stop_requested`` may then still be ``None``), and when the
+        loop already finished on its own.
+        """
         loop, self._loop = self._loop, None
-        if loop is None:
-            return
-        loop.call_soon_threadsafe(self._stop_requested.set)
+        stop_requested = self._stop_requested
+        if loop is not None and stop_requested is not None:
+            try:
+                loop.call_soon_threadsafe(stop_requested.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to signal
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None

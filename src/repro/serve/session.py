@@ -309,6 +309,20 @@ class SessionManager:
         with self._lock:
             return list(self._sessions)
 
+    def close(self) -> int:
+        """Drop every session (and its cursors); returns how many.
+
+        Called by server shutdown so a stopped server does not keep
+        engine streams pinned through orphaned cursors.  The engine's
+        own memoized prefixes are untouched — a restarted server over
+        the same engine still resumes warm.
+        """
+        with self._lock:
+            names = list(self._sessions)
+            for name in names:
+                self._drop_locked(name)
+            return len(names)
+
     # -- cursors ---------------------------------------------------------------
 
     def open_cursor(

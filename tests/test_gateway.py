@@ -1,0 +1,543 @@
+"""The HTTP/WebSocket gateway: auth, throttling, metrics, bit-identity."""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import http.client
+import json
+import os
+import socket as socketlib
+
+import pytest
+
+from repro.data.generators import uniform_database
+from repro.engine import Engine
+from repro.query.builders import path_query
+from repro.serve import (
+    AccessPolicy,
+    AsyncServeClient,
+    GatewayThread,
+    HttpServeClient,
+    ServeClient,
+    ServeClientError,
+    ServerThread,
+)
+from repro.serve.gateway import GatewayServer, ws_accept_key, ws_encode_frame
+
+QUERY = "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+TOKEN = "open-sesame"
+
+
+def signature(results):
+    return [(round(r.weight, 6), r.output_tuple) for r in results]
+
+
+def wire_signature(rows):
+    return [
+        (
+            round(row["weight"], 6),
+            tuple(row["assignment"][v] for v in ("x1", "x2", "x3", "x4")),
+        )
+        for row in rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = Engine(uniform_database(3, 40, domain_size=5, seed=9))
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def baseline(engine):
+    return signature(engine.prepare(path_query(3)).top(60))
+
+
+@pytest.fixture(scope="module")
+def gateway(engine):
+    """An open (no auth, no limits) gateway."""
+    with GatewayThread(engine, slice_size=8) as address:
+        yield address
+
+
+@pytest.fixture
+def client(gateway):
+    with HttpServeClient(*gateway) as c:
+        yield c
+
+
+# -- plumbing ------------------------------------------------------------------
+
+
+class TestHttpPlumbing:
+    def test_healthz(self, client):
+        assert client.healthz() == {"ok": True, "status": "serving"}
+
+    def test_unknown_route_is_404(self, gateway):
+        conn = http.client.HTTPConnection(*gateway)
+        conn.request("GET", "/nope")
+        response = conn.getresponse()
+        assert response.status == 404
+        assert json.loads(response.read())["error"] == "bad_request"
+        conn.close()
+
+    def test_method_not_allowed(self, gateway):
+        conn = http.client.HTTPConnection(*gateway)
+        conn.request("POST", "/metrics", body=b"{}")
+        response = conn.getresponse()
+        assert response.status == 405
+        assert response.getheader("Allow") == "GET"
+        conn.close()
+
+    def test_malformed_body_is_400(self, gateway):
+        conn = http.client.HTTPConnection(*gateway)
+        conn.request(
+            "POST", "/v1/prepare", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        conn.close()
+
+    def test_keep_alive_serves_many_requests(self, client):
+        for _ in range(5):
+            assert client.healthz()["ok"]
+
+    def test_unknown_session_maps_to_404(self, gateway):
+        conn = http.client.HTTPConnection(*gateway)
+        conn.request(
+            "POST", "/v1/fetch",
+            body=json.dumps(
+                {"session": "ghost", "cursor": "c0", "n": 1}
+            ).encode(),
+        )
+        response = conn.getresponse()
+        assert response.status == 404
+        assert json.loads(response.read())["error"] == "unknown_session"
+        conn.close()
+
+    def test_boolean_shards_rejected_over_http(self, client):
+        """The shared OpDispatcher validation covers the HTTP path too."""
+        with pytest.raises(ServeClientError, match="bad_request"):
+            client.prepare("boolh", QUERY, shards=True)
+
+    def test_boolean_fetch_size_rejected_over_http(self, client):
+        cursor = client.prepare("boolh", QUERY)["cursor"]
+        with pytest.raises(ServeClientError, match="bad_request"):
+            client.fetch("boolh", cursor, n=True)
+
+
+# -- pagination bit-identity ---------------------------------------------------
+
+
+class TestHttpPagination:
+    def test_http_prefix_matches_engine(self, client, baseline):
+        cursor = client.prepare("httpage", QUERY)["cursor"]
+        rows: list[dict] = []
+        for _ in range(6):
+            page = client.fetch("httpage", cursor, 10)
+            rows.extend(page.results)
+        assert wire_signature(rows) == baseline
+        client.close_session("httpage")
+
+    def test_http_tcp_and_client_paths_bit_identical(
+        self, engine, gateway, baseline
+    ):
+        """The acceptance criterion: paginated results over HTTP are
+        bit-identical to the TCP path and the sync ServeClient."""
+        with ServerThread(engine, slice_size=8) as tcp_address:
+            with ServeClient(*tcp_address) as tcp:
+                cursor = tcp.prepare("xport-tcp", QUERY)["cursor"]
+                tcp_rows = []
+                while len(tcp_rows) < 60:
+                    tcp_rows.extend(
+                        tcp.fetch("xport-tcp", cursor, 10).results
+                    )
+        with HttpServeClient(*gateway) as http_client:
+            cursor = http_client.prepare("xport-http", QUERY)["cursor"]
+            http_rows = []
+            while len(http_rows) < 60:
+                http_rows.extend(
+                    http_client.fetch("xport-http", cursor, 10).results
+                )
+        assert wire_signature(http_rows[:60]) == baseline
+        assert http_rows[:60] == tcp_rows[:60]  # full JSON payload equality
+
+    def test_pagination_is_stateful_and_exhausts(self, engine, client):
+        total = len(list(engine.prepare(path_query(2)).iter()))
+        cursor = client.prepare(
+            "httpdrain", "Q(x1, x2, x3) :- R1(x1, x2), R2(x2, x3)"
+        )["cursor"]
+        rows = client.fetch_all("httpdrain", cursor, page_size=64)
+        assert len(rows) == total
+        page = client.fetch("httpdrain", cursor, 5)
+        assert page.served == 0
+        assert page.exhausted
+
+    def test_explain_and_stats_over_http(self, client):
+        cursor = client.prepare("httpex", QUERY)["cursor"]
+        assert "strategy: acyclic-tdp" in client.explain("httpex", cursor)
+        stats = client.stats()
+        assert "engine" in stats and "scheduler" in stats
+
+
+# -- auth ----------------------------------------------------------------------
+
+
+class TestAuth:
+    @pytest.fixture(scope="class")
+    def guarded(self, engine):
+        policy = AccessPolicy(auth_token=TOKEN)
+        with GatewayThread(engine, policy=policy) as address:
+            yield address
+
+    def test_missing_token_is_401(self, guarded):
+        conn = http.client.HTTPConnection(*guarded)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        assert response.status == 401
+        assert json.loads(response.read())["error"] == "unauthorized"
+        conn.close()
+
+    def test_wrong_token_is_401(self, guarded):
+        with pytest.raises(ServeClientError, match="unauthorized"):
+            HttpServeClient(*guarded, token="wrong").prepare("a", QUERY)
+
+    def test_bearer_header_grants_access(self, guarded):
+        with HttpServeClient(*guarded, token=TOKEN) as c:
+            response = c.prepare("authed", QUERY)
+            assert response["ok"]
+            page = c.fetch("authed", response["cursor"], 3)
+            assert page.served == 3
+
+    def test_query_param_token_grants_access(self, guarded):
+        conn = http.client.HTTPConnection(*guarded)
+        conn.request("GET", f"/v1/stats?token={TOKEN}")
+        response = conn.getresponse()
+        assert response.status == 200
+        conn.close()
+
+    def test_healthz_needs_no_token(self, guarded):
+        conn = http.client.HTTPConnection(*guarded)
+        conn.request("GET", "/healthz")
+        assert conn.getresponse().status == 200
+        conn.close()
+
+
+# -- rate limiting -------------------------------------------------------------
+
+
+class TestThrottling:
+    def test_429_with_retry_after_and_no_scheduler_slice(self, engine):
+        clock = [0.0]  # frozen: the bucket never refills on its own
+        policy = AccessPolicy(rate_limit=1.0, burst=3, clock=lambda: clock[0])
+        thread = GatewayThread(engine, policy=policy)
+        address = thread.start()
+        try:
+            manager = thread.server.manager
+            with HttpServeClient(*address) as c:
+                cursor = c.prepare("burst", QUERY)["cursor"]
+                assert c.fetch("burst", cursor, 5).served == 5
+                assert c.stats()["session_count"] >= 1
+                # Bucket (burst=3) is now empty: the edge must reject
+                # without touching the cooperative scheduler.
+                slices_before = manager.scheduler.slices
+                conn = http.client.HTTPConnection(*address)
+                conn.request(
+                    "POST", "/v1/fetch",
+                    body=json.dumps(
+                        {"session": "burst", "cursor": cursor, "n": 5}
+                    ).encode(),
+                )
+                response = conn.getresponse()
+                assert response.status == 429
+                payload = json.loads(response.read())
+                assert payload["error"] == "throttled"
+                assert int(response.getheader("Retry-After")) >= 1
+                conn.close()
+                assert manager.scheduler.slices == slices_before
+                assert policy.throttled >= 1
+                # Refill restores service.
+                clock[0] += 10.0
+                assert c.fetch("burst", cursor, 5).served == 5
+        finally:
+            thread.stop()
+
+    def test_healthz_is_never_throttled(self, engine):
+        policy = AccessPolicy(rate_limit=1.0, burst=1, clock=lambda: 0.0)
+        with GatewayThread(engine, policy=policy) as address:
+            with HttpServeClient(*address) as c:
+                c.stats()  # consumes the only token
+                for _ in range(3):
+                    assert c.healthz()["ok"]
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_metrics_shape(self, engine, client):
+        cursor = client.prepare("metrics", QUERY)["cursor"]
+        client.fetch("metrics", cursor, 5)
+        metrics = client.metrics()
+        assert metrics["ok"] is True
+        gateway = metrics["gateway"]
+        assert gateway["http_requests"] >= 2
+        assert {"ws_connections", "ws_messages", "dispatched"} <= set(gateway)
+        for key in ("admitted", "denied_auth", "throttled", "rate_limit"):
+            assert key in metrics["policy"]
+        fetch_latency = metrics["latency"]["fetch"]
+        assert fetch_latency["count"] >= 1
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "total"):
+            assert key in fetch_latency
+        assert fetch_latency["p50_ms"] <= fetch_latency["p99_ms"]
+        assert metrics["sessions"]["session_count"] >= 1
+        # Engine cache counters ride along (stream/core observability).
+        engine_stats = metrics["engine"]
+        for key in ("stream_hits", "stream_misses", "core_hits", "binds"):
+            assert key in engine_stats
+        assert metrics["scheduler"]["slices"] >= 1
+
+    def test_latency_window_fills_with_fetches(self, engine):
+        with GatewayThread(engine) as address:
+            with HttpServeClient(*address) as c:
+                cursor = c.prepare("lat", QUERY)["cursor"]
+                before = c.metrics()["latency"]["fetch"]["total"]
+                for _ in range(4):
+                    c.fetch("lat", cursor, 2)
+                after = c.metrics()["latency"]["fetch"]["total"]
+        assert after == before + 4
+
+
+# -- websocket -----------------------------------------------------------------
+
+
+class _SyncWsClient:
+    """A minimal blocking WebSocket client for tests (RFC 6455 subset)."""
+
+    def __init__(self, host: str, port: int, token: str | None = None):
+        self._sock = socketlib.create_connection((host, port), timeout=30)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        target = "/v1/ws" + (f"?token={token}" if token else "")
+        self._sock.sendall(
+            (
+                f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: Upgrade\r\nUpgrade: websocket\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n\r\n"
+            ).encode("latin-1")
+        )
+        header = b""
+        while b"\r\n\r\n" not in header:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("no handshake response")
+            header += chunk
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+        self.status = int(status_line.split()[1])
+        if self.status == 101:
+            assert ws_accept_key(key).encode("ascii") in header
+        self._file = self._sock.makefile("rb")
+
+    def send(self, message: dict) -> None:
+        payload = json.dumps(message).encode("utf-8")
+        mask = os.urandom(4)
+        frame = bytearray([0x81])
+        if len(payload) < 126:
+            frame.append(0x80 | len(payload))
+        else:
+            frame.append(0x80 | 126)
+            frame += len(payload).to_bytes(2, "big")
+        frame += mask
+        frame += bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        self._sock.sendall(bytes(frame))
+
+    def recv(self) -> dict:
+        head = self._file.read(2)
+        length = head[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(self._file.read(2), "big")
+        elif length == 127:
+            length = int.from_bytes(self._file.read(8), "big")
+        return json.loads(self._file.read(length))
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+
+class TestWebSocket:
+    def test_ws_round_trip_bit_identical(self, gateway, baseline):
+        ws = _SyncWsClient(*gateway)
+        assert ws.status == 101
+        ws.send({"op": "ping"})
+        assert ws.recv()["ok"]
+        ws.send({"op": "prepare", "session": "wss", "query": QUERY})
+        cursor = ws.recv()["cursor"]
+        rows: list[dict] = []
+        while len(rows) < 60:
+            ws.send(
+                {"op": "fetch", "session": "wss", "cursor": cursor, "n": 12}
+            )
+            while True:
+                message = ws.recv()
+                if "result" in message:
+                    rows.append(message["result"])
+                    continue
+                assert message["ok"], message
+                break
+        assert wire_signature(rows[:60]) == baseline
+        ws.close()
+
+    def test_ws_frame_helpers_round_trip(self):
+        frame = ws_encode_frame(b"hello")
+        assert frame[0] == 0x81  # FIN + text
+        assert frame[1] == 5  # unmasked, length 5
+        assert frame[2:] == b"hello"
+
+    def test_ws_requires_auth_at_upgrade(self, engine):
+        policy = AccessPolicy(auth_token=TOKEN)
+        with GatewayThread(engine, policy=policy) as address:
+            denied = _SyncWsClient(*address)
+            assert denied.status == 401
+            denied._sock.close()
+            granted = _SyncWsClient(*address, token=TOKEN)
+            assert granted.status == 101
+            granted.send({"op": "ping"})
+            assert granted.recv()["ok"]
+            granted.close()
+
+    def test_ws_bad_json_frame_is_recoverable(self, gateway):
+        ws = _SyncWsClient(*gateway)
+        payload = b"{broken"
+        mask = os.urandom(4)
+        frame = bytearray([0x81, 0x80 | len(payload)])
+        frame += mask
+        frame += bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        ws._sock.sendall(bytes(frame))
+        message = ws.recv()
+        assert message["ok"] is False
+        assert message["error"] == "bad_request"
+        ws.send({"op": "ping"})
+        assert ws.recv()["ok"]
+        ws.close()
+
+
+# -- the async client ----------------------------------------------------------
+
+
+class TestAsyncServeClient:
+    def test_async_client_matches_baseline(self, engine, baseline):
+        with ServerThread(engine, slice_size=8) as address:
+            async def run() -> list[dict]:
+                async with AsyncServeClient(*address) as client:
+                    assert await client.ping()
+                    response = await client.prepare("async", QUERY)
+                    rows: list[dict] = []
+                    while len(rows) < 60:
+                        page = await client.fetch(
+                            "async", response["cursor"], 15
+                        )
+                        rows.extend(page.results)
+                    await client.close_session("async")
+                    return rows
+
+            rows = asyncio.run(run())
+        assert wire_signature(rows[:60]) == baseline
+
+    def test_async_client_concurrent_sessions(self, engine, baseline):
+        with ServerThread(engine, slice_size=8) as address:
+            async def one(name: str) -> list[dict]:
+                async with AsyncServeClient(*address) as client:
+                    cursor = (await client.prepare(name, QUERY))["cursor"]
+                    rows: list[dict] = []
+                    while len(rows) < 40:
+                        page = await client.fetch(name, cursor, 10)
+                        rows.extend(page.results)
+                    return rows
+
+            async def run():
+                return await asyncio.gather(
+                    *(one(f"aio-{i}") for i in range(4))
+                )
+
+            outputs = asyncio.run(run())
+        for rows in outputs:
+            assert wire_signature(rows[:40]) == baseline[:40]
+
+    def test_async_client_token(self, engine):
+        policy = AccessPolicy(auth_token=TOKEN)
+        with ServerThread(engine, policy=policy) as address:
+            async def run():
+                async with AsyncServeClient(*address) as anonymous:
+                    with pytest.raises(ServeClientError, match="unauthorized"):
+                        await anonymous.prepare("locked", QUERY)
+                async with AsyncServeClient(*address, token=TOKEN) as client:
+                    return (await client.prepare("granted", QUERY))["ok"]
+
+            assert asyncio.run(run())
+
+
+# -- shared manager across transports ------------------------------------------
+
+
+class TestSharedManager:
+    def test_gateway_shares_tcp_server_sessions(self, engine):
+        """`repro serve --http-port` wires both transports to one
+        SessionManager: a session opened over TCP pages over HTTP."""
+        from repro.serve.server import ServeServer
+
+        thread = ServerThread(engine, slice_size=8)
+        address = thread.start()
+
+        class SharedGatewayThread(GatewayThread):
+            server_class = staticmethod(
+                lambda engine, **options: GatewayServer(
+                    engine, manager=thread.server.manager, **options
+                )
+            )
+
+        gateway_thread = SharedGatewayThread(engine)
+        gateway_address = gateway_thread.start()
+        try:
+            with ServeClient(*address) as tcp:
+                cursor = tcp.prepare("shared-x", QUERY)["cursor"]
+                first = tcp.fetch("shared-x", cursor, 10)
+            with HttpServeClient(*gateway_address) as via_http:
+                second = via_http.fetch("shared-x", cursor, 10)
+            assert first.position == 10
+            assert second.position == 20
+        finally:
+            gateway_thread.stop()
+            thread.stop()
+
+    def test_gateway_requires_engine_or_manager(self):
+        with pytest.raises(ValueError, match="engine or a manager"):
+            GatewayServer()
+
+
+class TestServeCLIGatewayFlags:
+    def test_parser_accepts_gateway_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve", "data/", "--http-port", "8080",
+                "--auth-token", "t0k", "--rate-limit", "50",
+                "--burst", "100", "--max-frame", "65536",
+            ]
+        )
+        assert args.http_port == 8080
+        assert args.auth_token == "t0k"
+        assert args.rate_limit == 50.0
+        assert args.burst == 100.0
+        assert args.max_frame == 65536
+
+    def test_gateway_defaults_off(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "data/"])
+        assert args.http_port is None
+        assert args.auth_token is None
+        assert args.rate_limit is None

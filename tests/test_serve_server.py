@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import socket as socketlib
+import struct
 import threading
+import time
 
 import pytest
 
@@ -10,6 +13,7 @@ from repro.data.generators import uniform_database
 from repro.engine import Engine
 from repro.query.builders import path_query
 from repro.serve import ServeClient, ServeClientError, ServerThread
+from repro.serve import protocol
 from repro.serve.protocol import decode, encode, result_message
 from repro.enumeration.result import QueryResult
 
@@ -181,6 +185,218 @@ class TestServerErrors:
         assert message["ok"] is False
         assert message["error"] == "bad_request"
         assert client.ping()
+
+
+# -- wire-protocol regressions -------------------------------------------------
+
+
+class TestFrameLimit:
+    """Oversized request lines must be a protocol error, not a dead task.
+
+    Regression: ``reader.readline()`` with the default 64 KiB stream
+    limit raised an uncaught ``ValueError`` on longer lines, silently
+    killing the connection handler.
+    """
+
+    @pytest.fixture
+    def small_frame_server(self, engine):
+        with ServerThread(engine, max_frame_bytes=4096) as address:
+            yield address
+
+    def test_oversized_frame_replies_bad_request(self, small_frame_server):
+        with ServeClient(*small_frame_server) as client:
+            line = b'{"op": "ping", "pad": "' + b"x" * 8192 + b'"}\n'
+            client._file.write(line)
+            client._file.flush()
+            message = client._read()
+            assert message["ok"] is False
+            assert message["error"] == "bad_request"
+            assert "exceeds 4096" in message["message"]
+            # The connection (and the handler task) survives.
+            assert client.ping()
+
+    def test_oversized_frame_split_across_chunks(self, small_frame_server):
+        """A frame that dribbles in past the cap is rejected once."""
+        with ServeClient(*small_frame_server) as client:
+            client._file.write(b'{"op": "ping", "pad": "')
+            client._file.flush()
+            for _ in range(8):
+                client._file.write(b"y" * 1024)
+                client._file.flush()
+            client._file.write(b'"}\n')
+            client._file.flush()
+            message = client._read()
+            assert message["error"] == "bad_request"
+            assert client.ping()
+
+    def test_default_limit_allows_large_valid_frames(self, server):
+        """Frames beyond the old 64 KiB readline limit now work."""
+        with ServeClient(*server) as client:
+            message = client.request(
+                {"op": "ping", "pad": "z" * (96 * 1024)}
+            )
+            assert message["ok"] is True
+
+    def test_frame_limit_must_be_positive(self, engine):
+        from repro.serve.server import ServeServer
+
+        with pytest.raises(ValueError, match="max_frame_bytes"):
+            ServeServer(engine, max_frame_bytes=0)
+
+
+class TestBooleanFieldRegressions:
+    """JSON ``true``/``false`` must not pass integer validation.
+
+    Regression: ``isinstance(True, int)`` holds, so ``{"shards": true}``
+    used to prepare a 1-shard plan and ``{"n": true}`` fetched one row.
+    """
+
+    def test_boolean_shards_rejected(self, client):
+        with pytest.raises(ServeClientError, match="bad_request"):
+            client.request(
+                {"op": "prepare", "session": "bools", "query": QUERY,
+                 "shards": True}
+            )
+
+    def test_boolean_fetch_size_rejected(self, client):
+        cursor = client.prepare("bools", QUERY)["cursor"]
+        for bad in (True, False):
+            with pytest.raises(ServeClientError, match="bad_request"):
+                client.request(
+                    {"op": "fetch", "session": "bools", "cursor": cursor,
+                     "n": bad}
+                )
+
+    def test_valid_int_helper(self):
+        assert protocol.valid_int(3)
+        assert protocol.valid_int(0)
+        assert not protocol.valid_int(True)
+        assert not protocol.valid_int(False)
+        assert not protocol.valid_int(3.0)
+        assert not protocol.valid_int("3")
+
+
+class TestLifecycleRegressions:
+    def test_stop_before_start_is_a_noop(self, engine):
+        """Regression: ``stop()`` raised AttributeError when ``start()``
+        never ran (``_stop_requested`` still ``None``)."""
+        thread = ServerThread(engine)
+        thread.stop()  # must not raise
+
+    def test_stop_twice_after_start(self, engine):
+        thread = ServerThread(engine)
+        thread.start()
+        thread.stop()
+        thread.stop()  # second stop is also a no-op
+
+    def test_stop_closes_sessions(self, engine):
+        """Regression: stopping the server leaked sessions (and their
+        cursors' engine streams) into the next server generation."""
+        thread = ServerThread(engine)
+        address = thread.start()
+        with ServeClient(*address) as client:
+            client.prepare("leaky", QUERY)
+            assert "leaky" in thread.server.manager.session_names()
+        thread.stop()
+        assert thread.server.manager.session_names() == []
+
+
+class TestDisconnectMidFetch:
+    def test_client_disconnect_mid_fetch_rewinds_cursor(self, engine, server):
+        """A vanished client aborts its fetch; undelivered results are
+        rewound so a successor resumes the bit-identical stream."""
+        raw = socketlib.create_connection(server, timeout=30)
+        handle = raw.makefile("rwb")
+        handle.write(
+            encode({"op": "prepare", "session": "dcx", "query": QUERY})
+        )
+        handle.flush()
+        response = decode(handle.readline())
+        assert response["ok"], response
+        cursor = response["cursor"]
+        # Request a big page, then vanish with an RST (SO_LINGER 0) so
+        # the server's next write fails instead of filling OS buffers.
+        handle.write(
+            encode({"op": "fetch", "session": "dcx", "cursor": cursor,
+                    "n": 2000})
+        )
+        handle.flush()
+        raw.setsockopt(
+            socketlib.SOL_SOCKET, socketlib.SO_LINGER,
+            struct.pack("ii", 1, 0),
+        )
+        handle.close()  # makefile holds an fd ref; close it first
+        raw.close()
+
+        with ServeClient(*server) as client:
+            # Wait for the aborted fetch to settle (position stable).
+            position = last = None
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                position = client.fetch("dcx", cursor, 0).position
+                if position == last:
+                    break
+                last = position
+                time.sleep(0.05)
+            assert position is not None and position < 2000, (
+                "fetch was never aborted"
+            )
+            # The session survives, and the continuation is exactly the
+            # baseline stream from the rewound position.
+            page = client.fetch("dcx", cursor, 10)
+            baseline = signature(
+                engine.prepare(path_query(3)).top(position + 10)
+            )
+            assert wire_signature(page.results) == baseline[position:]
+
+
+class TestEdgePolicy:
+    """Auth/throttle enforcement on the TCP transport (shared policy)."""
+
+    @pytest.fixture
+    def guarded(self, engine):
+        from repro.serve import AccessPolicy
+
+        policy = AccessPolicy(auth_token="secret")
+        with ServerThread(engine, policy=policy) as address:
+            yield address, policy
+
+    def test_missing_token_rejected_at_edge(self, guarded):
+        address, policy = guarded
+        with ServeClient(*address) as client:
+            with pytest.raises(ServeClientError, match="unauthorized"):
+                client.prepare("locked", QUERY)
+        assert policy.denied_auth >= 1
+
+    def test_token_grants_access_and_ping_stays_open(self, guarded):
+        address, _ = guarded
+        with ServeClient(*address, token="secret") as client:
+            assert client.prepare("granted", QUERY)["ok"]
+        with ServeClient(*address) as anonymous:
+            assert anonymous.ping()  # liveness is never authenticated
+
+    def test_throttled_fetch_consumes_no_scheduler_slice(self, engine):
+        from repro.serve import AccessPolicy
+
+        clock = [0.0]  # frozen injectable clock: no token refill
+        thread = ServerThread(engine, policy=AccessPolicy(
+            rate_limit=1.0, burst=2, clock=lambda: clock[0]
+        ))
+        address = thread.start()
+        try:
+            with ServeClient(*address) as client:
+                cursor = client.prepare("limited2", QUERY)["cursor"]
+                client.fetch("limited2", cursor, 5)  # burst exhausted
+                slices_before = thread.server.manager.scheduler.slices
+                with pytest.raises(ServeClientError, match="throttled"):
+                    client.fetch("limited2", cursor, 5)
+                assert (
+                    thread.server.manager.scheduler.slices == slices_before
+                ), "throttled fetch consumed a scheduler slice"
+                clock[0] += 10.0  # refill the bucket
+                assert client.fetch("limited2", cursor, 5).served == 5
+        finally:
+            thread.stop()
 
 
 # -- concurrency over the wire -------------------------------------------------
