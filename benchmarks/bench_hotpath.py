@@ -24,6 +24,13 @@ Usage::
         # regression gate: fail (exit 1) if any variant's flat
         # answers/sec drops >30% vs the committed same-mode numbers
         # (override the tolerance with BENCH_TOLERANCE=0.4)
+    BENCH_SMOKE=1 BENCH_CHECK=1 BENCH_ONLY_OBS=1 python benchmarks/bench_hotpath.py
+        # observability lane: only the tracing-overhead section runs;
+        # tracing-disabled throughput must stay within 2% of the
+        # committed baseline — widened to the run's own measured noise
+        # floor on loaded machines (BENCH_OBS_TOLERANCE to override the
+        # 2%); the tracing-on overhead is recorded as an informational
+        # row
 """
 
 from __future__ import annotations
@@ -51,6 +58,11 @@ from repro.ranking.dioid import TROPICAL, LexicographicDioid  # noqa: E402
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 CHECK = os.environ.get("BENCH_CHECK", "") not in ("", "0")
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.30"))
+#: Ceiling on the tracing-*disabled* overhead regression (see obs_gate).
+OBS_TOLERANCE = float(os.environ.get("BENCH_OBS_TOLERANCE", "0.02"))
+#: Run only the observability-overhead section; its result merges into
+#: the committed mode dict without touching the hot-path cells.
+ONLY_OBS = os.environ.get("BENCH_ONLY_OBS", "") not in ("", "0")
 MODE = "smoke" if SMOKE else "full"
 JSON_PATH = os.path.join(ROOT, "BENCH_hotpath.json")
 
@@ -318,6 +330,157 @@ def coldstart_gate(coldstart: dict) -> list[str]:
     return []
 
 
+def run_obs_overhead() -> dict:
+    """Tracing overhead on the serving enumeration path (4-path, take2).
+
+    Three arms drain the same bound T-DP, strictly interleaved per
+    round and summarised best-of-``REPEATS``:
+
+    * ``direct`` — the bare flat enumerator (no obs code anywhere);
+    * ``off``    — :class:`PrefixStream` in 64-answer slices with the
+      shared ``NULL_TRACER`` (the production default: what every fetch
+      pays when tracing is disabled);
+    * ``on``     — the same stream under an always-sampling tracer
+      (recorded as an informational row, not gated).
+
+    The ``off``/``direct`` ratio is the machine-neutral signal: both
+    arms run back to back in the same round, so a slow CI runner
+    depresses them together while a real instrumentation regression
+    drags only the ``off`` arm down.  The ratio is therefore *paired
+    per round* (never an off-max over a direct-max from different
+    rounds), and the spread of the direct arm across rounds is reported
+    as ``direct_noise_floor`` — the run's own measure of how much the
+    machine wobbles, which :func:`obs_gate` uses to keep the 2% ceiling
+    from flaking on loaded runners.  Before any timing is trusted the
+    ``off`` and ``on`` arms must produce bit-identical ranked prefixes.
+    """
+    from repro.engine.stream import PrefixStream
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    n = 1_000 if SMOKE else 4_000
+    k = 20_000 if SMOKE else 50_000
+    slice_size = 64
+    tdp, compiled, _build_s, _compile_s = build_cell("path", 4, n, TROPICAL)
+    assert compiled is not None
+
+    def factory(counter):
+        return make_enumerator(tdp, "take2", flat=None, counter=counter)
+
+    def drain_direct() -> float:
+        gc.collect()
+        start = time.perf_counter()
+        produced = 0
+        for _result in make_enumerator(tdp, "take2", flat=None):
+            produced += 1
+            if produced >= k:
+                break
+        elapsed = time.perf_counter() - start
+        assert produced == k, f"output smaller than k={k}"
+        return k / elapsed
+
+    def drain_stream(tracer) -> float:
+        gc.collect()
+        stream = PrefixStream(factory, tracer=tracer)
+        start = time.perf_counter()
+        for target in range(slice_size, k + 1, slice_size):
+            stream.ensure(target)
+        available = stream.ensure(k)
+        elapsed = time.perf_counter() - start
+        assert available == k, f"output smaller than k={k}"
+        return k / elapsed
+
+    # Bit-identity gate: tracing must not perturb the ranked output.
+    verify = min(k, VERIFY_PREFIX)
+    off_stream = PrefixStream(factory, tracer=NULL_TRACER)
+    on_stream = PrefixStream(factory, tracer=Tracer(sample="always"))
+    off_sig = [
+        (r.weight, r.key, r.states) for r in off_stream.prefix(verify)
+    ]
+    on_sig = [(r.weight, r.key, r.states) for r in on_stream.prefix(verify)]
+    assert off_sig == on_sig, "tracing on/off ranked-prefix divergence"
+
+    arms = {"direct": [], "off": [], "on": []}
+    probe = Tracer(sample="always")
+    drain_direct()  # warm-up round, untimed
+    drain_stream(NULL_TRACER)
+    drain_stream(probe)
+    probe.clear()
+    rounds = REPEATS + 2
+    for _ in range(rounds):
+        arms["direct"].append(drain_direct())
+        arms["off"].append(drain_stream(NULL_TRACER))
+        arms["on"].append(drain_stream(probe))
+    direct = max(arms["direct"])
+    off = max(arms["off"])
+    on = max(arms["on"])
+    paired = [o / d for o, d in zip(arms["off"], arms["direct"])]
+    noise = round(1.0 - min(arms["direct"]) / max(arms["direct"]), 4)
+    result = {
+        "shape": "path",
+        "n": n,
+        "k": k,
+        "slice_size": slice_size,
+        "rounds": rounds,
+        "direct_answers_per_sec": round(direct, 1),
+        "off_answers_per_sec": round(off, 1),
+        "on_answers_per_sec": round(on, 1),
+        "off_vs_direct_ratio": round(max(paired), 4),
+        "off_vs_direct_ratio_median": round(statistics.median(paired), 4),
+        "direct_noise_floor": noise,
+        "tracing_on_overhead_pct": round((1.0 - on / off) * 100.0, 2),
+        "spans_recorded": probe.recorded,
+    }
+    print(
+        f"== obs overhead 4-path take2 (n={n}, k={k}): "
+        f"direct {direct:,.0f}/s  off {off:,.0f}/s "
+        f"(paired ratio {result['off_vs_direct_ratio']}, "
+        f"noise floor {noise * 100:.1f}%)  on {on:,.0f}/s "
+        f"(tracing-on overhead {result['tracing_on_overhead_pct']}%, "
+        f"informational)"
+    )
+    return result
+
+
+def obs_gate(previous: dict, current_obs: dict) -> list[str]:
+    """Tracing-disabled throughput must stay within OBS_TOLERANCE.
+
+    Same dual-signal shape as :func:`regression_gate`: fail only when
+    the absolute tracing-off answers/sec *and* the paired off/direct
+    ratio both regress beyond tolerance vs the committed numbers.  The
+    ceiling is ``OBS_TOLERANCE`` (2%) on a quiet machine, but wall-clock
+    ratios on shared CI runners wobble far more than 2% with zero code
+    change — so the effective tolerance widens to the larger of the
+    committed and current runs' measured ``direct_noise_floor`` (the
+    direct arm re-times identical code every round; its spread is pure
+    machine noise).  A genuine NULL_TRACER regression moves the paired
+    ratio beyond what the direct arm's own wobble can explain.  The
+    tracing-on arm is informational and never gated.
+    """
+    old = previous.get("modes", {}).get(MODE, {}).get("obs_overhead")
+    if not old:
+        return []
+    tolerance = max(
+        OBS_TOLERANCE,
+        old.get("direct_noise_floor") or 0.0,
+        current_obs.get("direct_noise_floor") or 0.0,
+    )
+    baseline = old["off_answers_per_sec"]
+    now = current_obs["off_answers_per_sec"]
+    absolute_regressed = now < baseline * (1.0 - tolerance)
+    old_ratio = old.get("off_vs_direct_ratio") or 0.0
+    new_ratio = current_obs.get("off_vs_direct_ratio") or 0.0
+    ratio_regressed = new_ratio < old_ratio * (1.0 - tolerance)
+    if absolute_regressed and ratio_regressed:
+        return [
+            f"obs-overhead: tracing-off {now:.0f}/s vs committed "
+            f"{baseline:.0f}/s (-{(1 - now / baseline) * 100:.1f}%) and "
+            f"off/direct ratio {new_ratio:.4f} vs committed "
+            f"{old_ratio:.4f} (effective tolerance "
+            f"{tolerance * 100:.1f}%)"
+        ]
+    return []
+
+
 def regression_gate(previous: dict, current: dict) -> list[str]:
     """Flat answers/sec must not regress > TOLERANCE vs committed numbers.
 
@@ -364,15 +527,26 @@ def main() -> int:
         with open(JSON_PATH) as handle:
             previous = json.load(handle)
 
-    current = run_benchmark()
-    # Top-level in the mode dict (NOT under cells: the regression gate
-    # iterates cell["variants"], which coldstart rows do not have).
-    current["coldstart"] = run_coldstart()
+    if ONLY_OBS:
+        # CI's obs-smoke lane: rerun only the overhead section and fold
+        # it into the committed mode dict, leaving the hot-path cells
+        # and coldstart rows exactly as recorded.
+        current = dict(previous.get("modes", {}).get(MODE, {}))
+        current.setdefault("python", sys.version.split()[0])
+        current["obs_overhead"] = run_obs_overhead()
+        failures = obs_gate(previous, current["obs_overhead"]) if CHECK else []
+    else:
+        current = run_benchmark()
+        # Top-level in the mode dict (NOT under cells: the regression
+        # gate iterates cell["variants"], which these rows do not have).
+        current["coldstart"] = run_coldstart()
+        current["obs_overhead"] = run_obs_overhead()
 
-    failures = []
-    if CHECK:
-        failures = regression_gate(previous, current)
-        failures += coldstart_gate(current["coldstart"])
+        failures = []
+        if CHECK:
+            failures = regression_gate(previous, current)
+            failures += coldstart_gate(current["coldstart"])
+            failures += obs_gate(previous, current["obs_overhead"])
 
     merged = {"benchmark": "hotpath", "modes": previous.get("modes", {})}
     merged["modes"][MODE] = current
@@ -381,7 +555,9 @@ def main() -> int:
         handle.write("\n")
     print(f"\nwrote {JSON_PATH} ({MODE} mode)")
 
-    headline = current["cells"].get("4-path[tropical]", {}).get("variants", {})
+    headline = (
+        current.get("cells", {}).get("4-path[tropical]", {}).get("variants", {})
+    )
     for variant in ("recursive", "take2"):
         if variant in headline:
             print(
@@ -395,8 +571,13 @@ def main() -> int:
             print(f"  - {failure}")
         return 1
     if CHECK:
-        print("perf regression gate passed "
-              f"(tolerance {TOLERANCE * 100:.0f}%)")
+        if ONLY_OBS:
+            print("obs overhead gate passed "
+                  f"(tolerance {OBS_TOLERANCE * 100:.0f}% "
+                  "or the measured noise floor)")
+        else:
+            print("perf regression gate passed "
+                  f"(tolerance {TOLERANCE * 100:.0f}%)")
     return 0
 
 

@@ -1,0 +1,59 @@
+"""Observability: EXPLAIN ANALYZE and the delay profile of a 4-path query.
+
+Ranked enumeration is judged by *when* answers arrive, not just how
+many: TTF (time to first answer), TT(k) (time to the k-th), and the
+per-answer delay distribution are the quantities the paper plots in
+Section 7.  ``PreparedQuery.analyze(k)`` measures all of them live on
+the serving plan — preprocessing stages, operation counters, and the
+delay percentiles of one instrumented run — with zero setup.
+
+This script runs EXPLAIN ANALYZE on a 4-path query, prints the full
+report, then compares the delay profile of three any-k variants on the
+same database.
+
+Run:  python examples/delay_profile.py
+"""
+
+from repro import Engine
+from repro.data.generators import uniform_database
+from repro.query.builders import path_query
+
+K = 2_000
+
+
+def main() -> None:
+    # Four binary relations, 4000 tuples each: the paper's uniform
+    # synthetic workload for path queries (Section 7).
+    database = uniform_database(4, 4_000, seed=42)
+    engine = Engine(database)
+    query = path_query(4)
+
+    print("=== EXPLAIN ANALYZE (anyk-take2, first 2000 answers) ===\n")
+    prepared = engine.prepare(query, algorithm="take2")
+    print(prepared.analyze(K).render())
+
+    print("\n=== delay profiles across any-k variants ===\n")
+    header = (
+        f"{'variant':<10} {'TTF ms':>9} {'TT(k) ms':>10} "
+        f"{'p50 us':>8} {'p99 us':>8} {'max us':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm in ("take2", "lazy", "eager"):
+        report = engine.prepare(query, algorithm=algorithm).analyze(K)
+        delay = report.delay
+        print(
+            f"{algorithm:<10} {delay['ttf_ms']:>9.3f} {delay['ttk_ms']:>10.3f} "
+            f"{delay['delay_p50_us']:>8.2f} {delay['delay_p99_us']:>8.2f} "
+            f"{delay['delay_max_us']:>9.2f}"
+        )
+
+    print(
+        "\nTTF is dominated by the shared preprocessing; the variants "
+        "differ in per-answer delay — exactly the trade-off the any-k "
+        "taxonomy is about."
+    )
+
+
+if __name__ == "__main__":
+    main()

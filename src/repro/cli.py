@@ -6,7 +6,15 @@ Commands:
 
       python -m repro.cli query data/ "Q(x,z) :- R(x,y), S(y,z)" --top 5
 
-* ``explain``  — print the evaluation plan for a query;
+* ``explain``  — print the evaluation plan for a query (``--analyze K``
+  runs it instrumented and prints the EXPLAIN ANALYZE report: per-stage
+  wall time, operation counters, and the TTF/TT(k) delay profile);
+* ``trace``    — run a query under an always-sampling tracer and write
+  the spans as Chrome trace-event JSON (loadable in Perfetto /
+  ``chrome://tracing``)::
+
+      python -m repro.cli trace data/ "Q(x,z) :- R(x,y), S(y,z)" --out trace.json
+
 * ``generate`` — write one of the paper's synthetic workloads as CSV
   and/or straight into a SQLite file (``--db-path``);
 * ``serve``    — start the streaming query server over a dataset::
@@ -108,6 +116,38 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--shards", type=int, default=None, metavar="N",
                              help="show the sharded plan (anchor atom, "
                                   "fragment layout, build mode)")
+    explain_cmd.add_argument("--analyze", type=int, default=None, metavar="K",
+                             help="EXPLAIN ANALYZE: run the query "
+                                  "instrumented, enumerate the top K "
+                                  "answers (0 = all), and report per-stage "
+                                  "wall time, counters, and delay profile")
+    explain_cmd.add_argument("--algorithm", default="take2",
+                             choices=["take2", "lazy", "eager", "all",
+                                      "recursive", "batch"],
+                             help="any-k variant for --analyze")
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run a query traced; export Chrome trace-event JSON"
+    )
+    trace_cmd.add_argument("data", nargs="?", default=None,
+                           help="directory of CSV relations (optional when "
+                                "an already-populated --db-path is given)")
+    trace_cmd.add_argument("text", help="the query")
+    add_backend_options(trace_cmd)
+    trace_cmd.add_argument("--top", type=int, default=10,
+                           help="answers to enumerate (default 10; 0 = all)")
+    trace_cmd.add_argument("--out", default="trace.json", metavar="FILE",
+                           help="trace-event JSON output path "
+                                "(default: trace.json)")
+    trace_cmd.add_argument("--shards", type=int, default=None, metavar="N",
+                           help="trace the sharded (parallel) plan")
+    trace_cmd.add_argument("--algorithm", default="take2",
+                           choices=["take2", "lazy", "eager", "all",
+                                    "recursive", "batch"])
+    trace_cmd.add_argument("--dioid", default="tropical",
+                           choices=sorted(DIOIDS))
+    trace_cmd.add_argument("--analyze", action="store_true",
+                           help="also print the EXPLAIN ANALYZE report")
 
     serve_cmd = commands.add_parser(
         "serve", help="start the streaming query server over a dataset"
@@ -145,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--max-frame", type=int, default=1 << 20,
                            metavar="BYTES",
                            help="largest accepted request frame (default 1MiB)")
+    serve_cmd.add_argument("--trace-sample", default=None, metavar="RATIO",
+                           help="trace requests through the engine: 'off' "
+                                "(default), 'always', or a sample ratio in "
+                                "[0,1]; spans land in a bounded ring buffer "
+                                "surfaced via GET /metrics")
 
     gen_cmd = commands.add_parser(
         "generate", help="write a synthetic workload as CSV and/or SQLite"
@@ -234,13 +279,46 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
+    engine = Engine(_open_database(args), core_cache=args.core_cache)
+    if args.analyze is not None:
+        prepared = engine.prepare(
+            args.text, algorithm=args.algorithm, shards=args.shards
+        )
+        k = None if args.analyze == 0 else args.analyze
+        print(prepared.analyze(k).render())
+        engine.close()
+        return 0
     # One parse, one bind: the physical report reuses the bound T-DP's
     # statistics instead of rebuilding the plan a second time.
-    print(
-        Engine(_open_database(args), core_cache=args.core_cache).explain(
-            args.text, shards=args.shards
-        )
+    print(engine.explain(args.text, shards=args.shards))
+    engine.close()
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(capacity=65536, sample="always")
+    engine = Engine(
+        _open_database(args), core_cache=args.core_cache, tracer=tracer
     )
+    prepared = engine.prepare(
+        args.text,
+        dioid=DIOIDS[args.dioid],
+        algorithm=args.algorithm,
+        shards=args.shards,
+    )
+    k = None if args.top == 0 else args.top
+    # analyze() records its run into the engine tracer, so the exported
+    # trace and the printed report describe the same spans.
+    report = prepared.analyze(k, tracer=tracer)
+    if args.analyze:
+        print(report.render())
+    events = write_chrome_trace(args.out, tracer)
+    print(f"wrote {events} trace events to {args.out} "
+          f"(load in Perfetto or chrome://tracing)")
+    engine.close()
     return 0
 
 
@@ -248,6 +326,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
     import logging
 
+    from repro.obs.trace import tracer_from_option
     from repro.serve.gateway import GatewayServer
     from repro.serve.policy import AccessPolicy
     from repro.serve.server import ServeServer
@@ -256,7 +335,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     # it a handler so `repro serve` actually shows the access log.
     logging.basicConfig(level=logging.INFO, format="%(message)s")
 
-    engine = Engine(_open_database(args), core_cache=args.core_cache)
+    engine = Engine(
+        _open_database(args),
+        core_cache=args.core_cache,
+        tracer=tracer_from_option(args.trace_sample),
+    )
     warmed = engine.warm_start()
     # One policy object for both transports: auth + rate limits cannot
     # diverge between the TCP port and the HTTP gateway.
@@ -369,6 +452,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_query(args)
     if args.command == "explain":
         return _command_explain(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "generate":

@@ -35,6 +35,7 @@ from repro.data.index import IndexCache
 from repro.engine.plan import LogicalPlan, PhysicalPlan, bind, plan
 from repro.engine.stream import PrefixStream
 from repro.enumeration.result import QueryResult
+from repro.obs.trace import NULL_TRACER
 from repro.query.cq import ConjunctiveQuery
 from repro.query.selections import (
     SelectionCondition,
@@ -143,7 +144,7 @@ class PreparedQuery:
         """Preprocessing wall-clock of the last bind (None if unbound)."""
         return None if self._physical is None else self._physical.preprocess_seconds
 
-    def bind(self, force: bool = False) -> PhysicalPlan:
+    def bind(self, force: bool = False, tracer=None) -> PhysicalPlan:
         """Ensure the physical plan matches the database's current state.
 
         A no-op when already bound at the current version (unless
@@ -153,6 +154,10 @@ class PreparedQuery:
         and, since binding also compiles the flat enumeration core,
         the ``CompiledTDP`` is version-stamped and shared the same way
         (across algorithms, cursors, and serving sessions).
+
+        ``tracer`` overrides the engine's tracer for this bind — the
+        hook :func:`repro.obs.analyze.analyze_prepared` uses to record
+        preprocessing spans into its private always-sampling tracer.
         """
         version = self.engine.database.version
         if not force and self._physical is not None and self._bound_version == version:
@@ -171,7 +176,9 @@ class PreparedQuery:
             ):
                 self._physical = entry[1]
             return self._physical
-        self._physical = self.engine._bind_physical(self, version, force=force)
+        self._physical = self.engine._bind_physical(
+            self, version, force=force, tracer=tracer
+        )
         self._bound_version = version
         return self._physical
 
@@ -260,6 +267,22 @@ class PreparedQuery:
             return self._physical.explain()
         return self.logical.explain()
 
+    def analyze(self, k: int | None = 10, rebind: bool = True, tracer=None):
+        """EXPLAIN ANALYZE: run up to ``k`` answers instrumented.
+
+        Force-rebinds under an always-sampling tracer (so the per-stage
+        tree covers plan → T-DP build → compile → core-cache → shard
+        build), drains ``k`` ranked answers clocking each arrival, and
+        returns an :class:`~repro.obs.analyze.AnalyzeReport` carrying
+        per-stage wall time, OpCounter attribution, per-shard emit
+        counts, compiled-core stats, and the TTF / TT(k) /
+        per-answer-delay profile.  ``rebind=False`` profiles the warm
+        serving path instead (no preprocessing re-run).
+        """
+        from repro.obs.analyze import analyze_prepared
+
+        return analyze_prepared(self, k, rebind=rebind, tracer=tracer)
+
     def __repr__(self) -> str:
         state = "bound" if self.is_bound else "unbound"
         return (
@@ -285,11 +308,17 @@ class Engine:
         database: Database,
         max_cached_plans: int = 64,
         core_cache: Any = "auto",
+        tracer: Any = None,
     ):
         self.database = database
         self.max_cached_plans = max_cached_plans
         self.indexes = IndexCache()
         self.stats = EngineStats()
+        #: Engine-wide tracer (:class:`repro.obs.trace.Tracer`), default
+        #: the shared no-op :data:`~repro.obs.trace.NULL_TRACER` so the
+        #: instrumentation points cost one attribute read + a constant
+        #: method call when tracing is off.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         #: Persistent compiled-core cache (``<db>.core`` warm starts).
         #: ``"auto"``/``"on"`` attach to the backend's ``core_path``
         #: (no-op for path-less backends, e.g. in-memory); ``"off"`` /
@@ -387,14 +416,18 @@ class Engine:
                 return cached
         # Planning is pure (no database access), so it runs outside the
         # lock; a racing duplicate prepare just loses the insert below.
-        logical = plan(
-            planned_query,
-            dioid=dioid,
-            algorithm=algorithm,
-            projection=projection,
-            cycle_threshold=cycle_threshold,
-            shards=spec,
-        )
+        with self.tracer.span(
+            "engine.prepare", query=planned_query.name, algorithm=algorithm
+        ) as span:
+            logical = plan(
+                planned_query,
+                dioid=dioid,
+                algorithm=algorithm,
+                projection=projection,
+                cycle_threshold=cycle_threshold,
+                shards=spec,
+            )
+            span.set(strategy=logical.strategy)
         prepared = PreparedQuery(
             self,
             logical,
@@ -431,7 +464,11 @@ class Engine:
         raise ValueError(f"unknown core_cache option {option!r}")
 
     def _bind_physical(
-        self, prepared: PreparedQuery, version: int, force: bool = False
+        self,
+        prepared: PreparedQuery,
+        version: int,
+        force: bool = False,
+        tracer=None,
     ) -> PhysicalPlan:
         """Fetch or build the shared physical plan for ``prepared``.
 
@@ -439,6 +476,8 @@ class Engine:
         same physical key preprocess once, and the LRU eviction below
         never races a lookup.
         """
+        if tracer is None:
+            tracer = self.tracer
         with self._lock:
             key = prepared.physical_key
             entry = self._physicals.get(key)
@@ -455,12 +494,22 @@ class Engine:
                     database, prepared._source_query, list(prepared.selections)
                 )
                 core_cache = None
-            physical = bind(
-                prepared.logical,
-                database,
-                indexes=self.indexes,
-                core_cache=core_cache,
-            )
+            with tracer.span(
+                "engine.bind",
+                query=prepared.logical.query.name,
+                strategy=prepared.logical.strategy,
+            ) as span:
+                physical = bind(
+                    prepared.logical,
+                    database,
+                    indexes=self.indexes,
+                    core_cache=core_cache,
+                    tracer=tracer,
+                )
+                span.set(
+                    preprocess_ms=round(physical.preprocess_seconds * 1e3, 4),
+                    sharded=bool(getattr(physical, "shard_count", 0)),
+                )
             if core_cache is not None:
                 stats = core_cache.stats()
                 self.stats.core_hits = stats["hits"]
@@ -521,7 +570,8 @@ class Engine:
                 return entry[1]
             algorithm = prepared.logical.algorithm
             stream = PrefixStream(
-                lambda counter: physical.iter(counter, algorithm=algorithm)
+                lambda counter: physical.iter(counter, algorithm=algorithm),
+                tracer=self.tracer,
             )
             self._streams[key] = (physical, stream)
             self.stats.stream_misses += 1
@@ -565,13 +615,18 @@ class Engine:
 
     @classmethod
     def from_backend(
-        cls, backend, max_cached_plans: int = 64, core_cache: Any = "auto"
+        cls,
+        backend,
+        max_cached_plans: int = 64,
+        core_cache: Any = "auto",
+        tracer: Any = None,
     ) -> "Engine":
         """An engine over every relation stored in ``backend``."""
         return cls(
             Database.from_backend(backend),
             max_cached_plans=max_cached_plans,
             core_cache=core_cache,
+            tracer=tracer,
         )
 
     def clear_caches(self) -> None:

@@ -42,6 +42,7 @@ from repro.decomposition.generic import decompose_generic
 from repro.dp.builder import build_tdp
 from repro.dp.flat import compile_tdp
 from repro.enumeration.result import QueryResult
+from repro.obs.trace import NULL_TRACER
 from repro.query.cq import ConjunctiveQuery
 from repro.query.jointree import JoinTree, build_join_tree
 from repro.ranking.dioid import TROPICAL, SelectiveDioid, TieBreakingDioid
@@ -322,10 +323,19 @@ class AcyclicPhysical(PhysicalPlan):
         lines = self._tdp_lines("t-dp", self.tdp)
         if self.compiled is not None:
             stats = self.compiled.stats()
+            # Mapped warm starts replay the persisted core; flag them so
+            # explain() distinguishes a rebuilt plan from a replayed one.
+            from repro.dp.corebuf import MappedShell
+
+            mapped = (
+                " (mapped warm start)"
+                if isinstance(self.tdp, MappedShell)
+                else ""
+            )
             lines.append(
                 f"  compiled core: {stats['entries']} flat entries "
                 f"({'chain' if self.compiled.is_chain else 'tree'} layout, "
-                f"key space: {self.logical.dioid!r})"
+                f"key space: {self.logical.dioid!r}){mapped}"
             )
         return lines
 
@@ -512,6 +522,7 @@ def bind(
     database: Database,
     indexes: IndexCache | None = None,
     core_cache=None,
+    tracer=NULL_TRACER,
 ) -> PhysicalPlan:
     """Run the preprocessing phase of ``logical`` against ``database``.
 
@@ -525,9 +536,14 @@ def bind(
     this plan's persistence key skips the build + compile entirely and
     enumerates straight off the mmapped arrays; a miss or stale entry
     falls through to the normal build and rewrites the file.
+
+    ``tracer`` (:class:`repro.obs.trace.Tracer`) records a per-stage
+    span tree of the preprocessing phase — T-DP build, flat compile,
+    core-cache load/store, decomposition, shard build.  The default
+    no-op tracer keeps the cost at one constant method call per stage.
     """
     start = time.perf_counter()
-    physical = _bind(logical, database, indexes, core_cache)
+    physical = _bind(logical, database, indexes, core_cache, tracer)
     physical.preprocess_seconds = time.perf_counter() - start
     return physical
 
@@ -548,6 +564,7 @@ def _bind(
     database: Database,
     indexes: IndexCache | None,
     core_cache=None,
+    tracer=NULL_TRACER,
 ) -> PhysicalPlan:
     strategy = logical.strategy
     if strategy == ACYCLIC_TDP:
@@ -555,49 +572,67 @@ def _bind(
             from repro.parallel.physical import bind_sharded
 
             return bind_sharded(
-                logical, database, indexes=indexes, core_cache=core_cache
+                logical,
+                database,
+                indexes=indexes,
+                core_cache=core_cache,
+                tracer=tracer,
             )
         key = None
         if core_cache is not None:
             from repro.dp.corebuf import core_key
 
             key = core_key(logical.query, logical.dioid, None)
-            shell = core_cache.load_tdp(
-                key, database, logical.query, logical.join_tree
-            )
+            with tracer.span("core.load") as span:
+                shell = core_cache.load_tdp(
+                    key, database, logical.query, logical.join_tree
+                )
+                span.set(hit=shell is not None)
             if shell is not None:
                 # compile_tdp() inside AcyclicPhysical returns the
                 # pre-assembled mapped core via the TDP memo slot.
                 return AcyclicPhysical(logical, database, shell)
-        tdp = build_tdp(database, logical.join_tree, dioid=logical.dioid)
-        physical = AcyclicPhysical(logical, database, tdp)
+        with tracer.span("tdp.build") as span:
+            tdp = build_tdp(database, logical.join_tree, dioid=logical.dioid)
+            span.set(states=tdp.num_states())
+        with tracer.span("tdp.compile") as span:
+            physical = AcyclicPhysical(logical, database, tdp)
+            if physical.compiled is not None:
+                span.set(entries=physical.compiled.stats()["entries"])
         if key is not None and physical.compiled is not None:
             from repro.dp.corebuf import export_compiled
 
-            meta, data = export_compiled(physical.compiled)
-            core_cache.store(
-                key, database, meta, data, warm=warm_meta(logical)
-            )
+            with tracer.span("core.store"):
+                meta, data = export_compiled(physical.compiled)
+                core_cache.store(
+                    key, database, meta, data, warm=warm_meta(logical)
+                )
         return physical
     if strategy == SIMPLE_CYCLE_UNION:
-        tasks = decompose_cycle(
-            database,
-            logical.query,
-            dioid=logical.dioid,
-            threshold=logical.cycle_threshold,
-            indexes=indexes,
-            walk=logical.cycle_walk,
-        )
-        return UnionPhysical(logical, database, tasks, dedup=False)
+        with tracer.span("decompose", kind="simple-cycle") as span:
+            tasks = decompose_cycle(
+                database,
+                logical.query,
+                dioid=logical.dioid,
+                threshold=logical.cycle_threshold,
+                indexes=indexes,
+                walk=logical.cycle_walk,
+            )
+            span.set(members=len(tasks))
+        with tracer.span("tdp.build", members=len(tasks)):
+            return UnionPhysical(logical, database, tasks, dedup=False)
     if strategy == GENERIC_DECOMPOSITION:
-        tasks = [
-            decompose_generic(database, logical.query, dioid=logical.dioid)
-        ]
-        return UnionPhysical(logical, database, tasks, dedup=False)
+        with tracer.span("decompose", kind="generic"):
+            tasks = [
+                decompose_generic(database, logical.query, dioid=logical.dioid)
+            ]
+        with tracer.span("tdp.build", members=len(tasks)):
+            return UnionPhysical(logical, database, tasks, dedup=False)
     if strategy == FREE_CONNEX_MINWEIGHT:
-        return MinWeightPhysical(logical, database)
+        with tracer.span("tdp.build", projection="min_weight"):
+            return MinWeightPhysical(logical, database)
     if strategy == ALL_WEIGHT_PROJECTION:
-        inner = _bind(logical.inner, database, indexes, core_cache)
+        inner = _bind(logical.inner, database, indexes, core_cache, tracer)
         return ProjectionPhysical(logical, database, inner)
     raise AssertionError(f"unhandled strategy {strategy!r}")
 

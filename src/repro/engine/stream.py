@@ -34,6 +34,7 @@ from threading import RLock
 from typing import Any, Callable, Iterator
 
 from repro.enumeration.result import QueryResult
+from repro.obs.trace import NULL_TRACER
 from repro.util.counters import OpCounter
 
 
@@ -51,14 +52,16 @@ class PrefixStream:
 
     __slots__ = (
         "_factory", "_iterator", "_results", "_exhausted", "_lock",
-        "counter", "replays", "extensions",
+        "_tracer", "counter", "replays", "extensions",
     )
 
     def __init__(
         self,
         factory: Callable[[OpCounter], Iterator[QueryResult]],
+        tracer=None,
     ):
         self._factory = factory
+        self._tracer = NULL_TRACER if tracer is None else tracer
         self._iterator: Iterator[QueryResult] | None = None
         self._results: list[QueryResult] = []
         self._exhausted = False
@@ -116,13 +119,20 @@ class PrefixStream:
                 self._iterator = self._factory(self.counter)
             results = self._results
             iterator = self._iterator
-            while len(results) < n:
-                nxt = next(iterator, None)
-                if nxt is None:
-                    self._exhausted = True
-                    break
-                results.append(nxt)
-                self.extensions += 1
+            # The span covers only actual extension work — fully
+            # memoized requests take the lock-free replay path above
+            # and never reach the tracer.
+            with self._tracer.span("stream.extend", target=n) as span:
+                while len(results) < n:
+                    nxt = next(iterator, None)
+                    if nxt is None:
+                        self._exhausted = True
+                        break
+                    results.append(nxt)
+                    self.extensions += 1
+                span.set(
+                    produced=len(results), exhausted=self._exhausted
+                )
             if counter is not None:
                 after = self.counter.as_dict()
                 for name, value in after.items():

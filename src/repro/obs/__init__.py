@@ -1,0 +1,62 @@
+"""Observability layer: tracing, EXPLAIN ANALYZE, exporters, latency.
+
+The running system's view of the paper's cost model:
+
+* :mod:`repro.obs.trace` — engine-wide spans with a bounded ring
+  buffer, sampling, and a near-free no-op path when tracing is off;
+* :mod:`repro.obs.analyze` — ``PreparedQuery.analyze(k)``: per-stage
+  wall time, OpCounter attribution, per-shard counts, and the
+  TTF / TT(k) / per-answer-delay profile;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  Prometheus text exposition for ``GET /metrics``;
+* :mod:`repro.obs.latency` — the shared percentile / latency-window
+  implementation behind the gateway and the experiment runner.
+"""
+
+from repro.obs.analyze import AnalyzeReport, StageNode, analyze_prepared
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.latency import (
+    LatencyStats,
+    LatencyWindow,
+    delay_profile,
+    percentile,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    new_request_id,
+    tracer_from_option,
+)
+
+__all__ = [
+    "AnalyzeReport",
+    "StageNode",
+    "analyze_prepared",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "prometheus_text",
+    "write_chrome_trace",
+    "LatencyStats",
+    "LatencyWindow",
+    "delay_profile",
+    "percentile",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_span",
+    "new_request_id",
+    "tracer_from_option",
+]

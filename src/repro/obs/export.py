@@ -1,0 +1,134 @@
+"""Trace and metric exporters: Chrome trace-event JSON, Prometheus text.
+
+Chrome trace events (the ``traceEvents`` array format) load directly in
+Perfetto / ``chrome://tracing``; complete events (``ph: "X"``) carry
+microsecond start + duration, so nested spans render as a flame chart
+per thread.  Prometheus exposition is the plain text format version
+0.0.4 — flattened gauge names over the gateway's nested metrics dict —
+so the existing ``GET /metrics`` endpoint can serve scrapers via
+content negotiation without growing a client dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable
+
+from repro.obs.trace import Span, Tracer
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def chrome_trace_events(
+    spans: Iterable[Span], process_name: str = "repro"
+) -> list[dict]:
+    """Convert finished spans to Chrome trace-event dicts.
+
+    Timestamps are microseconds on the tracer's monotonic axis; Perfetto
+    only needs them self-consistent, not absolute.  Span attributes land
+    in ``args`` so attribution (core hit/miss, request ids, counts) is
+    inspectable per slice in the UI.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        for key, value in span.attrs.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                args[key] = value
+            else:
+                args[key] = repr(value)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": span.thread_id % 1_000_000,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_json(spans: Iterable[Span], process_name: str = "repro") -> str:
+    """Full Chrome trace document as a JSON string."""
+    return json.dumps(
+        {
+            "traceEvents": chrome_trace_events(spans, process_name),
+            "displayTimeUnit": "ms",
+        },
+        indent=None,
+        separators=(",", ":"),
+    )
+
+
+def write_chrome_trace(
+    path: str, source: "Tracer | Iterable[Span]", process_name: str = "repro"
+) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count."""
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    events = chrome_trace_events(spans, process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"traceEvents": events, "displayTimeUnit": "ms"},
+                separators=(",", ":"),
+            )
+        )
+    return len(events)
+
+
+def _metric_name(parts: tuple[str, ...]) -> str:
+    name = "_".join(_NAME_OK.sub("_", part) for part in parts)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name.lower()
+
+
+def _flatten(value, parts: tuple[str, ...], out: list[tuple[str, float]]) -> None:
+    if isinstance(value, bool):
+        out.append((_metric_name(parts), 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((_metric_name(parts), float(value)))
+    elif isinstance(value, dict):
+        for key, child in value.items():
+            _flatten(child, parts + (str(key),), out)
+    # Strings, lists, and None have no scalar reading; scrapers get the
+    # JSON form of /metrics for those.
+
+
+def prometheus_text(metrics: dict, prefix: str = "repro") -> str:
+    """Render a nested metrics dict as Prometheus exposition text.
+
+    Every numeric leaf becomes a gauge named
+    ``<prefix>_<path_joined_by_underscores>``; booleans map to 0/1 and
+    non-numeric leaves are skipped.  Output is sorted so scrapes are
+    deterministic and diff-friendly.
+    """
+    flat: list[tuple[str, float]] = []
+    _flatten(metrics, (prefix,), flat)
+    if not flat:
+        return ""
+    lines: list[str] = []
+    for name, value in sorted(flat):
+        lines.append(f"# TYPE {name} gauge")
+        if value == int(value) and abs(value) < 1e15:
+            lines.append(f"{name} {int(value)}")
+        else:
+            lines.append(f"{name} {value}")
+    return "\n".join(lines) + "\n"

@@ -62,6 +62,7 @@ from repro.dp.builder import build_tdp
 from repro.dp.corebuf import LazyRows, ShmPool, pack_worker_lower, unpack_worker_lower
 from repro.dp.flat import CompiledTDP
 from repro.dp.graph import TDP
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.sharder import Fragment, ShardPlan, stable_hash
 from repro.query.jointree import JoinTree
 from repro.ranking.dioid import SelectiveDioid, TieBreakingDioid
@@ -1051,10 +1052,17 @@ class ParallelPreprocessor:
     ``explain`` surfaces, rather than failing the bind.
     """
 
-    def __init__(self, database: Database, logical, shard_plan: ShardPlan):
+    def __init__(
+        self,
+        database: Database,
+        logical,
+        shard_plan: ShardPlan,
+        tracer=NULL_TRACER,
+    ):
         self.database = database
         self.logical = logical
         self.shard_plan = shard_plan
+        self.tracer = tracer
 
     # -- flat path -------------------------------------------------------------
 
@@ -1104,13 +1112,15 @@ class ParallelPreprocessor:
                     "the fused in-process build"
                 )
                 mode = "fused"
-        shared = build_shared_lower(
-            self.database,
-            self.logical.query,
-            plan.join_tree,
-            self.logical.dioid,
-            plan.anchor_stage,
-        )
+        with self.tracer.span("shared.lower") as span:
+            shared = build_shared_lower(
+                self.database,
+                self.logical.query,
+                plan.join_tree,
+                self.logical.dioid,
+                plan.anchor_stage,
+            )
+            span.set(connectors=shared.num_conns)
         lists = _shared_lists(shared, len(plan.fragments))
         sources = self._flat_fragment_sources(shared)
         uid_space = shared.num_conns + len(plan.fragments)
@@ -1127,13 +1137,19 @@ class ParallelPreprocessor:
                 anchor_stage=plan.anchor_stage,
             )
 
-        if mode == "thread" and plan.workers > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        # Spans stay on the coordinating thread: pool workers carry no
+        # trace context, so per-fragment timing is reported through
+        # FragmentRuntime.seconds instead of worker-side spans.
+        with self.tracer.span(
+            "fragments.fanout", fragments=len(sources), mode=mode
+        ):
+            if mode == "thread" and plan.workers > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
-                fragments = list(pool.map(one, sources))
-        else:
-            fragments = [one(source) for source in sources]
+                with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                    fragments = list(pool.map(one, sources))
+            else:
+                fragments = [one(source) for source in sources]
         return PreprocessResult(
             fragments, mode, plan.workers, shared.seconds, notes, None
         )
@@ -1143,10 +1159,12 @@ class ParallelPreprocessor:
 
         plan = self.shard_plan
         query = self.logical.query
-        shared = build_shared_lower(
-            self.database, query, plan.join_tree,
-            self.logical.dioid, plan.anchor_stage,
-        )
+        with self.tracer.span("shared.lower") as span:
+            shared = build_shared_lower(
+                self.database, query, plan.join_tree,
+                self.logical.dioid, plan.anchor_stage,
+            )
+            span.set(connectors=shared.num_conns)
         lists = _shared_lists(shared, len(plan.fragments))
         uid_space = shared.num_conns + len(plan.fragments)
         recipe = _database_recipe(self.database)
@@ -1275,13 +1293,16 @@ class ParallelPreprocessor:
                 anchor_stage=plan.anchor_stage,
             )
 
-        if plan.mode == "thread" and plan.workers > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        with self.tracer.span(
+            "fragments.fanout", fragments=len(sources), mode=plan.mode
+        ):
+            if plan.mode == "thread" and plan.workers > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
-                fragments = list(pool.map(one, sources))
-        else:
-            fragments = [one(source) for source in sources]
+                with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                    fragments = list(pool.map(one, sources))
+            else:
+                fragments = [one(source) for source in sources]
         return PreprocessResult(
             fragments, plan.mode, plan.workers, 0.0, notes, tie
         )

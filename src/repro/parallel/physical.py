@@ -18,6 +18,7 @@ from typing import Iterator
 from repro.data.database import Database
 from repro.engine.plan import LogicalPlan, PhysicalPlan
 from repro.enumeration.result import QueryResult
+from repro.obs.trace import NULL_TRACER
 from repro.parallel.build import (
     FragmentRuntime,
     ParallelPreprocessor,
@@ -116,12 +117,28 @@ class ShardedPhysical(PhysicalPlan):
             f"  fragment builds ({self.mode}): shared lower stages "
             f"{self.shared_seconds * 1e3:.2f} ms"
         )
+        total_entries = 0
+        compiled_fragments = 0
         for fragment in self.fragments:
-            flavour = "compiled" if fragment.compiled is not None else "object"
             status = " (EMPTY)" if fragment.empty else ""
+            if fragment.compiled is not None:
+                entries = fragment.compiled.stats()["entries"]
+                total_entries += entries
+                compiled_fragments += 1
+                flavour = f"compiled ({entries} flat entries)"
+            else:
+                flavour = "object"
             lines.append(
                 f"    fragment {fragment.index}: {fragment.anchor_states()} anchor states, "
                 f"{flavour}, {fragment.seconds * 1e3:.2f} ms{status}"
+            )
+        if compiled_fragments:
+            # Fragment cores alias the shared lower stages, so the sum
+            # attributes shared entries to every fragment reaching them.
+            lines.append(
+                f"  compiled cores: {total_entries} flat entries across "
+                f"{compiled_fragments} fragment(s), shared lower stages "
+                f"counted per fragment"
             )
         for note in self.notes:
             if note not in plan.notes:
@@ -139,6 +156,10 @@ class ShardedPhysical(PhysicalPlan):
             "workers": self.workers,
             "empty_fragments": sum(1 for f in self.fragments if f.empty),
             "fragment_states": [f.anchor_states() for f in self.fragments],
+            "fragment_entries": [
+                None if f.compiled is None else f.compiled.stats()["entries"]
+                for f in self.fragments
+            ],
             "fragment_build_ms": [
                 round(f.seconds * 1e3, 3) for f in self.fragments
             ],
@@ -148,7 +169,11 @@ class ShardedPhysical(PhysicalPlan):
 
 
 def bind_sharded(
-    logical: LogicalPlan, database: Database, indexes=None, core_cache=None
+    logical: LogicalPlan,
+    database: Database,
+    indexes=None,
+    core_cache=None,
+    tracer=NULL_TRACER,
 ) -> ShardedPhysical:
     """Preprocess a sharded acyclic plan: plan fragments, build, wrap.
 
@@ -172,20 +197,27 @@ def bind_sharded(
         and spec.tie_break == "arrival"
     )
     sharder = Sharder(database, indexes)
-    shard_plan = sharder.plan(logical, spec, flat_path)
+    with tracer.span("shard.plan") as span:
+        shard_plan = sharder.plan(logical, spec, flat_path)
+        span.set(
+            shards=len(shard_plan.fragments),
+            anchor_atom=shard_plan.anchor_atom,
+        )
     key = None
     if core_cache is not None and flat_path and spec.parallel == "auto":
         from repro.dp.corebuf import core_key
 
         key = core_key(logical.query, logical.dioid, spec.cache_key())
-        cores = core_cache.load_fragment_cores(
-            key,
-            database,
-            logical.query,
-            shard_plan.join_tree,
-            shard_plan.anchor_stage,
-            len(shard_plan.fragments),
-        )
+        with tracer.span("core.load", fragments=len(shard_plan.fragments)) as span:
+            cores = core_cache.load_fragment_cores(
+                key,
+                database,
+                logical.query,
+                shard_plan.join_tree,
+                shard_plan.anchor_stage,
+                len(shard_plan.fragments),
+            )
+            span.set(hit=cores is not None)
         if cores is not None:
             fragments = [
                 FragmentRuntime(
@@ -202,7 +234,11 @@ def bind_sharded(
                 None,
             )
             return ShardedPhysical(logical, database, shard_plan, result)
-    result = ParallelPreprocessor(database, logical, shard_plan).build()
+    with tracer.span("fragments.build") as span:
+        result = ParallelPreprocessor(
+            database, logical, shard_plan, tracer=tracer
+        ).build()
+        span.set(mode=result.mode, workers=result.workers)
     if (
         key is not None
         and result.tie is None
@@ -213,8 +249,11 @@ def bind_sharded(
 
         from repro.engine.plan import warm_meta
 
-        meta, data = export_fragments(
-            [f.compiled for f in result.fragments], shard_plan.anchor_stage
-        )
-        core_cache.store(key, database, meta, data, warm=warm_meta(logical))
+        with tracer.span("core.store", fragments=len(result.fragments)):
+            meta, data = export_fragments(
+                [f.compiled for f in result.fragments], shard_plan.anchor_stage
+            )
+            core_cache.store(
+                key, database, meta, data, warm=warm_meta(logical)
+            )
     return ShardedPhysical(logical, database, shard_plan, result)

@@ -13,11 +13,15 @@ protocol cannot give:
   touching the session manager or consuming a scheduler slice.
 * **Observability**: a ``/metrics`` endpoint exposing engine cache and
   compiled-core counters (``stream_hits``/``misses``, ``core_hits``),
-  session/eviction counts, admission counters, and rolling
-  p50/p95/p99 fetch latency (a
-  :class:`~repro.experiments.runner.LatencyWindow` over the
-  :class:`~repro.experiments.runner.LatencyStats` machinery), plus
-  structured JSON request logging on ``repro.serve.gateway``.
+  session/eviction counts, admission counters, tracer stats, and
+  rolling p50/p95/p99 fetch latency (a
+  :class:`~repro.obs.latency.LatencyWindow` over the
+  :class:`~repro.obs.latency.LatencyStats` machinery) — as JSON, or as
+  Prometheus text exposition via content negotiation (``Accept:
+  text/plain`` or ``?format=prometheus``).  Structured JSON request
+  logging on ``repro.serve.gateway`` carries a per-request
+  ``request_id`` (honouring a client's ``X-Request-Id``, echoed back in
+  the response header) and the request's wall-clock ``ms``.
 * **Two client shapes over one semantics**: request/response JSON
   endpoints (``POST /v1/prepare`` …) for stateless HTTP clients, and a
   WebSocket upgrade (``GET /v1/ws``) that speaks the *exact* JSON-lines
@@ -57,7 +61,9 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.engine import Engine
-from repro.experiments.runner import LatencyWindow
+from repro.obs.export import prometheus_text
+from repro.obs.latency import LatencyWindow
+from repro.obs.trace import new_request_id
 from repro.serve import protocol
 from repro.serve.policy import AccessPolicy
 from repro.serve.server import OpDispatcher, ServerThread
@@ -190,7 +196,10 @@ class _WsWriter:
 class _HttpRequest:
     """One parsed HTTP/1.1 request."""
 
-    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
+    __slots__ = (
+        "method", "path", "query", "headers", "body", "keep_alive",
+        "request_id",
+    )
 
     def __init__(self, method, path, query, headers, body, keep_alive):
         self.method = method
@@ -199,6 +208,9 @@ class _HttpRequest:
         self.headers = headers
         self.body = body
         self.keep_alive = keep_alive
+        #: Set by the connection handler: the client's ``X-Request-Id``
+        #: or a freshly generated id; echoed on the response and logged.
+        self.request_id: str | None = None
 
 
 class GatewayServer:
@@ -243,6 +255,10 @@ class GatewayServer:
         self.port = port
         self.max_frame_bytes = max_frame_bytes
         self.log_requests = log_requests
+        #: The engine's tracer: gateway request spans open here, so
+        #: engine spans created while dispatching nest under them and
+        #: the whole request is one trace (request-ID propagation).
+        self.tracer = self.engine.tracer
         #: Rolling fetch-latency window surfaced by ``/metrics``.
         self.fetch_latency = LatencyWindow(latency_window)
         self._server: asyncio.AbstractServer | None = None
@@ -332,14 +348,32 @@ class GatewayServer:
         payload: dict,
         keep_alive: bool = True,
         extra_headers: dict[str, str] | None = None,
+        request_id: str | None = None,
     ) -> int:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return self._respond_raw(
+            writer, status, body, "application/json", keep_alive,
+            extra_headers, request_id,
+        )
+
+    def _respond_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool = True,
+        extra_headers: dict[str, str] | None = None,
+        request_id: str | None = None,
+    ) -> int:
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if request_id:
+            headers.append(f"X-Request-Id: {request_id}")
         for name, value in (extra_headers or {}).items():
             headers.append(f"{name}: {value}")
         writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
@@ -400,6 +434,7 @@ class GatewayServer:
         try:
             while True:
                 started = time.perf_counter()
+                request_id = new_request_id()
                 try:
                     request = await self._read_request(reader)
                 except (ValueError, asyncio.IncompleteReadError) as exc:
@@ -409,14 +444,21 @@ class GatewayServer:
                         400,
                         protocol.error(protocol.ERR_BAD_REQUEST, str(exc)),
                         keep_alive=False,
+                        request_id=request_id,
                     )
                     await writer.drain()
                     self._log(
-                        None, peer, 400, time.perf_counter() - started
+                        None, peer, 400, time.perf_counter() - started,
+                        request_id=request_id,
                     )
                     break
                 if request is None:
                     break
+                # Honour a client-supplied id (trace continuation across
+                # services); otherwise the generated one stands.
+                request.request_id = (
+                    request.headers.get("x-request-id") or request_id
+                )
                 self.http_requests += 1
                 rejection = self._edge_check(request, peer)
                 if rejection is not None:
@@ -429,21 +471,29 @@ class GatewayServer:
                     self._respond(
                         writer, status, rejection,
                         keep_alive=request.keep_alive, extra_headers=extra,
+                        request_id=request.request_id,
                     )
                     await writer.drain()
                     self._log(
-                        request, peer, status, time.perf_counter() - started
+                        request, peer, status, time.perf_counter() - started,
+                        request_id=request.request_id,
                     )
                     if not request.keep_alive:
                         break
                     continue
                 if self._is_ws_upgrade(request):
-                    self._log(request, peer, 101, time.perf_counter() - started)
+                    self._log(
+                        request, peer, 101, time.perf_counter() - started,
+                        request_id=request.request_id,
+                    )
                     await self._serve_websocket(request, reader, writer, peer)
                     break
                 status = await self._route(request, writer)
                 await writer.drain()
-                self._log(request, peer, status, time.perf_counter() - started)
+                self._log(
+                    request, peer, status, time.perf_counter() - started,
+                    request_id=request.request_id,
+                )
                 if not request.keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
@@ -468,14 +518,34 @@ class GatewayServer:
                 200,
                 {"ok": True, "status": "serving"},
                 keep_alive=request.keep_alive,
+                request_id=request.request_id,
             )
             return 200
         if request.path == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed(request, writer, "GET")
-            self._respond(
-                writer, 200, self.metrics(), keep_alive=request.keep_alive
-            )
+            payload = self.metrics()
+            # Content negotiation: Prometheus scrapers ask for
+            # text/plain (or ?format=prometheus); everyone else keeps
+            # the JSON document.
+            accept = request.headers.get("accept", "")
+            if (
+                "text/plain" in accept
+                or request.query.get("format") == "prometheus"
+            ):
+                self._respond_raw(
+                    writer,
+                    200,
+                    prometheus_text(payload).encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    keep_alive=request.keep_alive,
+                    request_id=request.request_id,
+                )
+            else:
+                self._respond(
+                    writer, 200, payload, keep_alive=request.keep_alive,
+                    request_id=request.request_id,
+                )
             return 200
         if request.path == "/v1/stats":
             if request.method != "GET":
@@ -499,6 +569,7 @@ class GatewayServer:
                     400,
                     protocol.error(protocol.ERR_BAD_REQUEST, str(exc)),
                     keep_alive=request.keep_alive,
+                    request_id=request.request_id,
                 )
                 return 400
             fields.pop("token", None)
@@ -511,6 +582,7 @@ class GatewayServer:
                 protocol.ERR_BAD_REQUEST, f"no route for {request.path!r}"
             ),
             keep_alive=request.keep_alive,
+            request_id=request.request_id,
         )
         return 404
 
@@ -526,6 +598,7 @@ class GatewayServer:
             ),
             keep_alive=request.keep_alive,
             extra_headers={"Allow": allow},
+            request_id=request.request_id,
         )
         return 405
 
@@ -544,7 +617,17 @@ class GatewayServer:
         """
         collector = _CollectWriter(writer)
         started = time.perf_counter()
-        await self.dispatcher.dispatch(wire_request, collector)
+        # The request span roots the trace: dispatch runs in this task,
+        # so session/engine spans opened below nest under it and carry
+        # the edge's request id end to end.
+        with self.tracer.span(
+            "gateway.request",
+            method=request.method,
+            path=request.path,
+            op=wire_request["op"],
+            request_id=request.request_id,
+        ):
+            await self.dispatcher.dispatch(wire_request, collector)
         elapsed = time.perf_counter() - started
         if wire_request["op"] == "fetch":
             self.fetch_latency.record(elapsed)
@@ -562,7 +645,10 @@ class GatewayServer:
         else:
             status = HTTP_STATUS.get(terminator.get("error"), 400)
             payload = terminator
-        self._respond(writer, status, payload, keep_alive=request.keep_alive)
+        self._respond(
+            writer, status, payload, keep_alive=request.keep_alive,
+            request_id=request.request_id,
+        )
         return status
 
     # -- websocket -------------------------------------------------------------
@@ -680,7 +766,14 @@ class GatewayServer:
                     await writer.drain()
                     continue
                 started = time.perf_counter()
-                await self.dispatcher.dispatch(wire_request, ws_writer)
+                with self.tracer.span(
+                    "gateway.ws",
+                    op=wire_request.get("op"),
+                    request_id=(
+                        wire_request.get("request_id") or request.request_id
+                    ),
+                ):
+                    await self.dispatcher.dispatch(wire_request, ws_writer)
                 if wire_request.get("op") == "fetch":
                     self.fetch_latency.record(time.perf_counter() - started)
                 await writer.drain()
@@ -710,6 +803,7 @@ class GatewayServer:
             },
             "scheduler": manager_stats["scheduler"],
             "engine": manager_stats["engine"],
+            "tracing": self.tracer.stats(),
         }
 
 

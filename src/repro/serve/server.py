@@ -367,7 +367,15 @@ class ServeServer:
             writer.write(protocol.encode(rejection))
             await writer.drain()
             return
-        await self.dispatcher.dispatch(request, writer)
+        # Clients may tag requests with an opaque ``request_id`` field;
+        # handlers ignore it, but the span carries it so a wire request
+        # can be matched against the engine spans it caused.
+        with self.engine.tracer.span(
+            "server.request",
+            op=request.get("op"),
+            request_id=request.get("request_id"),
+        ):
+            await self.dispatcher.dispatch(request, writer)
         await writer.drain()
 
     async def _handle_connection(

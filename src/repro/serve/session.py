@@ -438,16 +438,20 @@ class SessionManager:
         session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
         begin = cursor.position
         served = 0
-        try:
-            results, slices = self.scheduler.run(cursor, n)
-            served = len(results)
-        finally:
-            # Exception path: charge whatever the cursor actually
-            # consumed (delivered slices), not zero — a client that
-            # aborts fetches mid-flight must still spend its budget.
-            if served == 0:
-                served = max(0, cursor.position - begin)
-            self.settle_budget(session, n, served)
+        with self.engine.tracer.span(
+            "session.fetch", session=session_name, cursor=cursor_id, n=n
+        ) as span:
+            try:
+                results, slices = self.scheduler.run(cursor, n)
+                served = len(results)
+            finally:
+                # Exception path: charge whatever the cursor actually
+                # consumed (delivered slices), not zero — a client that
+                # aborts fetches mid-flight must still spend its budget.
+                if served == 0:
+                    served = max(0, cursor.position - begin)
+                self.settle_budget(session, n, served)
+                span.set(served=served)
         return self._fetch_epilogue(session, cursor, results, slices)
 
     async def fetch_async(
@@ -466,18 +470,22 @@ class SessionManager:
         session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
         begin = cursor.position
         served = 0
-        try:
-            results, slices = await self.scheduler.run_async(
-                cursor, n, sink=sink
-            )
-            served = len(results)
-        finally:
-            # Exception path: the scheduler rewound the undelivered
-            # slice, so the position delta is exactly what the client
-            # received — charge that, never zero, against the budget.
-            if served == 0:
-                served = max(0, cursor.position - begin)
-            self.settle_budget(session, n, served)
+        with self.engine.tracer.span(
+            "session.fetch", session=session_name, cursor=cursor_id, n=n
+        ) as span:
+            try:
+                results, slices = await self.scheduler.run_async(
+                    cursor, n, sink=sink
+                )
+                served = len(results)
+            finally:
+                # Exception path: the scheduler rewound the undelivered
+                # slice, so the position delta is exactly what the client
+                # received — charge that, never zero, against the budget.
+                if served == 0:
+                    served = max(0, cursor.position - begin)
+                self.settle_budget(session, n, served)
+                span.set(served=served)
         return self._fetch_epilogue(session, cursor, results, slices)
 
     # -- observability ---------------------------------------------------------
