@@ -177,3 +177,62 @@ def test_top_prefix_reuse_under_serving(engine):
         f"prefix reuse: top(5)+top(100) == one top(100)  "
         f"({fresh.total_pq_ops()} pq ops total, 0 duplicated)",
     )
+
+
+def test_overload_shedding_row(engine, baseline):
+    """Informational: serving under a deliberately tiny in-flight cap.
+
+    An ``AccessPolicy(max_in_flight=1)`` forces the edge to shed
+    concurrent fetches with 503 + ``Retry-After``; clients opt into
+    retries and wait the hint out.  The correctness gate is the same
+    bit-identity check as the latency rows — shedding plus retry must be
+    lossless — while the shed count and wall-clock are reported as an
+    informational row (no latency gate: this run *is* degraded by
+    design).
+    """
+    from repro.serve.policy import AccessPolicy
+
+    sessions = 4 if SMOKE else 8
+    policy = AccessPolicy(max_in_flight=1)
+    with ServerThread(
+        engine, slice_size=32, max_sessions=128, policy=policy
+    ) as address:
+        outputs: dict = {}
+        errors: list = []
+
+        def job(name: str) -> None:
+            try:
+                with ServeClient(*address, timeout=120, retries=100) as client:
+                    cursor = client.prepare(name, QUERY_TEXT)["cursor"]
+                    rows: list[dict] = []
+                    while len(rows) < K:
+                        page = client.fetch(name, cursor, min(PAGE, K - len(rows)))
+                        rows.extend(page.results)
+                        if page.exhausted:
+                            break
+                    outputs[name] = wire_signature(rows[:K])
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=job, args=(f"shed-{i}",))
+            for i in range(sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        elapsed = time.perf_counter() - start
+        shed = policy.shed
+    assert not errors, errors
+    assert len(outputs) == sessions
+    for name, rows in outputs.items():
+        assert rows == baseline[: len(rows)], (
+            f"{name} diverged under load shedding"
+        )
+    record_result(
+        FIGURE,
+        f"overload  sessions={sessions:<3} max_in_flight=1 shed={shed:<5} "
+        f"elapsed={elapsed:.2f}s  (informational; bit-identity held)",
+    )

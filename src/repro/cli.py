@@ -190,6 +190,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default), 'always', or a sample ratio in "
                                 "[0,1]; spans land in a bounded ring buffer "
                                 "surfaced via GET /metrics")
+    serve_cmd.add_argument("--max-in-flight", type=int, default=None,
+                           metavar="N",
+                           help="shed fetches beyond N concurrently "
+                                "executing ones with 503/ERR_OVERLOADED "
+                                "(default: unlimited)")
+    serve_cmd.add_argument("--breaker-threshold", type=int, default=None,
+                           metavar="N",
+                           help="open a circuit breaker after N consecutive "
+                                "internal failures, shedding prepare/fetch "
+                                "until it half-opens (default: off)")
+    serve_cmd.add_argument("--breaker-reset", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="seconds an open breaker waits before "
+                                "letting a probe request through "
+                                "(default 30)")
+    serve_cmd.add_argument("--drain", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="on shutdown, stop accepting connections "
+                                "but let in-flight requests finish for up "
+                                "to this long (default 0: immediate)")
 
     gen_cmd = commands.add_parser(
         "generate", help="write a synthetic workload as CSV and/or SQLite"
@@ -344,11 +364,26 @@ def _command_serve(args: argparse.Namespace) -> int:
     # One policy object for both transports: auth + rate limits cannot
     # diverge between the TCP port and the HTTP gateway.
     policy = None
-    if args.auth_token is not None or args.rate_limit is not None:
+    breaker = None
+    if args.breaker_threshold is not None:
+        from repro.serve.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout=args.breaker_reset,
+        )
+    if (
+        args.auth_token is not None
+        or args.rate_limit is not None
+        or args.max_in_flight is not None
+        or breaker is not None
+    ):
         policy = AccessPolicy(
             auth_token=args.auth_token,
             rate_limit=args.rate_limit,
             burst=args.burst,
+            breaker=breaker,
+            max_in_flight=args.max_in_flight,
         )
     server = ServeServer(
         engine,
@@ -360,6 +395,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         slice_size=args.slice,
         policy=policy,
         max_frame_bytes=args.max_frame,
+        drain_s=args.drain,
     )
     gateway = None
     if args.http_port is not None:
@@ -372,6 +408,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             manager=server.manager,
             policy=policy,
             max_frame_bytes=args.max_frame,
+            drain_s=args.drain,
         )
 
     async def main() -> None:
@@ -397,6 +434,18 @@ def _command_serve(args: argparse.Namespace) -> int:
                 if policy.rate_limit else "unlimited"
             )
             print(f"edge policy: {auth}, rate limit {limit}")
+            if policy.breaker is not None or policy.max_in_flight is not None:
+                parts = []
+                if policy.breaker is not None:
+                    parts.append(
+                        f"breaker trips after "
+                        f"{policy.breaker.failure_threshold} failures"
+                    )
+                if policy.max_in_flight is not None:
+                    parts.append(
+                        f"max {policy.max_in_flight} in-flight fetches"
+                    )
+                print(f"overload gate: {', '.join(parts)}")
         await asyncio.gather(*servers)
 
     try:

@@ -43,9 +43,32 @@ import sqlite3
 import threading
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
+from repro.util import faults
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.data.database import Database
     from repro.data.relation import Relation
+
+#: Lazily built shared retrier for transient SQLite errors.  Imported
+#: on first use because ``repro.serve`` (where the Retrier lives) pulls
+#: in the engine, which pulls in this module — a cycle at import time
+#: but not at call time.
+_SQLITE_RETRIER = None
+
+
+def _sqlite_retrier():
+    global _SQLITE_RETRIER
+    if _SQLITE_RETRIER is None:
+        from repro.serve import resilience
+
+        _SQLITE_RETRIER = resilience.Retrier(
+            attempts=4,
+            base_delay=0.005,
+            max_delay=0.1,
+            retryable=resilience.transient_sqlite,
+            label="sqlite",
+        )
+    return _SQLITE_RETRIER
 
 _IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 #: Table names a backend may never hand to user data.
@@ -453,6 +476,31 @@ class SQLiteBackend:
             self._local.conn = conn
         return conn
 
+    def _execute(self, sql: str, params: Sequence | None = None) -> sqlite3.Cursor:
+        """Run one statement, retrying transient locked/busy errors.
+
+        The ``sqlite.execute`` fault site sits *inside* the retried
+        callable, so an injected ``database is locked`` storm exercises
+        the same recovery path real WAL contention does.
+        """
+        conn = self.connection
+
+        def attempt() -> sqlite3.Cursor:
+            faults.hit("sqlite.execute")
+            if params is None:
+                return conn.execute(sql)
+            return conn.execute(sql, params)
+
+        return _sqlite_retrier().call(attempt)
+
+    def _executemany(self, sql: str, rows: Iterable[tuple]) -> sqlite3.Cursor:
+        # No retry here: the row source may be a one-shot generator, so a
+        # second attempt would silently insert a shorter batch.  Callers
+        # roll back on failure instead.  Distinct fault site on purpose —
+        # a ``sqlite.execute`` storm must only land on retried statements.
+        faults.hit("sqlite.executemany")
+        return self.connection.executemany(sql, rows)
+
     def _meta_of(self, name: str) -> list[int]:
         try:
             return self._meta[name]
@@ -462,7 +510,7 @@ class SQLiteBackend:
     def _bump(self, name: str, by: int = 1) -> None:
         meta = self._meta_of(name)
         meta[1] += by
-        self.connection.execute(
+        self._execute(
             f"UPDATE {self.CATALOG} SET version = ? WHERE name = ?",
             (meta[1], name),
         )
@@ -482,9 +530,7 @@ class SQLiteBackend:
     def cardinality(self, name: str) -> int:
         table = quote_identifier(name)
         self._meta_of(name)
-        (count,) = self.connection.execute(
-            f"SELECT COUNT(*) FROM {table}"
-        ).fetchone()
+        (count,) = self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()
         return count
 
     def version(self, name: str) -> int:
@@ -505,19 +551,19 @@ class SQLiteBackend:
             # Replacement may shrink the cardinality; compensate in the
             # version counter so the (len + version) stamp the engine
             # sums for invalidation stays strictly monotone.
-            (old_count,) = conn.execute(
+            (old_count,) = self._execute(
                 f"SELECT COUNT(*) FROM {table}"
             ).fetchone()
             old_version = self._meta[name][1] + old_count
-            conn.execute(f"DROP TABLE {table}")
-            conn.execute(
+            self._execute(f"DROP TABLE {table}")
+            self._execute(
                 f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,)
             )
         else:
             old_version = -1
         columns = ", ".join(self._columns(arity) + ["w"])
-        conn.execute(f"CREATE TABLE {table} ({columns})")
-        conn.execute(
+        self._execute(f"CREATE TABLE {table} ({columns})")
+        self._execute(
             f"INSERT INTO {self.CATALOG} (name, arity, version) VALUES (?, ?, ?)",
             (name, arity, old_version + 1),
         )
@@ -528,10 +574,9 @@ class SQLiteBackend:
         with self._lock:
             table = quote_identifier(name)
             self._meta_of(name)
-            conn = self.connection
-            conn.execute(f"DROP TABLE {table}")
-            conn.execute(f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,))
-            conn.commit()
+            self._execute(f"DROP TABLE {table}")
+            self._execute(f"DELETE FROM {self.CATALOG} WHERE name = ?", (name,))
+            self.connection.commit()
             del self._meta[name]
 
     def append(self, name: str, values: tuple, weight: Any = 0.0) -> None:
@@ -543,7 +588,7 @@ class SQLiteBackend:
                 )
             table = quote_identifier(name)
             placeholders = ", ".join("?" for _ in range(arity + 1))
-            self.connection.execute(
+            self._execute(
                 f"INSERT INTO {table} VALUES ({placeholders})",
                 tuple(values) + (weight,),
             )
@@ -572,7 +617,7 @@ class SQLiteBackend:
             # executemany consumes the generator lazily: ingestion streams
             # through SQLite without materialising the batch in Python.
             try:
-                self.connection.executemany(
+                self._executemany(
                     f"INSERT INTO {table} VALUES ({placeholders})", flat()
                 )
             except BaseException:
@@ -589,9 +634,7 @@ class SQLiteBackend:
     def iter_rows(self, name: str) -> Iterator[tuple[tuple, Any]]:
         table = quote_identifier(name)
         self._meta_of(name)
-        cursor = self.connection.execute(
-            f"SELECT * FROM {table} ORDER BY rowid"
-        )
+        cursor = self._execute(f"SELECT * FROM {table} ORDER BY rowid")
         return ((tuple(row[:-1]), row[-1]) for row in cursor)
 
     def sorted_rows(
@@ -600,7 +643,7 @@ class SQLiteBackend:
         table = quote_identifier(name)
         self._meta_of(name)
         order = "DESC" if descending else "ASC"
-        cursor = self.connection.execute(
+        cursor = self._execute(
             f"SELECT * FROM {table} ORDER BY w {order}, rowid ASC"
         )
         return ((tuple(row[:-1]), row[-1]) for row in cursor)
@@ -610,7 +653,7 @@ class SQLiteBackend:
         self._meta_of(name)
         # Append-only tables keep rowid == insertion position + 1, so
         # witness recovery is a point lookup, not an OFFSET scan.
-        row = self.connection.execute(
+        row = self._execute(
             f"SELECT * FROM {table} WHERE rowid = ?", (position + 1,)
         ).fetchone()
         if row is None:
@@ -626,13 +669,11 @@ class SQLiteBackend:
         # range is a rowid range scan; ORDER BY rowid pins the insertion
         # order the T-DP state identity relies on.
         if start is None and stop is None:
-            cursor = self.connection.execute(
-                f"SELECT * FROM {table} ORDER BY rowid"
-            )
+            cursor = self._execute(f"SELECT * FROM {table} ORDER BY rowid")
         else:
             lo = 0 if start is None else start
             hi = 2**63 - 1 if stop is None else stop
-            cursor = self.connection.execute(
+            cursor = self._execute(
                 f"SELECT * FROM {table} WHERE rowid > ? AND rowid <= ? "
                 "ORDER BY rowid",
                 (lo, hi),
@@ -648,7 +689,7 @@ class SQLiteBackend:
             raise ValueError(f"bad column subset {cols!r} for arity {arity}")
         table = quote_identifier(name)
         select = ", ".join(f"a{c + 1}" for c in cols)
-        cursor = self.connection.execute(
+        cursor = self._execute(
             f"SELECT {select}, COUNT(*) FROM {table} GROUP BY {select}"
         )
         return {tuple(row[:-1]): row[-1] for row in cursor}
@@ -663,7 +704,7 @@ class SQLiteBackend:
         suffix = "_".join(f"a{c + 1}" for c in cols)
         index_name = quote_identifier(f"idx_{name}_{suffix}")
         with self._lock:
-            self.connection.execute(
+            self._execute(
                 f"CREATE INDEX IF NOT EXISTS {index_name} ON {table} "
                 f"({', '.join(f'a{c + 1}' for c in cols)})"
             )

@@ -57,6 +57,30 @@ from typing import Sequence
 from repro.dp.flat import CompiledTDP
 from repro.dp.graph import TDP
 from repro.ranking.dioid import NAMED_DIOIDS, SelectiveDioid
+from repro.util import faults
+
+#: Lazily built shared retrier for transient ``.core`` read errors.
+#: Imported on first use: ``repro.serve`` pulls in the engine, which
+#: pulls in this module — a cycle at import time, not at call time.
+_CORE_RETRIER = None
+
+
+def _core_retrier():
+    global _CORE_RETRIER
+    if _CORE_RETRIER is None:
+        from repro.serve import resilience
+
+        _CORE_RETRIER = resilience.Retrier(
+            attempts=3,
+            base_delay=0.005,
+            max_delay=0.05,
+            # A missing file is a plain cache miss, not a transient
+            # fault — retrying it would tax every cold start.
+            retryable=lambda exc: isinstance(exc, OSError)
+            and not isinstance(exc, FileNotFoundError),
+            label="core_read",
+        )
+    return _CORE_RETRIER
 
 #: ``<db>.core`` container magic + format version.  Bump the version on
 #: any layout change: readers treat unknown versions as a cache miss.
@@ -719,21 +743,39 @@ class CoreFile:
         self.path = path
 
     def read_toc_and_map(self):
-        """``(toc, mmap)`` of the current file, or ``None`` if absent/bad."""
+        """``(toc, mmap)`` of the current file, or ``None`` if absent/bad.
+
+        Transient I/O errors (injected via the ``core.read`` fault site
+        or real ``EIO``-style failures) are retried with backoff; a
+        persistent failure — like any corrupt/truncated container —
+        degrades to a graceful miss and the caller rebuilds.
+        """
+        try:
+            return _core_retrier().call(self._read_once)
+        except Exception:
+            return None
+
+    def _read_once(self):
+        faults.hit("core.read")
         try:
             fd = open(self.path, "rb")
-        except OSError:
+        except FileNotFoundError:
             return None
-        try:
-            with fd:
+        with fd:
+            try:
                 mapped = mmap.mmap(fd.fileno(), 0, access=mmap.ACCESS_READ)
-        except (OSError, ValueError):  # empty or unreadable file
-            return None
+            except ValueError:  # empty file
+                return None
         try:
             magic, fmt, toc_len = _HEADER.unpack_from(mapped, 0)
             if magic != CORE_MAGIC or fmt != CORE_FORMAT:
                 raise ValueError("unknown core format")
-            toc = pickle.loads(mapped[_HEADER.size:_HEADER.size + toc_len])
+            toc_bytes = faults.corrupt(
+                "core.read", mapped[_HEADER.size:_HEADER.size + toc_len]
+            )
+            toc = pickle.loads(toc_bytes)
+            if not isinstance(toc, dict):
+                raise ValueError("malformed core TOC")
         except Exception:
             mapped.close()
             return None
@@ -784,10 +826,53 @@ class CoreFile:
             assert out.tell() == toc[key]["offset"]
             out.write(data)
             out.write(b"\x00" * _pad(len(data)))
+        self._sweep_stale_tmp()
+        payload = out.getvalue()
         tmp_path = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp_path, "wb") as fd:
-            fd.write(out.getvalue())
-        os.replace(tmp_path, self.path)
+        try:
+            with open(tmp_path, "wb") as fd:
+                # Two chunks with the fault site between them: a chaos
+                # test can kill the writer mid-file and assert the
+                # half-written bytes only ever land in the ``.tmp``
+                # sibling, never in the ``.core`` readers map.
+                mid = len(payload) // 2
+                fd.write(payload[:mid])
+                faults.hit("core.write")
+                fd.write(payload[mid:])
+                fd.flush()
+                os.fsync(fd.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``.tmp.<pid>`` siblings left by crashed writers."""
+        directory, base = os.path.split(self.path)
+        prefix = f"{base}.tmp."
+        try:
+            names = os.listdir(directory or ".")
+        except OSError:
+            return
+        for name in names:
+            if not name.startswith(prefix):
+                continue
+            pid_text = name[len(prefix):]
+            if not pid_text.isdigit() or int(pid_text) == os.getpid():
+                continue
+            try:
+                os.kill(int(pid_text), 0)
+            except ProcessLookupError:
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:
+                    pass
+            except OSError:
+                # Alive but not ours to signal — leave its tmp alone.
+                pass
 
     def read_entries(self) -> dict[str, tuple[dict, int, bytes]]:
         """Every stored entry as ``key -> (meta, db_version, data)``."""
@@ -871,6 +956,12 @@ class CoreCache:
         if entry["db_version"] != db_version:
             self.stale += 1
             return None
+        if entry["offset"] + entry["length"] > len(mapped):
+            # A truncated container can keep an intact TOC whose blobs
+            # run past EOF (the TOC sits at the front of the file).
+            # That is corruption, not staleness: miss and rebuild.
+            self.misses += 1
+            return None
         self.hits += 1
         return entry["meta"], mapped, entry["offset"]
 
@@ -885,7 +976,16 @@ class CoreCache:
             meta, mapped, offset = found
             if meta["kind"] != "tdp":
                 return None
-            return load_compiled(meta, mapped, offset, database, query, join_tree)
+            try:
+                return load_compiled(
+                    meta, mapped, offset, database, query, join_tree
+                )
+            except Exception:
+                # Mangled section data inside an in-bounds blob: a cold
+                # rebuild beats serving garbage.
+                self.hits -= 1
+                self.misses += 1
+                return None
 
     def load_fragment_cores(
         self, key: str | None, database, query, join_tree,
@@ -903,7 +1003,14 @@ class CoreCache:
                 or meta["num_fragments"] != num_fragments
             ):
                 return None
-            return load_fragments(meta, mapped, offset, database, query, join_tree)
+            try:
+                return load_fragments(
+                    meta, mapped, offset, database, query, join_tree
+                )
+            except Exception:
+                self.hits -= 1
+                self.misses += 1
+                return None
 
     def store(
         self, key: str | None, database, meta: dict, data: bytes,

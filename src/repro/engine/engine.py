@@ -69,6 +69,13 @@ class EngineStats:
     core_misses: int = 0
     core_stale: int = 0
     core_writes: int = 0
+    #: Recovery counters, mirrored from
+    #: :data:`repro.serve.resilience.COUNTERS` after every bind — how
+    #: often transient faults were absorbed (retries), pools respawned,
+    #: or process builds downgraded to the fused path.
+    retries: int = 0
+    worker_respawns: int = 0
+    pool_downgrades: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -83,6 +90,9 @@ class EngineStats:
             "core_misses": self.core_misses,
             "core_stale": self.core_stale,
             "core_writes": self.core_writes,
+            "retries": self.retries,
+            "worker_respawns": self.worker_respawns,
+            "pool_downgrades": self.pool_downgrades,
         }
 
 
@@ -516,6 +526,16 @@ class Engine:
                 self.stats.core_misses = stats["misses"]
                 self.stats.core_stale = stats["stale"]
                 self.stats.core_writes = stats["writes"]
+            from repro.serve.resilience import COUNTERS as _recovery_counters
+
+            recovery = _recovery_counters.snapshot()
+            self.stats.retries = sum(
+                count
+                for name, count in recovery.items()
+                if name.startswith("retries_")
+            )
+            self.stats.worker_respawns = recovery.get("worker_respawns", 0)
+            self.stats.pool_downgrades = recovery.get("pool_downgrades", 0)
             self._physicals[key] = (version, physical)
             self._physicals.move_to_end(key)
             while len(self._physicals) > self.max_cached_plans:

@@ -66,7 +66,20 @@ from repro.obs.trace import NULL_TRACER
 from repro.parallel.sharder import Fragment, ShardPlan, stable_hash
 from repro.query.jointree import JoinTree
 from repro.ranking.dioid import SelectiveDioid, TieBreakingDioid
-from repro.util import vec
+from repro.util import faults, vec
+
+#: Total tries for the process-pool fragment build: the initial pool
+#: plus one respawn after a dead worker.  A second crash falls through
+#: to the fused in-process path via :meth:`ParallelPreprocessor._build_flat`.
+POOL_BUILD_ATTEMPTS = 2
+
+
+def _resilience_counters():
+    # Imported on call, not at module load: ``repro.serve`` pulls in the
+    # engine, which (through the sharded-bind path) pulls in this module.
+    from repro.serve.resilience import COUNTERS
+
+    return COUNTERS
 
 #: Key-space transform lanes (see ``_key_lane``).
 _LANE_ID, _LANE_NEG, _LANE_CALL = 0, 1, 2
@@ -949,6 +962,9 @@ def _scan_worker_fragment(task: tuple) -> tuple:
     (sequential) and anchor rows are re-fetched lazily by the parent, so
     no row data or entry pools are pickled back either.
     """
+    faults.hit("worker.scan")  # chaos hook: fork-inherited plans can
+    # kill exactly one worker here (exit + token file) to prove the
+    # parent's respawn path reproduces bit-identical fragments.
     fragment, shards = task
     state = _WORKER
     start = time.perf_counter()
@@ -1107,6 +1123,9 @@ class ParallelPreprocessor:
                 RuntimeError,       # incl. BrokenProcessPool (worker died)
                 pickle.PicklingError,
             ) as exc:
+                _resilience_counters().bump("pool_downgrades")
+                with self.tracer.span("pool.downgrade", reason=repr(exc)):
+                    pass
                 notes.append(
                     f"process pool unavailable ({exc!r}); fell back to "
                     "the fused in-process build"
@@ -1156,6 +1175,7 @@ class ParallelPreprocessor:
 
     def _build_flat_process(self, notes: list[str]) -> PreprocessResult:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         plan = self.shard_plan
         query = self.logical.query
@@ -1185,16 +1205,35 @@ class ParallelPreprocessor:
         # payloads above carry no arrays at all.
         shm_pool = ShmPool.create(pack_worker_lower(shared))
         try:
-            with ProcessPoolExecutor(
-                max_workers=plan.workers,
-                mp_context=context,
-                initializer=_init_scan_worker,
-                initargs=(
-                    shm_pool.name, recipe, query, anchor_atom_index,
-                    anchor_name, self.logical.dioid,
-                ),
-            ) as pool:
-                results = list(pool.map(_scan_worker_fragment, tasks))
+            # A worker killed mid-build (OOM, segfault, injected exit)
+            # breaks the whole pool; the build is a pure function of the
+            # shared lower + fragment spec, so rerunning it on a fresh
+            # pool reproduces bit-identical fragments.
+            for attempt in range(POOL_BUILD_ATTEMPTS):
+                faults.hit("pool.submit")
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=plan.workers,
+                        mp_context=context,
+                        initializer=_init_scan_worker,
+                        initargs=(
+                            shm_pool.name, recipe, query, anchor_atom_index,
+                            anchor_name, self.logical.dioid,
+                        ),
+                    ) as pool:
+                        results = list(pool.map(_scan_worker_fragment, tasks))
+                    break
+                except BrokenProcessPool:
+                    if attempt == POOL_BUILD_ATTEMPTS - 1:
+                        raise
+                    _resilience_counters().bump("worker_respawns")
+                    notes.append(
+                        "worker pool died mid-build; respawned the pool "
+                        f"and retried (attempt {attempt + 2} of "
+                        f"{POOL_BUILD_ATTEMPTS})"
+                    )
+                    with self.tracer.span("pool.respawn", attempt=attempt + 2):
+                        pass
         finally:
             shm_pool.destroy()
         relation = _anchor_relation(

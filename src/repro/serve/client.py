@@ -22,23 +22,52 @@ import asyncio
 import http.client
 import json
 import socket
-from typing import Any, Iterator
+import time
+from typing import Any, Callable, Iterator
 
 from repro.serve import protocol
 
+#: Error codes worth retrying: both are edge rejections (the request
+#: never touched a cursor), so a retry cannot skip or duplicate results.
+RETRYABLE_CODES = (protocol.ERR_THROTTLED, protocol.ERR_OVERLOADED)
+
+#: Base delay for retry backoff when the server sent no Retry-After.
+_RETRY_BASE_S = 0.05
+
 
 class ServeClientError(Exception):
-    """An ``ok: false`` response from the server."""
+    """An ``ok: false`` response from the server.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after`` carries the server's hint (seconds) on throttled /
+    overloaded rejections, ``None`` otherwise.
+    """
+
+    def __init__(
+        self, code: str, message: str, retry_after: float | None = None
+    ):
         self.code = code
+        self.retry_after = retry_after
         super().__init__(f"[{code}] {message}")
 
 
-class FetchPage:
-    """One fetch's worth of answers plus the cursor state after it."""
+def _retry_delay(exc: ServeClientError, attempt: int) -> float:
+    """Server hint if present, else exponential backoff from the base."""
+    if exc.retry_after is not None and exc.retry_after > 0:
+        return float(exc.retry_after)
+    return _RETRY_BASE_S * (2 ** attempt)
 
-    __slots__ = ("results", "served", "position", "exhausted")
+
+class FetchPage:
+    """One fetch's worth of answers plus the cursor state after it.
+
+    ``deadline_exceeded`` marks a partial page cut short by the fetch's
+    deadline — the results present are still the next ranked answers in
+    order; re-fetching resumes exactly where the page stopped.
+    """
+
+    __slots__ = (
+        "results", "served", "position", "exhausted", "deadline_exceeded",
+    )
 
     def __init__(
         self,
@@ -46,11 +75,13 @@ class FetchPage:
         served: int,
         position: int,
         exhausted: bool,
+        deadline_exceeded: bool = False,
     ):
         self.results = results
         self.served = served
         self.position = position
         self.exhausted = exhausted
+        self.deadline_exceeded = deadline_exceeded
 
     def __len__(self) -> int:
         return len(self.results)
@@ -75,10 +106,16 @@ class ServeClient:
         port: int,
         timeout: float = 30.0,
         token: str | None = None,
+        retries: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.host = host
         self.port = port
         self.token = token
+        #: Extra attempts on throttled/overloaded rejections (0 = raise
+        #: immediately).  Retries honour the server's ``retry_after``.
+        self.retries = retries
+        self._sleep = sleep
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
 
@@ -101,14 +138,28 @@ class ServeClient:
         message = self._read()
         if not message.get("ok", False):
             raise ServeClientError(
-                message.get("error", "unknown"), message.get("message", "")
+                message.get("error", "unknown"),
+                message.get("message", ""),
+                retry_after=message.get("retry_after"),
             )
         return message
 
+    def _with_retries(self, attempt_fn: Callable[[], Any]) -> Any:
+        """Run ``attempt_fn``, retrying edge rejections up to ``retries``."""
+        for attempt in range(self.retries + 1):
+            try:
+                return attempt_fn()
+            except ServeClientError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt == self.retries:
+                    raise
+                self._sleep(_retry_delay(exc, attempt))
+
     def request(self, message: dict) -> dict:
         """Send one non-streaming request, return its response."""
-        self._send(message)
-        return self._read_final()
+        def attempt() -> dict:
+            self._send(message)
+            return self._read_final()
+        return self._with_retries(attempt)
 
     # -- protocol ops ----------------------------------------------------------
 
@@ -125,6 +176,7 @@ class ServeClient:
         budget: int | None = None,
         shards: int | None = None,
         shard_tie_break: str = "arrival",
+        deadline_ms: float | None = None,
     ) -> dict:
         """Open a cursor for ``query`` in ``session``; returns the
         response (``cursor``, ``strategy``, ``algorithm``, ``shards``).
@@ -132,6 +184,8 @@ class ServeClient:
         ``shards`` asks the server to bind through the parallel
         execution layer (fragment-sharded T-DPs, ranked k-way merge);
         the wire format and fetch semantics are unchanged.
+        ``deadline_ms`` becomes the cursor's default per-fetch deadline
+        (each fetch's countdown starts when that fetch begins).
         """
         message: dict[str, Any] = {
             "op": "prepare",
@@ -147,29 +201,49 @@ class ServeClient:
             message["shards"] = shards
             if shard_tie_break != "arrival":
                 message["shard_tie_break"] = shard_tie_break
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return self.request(message)
 
-    def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
-        """The next ``n`` ranked answers of a cursor (may be fewer)."""
-        self._send(
-            {"op": "fetch", "session": session, "cursor": cursor, "n": n}
-        )
+    def fetch(
+        self,
+        session: str,
+        cursor: str,
+        n: int = 10,
+        deadline_ms: float | None = None,
+    ) -> FetchPage:
+        """The next ``n`` ranked answers of a cursor (may be fewer).
+
+        ``deadline_ms`` bounds this fetch; at expiry the server returns
+        the partial page with ``deadline_exceeded`` set.
+        """
+        message: dict[str, Any] = {
+            "op": "fetch", "session": session, "cursor": cursor, "n": n,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return self._with_retries(lambda: self._fetch_once(message))
+
+    def _fetch_once(self, message: dict) -> FetchPage:
+        self._send(message)
         results: list[dict] = []
         while True:
-            message = self._read()
-            if "result" in message:
-                results.append(message["result"])
+            line = self._read()
+            if "result" in line:
+                results.append(line["result"])
                 continue
-            if not message.get("ok", False):
+            if not line.get("ok", False):
                 raise ServeClientError(
-                    message.get("error", "unknown"),
-                    message.get("message", ""),
+                    line.get("error", "unknown"),
+                    line.get("message", ""),
+                    retry_after=line.get("retry_after"),
                 )
             return FetchPage(
                 results,
-                message["served"],
-                message["position"],
-                message["exhausted"],
+                line["served"],
+                line["position"],
+                line["exhausted"],
+                deadline_exceeded=line.get("deadline_exceeded", False),
             )
 
     def fetch_all(
@@ -229,10 +303,23 @@ class AsyncServeClient:
     event-loop concurrency is driven by creating several clients.
     """
 
-    def __init__(self, host: str, port: int, token: str | None = None):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: str | None = None,
+        timeout: float | None = 30.0,
+        retries: int = 0,
+    ):
         self.host = host
         self.port = port
         self.token = token
+        #: Per-read timeout in seconds (``None`` = wait forever).  A
+        #: timed-out read raises ``asyncio.TimeoutError`` and leaves the
+        #: connection in an undefined mid-stream state — close it.
+        self.timeout = timeout
+        #: Extra attempts on throttled/overloaded rejections.
+        self.retries = retries
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -240,8 +327,9 @@ class AsyncServeClient:
 
     async def connect(self) -> "AsyncServeClient":
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.timeout,
             )
         return self
 
@@ -271,7 +359,7 @@ class AsyncServeClient:
         await self._writer.drain()
 
     async def _read(self) -> dict:
-        line = await self._reader.readline()
+        line = await asyncio.wait_for(self._reader.readline(), self.timeout)
         if not line:
             raise ConnectionError("server closed the connection")
         return protocol.decode(line)
@@ -280,14 +368,28 @@ class AsyncServeClient:
         message = await self._read()
         if not message.get("ok", False):
             raise ServeClientError(
-                message.get("error", "unknown"), message.get("message", "")
+                message.get("error", "unknown"),
+                message.get("message", ""),
+                retry_after=message.get("retry_after"),
             )
         return message
 
+    async def _with_retries(self, attempt_fn) -> Any:
+        """Run ``attempt_fn``, retrying edge rejections up to ``retries``."""
+        for attempt in range(self.retries + 1):
+            try:
+                return await attempt_fn()
+            except ServeClientError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt == self.retries:
+                    raise
+                await asyncio.sleep(_retry_delay(exc, attempt))
+
     async def request(self, message: dict) -> dict:
         """Send one non-streaming request, return its response."""
-        await self._send(message)
-        return await self._read_final()
+        async def attempt() -> dict:
+            await self._send(message)
+            return await self._read_final()
+        return await self._with_retries(attempt)
 
     # -- protocol ops ----------------------------------------------------------
 
@@ -304,6 +406,7 @@ class AsyncServeClient:
         budget: int | None = None,
         shards: int | None = None,
         shard_tie_break: str = "arrival",
+        deadline_ms: float | None = None,
     ) -> dict:
         message: dict[str, Any] = {
             "op": "prepare",
@@ -319,29 +422,45 @@ class AsyncServeClient:
             message["shards"] = shards
             if shard_tie_break != "arrival":
                 message["shard_tie_break"] = shard_tie_break
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return await self.request(message)
 
-    async def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
+    async def fetch(
+        self,
+        session: str,
+        cursor: str,
+        n: int = 10,
+        deadline_ms: float | None = None,
+    ) -> FetchPage:
         """The next ``n`` ranked answers of a cursor (may be fewer)."""
-        await self._send(
-            {"op": "fetch", "session": session, "cursor": cursor, "n": n}
-        )
+        message: dict[str, Any] = {
+            "op": "fetch", "session": session, "cursor": cursor, "n": n,
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return await self._with_retries(lambda: self._fetch_once(message))
+
+    async def _fetch_once(self, message: dict) -> FetchPage:
+        await self._send(message)
         results: list[dict] = []
         while True:
-            message = await self._read()
-            if "result" in message:
-                results.append(message["result"])
+            line = await self._read()
+            if "result" in line:
+                results.append(line["result"])
                 continue
-            if not message.get("ok", False):
+            if not line.get("ok", False):
                 raise ServeClientError(
-                    message.get("error", "unknown"),
-                    message.get("message", ""),
+                    line.get("error", "unknown"),
+                    line.get("message", ""),
+                    retry_after=line.get("retry_after"),
                 )
             return FetchPage(
                 results,
-                message["served"],
-                message["position"],
-                message["exhausted"],
+                line["served"],
+                line["position"],
+                line["exhausted"],
+                deadline_exceeded=line.get("deadline_exceeded", False),
             )
 
     async def fetch_all(
@@ -394,16 +513,32 @@ class HttpServeClient:
         port: int,
         timeout: float = 30.0,
         token: str | None = None,
+        retries: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.host = host
         self.port = port
         self.token = token
+        #: Extra attempts on 429/503 rejections, honouring Retry-After.
+        self.retries = retries
+        self._sleep = sleep
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
     # -- transport -------------------------------------------------------------
 
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
         """One HTTP round trip; returns the decoded JSON body."""
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServeClientError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt == self.retries:
+                    raise
+                self._sleep(_retry_delay(exc, attempt))
+
+    def _request_once(
+        self, method: str, path: str, payload: dict | None
+    ) -> dict:
         body = None
         headers = {}
         if payload is not None:
@@ -413,11 +548,19 @@ class HttpServeClient:
             headers["Authorization"] = f"Bearer {self.token}"
         self._conn.request(method, path, body=body, headers=headers)
         response = self._conn.getresponse()
+        retry_header = response.getheader("Retry-After")
         decoded = json.loads(response.read().decode("utf-8"))
         if response.status >= 400 or not decoded.get("ok", False):
+            retry_after = decoded.get("retry_after")
+            if retry_after is None and retry_header is not None:
+                try:
+                    retry_after = float(retry_header)
+                except ValueError:
+                    retry_after = None
             raise ServeClientError(
                 decoded.get("error", f"http_{response.status}"),
                 decoded.get("message", ""),
+                retry_after=retry_after,
             )
         return decoded
 
@@ -436,17 +579,25 @@ class HttpServeClient:
         payload = {"session": session, "query": query, **fields}
         return self.request("POST", "/v1/prepare", payload)
 
-    def fetch(self, session: str, cursor: str, n: int = 10) -> FetchPage:
-        response = self.request(
-            "POST",
-            "/v1/fetch",
-            {"session": session, "cursor": cursor, "n": n},
-        )
+    def fetch(
+        self,
+        session: str,
+        cursor: str,
+        n: int = 10,
+        deadline_ms: float | None = None,
+    ) -> FetchPage:
+        payload: dict[str, Any] = {
+            "session": session, "cursor": cursor, "n": n,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        response = self.request("POST", "/v1/fetch", payload)
         return FetchPage(
             response["results"],
             response["served"],
             response["position"],
             response["exhausted"],
+            deadline_exceeded=response.get("deadline_exceeded", False),
         )
 
     def fetch_all(

@@ -66,8 +66,10 @@ from repro.obs.latency import LatencyWindow
 from repro.obs.trace import new_request_id
 from repro.serve import protocol
 from repro.serve.policy import AccessPolicy
+from repro.serve.resilience import COUNTERS as RESILIENCE_COUNTERS
 from repro.serve.server import OpDispatcher, ServerThread
 from repro.serve.session import SessionManager
+from repro.util import faults
 
 logger = logging.getLogger("repro.serve.gateway")
 
@@ -82,6 +84,8 @@ HTTP_STATUS = {
     protocol.ERR_UNKNOWN_CURSOR: 404,
     protocol.ERR_THROTTLED: 429,
     protocol.ERR_INTERNAL: 500,
+    protocol.ERR_OVERLOADED: 503,
+    protocol.ERR_DEADLINE: 504,
 }
 
 _REASONS = {
@@ -94,6 +98,8 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
     101: "Switching Protocols",
 }
 
@@ -184,6 +190,7 @@ class _WsWriter:
         self._writer = transport_writer
 
     def write(self, data: bytes) -> None:
+        faults.hit("gateway.write")
         self._writer.write(ws_encode_frame(data.rstrip(b"\n")))
 
     async def drain(self) -> None:
@@ -236,7 +243,10 @@ class GatewayServer:
         max_frame_bytes: int = 1 << 20,
         latency_window: int = 2048,
         log_requests: bool = True,
+        drain_s: float = 0.0,
     ):
+        if drain_s < 0:
+            raise ValueError(f"drain_s must be non-negative, got {drain_s}")
         if manager is None:
             if engine is None:
                 raise ValueError("GatewayServer needs an engine or a manager")
@@ -249,12 +259,14 @@ class GatewayServer:
             )
         self.manager = manager
         self.engine = manager.engine
-        self.dispatcher = OpDispatcher(manager)
         self.policy = policy if policy is not None else AccessPolicy()
+        self.dispatcher = OpDispatcher(manager, self.policy)
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
         self.log_requests = log_requests
+        #: Default grace period for :meth:`stop`.
+        self.drain_s = drain_s
         #: The engine's tracer: gateway request spans open here, so
         #: engine spans created while dispatching nest under them and
         #: the whole request is one trace (request-ID propagation).
@@ -266,6 +278,8 @@ class GatewayServer:
         self.http_requests = 0
         self.ws_connections = 0
         self.ws_messages = 0
+        #: Requests currently inside dispatch (drain watches this).
+        self.active_requests = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -282,11 +296,24 @@ class GatewayServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self, close_sessions: bool = True) -> None:
+    async def stop(
+        self, close_sessions: bool = True, drain_s: float | None = None
+    ) -> None:
+        """Stop accepting, drain in-flight dispatches, drop sessions.
+
+        Same drain semantics as :meth:`ServeServer.stop`: during the
+        grace period a mid-fetch client still receives its full page.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        drain_s = self.drain_s if drain_s is None else drain_s
+        if drain_s > 0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + drain_s
+            while self.active_requests > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.005)
         if close_sessions:
             self.manager.close()
 
@@ -376,6 +403,7 @@ class GatewayServer:
             headers.append(f"X-Request-Id: {request_id}")
         for name, value in (extra_headers or {}).items():
             headers.append(f"{name}: {value}")
+        faults.hit("gateway.write")
         writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
         return len(body)
 
@@ -620,14 +648,18 @@ class GatewayServer:
         # The request span roots the trace: dispatch runs in this task,
         # so session/engine spans opened below nest under it and carry
         # the edge's request id end to end.
-        with self.tracer.span(
-            "gateway.request",
-            method=request.method,
-            path=request.path,
-            op=wire_request["op"],
-            request_id=request.request_id,
-        ):
-            await self.dispatcher.dispatch(wire_request, collector)
+        self.active_requests += 1
+        try:
+            with self.tracer.span(
+                "gateway.request",
+                method=request.method,
+                path=request.path,
+                op=wire_request["op"],
+                request_id=request.request_id,
+            ):
+                await self.dispatcher.dispatch(wire_request, collector)
+        finally:
+            self.active_requests -= 1
         elapsed = time.perf_counter() - started
         if wire_request["op"] == "fetch":
             self.fetch_latency.record(elapsed)
@@ -637,17 +669,34 @@ class GatewayServer:
         terminator = collector.lines[-1] if collector.lines else protocol.error(
             protocol.ERR_INTERNAL, "op produced no response"
         )
+        extra_headers: dict[str, str] = {}
         if terminator.get("ok"):
             status = 200
             payload = dict(terminator)
             if results or wire_request["op"] == "fetch":
                 payload["results"] = results
+            if payload.get("deadline_exceeded") and not results:
+                # Zero progress before the deadline: that is a timeout,
+                # not a page.  (With any results at all the partial page
+                # goes out as 200 + deadline_exceeded — any-k's
+                # bounded time-to-first-answer means losing a computed
+                # ranked prefix to a timeout would be strictly worse.)
+                status = 504
+                payload = protocol.error(
+                    protocol.ERR_DEADLINE,
+                    "deadline expired before any result was enumerated",
+                )
         else:
             status = HTTP_STATUS.get(terminator.get("error"), 400)
             payload = terminator
+            if status in (429, 503):
+                retry = terminator.get("retry_after")
+                extra_headers["Retry-After"] = str(
+                    max(1, round(retry)) if retry else 1
+                )
         self._respond(
             writer, status, payload, keep_alive=request.keep_alive,
-            request_id=request.request_id,
+            extra_headers=extra_headers, request_id=request.request_id,
         )
         return status
 
@@ -766,14 +815,18 @@ class GatewayServer:
                     await writer.drain()
                     continue
                 started = time.perf_counter()
-                with self.tracer.span(
-                    "gateway.ws",
-                    op=wire_request.get("op"),
-                    request_id=(
-                        wire_request.get("request_id") or request.request_id
-                    ),
-                ):
-                    await self.dispatcher.dispatch(wire_request, ws_writer)
+                self.active_requests += 1
+                try:
+                    with self.tracer.span(
+                        "gateway.ws",
+                        op=wire_request.get("op"),
+                        request_id=(
+                            wire_request.get("request_id") or request.request_id
+                        ),
+                    ):
+                        await self.dispatcher.dispatch(wire_request, ws_writer)
+                finally:
+                    self.active_requests -= 1
                 if wire_request.get("op") == "fetch":
                     self.fetch_latency.record(time.perf_counter() - started)
                 await writer.drain()
@@ -804,6 +857,14 @@ class GatewayServer:
             "scheduler": manager_stats["scheduler"],
             "engine": manager_stats["engine"],
             "tracing": self.tracer.stats(),
+            "resilience": {
+                **RESILIENCE_COUNTERS.snapshot(),
+                "shed": self.policy.shed,
+                "deadline_stops": manager_stats["scheduler"].get(
+                    "deadline_stops", 0
+                ),
+                "faults": faults.counters(),
+            },
         }
 
 

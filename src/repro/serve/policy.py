@@ -6,7 +6,7 @@ both consult the *same* instance — so a client sees identical
 enforcement no matter which front door it knocks on, and a deployment's
 auth/limit configuration lives in exactly one place.
 
-Two independent checks, both designed to run *before* any engine or
+Three independent checks, all designed to run *before* any engine or
 scheduler work:
 
 * :meth:`AccessPolicy.authorize` — constant-time bearer-token
@@ -18,6 +18,13 @@ scheduler work:
   without touching the :class:`~repro.serve.session.SessionManager`,
   which is the difference between *containing* a misbehaving client
   (the cooperative scheduler's job) and *refusing* it.
+* :meth:`AccessPolicy.overload_acquire` — the load-shed gate: an
+  optional :class:`~repro.serve.resilience.CircuitBreaker` (fed from
+  dispatch outcomes via :meth:`record_result`) plus an optional cap on
+  concurrently executing fetches.  A shed request is answered 503 /
+  ``ERR_OVERLOADED`` with a ``Retry-After`` hint; unlike throttling,
+  this protects against *server-side* distress (persistent engine
+  failures, fetch pile-ups), not client misbehavior.
 
 The policy is thread-safe: the TCP server and the gateway may run on
 different event loops in different threads over one shared policy.
@@ -29,6 +36,17 @@ import hmac
 import threading
 import time
 from typing import Any, Callable, Hashable
+
+from repro.serve.resilience import CircuitBreaker
+
+#: Ops subject to the overload gate (the expensive ones); stats, ping,
+#: explain, and close stay open so operators can inspect a shedding
+#: server.
+_SHEDDABLE_OPS = ("prepare", "fetch")
+
+#: Retry-After hint (seconds) when shedding on the in-flight cap: the
+#: backlog turns over at slice granularity, so "soon" is honest.
+_IN_FLIGHT_RETRY_S = 0.05
 
 
 class _Bucket:
@@ -64,11 +82,17 @@ class AccessPolicy:
         burst: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         max_clients: int = 4096,
+        breaker: CircuitBreaker | None = None,
+        max_in_flight: int | None = None,
     ):
         if rate_limit is not None and rate_limit <= 0:
             raise ValueError(f"rate_limit must be positive, got {rate_limit}")
         if burst is not None and burst < 1:
             raise ValueError(f"burst must be at least 1, got {burst}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be positive, got {max_in_flight}"
+            )
         self.auth_token = auth_token
         self.rate_limit = None if rate_limit is None else float(rate_limit)
         if burst is not None:
@@ -81,12 +105,21 @@ class AccessPolicy:
         self._max_clients = max_clients
         self._lock = threading.Lock()
         self._buckets: dict[Hashable, _Bucket] = {}
+        #: Optional circuit breaker over dispatch outcomes (None = no
+        #: breaker; :meth:`overload_acquire` then only enforces the
+        #: in-flight cap).
+        self.breaker = breaker
+        #: Cap on concurrently executing fetches (None = unlimited).
+        self.max_in_flight = max_in_flight
+        self._in_flight = 0
         #: Requests that failed the bearer-token check.
         self.denied_auth = 0
         #: Requests rejected by the rate limiter.
         self.throttled = 0
         #: Requests that passed both checks.
         self.admitted = 0
+        #: Requests shed by the overload gate (breaker or in-flight cap).
+        self.shed = 0
 
     # -- auth ------------------------------------------------------------------
 
@@ -147,12 +180,51 @@ class AccessPolicy:
             missing = max(0.0, 1.0 - bucket.tokens)
             return missing / self.rate_limit
 
+    # -- overload gate ---------------------------------------------------------
+
+    def overload_acquire(self, op: Any) -> tuple[bool, float]:
+        """Admit or shed one ``op`` at the overload gate.
+
+        Returns ``(admitted, retry_after_seconds)``.  An admitted fetch
+        holds an in-flight slot that MUST be released via
+        :meth:`overload_release` (the dispatcher does this in a
+        ``finally``).  Cheap/diagnostic ops pass unconditionally.
+        """
+        if op not in _SHEDDABLE_OPS:
+            return True, 0.0
+        if self.breaker is not None and not self.breaker.allow():
+            with self._lock:
+                self.shed += 1
+            return False, self.breaker.retry_after()
+        if op == "fetch" and self.max_in_flight is not None:
+            with self._lock:
+                if self._in_flight >= self.max_in_flight:
+                    self.shed += 1
+                    return False, _IN_FLIGHT_RETRY_S
+                self._in_flight += 1
+        return True, 0.0
+
+    def overload_release(self, op: Any) -> None:
+        """Return the in-flight slot taken by an admitted fetch."""
+        if op == "fetch" and self.max_in_flight is not None:
+            with self._lock:
+                self._in_flight = max(0, self._in_flight - 1)
+
+    def record_result(self, succeeded: bool) -> None:
+        """Feed one dispatch outcome to the breaker (no-op without one)."""
+        if self.breaker is None:
+            return
+        if succeeded:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
     # -- observability ---------------------------------------------------------
 
     def snapshot(self) -> dict:
         """Counter snapshot for ``/metrics`` and the ``stats`` op."""
         with self._lock:
-            return {
+            snapshot = {
                 "auth_required": self.auth_token is not None,
                 "rate_limit": self.rate_limit,
                 "burst": self.burst,
@@ -160,7 +232,13 @@ class AccessPolicy:
                 "denied_auth": self.denied_auth,
                 "throttled": self.throttled,
                 "tracked_clients": len(self._buckets),
+                "shed": self.shed,
+                "max_in_flight": self.max_in_flight,
+                "in_flight": self._in_flight,
             }
+        if self.breaker is not None:
+            snapshot["breaker"] = self.breaker.snapshot()
+        return snapshot
 
     def __repr__(self) -> str:
         auth = "token" if self.auth_token is not None else "open"

@@ -65,6 +65,13 @@ ERR_INTERNAL = "internal"
 #: reached the session manager or consumed a scheduler slice.
 ERR_UNAUTHORIZED = "unauthorized"
 ERR_THROTTLED = "throttled"
+#: Load shed at the edge (circuit breaker open or too many in-flight
+#: fetches); responses carry ``retry_after`` seconds.  HTTP: 503.
+ERR_OVERLOADED = "overloaded"
+#: A fetch whose deadline expired before enumerating a single result.
+#: Partial pages are *not* errors — they return ``ok`` terminators with
+#: ``"deadline_exceeded": true``.  HTTP: 504.
+ERR_DEADLINE = "deadline_exceeded"
 
 #: Ops a server must implement.
 OPS = ("prepare", "fetch", "explain", "close", "stats", "ping")
@@ -79,6 +86,15 @@ def valid_int(value: Any) -> bool:
     integer-valued protocol field validates through here instead.
     """
     return isinstance(value, int) and not isinstance(value, bool)
+
+
+def valid_ms(value: Any) -> bool:
+    """Whether ``value`` is a positive JSON number (for ``deadline_ms``)."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value > 0
+    )
 
 
 def _jsonable(value: Any) -> Any:
@@ -133,6 +149,9 @@ def ok(op: str, **fields: Any) -> dict:
     return message
 
 
-def error(code: str, message: str) -> dict:
-    """An error response line."""
-    return {"ok": False, "error": code, "message": message}
+def error(code: str, message: str, **fields: Any) -> dict:
+    """An error response line (extra fields ride along, e.g.
+    ``retry_after`` on throttled/overloaded rejections)."""
+    payload = {"ok": False, "error": code, "message": message}
+    payload.update(fields)
+    return payload

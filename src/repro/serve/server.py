@@ -74,10 +74,19 @@ class OpDispatcher:
     so a validation rule fixed here is fixed everywhere at once.
     """
 
-    def __init__(self, manager: SessionManager):
+    def __init__(self, manager: SessionManager, policy: AccessPolicy | None = None):
         self.manager = manager
+        #: Shared edge policy; when set, its overload gate (circuit
+        #: breaker + in-flight cap) sheds prepare/fetch requests here —
+        #: after auth/throttle but before any engine work — and its
+        #: breaker is fed from dispatch outcomes.
+        self.policy = policy
         #: Requests dispatched (all transports sharing this dispatcher).
         self.requests = 0
+
+    def _record(self, succeeded: bool) -> None:
+        if self.policy is not None:
+            self.policy.record_result(succeeded)
 
     async def dispatch(self, request: dict, writer: Any) -> None:
         self.requests += 1
@@ -92,11 +101,29 @@ class OpDispatcher:
                 )
             )
             return
+        acquired = False
+        if self.policy is not None:
+            admitted, retry = self.policy.overload_acquire(op)
+            if not admitted:
+                writer.write(
+                    protocol.encode(
+                        protocol.error(
+                            protocol.ERR_OVERLOADED,
+                            f"server overloaded; retry in {retry:.3f}s",
+                            retry_after=round(retry, 3),
+                        )
+                    )
+                )
+                return
+            acquired = True
         try:
             await handler(request, writer)
+            self._record(True)
         except (ConnectionResetError, BrokenPipeError):
             # Transport-level failures end the connection (handled by
             # the caller); writing an error line would be pointless.
+            # They say nothing about engine health, so the breaker is
+            # not fed either.
             raise
         except ServeError as exc:
             writer.write(
@@ -118,11 +145,18 @@ class OpDispatcher:
                 protocol.encode(protocol.error(protocol.ERR_QUERY, str(exc)))
             )
         except Exception as exc:  # noqa: BLE001 - keep the server alive
+            # Server-side failure: this is what the circuit breaker
+            # counts — enough of these in a row and the edge starts
+            # shedding instead of queueing doomed work.
+            self._record(False)
             writer.write(
                 protocol.encode(
                     protocol.error(protocol.ERR_INTERNAL, repr(exc))
                 )
             )
+        finally:
+            if acquired:
+                self.policy.overload_release(op)
 
     # -- ops -------------------------------------------------------------------
 
@@ -152,6 +186,11 @@ class OpDispatcher:
             raise ServeError(
                 f"shards must be a positive int, got {shards!r}"
             )
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and not protocol.valid_ms(deadline_ms):
+            raise ServeError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
         session, cursor_id = self.manager.open_cursor(
             session_name,
             query,
@@ -163,6 +202,7 @@ class OpDispatcher:
             shard_tie_break=request.get("shard_tie_break", "arrival"),
             shard_strategy=request.get("shard_strategy", "range"),
             shard_parallel=request.get("shard_parallel", "auto"),
+            deadline_ms=deadline_ms,
         )
         cursor = session.cursor(cursor_id)
         shard = cursor.prepared.logical.shard
@@ -184,6 +224,11 @@ class OpDispatcher:
         n = request.get("n", 10)
         if not protocol.valid_int(n) or n < 0:
             raise ServeError(f"fetch size must be a non-negative int, got {n!r}")
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and not protocol.valid_ms(deadline_ms):
+            raise ServeError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
 
         # Stream slice by slice: the sink runs after every scheduler
         # slice, so results go out (and drain() applies transport
@@ -205,18 +250,20 @@ class OpDispatcher:
             await writer.drain()
 
         outcome = await self.manager.fetch_async(
-            session_name, cursor_id, n, sink=sink
+            session_name, cursor_id, n, sink=sink, deadline_ms=deadline_ms
         )
-        writer.write(
-            protocol.encode(
-                protocol.ok(
-                    "fetch",
-                    served=len(outcome.results),
-                    position=outcome.position,
-                    exhausted=outcome.exhausted,
-                )
-            )
+        terminator = protocol.ok(
+            "fetch",
+            served=len(outcome.results),
+            position=outcome.position,
+            exhausted=outcome.exhausted,
         )
+        if outcome.deadline_exceeded:
+            # Only present on early stops: the partial page already
+            # streamed is valid, the flag tells the client not to treat
+            # short-of-n as exhaustion.
+            terminator["deadline_exceeded"] = True
+        writer.write(protocol.encode(terminator))
 
     async def op_explain(self, request: dict, writer: Any) -> None:
         session_name, cursor_id = self._require(request, "session", "cursor")
@@ -257,11 +304,14 @@ class ServeServer:
         slice_size: int = 64,
         policy: AccessPolicy | None = None,
         max_frame_bytes: int = 1 << 20,
+        drain_s: float = 0.0,
     ):
         if max_frame_bytes < 1:
             raise ValueError(
                 f"max_frame_bytes must be positive, got {max_frame_bytes}"
             )
+        if drain_s < 0:
+            raise ValueError(f"drain_s must be non-negative, got {drain_s}")
         self.engine = engine
         self.host = host
         self.port = port
@@ -272,17 +322,22 @@ class ServeServer:
             result_budget=result_budget,
             slice_size=slice_size,
         )
-        self.dispatcher = OpDispatcher(self.manager)
+        self.dispatcher = OpDispatcher(self.manager, policy)
         self.dispatcher.extra_stats = self._extra_stats
         #: Shared edge policy (None = open deployment, no checks).
         self.policy = policy
         #: Largest accepted request line; longer frames are answered
         #: with ``ERR_BAD_REQUEST`` and skipped, the connection lives on.
         self.max_frame_bytes = max_frame_bytes
+        #: Default grace period for :meth:`stop`: how long to let
+        #: in-flight requests finish before sessions are dropped.
+        self.drain_s = drain_s
         self._server: asyncio.AbstractServer | None = None
         self.connections = 0
         self.requests = 0
         self.oversized_frames = 0
+        #: Requests currently inside dispatch (drain watches this).
+        self.active_requests = 0
 
     def _extra_stats(self) -> dict:
         extra = {"connections": self.connections, "requests": self.requests}
@@ -306,16 +361,34 @@ class ServeServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self, close_sessions: bool = True) -> None:
+    async def stop(
+        self, close_sessions: bool = True, drain_s: float | None = None
+    ) -> None:
+        """Stop accepting, optionally drain in-flight work, drop sessions.
+
+        ``drain_s`` (defaulting to the constructor's value) bounds a
+        grace period in which requests already inside dispatch — e.g. a
+        fetch mid-stream — run to completion before their sessions are
+        closed under them.  New connections are refused immediately.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self._drain(self.drain_s if drain_s is None else drain_s)
         if close_sessions:
             # Drop every session and its cursors so engine streams are
             # not pinned by a dead server across restarts (the engine's
             # own memo cache stays warm — that is its job, not ours).
             self.manager.close()
+
+    async def _drain(self, drain_s: float) -> None:
+        if drain_s <= 0:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_s
+        while self.active_requests > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -370,12 +443,16 @@ class ServeServer:
         # Clients may tag requests with an opaque ``request_id`` field;
         # handlers ignore it, but the span carries it so a wire request
         # can be matched against the engine spans it caused.
-        with self.engine.tracer.span(
-            "server.request",
-            op=request.get("op"),
-            request_id=request.get("request_id"),
-        ):
-            await self.dispatcher.dispatch(request, writer)
+        self.active_requests += 1
+        try:
+            with self.engine.tracer.span(
+                "server.request",
+                op=request.get("op"),
+                request_id=request.get("request_id"),
+            ):
+                await self.dispatcher.dispatch(request, writer)
+        finally:
+            self.active_requests -= 1
         await writer.drain()
 
     async def _handle_connection(

@@ -33,6 +33,8 @@ from typing import Any, Callable, Iterator
 from repro.engine.engine import Engine
 from repro.enumeration.result import QueryResult
 from repro.serve.cursor import Cursor, CursorBudgetExceeded
+from repro.serve.resilience import Deadline
+from repro.util import faults
 
 
 class ServeError(Exception):
@@ -62,6 +64,9 @@ class FetchOutcome:
     exhausted: bool
     #: Scheduler slices this fetch was split into (observability).
     slices: int = 1
+    #: True when the fetch stopped early at its deadline; the results
+    #: already enumerated form a valid (partial) ranked prefix.
+    deadline_exceeded: bool = False
 
 
 class CooperativeScheduler:
@@ -84,6 +89,8 @@ class CooperativeScheduler:
         self.slices = 0
         #: Total event-loop yields taken between slices.
         self.yields = 0
+        #: Fetches that stopped early because their deadline expired.
+        self.deadline_stops = 0
 
     def _slices(self, n: int) -> Iterator[int]:
         full, rest = divmod(n, self.slice_size)
@@ -104,6 +111,7 @@ class CooperativeScheduler:
         served stay served — rather than an error that would discard
         them.
         """
+        faults.hit("fetch.slice")
         try:
             return cursor.fetch(size)
         except CursorBudgetExceeded:
@@ -115,11 +123,24 @@ class CooperativeScheduler:
             except CursorBudgetExceeded:
                 return None
 
-    def run(self, cursor: Cursor, n: int) -> tuple[list[QueryResult], int]:
-        """Fetch ``n`` results as a sequence of bounded slices."""
+    def run(
+        self, cursor: Cursor, n: int, deadline: Deadline | None = None
+    ) -> tuple[list[QueryResult], int, bool]:
+        """Fetch ``n`` results as a sequence of bounded slices.
+
+        A ``deadline`` is checked before every slice — an expired fetch
+        stops at the slice boundary and the prefix enumerated so far is
+        returned as a partial page (third element of the return value
+        flags the early stop).
+        """
         out: list[QueryResult] = []
         used = 0
+        expired = False
         for size in self._slices(cursor.clamped(n)):
+            if deadline is not None and deadline.expired():
+                expired = True
+                self.deadline_stops += 1
+                break
             page = self._fetch_slice(cursor, size)
             if page is None:
                 break
@@ -128,14 +149,15 @@ class CooperativeScheduler:
             used += 1
             if len(page) < size:
                 break
-        return out, max(1, used)
+        return out, max(1, used), expired
 
     async def run_async(
         self,
         cursor: Cursor,
         n: int,
         sink: "Callable | None" = None,
-    ) -> tuple[list[QueryResult], int]:
+        deadline: Deadline | None = None,
+    ) -> tuple[list[QueryResult], int, bool]:
         """Like :meth:`run`, yielding to the event loop between slices.
 
         ``sink`` (``async def sink(start_rank, page)``) is awaited after
@@ -144,7 +166,12 @@ class CooperativeScheduler:
         """
         out: list[QueryResult] = []
         used = 0
+        expired = False
         for size in self._slices(cursor.clamped(n)):
+            if deadline is not None and deadline.expired():
+                expired = True
+                self.deadline_stops += 1
+                break
             start = cursor.position
             page = self._fetch_slice(cursor, size)
             if page is None:
@@ -169,7 +196,7 @@ class CooperativeScheduler:
                 break
             self.yields += 1
             await asyncio.sleep(0)
-        return out, max(1, used)
+        return out, max(1, used), expired
 
 
 @dataclass
@@ -183,6 +210,9 @@ class Session:
     served: int = 0
     cursors: dict[str, Cursor] = field(default_factory=dict)
     queries: dict[str, str] = field(default_factory=dict)
+    #: Per-cursor default fetch deadline in milliseconds (from
+    #: ``prepare``'s ``deadline_ms``); a fetch-level value overrides it.
+    deadlines: dict[str, float] = field(default_factory=dict)
     _next_cursor: int = 0
 
     def check_budget(self, n: int) -> None:
@@ -337,6 +367,7 @@ class SessionManager:
         shard_tie_break: str = "arrival",
         shard_strategy: str = "range",
         shard_parallel: str = "auto",
+        deadline_ms: float | None = None,
     ) -> tuple[Session, str]:
         """Prepare ``query`` in the session; returns its new cursor id.
 
@@ -372,6 +403,8 @@ class SessionManager:
             session.queries[cursor_id] = (
                 query if isinstance(query, str) else repr(query)
             )
+            if deadline_ms is not None:
+                session.deadlines[cursor_id] = float(deadline_ms)
         return session, cursor_id
 
     def cursor(self, session_name: str, cursor_id: str) -> Cursor:
@@ -383,6 +416,7 @@ class SessionManager:
             session.cursor(cursor_id)
             del session.cursors[cursor_id]
             session.queries.pop(cursor_id, None)
+            session.deadlines.pop(cursor_id, None)
 
     # -- fetching --------------------------------------------------------------
 
@@ -423,26 +457,51 @@ class SessionManager:
         cursor: Cursor,
         results: list[QueryResult],
         slices: int,
+        deadline_exceeded: bool = False,
     ) -> FetchOutcome:
         return FetchOutcome(
             results=results,
             position=cursor.position,
             exhausted=cursor.exhausted,
             slices=slices,
+            deadline_exceeded=deadline_exceeded,
         )
 
+    def _deadline(
+        self, session: Session, cursor_id: str, deadline_ms: float | None
+    ) -> Deadline | None:
+        """The effective deadline of one fetch, on the manager's clock.
+
+        A per-fetch ``deadline_ms`` wins; otherwise the cursor's default
+        from ``prepare`` applies; otherwise there is no deadline.  The
+        countdown starts *now* — at fetch start, not cursor open.
+        """
+        if deadline_ms is None:
+            deadline_ms = session.deadlines.get(cursor_id)
+        if deadline_ms is None:
+            return None
+        return Deadline(self._clock() + deadline_ms / 1000.0, self._clock)
+
     def fetch(
-        self, session_name: str, cursor_id: str, n: int
+        self,
+        session_name: str,
+        cursor_id: str,
+        n: int,
+        deadline_ms: float | None = None,
     ) -> FetchOutcome:
         """Serve the next ``n`` answers of a cursor (synchronous path)."""
         session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
+        deadline = self._deadline(session, cursor_id, deadline_ms)
         begin = cursor.position
         served = 0
+        expired = False
         with self.engine.tracer.span(
             "session.fetch", session=session_name, cursor=cursor_id, n=n
         ) as span:
             try:
-                results, slices = self.scheduler.run(cursor, n)
+                results, slices, expired = self.scheduler.run(
+                    cursor, n, deadline=deadline
+                )
                 served = len(results)
             finally:
                 # Exception path: charge whatever the cursor actually
@@ -451,8 +510,8 @@ class SessionManager:
                 if served == 0:
                     served = max(0, cursor.position - begin)
                 self.settle_budget(session, n, served)
-                span.set(served=served)
-        return self._fetch_epilogue(session, cursor, results, slices)
+                span.set(served=served, deadline_exceeded=expired)
+        return self._fetch_epilogue(session, cursor, results, slices, expired)
 
     async def fetch_async(
         self,
@@ -460,6 +519,7 @@ class SessionManager:
         cursor_id: str,
         n: int,
         sink: "Callable | None" = None,
+        deadline_ms: float | None = None,
     ) -> FetchOutcome:
         """Serve the next ``n`` answers, time-sliced across the event loop.
 
@@ -468,14 +528,16 @@ class SessionManager:
         backpressure path.
         """
         session, cursor, n = self._fetch_prologue(session_name, cursor_id, n)
+        deadline = self._deadline(session, cursor_id, deadline_ms)
         begin = cursor.position
         served = 0
+        expired = False
         with self.engine.tracer.span(
             "session.fetch", session=session_name, cursor=cursor_id, n=n
         ) as span:
             try:
-                results, slices = await self.scheduler.run_async(
-                    cursor, n, sink=sink
+                results, slices, expired = await self.scheduler.run_async(
+                    cursor, n, sink=sink, deadline=deadline
                 )
                 served = len(results)
             finally:
@@ -485,8 +547,8 @@ class SessionManager:
                 if served == 0:
                     served = max(0, cursor.position - begin)
                 self.settle_budget(session, n, served)
-                span.set(served=served)
-        return self._fetch_epilogue(session, cursor, results, slices)
+                span.set(served=served, deadline_exceeded=expired)
+        return self._fetch_epilogue(session, cursor, results, slices, expired)
 
     # -- observability ---------------------------------------------------------
 
@@ -532,6 +594,7 @@ class SessionManager:
                     "slice_size": self.scheduler.slice_size,
                     "slices": self.scheduler.slices,
                     "yields": self.scheduler.yields,
+                    "deadline_stops": self.scheduler.deadline_stops,
                 },
                 "engine": self.engine.stats.as_dict(),
             }

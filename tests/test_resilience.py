@@ -1,0 +1,589 @@
+"""Chaos suite: deterministic fault injection against every recovery path.
+
+Each class injects one failure mode through :mod:`repro.util.faults`
+and asserts the stack recovers *and* that any produced ranked output is
+bit-identical to a fault-free run — recovery that changes answers is
+worse than an error.  The suite closes with a parity check: with no
+faults configured, the resilience layer is invisible (no retries, no
+counter movement).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+
+import pytest
+
+from repro.data.backend import SQLiteBackend
+from repro.data.generators import uniform_database
+from repro.dp.corebuf import CoreFile
+from repro.engine import Engine
+from repro.query.builders import path_query
+from repro.serve.client import HttpServeClient, ServeClient, ServeClientError
+from repro.serve.gateway import GatewayThread
+from repro.serve.policy import AccessPolicy
+from repro.serve.resilience import (
+    COUNTERS,
+    CircuitBreaker,
+    Deadline,
+    Retrier,
+    transient_sqlite,
+)
+from repro.serve.server import ServeServer, ServerThread
+from repro.serve.session import SessionManager
+from repro.util import faults
+from repro.util.faults import FaultInjected, FaultPlan
+
+ALL_VARIANTS = [
+    "take2", "lazy", "eager", "all", "recursive", "batch", "batch_nosort",
+]
+QUERY = "Q(x1, x2, x3, x4) :- R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+
+
+def signature(results):
+    return [
+        (round(r.weight, 6), r.output_tuple, r.witness_ids) for r in results
+    ]
+
+
+@pytest.fixture(autouse=True)
+def reset_counters():
+    COUNTERS.reset()
+    yield
+    COUNTERS.reset()
+
+
+@pytest.fixture
+def db():
+    return uniform_database(3, 30, domain_size=5, seed=11)
+
+
+# -- the fault plan itself -----------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_full_rule(self):
+        plan = FaultPlan.parse("sqlite.execute=raise:3:2:busy")
+        (rule,) = plan._rules["sqlite.execute"]
+        assert (rule.action, rule.after, rule.count, rule.param) == (
+            "raise", 3, 2, "busy",
+        )
+
+    def test_window_semantics(self):
+        plan = FaultPlan.parse("s=raise:2:2")
+        plan.hit("s")  # hit 1: before the window
+        for _ in range(2):  # hits 2-3: inside
+            with pytest.raises(FaultInjected):
+                plan.hit("s")
+        plan.hit("s")  # hit 4: past the window
+        assert plan.counters() == {"hits": {"s": 4}, "fired": {"s": 2}}
+
+    def test_count_zero_fires_forever(self):
+        plan = FaultPlan.parse("s=raise:1:0")
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                plan.hit("s")
+
+    def test_exception_shapes(self):
+        import sqlite3
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            FaultPlan.parse("s=raise:1:1:busy").hit("s")
+        with pytest.raises(ConnectionResetError):
+            FaultPlan.parse("s=raise:1:1:reset").hit("s")
+
+    def test_corrupt_truncate_and_flip(self):
+        data = bytes(range(64))
+        truncated = FaultPlan.parse("s=corrupt:1:1:truncate").corrupt("s", data)
+        assert truncated == data[:32]
+        flipped = FaultPlan.parse("s=corrupt").corrupt("s", data)
+        assert flipped != data and len(flipped) == len(data)
+
+    def test_injected_context_restores(self):
+        assert not faults.enabled()
+        with faults.injected("s=raise"):
+            assert faults.enabled()
+        assert not faults.enabled()
+
+    def test_exit_token_is_one_shot(self, tmp_path):
+        token = tmp_path / "token"
+        token.write_text("")
+        plan = FaultPlan.parse(f"s=exit:1:0:{token}")
+        assert plan._consume_token(str(token))
+        assert not plan._consume_token(str(token))
+
+
+# -- retrier -------------------------------------------------------------------
+
+
+class TestRetrier:
+    def test_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return 42
+
+        retrier = Retrier(attempts=4, sleep=sleeps.append, label="t")
+        assert retrier.call(flaky) == 42
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth
+        assert COUNTERS.get("retries_t") == 2
+
+    def test_exhaustion_reraises_last(self):
+        retrier = Retrier(attempts=2, sleep=lambda _s: None)
+        with pytest.raises(OSError, match="persistent"):
+            retrier.call(lambda: (_ for _ in ()).throw(OSError("persistent")))
+
+    def test_non_retryable_raises_immediately(self):
+        calls = {"n": 0}
+
+        def fail():
+            calls["n"] += 1
+            raise ValueError("no")
+
+        retrier = Retrier(
+            attempts=5,
+            retryable=lambda exc: isinstance(exc, OSError),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(ValueError):
+            retrier.call(fail)
+        assert calls["n"] == 1
+
+    def test_transient_sqlite_predicate(self):
+        import sqlite3
+
+        assert transient_sqlite(sqlite3.OperationalError("database is locked"))
+        assert transient_sqlite(sqlite3.OperationalError("database is busy"))
+        assert not transient_sqlite(sqlite3.OperationalError("syntax error"))
+        assert not transient_sqlite(OSError("locked"))
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_full_cycle_with_frozen_clock(self):
+        now = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=10.0, clock=lambda: now["t"]
+        )
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        now["t"] = 10.5
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        now = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: now["t"]
+        )
+        breaker.record_failure()
+        now["t"] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after() == pytest.approx(5.0)
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+# -- transient sqlite failures -------------------------------------------------
+
+
+class TestSqliteBusyStorm:
+    def test_storm_is_absorbed_bit_identically(self, db, tmp_path):
+        baseline = list(Engine(db).prepare(path_query(3)).iter())
+
+        sqlite = SQLiteBackend(str(tmp_path / "storm.db"))
+        for relation in db:
+            sqlite.ingest(relation)
+        engine = Engine(sqlite.database(), core_cache="off")
+        # Three consecutive locked errors: under the backend's 4-attempt
+        # retrier every statement still completes.
+        with faults.injected("sqlite.execute=raise:2:3:busy"):
+            results = list(engine.prepare(path_query(3)).iter())
+        assert signature(results) == signature(baseline)
+        assert COUNTERS.get("retries_sqlite") >= 1
+        engine2 = Engine(sqlite.database(), core_cache="off")
+        assert engine2.stats.retries == 0  # fresh engine, fresh mirror
+
+    def test_persistent_lock_still_raises(self, db, tmp_path):
+        import sqlite3
+
+        sqlite = SQLiteBackend(str(tmp_path / "stuck.db"))
+        for relation in db:
+            sqlite.ingest(relation)
+        engine = Engine(sqlite.database(), core_cache="off")
+        with faults.injected("sqlite.execute=raise:1:0:busy"):
+            with pytest.raises(sqlite3.OperationalError):
+                list(engine.prepare(path_query(3)).iter())
+
+
+# -- worker crash recovery -----------------------------------------------------
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_is_respawned_bit_identically(self, db, tmp_path):
+        baseline = {
+            algorithm: list(
+                Engine(db).prepare(path_query(3), algorithm=algorithm).iter()
+            )
+            for algorithm in ALL_VARIANTS
+        }
+        token = tmp_path / "kill-once"
+        token.write_text("")
+        engine = Engine(db, core_cache="off")
+        # The exit rule is fork-inherited by pool workers; the token file
+        # is consumed atomically, so exactly one worker dies and the
+        # respawned pool rebuilds the same fragments.
+        with faults.injected(f"worker.scan=exit:1:0:{token}"):
+            for algorithm in ALL_VARIANTS:
+                results = list(
+                    engine.prepare(
+                        path_query(3),
+                        algorithm=algorithm,
+                        shards=2,
+                        shard_parallel="process",
+                    ).iter()
+                )
+                assert signature(results) == signature(baseline[algorithm]), (
+                    f"{algorithm} diverged after worker crash recovery"
+                )
+        assert not token.exists()
+        assert COUNTERS.get("worker_respawns") == 1
+        assert engine.stats.worker_respawns == 1
+        assert engine.stats.pool_downgrades == 0
+
+    def test_repeated_crashes_degrade_to_fused(self, db):
+        baseline = list(Engine(db).prepare(path_query(3)).iter())
+        engine = Engine(db, core_cache="off")
+        # No token file: every worker dies, both pool attempts fail, and
+        # the build falls back to the fused in-process path.
+        with faults.injected("worker.scan=exit:1:0"):
+            prepared = engine.prepare(
+                path_query(3), shards=2, shard_parallel="process"
+            )
+            results = list(prepared.iter())
+        assert signature(results) == signature(baseline)
+        assert COUNTERS.get("pool_downgrades") == 1
+        assert engine.stats.pool_downgrades == 1
+        assert "fell back to" in prepared.explain()
+
+
+# -- core-file corruption and partial writes -----------------------------------
+
+
+class TestCoreFileRecovery:
+    def _warm_engine(self, db, path):
+        engine = Engine(db, core_cache=str(path))
+        results = list(engine.prepare(path_query(3)).iter())
+        return engine, results
+
+    def test_truncated_core_degrades_to_cold_build(self, db, tmp_path):
+        core_path = tmp_path / "plans.core"
+        _, baseline = self._warm_engine(db, core_path)
+        assert core_path.exists()
+        payload = core_path.read_bytes()
+        core_path.write_bytes(payload[: len(payload) // 2])
+
+        engine = Engine(db, core_cache=str(core_path))
+        results = list(engine.prepare(path_query(3)).iter())
+        assert signature(results) == signature(baseline)
+
+    def test_corrupt_toc_is_a_graceful_miss(self, db, tmp_path):
+        core_path = tmp_path / "plans.core"
+        _, baseline = self._warm_engine(db, core_path)
+        with faults.injected("core.read=corrupt:1:0"):
+            engine = Engine(db, core_cache=str(core_path))
+            results = list(engine.prepare(path_query(3)).iter())
+        assert signature(results) == signature(baseline)
+
+    def test_transient_read_error_is_retried(self, db, tmp_path):
+        core_path = tmp_path / "plans.core"
+        engine, baseline = self._warm_engine(db, core_path)
+        with faults.injected("core.read=raise:1:1:oserror"):
+            warm = Engine(db, core_cache=str(core_path))
+            results = list(warm.prepare(path_query(3)).iter())
+        assert signature(results) == signature(baseline)
+        assert COUNTERS.get("retries_core_read") >= 1
+
+    def test_kill_mid_write_leaves_no_partial_core(self, tmp_path):
+        path = str(tmp_path / "mid.core")
+        entries = {"k": ({"kind": "tdp"}, 1, b"x" * 1024)}
+        CoreFile(path).write(entries)
+        good = open(path, "rb").read()
+        with faults.injected("core.write=raise"):
+            with pytest.raises(FaultInjected):
+                CoreFile(path).write(
+                    {"k": ({"kind": "tdp"}, 2, b"y" * 4096)}
+                )
+        # The half-written bytes never reached the container, and the
+        # tmp sibling was cleaned up on the way out.
+        assert open(path, "rb").read() == good
+        assert [
+            name for name in os.listdir(tmp_path) if ".tmp." in name
+        ] == []
+        toc, mapped = CoreFile(path).read_toc_and_map()
+        assert toc["k"]["db_version"] == 1
+        mapped.close()
+
+    def test_stale_tmp_from_dead_pid_is_swept(self, tmp_path):
+        path = str(tmp_path / "swept.core")
+        stale = f"{path}.tmp.999999999"
+        open(stale, "wb").write(b"junk")
+        CoreFile(path).write({"k": ({"kind": "tdp"}, 1, b"data")})
+        assert not os.path.exists(stale)
+
+
+# -- deadline propagation ------------------------------------------------------
+
+
+class _TickClock:
+    """A monotonic clock advancing a fixed step per reading."""
+
+    def __init__(self, step: float):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestDeadlines:
+    def test_partial_page_is_the_correct_prefix(self, db):
+        engine = Engine(db)
+        full = [
+            r.output_tuple for r in engine.prepare(path_query(3)).top(500)
+        ]
+        manager = SessionManager(
+            engine, slice_size=8, clock=_TickClock(0.001)
+        )
+        _, cursor = manager.open_cursor("a", QUERY)
+        outcome = manager.fetch("a", cursor, 500, deadline_ms=25)
+        served = len(outcome.results)
+        assert outcome.deadline_exceeded
+        assert 0 < served < 500
+        assert [
+            r.output_tuple for r in outcome.results
+        ] == full[:served]
+        assert manager.scheduler.deadline_stops == 1
+        # The cursor resumes exactly where the deadline stopped it.
+        rest = manager.fetch("a", cursor, 500 - served)
+        assert not rest.deadline_exceeded
+        assert [
+            r.output_tuple for r in outcome.results + rest.results
+        ] == full
+
+    def test_expired_before_first_slice_serves_nothing(self, db):
+        manager = SessionManager(
+            Engine(db), slice_size=8, clock=_TickClock(1.0)
+        )
+        _, cursor = manager.open_cursor("a", QUERY)
+        outcome = manager.fetch("a", cursor, 10, deadline_ms=500)
+        assert outcome.deadline_exceeded
+        assert outcome.results == []
+
+    def test_prepare_deadline_is_the_cursor_default(self, db):
+        clock = _TickClock(1.0)
+        manager = SessionManager(Engine(db), slice_size=8, clock=clock)
+        _, cursor = manager.open_cursor("a", QUERY, deadline_ms=500)
+        outcome = manager.fetch("a", cursor, 10)
+        assert outcome.deadline_exceeded
+        # A generous per-fetch override beats the cursor default.
+        outcome = manager.fetch("a", cursor, 10, deadline_ms=10_000_000)
+        assert not outcome.deadline_exceeded
+        assert len(outcome.results) == 10
+
+    def test_deadline_deadline_objects(self):
+        now = {"t": 0.0}
+        deadline = Deadline.after_ms(100, clock=lambda: now["t"])
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.1)
+        now["t"] = 0.2
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+
+class TestDeadlinesOverTheWire:
+    def test_tcp_partial_page_flag(self, db):
+        engine = Engine(db)
+        with ServerThread(engine, slice_size=8) as address:
+            with ServeClient(*address) as client:
+                cursor = client.prepare("s", QUERY)["cursor"]
+                # Sub-microsecond budget: expires before the first slice.
+                page = client.fetch("s", cursor, 10, deadline_ms=0.001)
+                assert page.deadline_exceeded
+                assert page.served == 0
+                page = client.fetch("s", cursor, 10)
+                assert not page.deadline_exceeded
+                assert page.served == 10
+
+    def test_http_zero_progress_is_504(self, db):
+        engine = Engine(db)
+        with GatewayThread(engine, slice_size=8) as address:
+            with HttpServeClient(*address) as client:
+                cursor = client.prepare("s", QUERY)["cursor"]
+                with pytest.raises(ServeClientError) as err:
+                    client.fetch("s", cursor, 10, deadline_ms=0.001)
+                assert err.value.code == "deadline_exceeded"
+                # The cursor is untouched: the next fetch serves page 1.
+                page = client.fetch("s", cursor, 10)
+                assert page.position == 10
+
+    def test_bad_deadline_is_rejected(self, db):
+        with ServerThread(Engine(db), slice_size=8) as address:
+            with ServeClient(*address) as client:
+                cursor = client.prepare("s", QUERY)["cursor"]
+                with pytest.raises(ServeClientError) as err:
+                    client.fetch("s", cursor, 10, deadline_ms=-5)
+                assert err.value.code == "bad_request"
+
+
+# -- load shedding and the breaker at the edge ---------------------------------
+
+
+class TestOverloadGate:
+    def test_in_flight_cap_sheds_fetches_only(self):
+        policy = AccessPolicy(max_in_flight=1)
+        admitted, _ = policy.overload_acquire("fetch")
+        assert admitted
+        shed, retry = policy.overload_acquire("fetch")
+        assert not shed and retry > 0
+        assert policy.overload_acquire("stats") == (True, 0.0)
+        policy.overload_release("fetch")
+        admitted, _ = policy.overload_acquire("fetch")
+        assert admitted
+        assert policy.shed == 1
+
+    def test_open_breaker_sheds_prepare_and_fetch(self):
+        now = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=30.0, clock=lambda: now["t"]
+        )
+        policy = AccessPolicy(breaker=breaker)
+        breaker.record_failure()
+        for op in ("prepare", "fetch"):
+            admitted, retry = policy.overload_acquire(op)
+            assert not admitted
+            assert retry == pytest.approx(30.0)
+        assert policy.overload_acquire("ping") == (True, 0.0)
+        assert policy.snapshot()["breaker"]["open"] is True
+
+    def test_gateway_breaker_trip_and_client_retry(self, db):
+        engine = Engine(db)
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05)
+        policy = AccessPolicy(breaker=breaker)
+        with GatewayThread(engine, slice_size=8, policy=policy) as address:
+            with HttpServeClient(*address) as client:
+                cursor = client.prepare("s", QUERY)["cursor"]
+                # One injected internal failure trips the breaker ...
+                with faults.injected("fetch.slice=raise"):
+                    with pytest.raises(ServeClientError) as err:
+                        client.fetch("s", cursor, 5)
+                    assert err.value.code == "internal"
+                # ... so the next fetch is shed with a Retry-After hint.
+                with pytest.raises(ServeClientError) as err:
+                    client.fetch("s", cursor, 5)
+                assert err.value.code == "overloaded"
+                assert err.value.retry_after is not None
+                # A retrying client waits the hint out and then lands on
+                # the half-open probe, which closes the breaker again.
+                patient = HttpServeClient(*address, retries=4)
+                page = patient.fetch("s", cursor, 5)
+                assert page.served == 5
+                assert breaker.state == CircuitBreaker.CLOSED
+                metrics = client.metrics()
+                assert metrics["policy"]["shed"] >= 1
+                assert metrics["resilience"]["shed"] >= 1
+                patient.close()
+
+
+# -- graceful drain ------------------------------------------------------------
+
+
+class TestGracefulDrain:
+    def test_mid_fetch_client_gets_its_full_page(self, db):
+        async def scenario():
+            from repro.serve.client import AsyncServeClient
+
+            server = ServeServer(
+                Engine(db), port=0, slice_size=4, drain_s=5.0
+            )
+            host, port = await server.start()
+            client = AsyncServeClient(host, port)
+            cursor = (await client.prepare("s", QUERY))["cursor"]
+
+            fetch_task = asyncio.ensure_future(
+                client.fetch("s", cursor, 400)
+            )
+            await asyncio.sleep(0.05)  # let the fetch get in flight
+            await server.stop()  # closes the listener, then drains
+            page = await fetch_task
+            await client.close()
+            return page
+
+        page = asyncio.run(scenario())
+        assert page.served == 400
+
+    def test_zero_drain_still_stops_cleanly(self, db):
+        async def scenario():
+            server = ServeServer(Engine(db), port=0, drain_s=0.0)
+            await server.start()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_negative_drain_rejected(self, db):
+        with pytest.raises(ValueError):
+            ServeServer(Engine(db), drain_s=-1.0)
+
+
+# -- parity: faults off must be a no-op ----------------------------------------
+
+
+class TestZeroFaultParity:
+    def test_no_rules_means_no_counting_and_no_retries(self, db):
+        assert not faults.enabled()
+        engine = Engine(db)
+        results = list(engine.prepare(path_query(3)).iter())
+        assert results  # the query ran
+        assert faults.counters() == {"hits": {}, "fired": {}}
+        assert COUNTERS.snapshot() == {}
+        assert engine.stats.retries == 0
+        assert engine.stats.worker_respawns == 0
+        assert engine.stats.pool_downgrades == 0
+
+    def test_wire_terminator_unchanged_without_deadline(self, db):
+        with ServerThread(Engine(db), slice_size=8) as address:
+            with ServeClient(*address) as client:
+                cursor = client.prepare("s", QUERY)["cursor"]
+                client._send(
+                    {"op": "fetch", "session": "s", "cursor": cursor, "n": 1}
+                )
+                lines = [client._read(), client._read()]
+                terminator = lines[-1]
+                assert "deadline_exceeded" not in terminator
