@@ -163,3 +163,36 @@ def test_metrics_window_saw_the_load(stack):
         f"metrics: {metrics['gateway']['http_requests']} http requests, "
         f"fetch p50 {fetch['p50_ms']:.3f} ms  p99 {fetch['p99_ms']:.3f} ms",
     )
+
+
+def test_prometheus_scrape_cost(stack):
+    """Informational: wall time of one full /metrics exposition scrape.
+
+    Scrape-time work (per-session memory estimates, compiled-core
+    residency, histogram rendering) is deliberately paid here rather
+    than on the fetch hot path; this row keeps its cost visible.
+    """
+    import http.client as http_client
+
+    from repro.obs.metrics import validate_exposition
+
+    _, http_address = stack
+    samples = []
+    text = ""
+    for _ in range(5):
+        conn = http_client.HTTPConnection(*http_address)
+        start = time.perf_counter()
+        conn.request(
+            "GET", f"/metrics?format=prometheus&token={TOKEN}"
+        )
+        response = conn.getresponse()
+        text = response.read().decode("utf-8")
+        samples.append(time.perf_counter() - start)
+        conn.close()
+        assert response.status == 200
+    assert validate_exposition(text) == []
+    record_result(
+        FIGURE,
+        f"prometheus scrape: {len(text.splitlines())} lines, "
+        f"best of 5 {min(samples) * 1e3:.3f} ms (informational)",
+    )

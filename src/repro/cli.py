@@ -15,6 +15,13 @@ Commands:
 
       python -m repro.cli trace data/ "Q(x,z) :- R(x,y), S(y,z)" --out trace.json
 
+* ``profile``  — run a query under the sampling profiler and write
+  collapsed-stack output (flamegraph-ready) plus a per-stage summary::
+
+      python -m repro.cli profile data/ "Q(x,z) :- R(x,y), S(y,z)" --out profile.txt
+
+* ``top``      — live operator view polling a running gateway's
+  ``GET /metrics`` (sessions, latency percentiles, memory, breaker);
 * ``generate`` — write one of the paper's synthetic workloads as CSV
   and/or straight into a SQLite file (``--db-path``);
 * ``serve``    — start the streaming query server over a dataset::
@@ -210,6 +217,51 @@ def build_parser() -> argparse.ArgumentParser:
                            help="on shutdown, stop accepting connections "
                                 "but let in-flight requests finish for up "
                                 "to this long (default 0: immediate)")
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run a query under the sampling profiler; write collapsed stacks",
+    )
+    profile_cmd.add_argument("data", nargs="?", default=None,
+                             help="directory of CSV relations (optional when "
+                                  "an already-populated --db-path is given)")
+    profile_cmd.add_argument("text", help="the query")
+    add_backend_options(profile_cmd)
+    profile_cmd.add_argument("--top", type=int, default=10,
+                             help="answers to enumerate per run "
+                                  "(default 10; 0 = all)")
+    profile_cmd.add_argument("--algorithm", default="take2",
+                             choices=["take2", "lazy", "eager", "all",
+                                      "recursive", "batch"])
+    profile_cmd.add_argument("--dioid", default="tropical",
+                             choices=sorted(DIOIDS))
+    profile_cmd.add_argument("--repeat", type=int, default=1,
+                             help="enumeration passes over the prepared plan "
+                                  "(more passes = more samples)")
+    profile_cmd.add_argument("--hz", type=float, default=97.0,
+                             help="sampling rate (default 97)")
+    profile_cmd.add_argument("--min-seconds", type=float, default=0.5,
+                             metavar="S",
+                             help="keep re-running the enumeration until this "
+                                  "much wall time has passed, so fast queries "
+                                  "still collect samples (default 0.5)")
+    profile_cmd.add_argument("--out", default="profile.txt", metavar="FILE",
+                             help="collapsed-stack output path "
+                                  "(default: profile.txt)")
+
+    top_cmd = commands.add_parser(
+        "top", help="live operator view over a running gateway's /metrics"
+    )
+    top_cmd.add_argument("--url", default="http://127.0.0.1:8080/metrics",
+                         help="gateway metrics endpoint "
+                              "(default: http://127.0.0.1:8080/metrics)")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default 2)")
+    top_cmd.add_argument("--iterations", type=int, default=None, metavar="N",
+                         help="render N frames then exit "
+                              "(default: run until interrupted)")
+    top_cmd.add_argument("--token", default=None, metavar="TOKEN",
+                         help="bearer token if the gateway requires auth")
 
     gen_cmd = commands.add_parser(
         "generate", help="write a synthetic workload as CSV and/or SQLite"
@@ -457,6 +509,64 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.profiler import SamplingProfiler
+
+    engine = Engine(_open_database(args), core_cache=args.core_cache)
+    prepared = engine.prepare(
+        args.text, dioid=DIOIDS[args.dioid], algorithm=args.algorithm
+    )
+    prepared.bind()
+    limit = None if args.top == 0 else args.top
+    repeats = max(1, args.repeat)
+    profiler = SamplingProfiler(hz=args.hz)
+    started = time.perf_counter()
+    count = 0
+    passes = 0
+    with profiler:
+        # Honour both floors: at least --repeat passes, and keep
+        # looping past them until --min-seconds of wall time has been
+        # sampled (fast queries would otherwise yield zero samples).
+        while passes < repeats or (
+            time.perf_counter() - started < args.min_seconds
+        ):
+            count = sum(1 for _ in itertools.islice(prepared.iter(), limit))
+            passes += 1
+    elapsed = time.perf_counter() - started
+    with open(args.out, "w", encoding="utf-8") as handle:
+        collapsed = profiler.collapsed()
+        handle.write(collapsed + ("\n" if collapsed else ""))
+    stages = profiler.stage_summary()
+    total = sum(stages.values()) or 1
+    print(f"profiled {passes} enumeration pass(es) ({count} results each) "
+          f"in {elapsed:.2f}s at {args.hz:g} Hz")
+    print(f"{profiler.samples} snapshots -> {args.out} (collapsed stacks)")
+    for stage, tally in sorted(stages.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage:<10} {tally:>6}  ({100.0 * tally / total:.1f}%)")
+    engine.close()
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+
+    from repro.obs.top import run_top
+
+    try:
+        frames = run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            token=args.token,
+        )
+    except URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    return 0 if frames else 1
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     from repro.data.generators import (
         uniform_database,
@@ -505,6 +615,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "profile":
+        return _command_profile(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "generate":
         return _command_generate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

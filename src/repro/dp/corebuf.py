@@ -56,6 +56,7 @@ from typing import Sequence
 
 from repro.dp.flat import CompiledTDP
 from repro.dp.graph import TDP
+from repro.obs.metrics import Counter
 from repro.ranking.dioid import NAMED_DIOIDS, SelectiveDioid
 from repro.util import faults
 
@@ -908,10 +909,18 @@ class CoreCache:
 
     def __init__(self, path: str):
         self.path = path
-        self.hits = 0
-        self.misses = 0
-        self.stale = 0
-        self.writes = 0
+        self.hits = Counter(
+            "repro_core_cache_hits_total", "Core-cache warm-start hits."
+        )
+        self.misses = Counter(
+            "repro_core_cache_misses_total", "Core-cache misses."
+        )
+        self.stale = Counter(
+            "repro_core_cache_stale_total", "Core-cache version mismatches."
+        )
+        self.writes = Counter(
+            "repro_core_cache_writes_total", "Core-cache entry writes."
+        )
         self._file = CoreFile(path)
         self._lock = threading.Lock()
         self._maps: list[mmap.mmap] = []
@@ -962,7 +971,9 @@ class CoreCache:
             # That is corruption, not staleness: miss and rebuild.
             self.misses += 1
             return None
-        self.hits += 1
+        # The hit is counted by the load_* caller once the blob actually
+        # decodes — the counter is monotone, so a decode failure must
+        # never have to "take a hit back".
         return entry["meta"], mapped, entry["offset"]
 
     # -- engine API ------------------------------------------------------------
@@ -975,17 +986,19 @@ class CoreCache:
                 return None
             meta, mapped, offset = found
             if meta["kind"] != "tdp":
+                self.misses += 1
                 return None
             try:
-                return load_compiled(
+                shell = load_compiled(
                     meta, mapped, offset, database, query, join_tree
                 )
             except Exception:
                 # Mangled section data inside an in-bounds blob: a cold
                 # rebuild beats serving garbage.
-                self.hits -= 1
                 self.misses += 1
                 return None
+            self.hits += 1
+            return shell
 
     def load_fragment_cores(
         self, key: str | None, database, query, join_tree,
@@ -1002,15 +1015,17 @@ class CoreCache:
                 or meta["anchor_stage"] != anchor_stage
                 or meta["num_fragments"] != num_fragments
             ):
+                self.misses += 1
                 return None
             try:
-                return load_fragments(
+                cores = load_fragments(
                     meta, mapped, offset, database, query, join_tree
                 )
             except Exception:
-                self.hits -= 1
                 self.misses += 1
                 return None
+            self.hits += 1
+            return cores
 
     def store(
         self, key: str | None, database, meta: dict, data: bytes,
@@ -1047,11 +1062,22 @@ class CoreCache:
     def stats(self) -> dict:
         return {
             "path": self.path,
-            "hits": self.hits,
-            "misses": self.misses,
-            "stale": self.stale,
-            "writes": self.writes,
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "stale": int(self.stale),
+            "writes": int(self.writes),
         }
+
+    def mmap_bytes(self) -> int:
+        """Bytes of ``.core`` file currently mapped into this process.
+
+        The residency counterpart of compiled-core heap estimates: a
+        warm-started plan's columns live here, not on the heap.
+        """
+        with self._lock:
+            return sum(
+                len(mapped) for mapped in self._maps if not mapped.closed
+            )
 
     def close(self) -> None:
         """Release mappings without live views; GC reclaims the rest.

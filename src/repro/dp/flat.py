@@ -64,6 +64,35 @@ from repro.util import vec
 _VEC_SORT_MIN = 64
 
 
+def _seq_bytes(seq: Any) -> int:
+    """Heap-byte estimate of one compiled-core column.
+
+    ``memoryview`` columns are mmap-backed and count zero.  Lists of
+    scalars/tuples are estimated from their first element (columns are
+    homogeneous), so the walk is O(nesting), not O(entries).
+    """
+    import sys
+
+    if seq is None or isinstance(seq, memoryview):
+        return 0
+    if isinstance(seq, array):
+        return sys.getsizeof(seq)
+    if isinstance(seq, (list, tuple)):
+        total = sys.getsizeof(seq)
+        sample = next((item for item in seq if item is not None), None)
+        if sample is None:
+            return total
+        if isinstance(sample, (list, array, memoryview)):
+            for item in seq:  # ragged columns (per-stage / per-connector)
+                total += _seq_bytes(item)
+        elif isinstance(sample, tuple):
+            total += _seq_bytes(sample) * len(seq)  # homogeneous rows
+        else:
+            total += sys.getsizeof(sample) * len(seq)
+        return total
+    return sys.getsizeof(seq)
+
+
 class CompiledTDP:
     """A T-DP lowered to flat arrays in dioid key space.
 
@@ -322,6 +351,26 @@ class CompiledTDP:
             "states": sum(len(v) for v in self.values_key),
             "empty": self.empty,
         }
+
+    def memory_bytes(self) -> int:
+        """Estimated heap bytes of this core's columns (scrape-time).
+
+        Mmap-backed ``memoryview`` columns (warm-started cores) count
+        zero here — their residency is reported by
+        :meth:`repro.dp.corebuf.CoreCache.mmap_bytes` instead, which is
+        exactly the heap-vs-mmap split the memory gauges exist to show.
+        """
+        import sys
+
+        total = sys.getsizeof(self)
+        for name in (
+            "values_key", "pi1_key", "conn_offsets", "entry_key",
+            "entry_state", "conn_stage", "child_uids", "conn_of",
+            "root_stages", "_pairs", "_take2_heaps", "_sorted_pairs",
+            "_rea_heaps",
+        ):
+            total += _seq_bytes(getattr(self, name, None))
+        return total
 
     def __repr__(self) -> str:
         return (

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.data.database import Database
@@ -35,6 +34,7 @@ from repro.data.index import IndexCache
 from repro.engine.plan import LogicalPlan, PhysicalPlan, bind, plan
 from repro.engine.stream import PrefixStream
 from repro.enumeration.result import QueryResult
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 from repro.query.cq import ConjunctiveQuery
 from repro.query.selections import (
@@ -50,50 +50,73 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
     from repro.serve.cursor import Cursor
 
 
-@dataclass
 class EngineStats:
-    """Plan-cache and binding counters (observability for tests/tuning)."""
+    """Plan-cache and binding counters (observability for tests/tuning).
 
-    prepare_hits: int = 0
-    prepare_misses: int = 0
-    binds: int = 0
-    #: Binds that went through the parallel execution layer.
-    sharded_binds: int = 0
-    evictions: int = 0
-    stream_hits: int = 0
-    stream_misses: int = 0
-    #: Compiled-core file counters, mirrored from the engine's
-    #: :class:`~repro.dp.corebuf.CoreCache` after every bind.  A
-    #: ``core_hit`` bind skipped the T-DP build + compile entirely.
-    core_hits: int = 0
-    core_misses: int = 0
-    core_stale: int = 0
-    core_writes: int = 0
-    #: Recovery counters, mirrored from
-    #: :data:`repro.serve.resilience.COUNTERS` after every bind — how
-    #: often transient faults were absorbed (retries), pools respawned,
-    #: or process builds downgraded to the fused path.
-    retries: int = 0
-    worker_respawns: int = 0
-    pool_downgrades: int = 0
+    Every field is backed by a typed :class:`~repro.obs.metrics.Counter`
+    registered with the gateway's scrape registry — but attribute reads
+    return plain ints and writes go through the counter, so
+    ``stats.binds += 1`` increments, ``before = stats.binds`` snapshots,
+    and ``stats.binds == before + 1`` comparisons all keep exact int
+    semantics (an aliasing-free snapshot, unlike handing out the
+    mutable instrument itself).  The ``core_*`` and recovery fields are
+    *mirrors* of authoritative counters elsewhere
+    (:class:`~repro.dp.corebuf.CoreCache`,
+    :data:`repro.serve.resilience.COUNTERS`) refreshed after every bind
+    by plain assignment.
+    """
+
+    _FIELDS = (
+        "prepare_hits",
+        "prepare_misses",
+        "binds",
+        #: Binds that went through the parallel execution layer.
+        "sharded_binds",
+        "evictions",
+        "stream_hits",
+        "stream_misses",
+        #: Compiled-core file counters; a ``core_hit`` bind skipped the
+        #: T-DP build + compile entirely.
+        "core_hits",
+        "core_misses",
+        "core_stale",
+        "core_writes",
+        #: Recovery mirrors — how often transient faults were absorbed
+        #: (retries), pools respawned, or builds downgraded.
+        "retries",
+        "worker_respawns",
+        "pool_downgrades",
+    )
+
+    def __init__(self):
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                name: Counter(f"repro_engine_{name}_total", f"Engine {name}.")
+                for name in self._FIELDS
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return int(counters[name])
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._FIELDS:
+            self._counters[name].set(value)
+        else:
+            object.__setattr__(self, name, value)
 
     def as_dict(self) -> dict:
-        return {
-            "prepare_hits": self.prepare_hits,
-            "prepare_misses": self.prepare_misses,
-            "binds": self.binds,
-            "sharded_binds": self.sharded_binds,
-            "evictions": self.evictions,
-            "stream_hits": self.stream_hits,
-            "stream_misses": self.stream_misses,
-            "core_hits": self.core_hits,
-            "core_misses": self.core_misses,
-            "core_stale": self.core_stale,
-            "core_writes": self.core_writes,
-            "retries": self.retries,
-            "worker_respawns": self.worker_respawns,
-            "pool_downgrades": self.pool_downgrades,
-        }
+        return {name: int(counter) for name, counter in self._counters.items()}
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        for counter in self._counters.values():
+            registry.attach(counter)
 
 
 class PreparedQuery:
@@ -648,6 +671,75 @@ class Engine:
             core_cache=core_cache,
             tracer=tracer,
         )
+
+    # -- memory accounting -----------------------------------------------------
+
+    @staticmethod
+    def _compiled_cores(physical: PhysicalPlan) -> list:
+        """Compiled flat cores reachable from one bound physical plan."""
+        cores = []
+        compiled = getattr(physical, "compiled", None)
+        if compiled is not None:
+            cores.append(compiled)
+        tdps = []
+        tdp = getattr(physical, "tdp", None)
+        if tdp is not None:
+            tdps.append(tdp)
+        tdps.extend(getattr(physical, "tdps", ()) or ())
+        for candidate in tdps:
+            core = getattr(candidate, "_compiled", None)
+            if core:  # None = not compiled yet, False = unsupported dioid
+                cores.append(core)
+        return cores
+
+    def memory_stats(self) -> dict:
+        """Scrape-time estimate of engine-held memory.
+
+        ``stream_bytes`` covers memoized result prefixes;
+        ``core_heap_bytes`` sums the heap structures of compiled cores
+        reachable from bound plans (mmap-backed columns count zero);
+        ``core_mmap_bytes`` is the mapped span of the ``.core`` file —
+        the heap-vs-mmap split shows what warm starts moved off the
+        heap.  Everything here is an estimate computed on demand; no
+        instrument is touched on the enumeration path.
+        """
+        with self._stream_lock:
+            streams = [stream for _physical, stream in self._streams.values()]
+        with self._lock:
+            physicals = [entry[1] for entry in self._physicals.values()]
+        heap = 0
+        seen: set[int] = set()
+        for physical in physicals:
+            for core in self._compiled_cores(physical):
+                if id(core) in seen:
+                    continue
+                seen.add(id(core))
+                estimate = getattr(core, "memory_bytes", None)
+                if estimate is not None:
+                    heap += estimate()
+        return {
+            "stream_count": len(streams),
+            "stream_bytes": sum(s.memory_bytes() for s in streams),
+            "core_heap_bytes": heap,
+            "core_mmap_bytes": (
+                0 if self.core_cache is None else self.core_cache.mmap_bytes()
+            ),
+        }
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach engine counters and memory gauges to a registry."""
+        self.stats.register_metrics(registry)
+        for field in (
+            "stream_count",
+            "stream_bytes",
+            "core_heap_bytes",
+            "core_mmap_bytes",
+        ):
+            registry.gauge(
+                f"repro_engine_{field}",
+                f"Engine memory accounting: {field}.",
+                fn=lambda field=field: self.memory_stats()[field],
+            )
 
     def clear_caches(self) -> None:
         """Drop all cached plans, streams, and indexes.

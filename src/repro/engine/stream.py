@@ -52,7 +52,7 @@ class PrefixStream:
 
     __slots__ = (
         "_factory", "_iterator", "_results", "_exhausted", "_lock",
-        "_tracer", "counter", "replays", "extensions",
+        "_tracer", "counter", "replays", "extensions", "_result_bytes",
     )
 
     def __init__(
@@ -72,6 +72,8 @@ class PrefixStream:
         self.replays = 0
         #: Results pulled from the underlying enumerator.
         self.extensions = 0
+        #: Cached per-result byte estimate (computed on first scrape).
+        self._result_bytes: int | None = None
 
     # -- state -----------------------------------------------------------------
 
@@ -178,6 +180,34 @@ class PrefixStream:
             yield result
             index += 1
 
+    def memory_bytes(self) -> int:
+        """Estimated bytes held by the memoized prefix (scrape-time).
+
+        A per-result estimate is measured once from the first memoized
+        answer (results of one stream are homogeneous — same query,
+        same arity) and multiplied by the prefix length, so polling this
+        never walks the whole memo.
+        """
+        import sys
+
+        results = self._results
+        if not results:
+            return sys.getsizeof(results)
+        if self._result_bytes is None:
+            sample = results[0]
+            size = sys.getsizeof(sample)
+            assignment = getattr(sample, "assignment", None)
+            if isinstance(assignment, dict):
+                # Keys are the query's variable names, shared across
+                # every result — charge only the values per result.
+                size += sys.getsizeof(assignment)
+                size += sum(sys.getsizeof(v) for v in assignment.values())
+            weight = getattr(sample, "weight", None)
+            if weight is not None:
+                size += sys.getsizeof(weight)
+            self._result_bytes = size
+        return sys.getsizeof(results) + self._result_bytes * len(results)
+
     def stats(self) -> dict[str, Any]:
         """Observability snapshot (memo size, replay/extension counts)."""
         return {
@@ -185,6 +215,7 @@ class PrefixStream:
             "exhausted": self._exhausted,
             "replays": self.replays,
             "extensions": self.extensions,
+            "memory_bytes": self.memory_bytes(),
         }
 
     def __repr__(self) -> str:

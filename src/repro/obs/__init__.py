@@ -10,7 +10,14 @@ The running system's view of the paper's cost model:
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
   Prometheus text exposition for ``GET /metrics``;
 * :mod:`repro.obs.latency` — the shared percentile / latency-window
-  implementation behind the gateway and the experiment runner.
+  implementation behind the gateway and the experiment runner;
+* :mod:`repro.obs.metrics` — the typed metrics registry (counters,
+  gauges, histograms, labeled families) every subsystem registers
+  into, plus a promtool-style exposition validator;
+* :mod:`repro.obs.profiler` — the sampling profiler behind
+  ``repro profile`` (collapsed-stack output, stage attribution);
+* :mod:`repro.obs.top` — the ``repro top`` operator view and the
+  ``GET /debug`` status page.
 """
 
 from repro.obs.analyze import AnalyzeReport, StageNode, analyze_prepared
@@ -26,6 +33,16 @@ from repro.obs.latency import (
     delay_profile,
     percentile,
 )
+from repro.obs.metrics import (
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_exposition,
+)
+from repro.obs.profiler import SamplingProfiler, profile_call
+from repro.obs.top import debug_html, render_top, run_top
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -59,4 +76,15 @@ __all__ = [
     "current_span",
     "new_request_id",
     "tracer_from_option",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "validate_exposition",
+    "SamplingProfiler",
+    "profile_call",
+    "debug_html",
+    "render_top",
+    "run_top",
 ]

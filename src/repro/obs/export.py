@@ -39,7 +39,13 @@ def chrome_trace_events(
             "args": {"name": process_name},
         }
     ]
+    # Native thread idents are arbitrary large integers; two of them can
+    # collide under a modulus and merge unrelated flame rows.  Map each
+    # distinct ident to a small id in first-seen order instead (tid 0 is
+    # the metadata row above).
+    thread_ids: dict[int, int] = {}
     for span in spans:
+        tid = thread_ids.setdefault(span.thread_id, len(thread_ids) + 1)
         args = {
             "trace_id": span.trace_id,
             "span_id": span.span_id,
@@ -58,39 +64,41 @@ def chrome_trace_events(
                 "ts": round(span.start * 1e6, 3),
                 "dur": round(span.duration * 1e6, 3),
                 "pid": 1,
-                "tid": span.thread_id % 1_000_000,
+                "tid": tid,
                 "args": args,
             }
         )
     return events
 
 
-def chrome_trace_json(spans: Iterable[Span], process_name: str = "repro") -> str:
-    """Full Chrome trace document as a JSON string."""
-    return json.dumps(
-        {
-            "traceEvents": chrome_trace_events(spans, process_name),
-            "displayTimeUnit": "ms",
-        },
-        indent=None,
+def _trace_document(
+    source: "Tracer | Iterable[Span]", process_name: str
+) -> tuple[str, int]:
+    """Serialize spans once for both the string and file exporters."""
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    events = chrome_trace_events(spans, process_name)
+    document = json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"},
         separators=(",", ":"),
     )
+    return document, len(events)
+
+
+def chrome_trace_json(
+    source: "Tracer | Iterable[Span]", process_name: str = "repro"
+) -> str:
+    """Full Chrome trace document as a JSON string."""
+    return _trace_document(source, process_name)[0]
 
 
 def write_chrome_trace(
     path: str, source: "Tracer | Iterable[Span]", process_name: str = "repro"
 ) -> int:
     """Write a Perfetto-loadable trace file; returns the event count."""
-    spans = source.spans() if isinstance(source, Tracer) else list(source)
-    events = chrome_trace_events(spans, process_name)
+    document, count = _trace_document(source, process_name)
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(
-            json.dumps(
-                {"traceEvents": events, "displayTimeUnit": "ms"},
-                separators=(",", ":"),
-            )
-        )
-    return len(events)
+        handle.write(document)
+    return count
 
 
 def _metric_name(parts: tuple[str, ...]) -> str:
@@ -100,11 +108,15 @@ def _metric_name(parts: tuple[str, ...]) -> str:
     return name.lower()
 
 
-def _flatten(value, parts: tuple[str, ...], out: list[tuple[str, float]]) -> None:
+def _flatten(
+    value,
+    parts: tuple[str, ...],
+    out: list[tuple[str, tuple[str, ...], float]],
+) -> None:
     if isinstance(value, bool):
-        out.append((_metric_name(parts), 1.0 if value else 0.0))
+        out.append((_metric_name(parts), parts, 1.0 if value else 0.0))
     elif isinstance(value, (int, float)):
-        out.append((_metric_name(parts), float(value)))
+        out.append((_metric_name(parts), parts, float(value)))
     elif isinstance(value, dict):
         for key, child in value.items():
             _flatten(child, parts + (str(key),), out)
@@ -119,13 +131,33 @@ def prometheus_text(metrics: dict, prefix: str = "repro") -> str:
     ``<prefix>_<path_joined_by_underscores>``; booleans map to 0/1 and
     non-numeric leaves are skipped.  Output is sorted so scrapes are
     deterministic and diff-friendly.
+
+    Distinct dict paths can sanitize to the same metric name (e.g.
+    ``{"a": {"b_c": 1}, "a_b": {"c": 2}}`` or a key that only differs
+    by a scrubbed character).  Repeating a name — let alone its
+    ``# TYPE`` line — is invalid exposition, so colliders are suffixed
+    ``_2``, ``_3``, ... in path order: the lexicographically-smallest
+    source path keeps the bare name, and the mapping is stable across
+    scrapes as long as the colliding keys themselves are.
     """
-    flat: list[tuple[str, float]] = []
+    flat: list[tuple[str, tuple[str, ...], float]] = []
     _flatten(metrics, (prefix,), flat)
     if not flat:
         return ""
+    flat.sort(key=lambda item: (item[0], item[1]))
+    base_names = {name for name, _path, _value in flat}
+    emitted: set[str] = set()
     lines: list[str] = []
-    for name, value in sorted(flat):
+    for name, _path, value in flat:
+        if name in emitted:
+            occurrence = 2
+            while (
+                f"{name}_{occurrence}" in emitted
+                or f"{name}_{occurrence}" in base_names
+            ):
+                occurrence += 1
+            name = f"{name}_{occurrence}"
+        emitted.add(name)
         lines.append(f"# TYPE {name} gauge")
         if value == int(value) and abs(value) < 1e15:
             lines.append(f"{name} {int(value)}")

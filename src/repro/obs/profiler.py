@@ -1,0 +1,195 @@
+"""Sampling profiler: periodic stack walks attributed to engine stages.
+
+A background daemon thread wakes ``hz`` times per second, snapshots
+every thread's stack via ``sys._current_frames()``, and folds each
+stack into a collapsed-stack line (``outer;...;inner count``) — the
+format consumed by flamegraph tooling.  Because sampling happens out
+of band, the profiled workload runs unmodified: no tracing hooks, no
+per-call overhead, just ``1/hz``-spaced snapshots.
+
+Each sample is also attributed to a coarse *engine stage* derived from
+the innermost repro frame's path (``dp/`` → enumeration machinery,
+``engine/`` → engine, ``serve/`` → serving, ``backends/`` → storage,
+``obs/`` → observability, anything else under ``repro`` → other), so
+``stage_summary()`` answers "where does the time go" without a
+flamegraph viewer.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+
+__all__ = ["SamplingProfiler", "profile_call", "stage_of"]
+
+#: Path fragment → stage label, tested innermost-frame-first.
+_STAGES = (
+    ("/repro/dp/", "enumerate"),
+    ("/repro/anyk/", "enumerate"),
+    ("/repro/engine/", "engine"),
+    ("/repro/enumeration/", "enumerate"),
+    ("/repro/serve/", "serve"),
+    ("/repro/backends/", "storage"),
+    ("/repro/obs/", "obs"),
+)
+
+
+def stage_of(filename: str) -> str | None:
+    """Map a frame's filename to an engine stage, or None if not repro code."""
+    normalized = filename.replace("\\", "/")
+    for fragment, stage in _STAGES:
+        if fragment in normalized:
+            return stage
+    if "/repro/" in normalized:
+        return "other"
+    return None
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename.replace("\\", "/")
+    # Keep paths short: everything from the repro package root if the
+    # frame is ours, else just the basename.
+    marker = filename.rfind("/repro/")
+    if marker >= 0:
+        filename = filename[marker + 1 :]
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Background stack sampler producing collapsed-stack output.
+
+    Usable as a context manager::
+
+        with SamplingProfiler(hz=97) as prof:
+            run_workload()
+        print(prof.collapsed())
+
+    ``hz`` is the target sampling rate; the default 97 is prime so the
+    sampler does not phase-lock with millisecond-periodic workloads.
+    """
+
+    def __init__(self, hz: float = 97.0, skip_own_thread: bool = True):
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.skip_own_thread = skip_own_thread
+        self._stacks: _TallyCounter = _TallyCounter()
+        self._stages: _TallyCounter = _TallyCounter()
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_id = threading.get_ident()
+        while not self._stop.wait(interval):
+            self.sample_once(skip_ident=own_id if self.skip_own_thread else None)
+
+    def sample_once(self, skip_ident: int | None = None) -> int:
+        """Take one snapshot of every live thread; returns stacks folded."""
+        frames = sys._current_frames()
+        folded = 0
+        with self._lock:
+            for ident, frame in frames.items():
+                if ident == skip_ident:
+                    continue
+                labels = []
+                stage = None
+                walker = frame
+                while walker is not None:
+                    labels.append(_frame_label(walker))
+                    if stage is None:
+                        stage = stage_of(walker.f_code.co_filename)
+                    walker = walker.f_back
+                if not labels:
+                    continue
+                labels.reverse()  # collapsed-stack order: outermost first
+                self._stacks[";".join(labels)] += 1
+                self._stages[stage or "idle"] += 1
+                folded += 1
+            self._samples += 1
+        return folded
+
+    # -- reporting ---------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def collapsed(self, top: int | None = None) -> str:
+        """Collapsed-stack text: one ``frame;frame;... count`` per line.
+
+        Sorted by descending count (ties broken by the stack string)
+        so ``--top N`` truncation keeps the hottest stacks.
+        """
+        with self._lock:
+            entries = sorted(
+                self._stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        if top is not None:
+            entries = entries[:top]
+        return "\n".join(f"{stack} {count}" for stack, count in entries)
+
+    def stage_summary(self) -> dict[str, int]:
+        """Sample tallies per engine stage (``enumerate``/``engine``/...)."""
+        with self._lock:
+            return dict(self._stages)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self._stages.clear()
+            self._samples = 0
+
+
+def profile_call(fn, hz: float = 97.0, min_seconds: float = 0.0):
+    """Run ``fn()`` under a sampler; returns ``(result, profiler)``.
+
+    ``min_seconds`` keeps sampling past a too-fast workload by
+    re-invoking ``fn`` until the wall clock clears the floor — handy
+    for CLI profiling of sub-millisecond queries.
+    """
+    profiler = SamplingProfiler(hz=hz)
+    started = time.perf_counter()
+    result = None
+    with profiler:
+        while True:
+            result = fn()
+            if time.perf_counter() - started >= min_seconds:
+                break
+    return result, profiler

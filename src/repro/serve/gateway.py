@@ -36,6 +36,7 @@ Endpoints
 ====================  ======================================================
 ``GET  /healthz``     liveness (never authenticated, never throttled)
 ``GET  /metrics``     engine/session/latency/admission counters
+``GET  /debug``       HTML status page (sessions, latency, memory)
 ``GET  /v1/stats``    the ``stats`` op (full per-session detail)
 ``POST /v1/prepare``  the ``prepare`` op; body = op fields sans ``op``
 ``POST /v1/fetch``    the ``fetch`` op; results buffered into ``results``
@@ -61,8 +62,9 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.engine import Engine
-from repro.obs.export import prometheus_text
 from repro.obs.latency import LatencyWindow
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.top import debug_html
 from repro.obs.trace import new_request_id
 from repro.serve import protocol
 from repro.serve.policy import AccessPolicy
@@ -275,11 +277,64 @@ class GatewayServer:
         self.fetch_latency = LatencyWindow(latency_window)
         self._server: asyncio.AbstractServer | None = None
         self.started_at = time.time()
-        self.http_requests = 0
-        self.ws_connections = 0
-        self.ws_messages = 0
+        self.http_requests = Counter(
+            "repro_gateway_http_requests_total", "HTTP requests received."
+        )
+        self.ws_connections = Counter(
+            "repro_gateway_ws_connections_total", "WebSocket upgrades."
+        )
+        self.ws_messages = Counter(
+            "repro_gateway_ws_messages_total", "WebSocket messages received."
+        )
         #: Requests currently inside dispatch (drain watches this).
+        #: A plain int (goes down as well as up); exported as a gauge.
         self.active_requests = 0
+        #: Cumulative fetch-latency histogram (Prometheus ``le`` buckets)
+        #: alongside the rolling window's percentiles.
+        self.fetch_latency_histogram = Histogram(
+            "repro_fetch_latency_seconds",
+            "End-to-end fetch latency at the gateway.",
+        )
+        #: The deployment's typed-instrument registry behind
+        #: ``GET /metrics?format=prometheus``.  Per-gateway, never
+        #: process-global: two gateways (or two test fixtures) each see
+        #: exactly their own deployment's instruments.
+        self.registry = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        registry = self.registry
+        registry.attach(self.http_requests)
+        registry.attach(self.ws_connections)
+        registry.attach(self.ws_messages)
+        registry.attach(self.fetch_latency_histogram)
+        registry.attach(self.dispatcher.requests)
+        registry.attach(RESILIENCE_COUNTERS.family)
+        self.policy.register_metrics(registry)
+        self.manager.register_metrics(registry)
+        self.engine.register_metrics(registry)
+        registry.gauge(
+            "repro_gateway_uptime_seconds",
+            "Seconds since the gateway started.",
+            fn=lambda: round(time.time() - self.started_at, 3),
+        )
+        registry.gauge(
+            "repro_gateway_active_requests",
+            "Requests currently inside dispatch.",
+            fn=lambda: self.active_requests,
+        )
+        tracer_stats = self.tracer.stats
+        registry.gauge(
+            "repro_tracing_enabled",
+            "1 when the engine tracer records spans.",
+            fn=lambda: 1 if tracer_stats().get("enabled") else 0,
+        )
+        for field in ("recorded", "dropped", "buffered"):
+            registry.gauge(
+                f"repro_tracing_{field}",
+                f"Engine tracer: spans {field}.",
+                fn=lambda field=field: tracer_stats().get(field, 0),
+            )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -552,10 +607,10 @@ class GatewayServer:
         if request.path == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed(request, writer, "GET")
-            payload = self.metrics()
             # Content negotiation: Prometheus scrapers ask for
-            # text/plain (or ?format=prometheus); everyone else keeps
-            # the JSON document.
+            # text/plain (or ?format=prometheus) and get the typed
+            # registry exposition; everyone else keeps the JSON
+            # document.
             accept = request.headers.get("accept", "")
             if (
                 "text/plain" in accept
@@ -564,16 +619,29 @@ class GatewayServer:
                 self._respond_raw(
                     writer,
                     200,
-                    prometheus_text(payload).encode("utf-8"),
+                    self.registry.render().encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                     keep_alive=request.keep_alive,
                     request_id=request.request_id,
                 )
             else:
                 self._respond(
-                    writer, 200, payload, keep_alive=request.keep_alive,
+                    writer, 200, self.metrics(),
+                    keep_alive=request.keep_alive,
                     request_id=request.request_id,
                 )
+            return 200
+        if request.path == "/debug":
+            if request.method != "GET":
+                return self._method_not_allowed(request, writer, "GET")
+            self._respond_raw(
+                writer,
+                200,
+                debug_html(self.metrics()).encode("utf-8"),
+                "text/html; charset=utf-8",
+                keep_alive=request.keep_alive,
+                request_id=request.request_id,
+            )
             return 200
         if request.path == "/v1/stats":
             if request.method != "GET":
@@ -663,6 +731,7 @@ class GatewayServer:
         elapsed = time.perf_counter() - started
         if wire_request["op"] == "fetch":
             self.fetch_latency.record(elapsed)
+            self.fetch_latency_histogram.observe(elapsed)
         results = [
             line["result"] for line in collector.lines if "result" in line
         ]
@@ -828,7 +897,9 @@ class GatewayServer:
                 finally:
                     self.active_requests -= 1
                 if wire_request.get("op") == "fetch":
-                    self.fetch_latency.record(time.perf_counter() - started)
+                    elapsed = time.perf_counter() - started
+                    self.fetch_latency.record(elapsed)
+                    self.fetch_latency_histogram.observe(elapsed)
                 await writer.drain()
         except (BrokenPipeError, asyncio.CancelledError):
             pass
@@ -836,30 +907,52 @@ class GatewayServer:
     # -- observability ---------------------------------------------------------
 
     def metrics(self) -> dict:
-        """The ``/metrics`` payload (also handy for in-process tests)."""
+        """The ``/metrics`` JSON payload (also what ``repro top`` polls)."""
         manager_stats = self.manager.stats()
+        memory = self.engine.memory_stats()
+        session_detail = {
+            name: {
+                "served": entry["served"],
+                "cursors": len(entry["cursors"]),
+                "memory_bytes": entry["memory_bytes"],
+                "idle_seconds": entry["idle_seconds"],
+            }
+            for name, entry in manager_stats["sessions"].items()
+        }
         return {
             "ok": True,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "gateway": {
-                "http_requests": self.http_requests,
-                "ws_connections": self.ws_connections,
-                "ws_messages": self.ws_messages,
-                "dispatched": self.dispatcher.requests,
+                "http_requests": int(self.http_requests),
+                "ws_connections": int(self.ws_connections),
+                "ws_messages": int(self.ws_messages),
+                "dispatched": int(self.dispatcher.requests),
+                "active_requests": self.active_requests,
             },
             "policy": self.policy.snapshot(),
-            "latency": {"fetch": self.fetch_latency.snapshot()},
+            "latency": {
+                "fetch": self.fetch_latency.snapshot(),
+                "fetch_histogram": self.fetch_latency_histogram.snapshot(),
+            },
             "sessions": {
                 "session_count": manager_stats["session_count"],
                 "evictions": manager_stats["evictions"],
                 "expirations": manager_stats["expirations"],
+                "detail": session_detail,
+            },
+            "memory": {
+                **memory,
+                "session_bytes": sum(
+                    entry["memory_bytes"] for entry in session_detail.values()
+                ),
+                "memory_budget_bytes": manager_stats["memory_budget_bytes"],
             },
             "scheduler": manager_stats["scheduler"],
             "engine": manager_stats["engine"],
             "tracing": self.tracer.stats(),
             "resilience": {
                 **RESILIENCE_COUNTERS.snapshot(),
-                "shed": self.policy.shed,
+                "shed": int(self.policy.shed),
                 "deadline_stops": manager_stats["scheduler"].get(
                     "deadline_stops", 0
                 ),

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Callable, Hashable
 
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.serve.resilience import CircuitBreaker
 
 #: Ops subject to the overload gate (the expensive ones); stats, ping,
@@ -113,13 +114,25 @@ class AccessPolicy:
         self.max_in_flight = max_in_flight
         self._in_flight = 0
         #: Requests that failed the bearer-token check.
-        self.denied_auth = 0
+        self.denied_auth = Counter(
+            "repro_policy_denied_auth_total",
+            "Requests that failed the bearer-token check.",
+        )
         #: Requests rejected by the rate limiter.
-        self.throttled = 0
+        self.throttled = Counter(
+            "repro_policy_throttled_total",
+            "Requests rejected by the rate limiter.",
+        )
         #: Requests that passed both checks.
-        self.admitted = 0
+        self.admitted = Counter(
+            "repro_policy_admitted_total",
+            "Requests that passed auth and rate limiting.",
+        )
         #: Requests shed by the overload gate (breaker or in-flight cap).
-        self.shed = 0
+        self.shed = Counter(
+            "repro_policy_shed_total",
+            "Requests shed by the overload gate.",
+        )
 
     # -- auth ------------------------------------------------------------------
 
@@ -228,17 +241,42 @@ class AccessPolicy:
                 "auth_required": self.auth_token is not None,
                 "rate_limit": self.rate_limit,
                 "burst": self.burst,
-                "admitted": self.admitted,
-                "denied_auth": self.denied_auth,
-                "throttled": self.throttled,
+                "admitted": int(self.admitted),
+                "denied_auth": int(self.denied_auth),
+                "throttled": int(self.throttled),
                 "tracked_clients": len(self._buckets),
-                "shed": self.shed,
+                "shed": int(self.shed),
                 "max_in_flight": self.max_in_flight,
                 "in_flight": self._in_flight,
             }
         if self.breaker is not None:
             snapshot["breaker"] = self.breaker.snapshot()
         return snapshot
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach this policy's instruments to a deployment registry."""
+        registry.attach(self.admitted)
+        registry.attach(self.denied_auth)
+        registry.attach(self.throttled)
+        registry.attach(self.shed)
+        registry.gauge(
+            "repro_policy_in_flight",
+            "Fetches currently holding an in-flight slot.",
+            fn=lambda: self._in_flight,
+        )
+        registry.gauge(
+            "repro_policy_tracked_clients",
+            "Token buckets currently tracked.",
+            fn=lambda: len(self._buckets),
+        )
+        if self.breaker is not None:
+            registry.attach(self.breaker.rejected)
+            registry.attach(self.breaker.opened)
+            registry.gauge(
+                "repro_breaker_open",
+                "1 when the circuit breaker is not closed.",
+                fn=lambda: 0 if self.breaker.state == self.breaker.CLOSED else 1,
+            )
 
     def __repr__(self) -> str:
         auth = "token" if self.auth_token is not None else "open"

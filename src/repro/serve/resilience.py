@@ -30,30 +30,42 @@ import threading
 import time
 from typing import Any, Callable
 
+from ..obs.metrics import Counter, Family
+
 
 class _Counters:
-    """A tiny thread-safe named-counter registry."""
+    """A thread-safe named-counter registry backed by a labeled family.
+
+    The legacy ``bump``/``get``/``snapshot``/``reset`` API is unchanged;
+    underneath, each name is a child of the
+    ``repro_resilience_events_total{event=...}`` counter family, so the
+    gateway registry renders recovery events as typed counters.
+    """
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self._counts: dict[str, int] = {}
+        self.family = Family(
+            Counter,
+            "repro_resilience_events_total",
+            "Recovery events (retries, respawns, downgrades) by name.",
+            labelnames=("event",),
+        )
 
     def bump(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + by
+        self.family.labels(name).inc(by)
 
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._counts.get(name, 0)
+        child = self.family.get(name)
+        return int(child) if child is not None else 0
 
     def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
+        return {
+            key[0]: int(child)
+            for key, child in self.family.children().items()
+        }
 
     def reset(self) -> None:
         """Test hook: zero every counter."""
-        with self._lock:
-            self._counts.clear()
+        self.family.clear()
 
 
 #: Process-wide recovery counters (``retries_*``, ``worker_respawns``,
@@ -169,9 +181,15 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes = 0
         #: Requests refused while open (load shed by the breaker).
-        self.rejected = 0
+        self.rejected = Counter(
+            "repro_breaker_rejected_total",
+            "Requests refused while the breaker was open.",
+        )
         #: Times the breaker tripped open (incl. re-opens from half-open).
-        self.opened = 0
+        self.opened = Counter(
+            "repro_breaker_opened_total",
+            "Times the breaker tripped open.",
+        )
 
     # -- state machine ---------------------------------------------------------
 
@@ -239,8 +257,8 @@ class CircuitBreaker:
                 "state": self._state,
                 "open": self._state != self.CLOSED,
                 "failures": self._failures,
-                "opened": self.opened,
-                "rejected": self.rejected,
+                "opened": int(self.opened),
+                "rejected": int(self.rejected),
                 "failure_threshold": self.failure_threshold,
                 "reset_timeout": self.reset_timeout,
             }

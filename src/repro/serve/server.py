@@ -42,6 +42,7 @@ import threading
 from typing import Any
 
 from repro.engine.engine import Engine
+from repro.obs.metrics import Counter
 from repro.serve import protocol
 from repro.serve.cursor import CursorBudgetExceeded
 from repro.serve.policy import AccessPolicy
@@ -82,7 +83,10 @@ class OpDispatcher:
         #: breaker is fed from dispatch outcomes.
         self.policy = policy
         #: Requests dispatched (all transports sharing this dispatcher).
-        self.requests = 0
+        self.requests = Counter(
+            "repro_dispatched_requests_total",
+            "Requests dispatched across all transports.",
+        )
 
     def _record(self, succeeded: bool) -> None:
         if self.policy is not None:
@@ -333,14 +337,25 @@ class ServeServer:
         #: in-flight requests finish before sessions are dropped.
         self.drain_s = drain_s
         self._server: asyncio.AbstractServer | None = None
-        self.connections = 0
-        self.requests = 0
-        self.oversized_frames = 0
+        self.connections = Counter(
+            "repro_server_connections_total", "TCP connections accepted."
+        )
+        self.requests = Counter(
+            "repro_server_requests_total", "Request lines received."
+        )
+        self.oversized_frames = Counter(
+            "repro_server_oversized_frames_total",
+            "Request frames rejected for exceeding the frame cap.",
+        )
         #: Requests currently inside dispatch (drain watches this).
+        #: A plain int, not an instrument: it goes down as well as up.
         self.active_requests = 0
 
     def _extra_stats(self) -> dict:
-        extra = {"connections": self.connections, "requests": self.requests}
+        extra = {
+            "connections": int(self.connections),
+            "requests": int(self.requests),
+        }
         if self.policy is not None:
             extra["policy"] = self.policy.snapshot()
         return extra

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator
 
 from repro.engine.engine import Engine
 from repro.enumeration.result import QueryResult
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.serve.cursor import Cursor, CursorBudgetExceeded
 from repro.serve.resilience import Deadline
 from repro.util import faults
@@ -86,11 +87,19 @@ class CooperativeScheduler:
             raise ValueError(f"slice size must be positive, got {slice_size}")
         self.slice_size = slice_size
         #: Total slices executed (over all fetches).
-        self.slices = 0
+        self.slices = Counter(
+            "repro_scheduler_slices_total", "Scheduler slices executed."
+        )
         #: Total event-loop yields taken between slices.
-        self.yields = 0
+        self.yields = Counter(
+            "repro_scheduler_yields_total",
+            "Event-loop yields taken between slices.",
+        )
         #: Fetches that stopped early because their deadline expired.
-        self.deadline_stops = 0
+        self.deadline_stops = Counter(
+            "repro_scheduler_deadline_stops_total",
+            "Fetches stopped early at their deadline.",
+        )
 
     def _slices(self, n: int) -> Iterator[int]:
         full, rest = divmod(n, self.slice_size)
@@ -262,19 +271,29 @@ class SessionManager:
         result_budget: int | None = None,
         slice_size: int = 64,
         clock: Callable[[], float] = time.monotonic,
+        memory_budget_bytes: int | None = None,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be positive")
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive")
         self.engine = engine
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
         self.result_budget = result_budget
+        #: Per-session cap on estimated bytes held by memoized prefixes
+        #: (None = unenforced; estimates are still exported as gauges).
+        self.memory_budget_bytes = memory_budget_bytes
         self.scheduler = CooperativeScheduler(slice_size)
         self._clock = clock
         self._lock = threading.RLock()
         self._sessions: dict[str, Session] = {}
-        self.evictions = 0
-        self.expirations = 0
+        self.evictions = Counter(
+            "repro_sessions_evicted_total", "Sessions LRU-evicted."
+        )
+        self.expirations = Counter(
+            "repro_sessions_expired_total", "Sessions expired by TTL."
+        )
 
     # -- session lifecycle -----------------------------------------------------
 
@@ -448,6 +467,14 @@ class SessionManager:
         session = self.session(session_name, create=False)
         cursor = session.cursor(cursor_id)
         n = cursor.clamped(n)
+        if self.memory_budget_bytes is not None:
+            held = self.session_memory_bytes(session)
+            if held > self.memory_budget_bytes:
+                raise SessionBudgetExceeded(
+                    f"session {session.name!r}: memory budget of "
+                    f"{self.memory_budget_bytes} bytes exceeded "
+                    f"(~{held} bytes held by memoized prefixes)"
+                )
         self.reserve_budget(session, n)
         return session, cursor, n
 
@@ -552,6 +579,61 @@ class SessionManager:
 
     # -- observability ---------------------------------------------------------
 
+    def session_memory_bytes(self, session: Session) -> int:
+        """Estimated bytes of memoized prefix held by one session.
+
+        Cursors over the same query share one memoized stream, so
+        streams are deduplicated by identity — a session with ten
+        cursors on one query is charged for one prefix, not ten.
+        """
+        seen: set[int] = set()
+        total = 0
+        for cursor in list(session.cursors.values()):
+            try:
+                stream = cursor.stream
+            except Exception:
+                continue
+            if stream is None or id(stream) in seen:
+                continue
+            seen.add(id(stream))
+            total += stream.memory_bytes()
+        return total
+
+    def memory_by_session(self) -> dict[str, int]:
+        """``{session name: estimated prefix bytes}`` (scrape-time)."""
+        with self._lock:
+            return {
+                name: self.session_memory_bytes(session)
+                for name, session in self._sessions.items()
+            }
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach session/scheduler instruments to a deployment registry."""
+        registry.attach(self.scheduler.slices)
+        registry.attach(self.scheduler.yields)
+        registry.attach(self.scheduler.deadline_stops)
+        registry.attach(self.evictions)
+        registry.attach(self.expirations)
+        registry.gauge(
+            "repro_sessions_open",
+            "Sessions currently open.",
+            fn=lambda: len(self._sessions),
+        )
+        registry.gauge(
+            "repro_cursors_open",
+            "Cursors currently open across all sessions.",
+            fn=lambda: sum(
+                len(s.cursors) for s in list(self._sessions.values())
+            ),
+        )
+        registry.callback(
+            "repro_session_memory_bytes",
+            self.memory_by_session,
+            kind="gauge",
+            help="Estimated memoized-prefix bytes held per session.",
+            labelnames=("session",),
+        )
+
     def explain(self, session_name: str, cursor_id: str) -> str:
         """The (bound) plan report of a cursor's prepared query."""
         return self.cursor(session_name, cursor_id).prepared.explain()
@@ -579,6 +661,7 @@ class SessionManager:
                     },
                     "served": session.served,
                     "budget": session.budget,
+                    "memory_bytes": self.session_memory_bytes(session),
                     "idle_seconds": round(
                         self._clock() - session.last_used, 3
                     ),
@@ -588,13 +671,14 @@ class SessionManager:
             return {
                 "sessions": sessions,
                 "session_count": len(sessions),
-                "evictions": self.evictions,
-                "expirations": self.expirations,
+                "evictions": int(self.evictions),
+                "expirations": int(self.expirations),
+                "memory_budget_bytes": self.memory_budget_bytes,
                 "scheduler": {
                     "slice_size": self.scheduler.slice_size,
-                    "slices": self.scheduler.slices,
-                    "yields": self.scheduler.yields,
-                    "deadline_stops": self.scheduler.deadline_stops,
+                    "slices": int(self.scheduler.slices),
+                    "yields": int(self.scheduler.yields),
+                    "deadline_stops": int(self.scheduler.deadline_stops),
                 },
                 "engine": self.engine.stats.as_dict(),
             }

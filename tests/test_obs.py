@@ -437,6 +437,47 @@ class TestExporters:
     def test_prometheus_text_empty(self):
         assert prometheus_text({}) == ""
 
+    def test_prometheus_text_name_collisions_deduped(self):
+        # Two distinct paths flatten to the same metric name; emitting
+        # the name (and its # TYPE line) twice is invalid exposition.
+        from repro.obs.metrics import validate_exposition
+
+        metrics = {"a": {"b_c": 1}, "a_b": {"c": 2}, "x y": 3, "x_y": 4}
+        text = prometheus_text(metrics)
+        lines = text.strip().splitlines()
+        names = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+        assert len(names) == len(set(names)) == 4
+        assert validate_exposition(text) == []
+        # Deterministic: the lexicographically-smaller path keeps the
+        # bare name and the collider gets a stable suffix.
+        assert "repro_a_b_c 1" in lines
+        assert "repro_a_b_c_2 2" in lines
+        assert "repro_x_y 3" in lines
+        assert "repro_x_y_2 4" in lines
+        assert prometheus_text(metrics) == text
+
+    def test_chrome_trace_stable_small_tids(self):
+        tracer = Tracer(sample="always")
+        with tracer.span("solo"):
+            pass
+        done = threading.Event()
+
+        def other():
+            with tracer.span("worker"):
+                done.set()
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+        assert done.is_set()
+        events = chrome_trace_events(tracer.spans())
+        span_events = [e for e in events if e["ph"] == "X"]
+        tids = {e["tid"] for e in span_events}
+        # Two threads -> two small per-thread ids, disjoint from the
+        # metadata row's tid 0, regardless of the native idents.
+        assert len(tids) == 2
+        assert all(0 < tid <= len(span_events) for tid in tids)
+
 
 # -- shared latency implementation --------------------------------------------
 
@@ -514,8 +555,57 @@ class TestGatewayObservability:
         assert content_type.startswith("text/plain")
         assert "version=0.0.4" in content_type
         text = payload.decode("utf-8")
-        assert "# TYPE repro_gateway_http_requests gauge" in text
+        assert "# TYPE repro_gateway_http_requests_total counter" in text
         assert "repro_tracing_recorded" in text
+
+    def test_metrics_prometheus_is_valid_exposition(self, gateway):
+        from repro.obs.metrics import validate_exposition
+
+        # Exercise a fetch first so the latency histogram has samples.
+        response, payload = http_request(
+            gateway, "POST", "/v1/prepare",
+            body=json.dumps({"session": "obsval", "query": QUERY}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert response.status == 200, payload
+        cursor = json.loads(payload)["cursor"]
+        response, payload = http_request(
+            gateway, "POST", "/v1/fetch",
+            body=json.dumps(
+                {"session": "obsval", "cursor": cursor, "n": 3}
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        assert response.status == 200, payload
+        _response, payload = http_request(
+            gateway, "GET", "/metrics?format=prometheus"
+        )
+        text = payload.decode("utf-8")
+        assert validate_exposition(text) == []
+        assert "# TYPE repro_fetch_latency_seconds histogram" in text
+        assert 'repro_fetch_latency_seconds_bucket{le="' in text
+        assert 'le="+Inf"' in text
+        assert "# TYPE repro_session_memory_bytes gauge" in text
+        assert 'repro_session_memory_bytes{session="obsval"}' in text
+        assert "repro_engine_stream_bytes" in text
+        assert "repro_engine_core_heap_bytes" in text
+
+    def test_debug_page(self, gateway):
+        response, payload = http_request(gateway, "GET", "/debug")
+        assert response.status == 200
+        assert "text/html" in response.getheader("Content-Type")
+        text = payload.decode("utf-8")
+        assert "<h1>repro gateway</h1>" in text
+        assert "uptime_seconds" in text
+
+    def test_metrics_json_memory_section(self, gateway):
+        _response, payload = http_request(gateway, "GET", "/metrics")
+        metrics = json.loads(payload)
+        memory = metrics["memory"]
+        for key in ("stream_count", "stream_bytes", "core_heap_bytes",
+                    "core_mmap_bytes", "session_bytes"):
+            assert key in memory
+        assert isinstance(metrics["sessions"]["detail"], dict)
 
     def test_metrics_prometheus_query_param(self, gateway):
         response, payload = http_request(
